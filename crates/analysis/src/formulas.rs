@@ -1,0 +1,95 @@
+//! The paper's closed-form trade-offs.
+
+/// The adjusted failure ratio `β̃ = (β − γ) / (γ(β − 2) + 1)`
+/// (Section 2.3, Equation 2's required bound).
+///
+/// With churn rate `γ` per `η` rounds, a protocol whose original failure
+/// ratio is `β` must lower its per-round failure tolerance to `β̃` once it
+/// counts latest unexpired messages — asleep processes' stale votes hand
+/// the adversary extra leverage that this discount pays for.
+///
+/// * `γ = 0` ⇒ `β̃ = β` (static participation costs nothing);
+/// * `γ → β` ⇒ `β̃ → 0` (at churn `β` the system can stall with no
+///   adversary at all);
+/// * strictly decreasing in `γ` on `[0, β]`.
+///
+/// ```
+/// use st_analysis::beta_tilde;
+/// assert!((beta_tilde(1.0 / 3.0, 0.0) - 1.0 / 3.0).abs() < 1e-12);
+/// assert!(beta_tilde(1.0 / 3.0, 0.2) < 1.0 / 3.0);
+/// ```
+pub fn beta_tilde(beta: f64, gamma: f64) -> f64 {
+    (beta - gamma) / (gamma * (beta - 2.0) + 1.0)
+}
+
+/// Figure 1's specialisation for the MMR decision threshold `1 − β = 2/3`:
+/// `β̃_{2/3} = (1 − 3γ) / (3 − 5γ)`.
+///
+/// Identical to [`beta_tilde`] at `β = 1/3`; kept as a named function
+/// because Figure 1 plots exactly this curve.
+pub fn beta_tilde_two_thirds(gamma: f64) -> f64 {
+    (1.0 - 3.0 * gamma) / (3.0 - 5.0 * gamma)
+}
+
+/// The η-sleepiness condition of D'Amato–Zanolini (Equation 3):
+/// `|H_r| > (1 − β) · |O_{r−η,r}|`.
+///
+/// The single all-encompassing assumption equivalent (in their framework)
+/// to the explicit churn and failure bounds; Section 3.3 uses it to
+/// justify the extended graded agreement's `|H_r| > 2/3·|O_r ∪ P₀|`
+/// requirement.
+pub fn eta_sleepiness_holds(honest_awake: usize, online_window_union: usize, beta: f64) -> bool {
+    (honest_awake as f64) > (1.0 - beta) * (online_window_union as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specialisation_matches_general_form() {
+        for i in 0..=30 {
+            let gamma = i as f64 / 100.0;
+            assert!(
+                (beta_tilde(1.0 / 3.0, gamma) - beta_tilde_two_thirds(gamma)).abs() < 1e-12,
+                "γ = {gamma}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_1_anchor_points() {
+        // Figure 1: intercept 1/3 at γ = 0; zero at γ = 1/3.
+        assert!((beta_tilde_two_thirds(0.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(beta_tilde_two_thirds(1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing_on_domain() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=33 {
+            let v = beta_tilde_two_thirds(i as f64 / 100.0);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn beta_half_instantiation() {
+        // For β = 1/2 protocols (e.g. Gafni–Losa, D'Amato–Zanolini):
+        // β̃ = (1/2 − γ)/(1 − 3γ/2).
+        for i in 0..=45 {
+            let gamma = i as f64 / 100.0;
+            let expected = (0.5 - gamma) / (1.0 - 1.5 * gamma);
+            assert!((beta_tilde(0.5, gamma) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eta_sleepiness_threshold_is_strict() {
+        // |H_r| must strictly exceed (1 − β)|O|: 8 of 12 at β = 1/3 fails
+        // (8 = 2·12/3 exactly), 9 passes.
+        assert!(!eta_sleepiness_holds(8, 12, 1.0 / 3.0));
+        assert!(eta_sleepiness_holds(9, 12, 1.0 / 3.0));
+    }
+}

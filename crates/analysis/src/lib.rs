@@ -1,0 +1,27 @@
+//! Closed-form formulas, model-condition checkers and experiment
+//! statistics.
+//!
+//! Three jobs:
+//!
+//! 1. **Formulas** ([`formulas`]): the adjusted failure ratio
+//!    `β̃ = (β − γ)/(γ(β − 2) + 1)` of Section 2.3 and its Figure-1
+//!    specialisation `β̃_{2/3} = (1 − 3γ)/(3 − 5γ)`, plus the η-sleepiness
+//!    threshold.
+//! 2. **Condition checkers** ([`conditions`]): given a concrete
+//!    [`st_sim::Schedule`] and (optionally) an asynchronous window, verify
+//!    the paper's Equations 1–5 round by round. Experiments use these to
+//!    certify that a run's assumptions actually held (or deliberately did
+//!    not, for ablations).
+//! 3. **Statistics** ([`stats`]): small helpers (mean/percentile/series
+//!    formatting, CSV writing) shared by the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditions;
+pub mod formulas;
+pub mod stats;
+
+pub use conditions::{check_conditions, ConditionReport};
+pub use formulas::{beta_tilde, beta_tilde_two_thirds, eta_sleepiness_holds};
+pub use stats::{mean, percentile, Table};

@@ -1,0 +1,227 @@
+//! Small statistics and table-formatting helpers for the experiment
+//! binaries.
+
+use std::fmt::Display;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Arithmetic mean; `None` for empty input.
+///
+/// ```
+/// use st_analysis::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// The `p`-th percentile (0–100, nearest-rank); `None` for empty input.
+///
+/// ```
+/// use st_analysis::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(3.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(5.0));
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// Sample standard deviation; `None` with fewer than two samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+    Some(var.sqrt())
+}
+
+/// A simple column-aligned table that prints paper-style rows to stdout
+/// and serialises to CSV for post-processing.
+///
+/// ```
+/// use st_analysis::Table;
+/// let mut t = Table::new(vec!["γ", "β̃ analytic", "β̃ measured"]);
+/// t.row(vec!["0.00".into(), "0.333".into(), "0.331".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("β̃ analytic"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_display<D: Display>(&mut self, cells: Vec<D>) {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a column-aligned textual table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises to CSV (headers + rows, comma-separated; cells
+    /// containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV into `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the write.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn stddev_basics() {
+        assert_eq!(stddev(&[1.0]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.row_display(vec![2, 3]);
+        let r = t.render();
+        assert!(r.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,long-header"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["c"]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

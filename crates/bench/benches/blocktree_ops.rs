@@ -1,0 +1,86 @@
+//! Block-tree primitive costs: insertion, binary-lifting ancestor
+//! queries, LCA and longest-common-prefix over deep chains and wide
+//! forks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_blocktree::{Block, BlockTree};
+use st_types::{BlockId, ProcessId, View};
+
+fn deep_chain(depth: usize) -> (BlockTree, Vec<BlockId>) {
+    let mut tree = BlockTree::new();
+    let mut ids = vec![BlockId::GENESIS];
+    for i in 0..depth {
+        let b = Block::build(
+            *ids.last().unwrap(),
+            View::new(i as u64 + 1),
+            ProcessId::new(0),
+            vec![],
+        );
+        ids.push(tree.insert(b).unwrap());
+    }
+    (tree, ids)
+}
+
+/// `width` branches of length `depth` off genesis.
+fn wide_fork(width: usize, depth: usize) -> (BlockTree, Vec<BlockId>) {
+    let mut tree = BlockTree::new();
+    let mut tips = Vec::new();
+    for w in 0..width {
+        let mut parent = BlockId::GENESIS;
+        for d in 0..depth {
+            let b = Block::build(
+                parent,
+                View::new(d as u64 + 1),
+                ProcessId::new(w as u32),
+                vec![],
+            );
+            parent = tree.insert(b).unwrap();
+        }
+        tips.push(parent);
+    }
+    (tree, tips)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("blocktree/insert_1000_chain", |b| {
+        b.iter(|| deep_chain(1000).0.len())
+    });
+}
+
+fn bench_ancestor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocktree/is_ancestor");
+    for &depth in &[100usize, 1000, 10000] {
+        let (tree, ids) = deep_chain(depth);
+        let mid = ids[depth / 2];
+        let tip = *ids.last().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| tree.is_ancestor(mid, tip))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocktree/lca");
+    for &depth in &[100usize, 1000] {
+        let (tree, tips) = wide_fork(8, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| tree.lca(tips[0], tips[7]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lcp(c: &mut Criterion) {
+    let (tree, tips) = wide_fork(16, 200);
+    c.bench_function("blocktree/longest_common_prefix_16_tips", |b| {
+        b.iter(|| tree.longest_common_prefix(tips.iter().copied()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert, bench_ancestor, bench_lca, bench_lcp
+}
+criterion_main!(benches);

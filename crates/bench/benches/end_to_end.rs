@@ -1,0 +1,77 @@
+//! End-to-end protocol scenarios: the cost of a full run with churn, an
+//! asynchronous window and an active adversary — the "production shape"
+//! workload, and the per-process step cost in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_core::{TobConfig, TobProcess};
+use st_sim::adversary::PartitionAttacker;
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_types::{Params, ProcessId, Round};
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("partition_attack_n16_40rounds", |b| {
+        b.iter(|| {
+            let n = 16;
+            let params = Params::builder(n).expiration(4).churn_rate(0.1).build().unwrap();
+            let schedule = Schedule::random_churn(
+                n,
+                40,
+                0.01,
+                7,
+                &ChurnOptions {
+                    min_awake_frac: 0.6,
+                    wake_prob: 0.4,
+                    ..Default::default()
+                },
+            );
+            let report = Simulation::new(
+                SimConfig::new(params, 7)
+                    .horizon(40)
+                    .async_window(AsyncWindow::new(Round::new(14), 3))
+                    .txs_every(4),
+                schedule,
+                Box::new(PartitionAttacker::new()),
+            )
+            .run();
+            assert!(report.is_safe());
+            report.final_decided_height
+        })
+    });
+    group.finish();
+}
+
+/// One process's send-step cost with a saturated vote store — the unit of
+/// work a real deployment performs per round.
+fn bench_process_step(c: &mut Criterion) {
+    c.bench_function("end_to_end/single_process_step", |b| {
+        // Drive 8 processes for 20 lock-step rounds to build realistic
+        // state, then measure p0's step.
+        let params = Params::builder(8).expiration(4).build().unwrap();
+        let config = TobConfig::new(params, 3);
+        let mut procs: Vec<TobProcess> = (0..8u32)
+            .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+            .collect();
+        for r in 0..=20u64 {
+            let round = Round::new(r);
+            let batches: Vec<_> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+            for batch in &batches {
+                for env in batch {
+                    for p in procs.iter_mut() {
+                        p.on_receive(env.clone());
+                    }
+                }
+            }
+        }
+        let template = procs[0].clone();
+        b.iter_batched(
+            || template.clone(),
+            |mut p| p.step_send(Round::new(21)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_full_scenario, bench_process_step);
+criterion_main!(benches);

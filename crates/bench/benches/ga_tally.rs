@@ -1,0 +1,102 @@
+//! Graded-agreement tally throughput as a function of vote count and
+//! expiration-window width — the hot path of every protocol round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_blocktree::{Block, BlockTree};
+use st_ga::{tally, Thresholds};
+use st_messages::{Vote, VoteStore};
+use st_types::{BlockId, ProcessId, Round, View};
+
+/// A linear chain of `len` blocks; returns the tree and the block ids.
+fn chain(len: usize) -> (BlockTree, Vec<BlockId>) {
+    let mut tree = BlockTree::new();
+    let mut ids = vec![BlockId::GENESIS];
+    for i in 0..len {
+        let b = Block::build(
+            *ids.last().unwrap(),
+            View::new(i as u64 + 1),
+            ProcessId::new(0),
+            vec![],
+        );
+        ids.push(tree.insert(b).unwrap());
+    }
+    (tree, ids)
+}
+
+/// A store with `n` voters spread over `rounds` rounds, each voting the
+/// chain tip of its round.
+fn filled_store(n: usize, rounds: u64, ids: &[BlockId]) -> VoteStore {
+    let mut store = VoteStore::new();
+    for r in 1..=rounds {
+        for p in 0..n {
+            let tip = ids[(r as usize * ids.len() / (rounds as usize + 1)).min(ids.len() - 1)];
+            store.insert(Vote::new(ProcessId::new(p as u32), Round::new(r), tip));
+        }
+    }
+    store
+}
+
+fn bench_tally(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_tally");
+    for &n in &[10usize, 50, 200] {
+        for &eta in &[0u64, 4, 16] {
+            let (tree, ids) = chain(40);
+            let store = filled_store(n, 20, &ids);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("eta{eta}")),
+                &eta,
+                |b, &eta| {
+                    b.iter(|| {
+                        let votes = store
+                            .latest_in_window(Round::new(20).saturating_sub(eta), Round::new(20));
+                        tally(&tree, &votes, Thresholds::mmr())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Incremental support index vs recomputing the tally, for a stream of
+/// moving votes over a deep chain — the deployment-path optimisation.
+fn bench_incremental(c: &mut Criterion) {
+    use st_ga::SupportIndex;
+    let mut group = c.benchmark_group("ga_support_stream");
+    let (tree, ids) = chain(200);
+    let n = 50usize;
+    // Stream: each of n voters advances its vote one block per event.
+    group.bench_function("incremental_index", |b| {
+        b.iter(|| {
+            let mut index = SupportIndex::new();
+            for step in 1..ids.len() {
+                for p in 0..n {
+                    index.set_vote(&tree, ProcessId::new(p as u32), ids[step]);
+                }
+            }
+            index.support_of(ids[1])
+        })
+    });
+    group.bench_function("stateless_retally", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for step in 1..ids.len() {
+                let mut store = VoteStore::new();
+                for p in 0..n {
+                    store.insert(Vote::new(ProcessId::new(p as u32), Round::new(1), ids[step]));
+                }
+                let votes = store.latest_in_window(Round::new(1), Round::new(1));
+                acc += tally(&tree, &votes, Thresholds::mmr()).participation();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tally, bench_incremental
+}
+criterion_main!(benches);

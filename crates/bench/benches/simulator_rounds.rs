@@ -1,0 +1,36 @@
+//! Full-simulator round throughput: how many protocol rounds per second
+//! the lock-step engine sustains at various system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_sim::adversary::SilentAdversary;
+use st_sim::{Schedule, SimConfig, Simulation};
+use st_types::Params;
+
+fn run(n: usize, eta: u64, horizon: u64) -> u64 {
+    let params = Params::builder(n).expiration(eta).build().unwrap();
+    let report = Simulation::new(
+        SimConfig::new(params, 42).horizon(horizon),
+        Schedule::full(n, horizon),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    report.final_decided_height
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/30_rounds");
+    group.sample_size(10);
+    for &n in &[10usize, 25, 50] {
+        for &eta in &[0u64, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("eta{eta}")),
+                &(n, eta),
+                |b, &(n, eta)| b.iter(|| run(n, eta, 30)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Vote-store costs: insertion, latest-in-window queries (the expiration
+//! mechanism's core read) and pruning, across window widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_messages::{Vote, VoteStore};
+use st_types::{BlockId, ProcessId, Round};
+
+fn filled(n: usize, rounds: u64) -> VoteStore {
+    let mut store = VoteStore::new();
+    for r in 1..=rounds {
+        for p in 0..n {
+            store.insert(Vote::new(
+                ProcessId::new(p as u32),
+                Round::new(r),
+                BlockId::new(r),
+            ));
+        }
+    }
+    store
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("vote_store/insert_100x50", |b| b.iter(|| filled(100, 50).len()));
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vote_store/latest_in_window");
+    let store = filled(200, 100);
+    for &eta in &[0u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
+            b.iter(|| {
+                store
+                    .latest_in_window(Round::new(100).saturating_sub(eta), Round::new(100))
+                    .participation()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    c.bench_function("vote_store/prune_below", |b| {
+        b.iter_batched(
+            || filled(100, 100),
+            |mut store| {
+                store.prune_below(Round::new(60));
+                store.len()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert, bench_window, bench_prune
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **A1 — the Section-1 safety attack**: vanilla MMR loses safety under a
+//! short asynchronous period; the extended protocol does not.
+//!
+//! Two attack realisations are run against both protocols:
+//!
+//! * [`ReorgAttacker`] — Byzantine votes for a genesis fork while honest
+//!   traffic is suppressed (the paper's "send only votes for b" scenario):
+//!   one asynchronous round reverts decided logs on vanilla MMR.
+//! * [`PartitionAttacker`] — a 4-round network partition: the halves
+//!   diverge and decide conflicting logs on vanilla MMR.
+//!
+//! Expected: vanilla (`η = 0`) shows violations under both; extended
+//! (`η = 6 > π`) shows none and keeps deciding after the window.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_attack_vanilla`.
+
+use st_analysis::Table;
+use st_bench::{emit, seeds};
+use st_sim::adversary::{Adversary, PartitionAttacker, ReorgAttacker};
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_types::{Params, Round};
+
+const N: usize = 12;
+const HORIZON: u64 = 32;
+
+fn run_case(eta: u64, attack: &str, seed: u64) -> st_sim::SimReport {
+    let (adversary, window, byz): (Box<dyn Adversary>, AsyncWindow, usize) = match attack {
+        "reorg" => (
+            Box::new(ReorgAttacker::new()),
+            AsyncWindow::new(Round::new(12), 1),
+            3,
+        ),
+        "partition" => (
+            Box::new(PartitionAttacker::new()),
+            AsyncWindow::new(Round::new(12), 4),
+            0,
+        ),
+        other => unreachable!("unknown attack {other}"),
+    };
+    let schedule = Schedule::full(N, HORIZON).with_static_byzantine(byz);
+    let params = Params::builder(N).expiration(eta).build().expect("valid");
+    Simulation::new(
+        SimConfig::new(params, seed).horizon(HORIZON).async_window(window),
+        schedule,
+        adversary,
+    )
+    .run()
+}
+
+fn main() {
+    let mut table = Table::new(vec![
+        "protocol",
+        "attack",
+        "pi",
+        "agreement violations",
+        "D_ra conflicts",
+        "decides after window",
+    ]);
+    for &(eta, label) in &[(0u64, "vanilla MMR (η=0)"), (6, "extended (η=6)")] {
+        for &attack in &["reorg", "partition"] {
+            let mut agreement = 0usize;
+            let mut dra = 0usize;
+            let mut heals = 0usize;
+            let seed_list = seeds(5);
+            for &seed in &seed_list {
+                let report = run_case(eta, attack, seed);
+                agreement += report.safety_violations.len();
+                dra += report.resilience_violations.len();
+                if report.first_decision_after_async.is_some() {
+                    heals += 1;
+                }
+            }
+            let pi = if attack == "reorg" { 1 } else { 4 };
+            table.row(vec![
+                label.to_string(),
+                attack.to_string(),
+                pi.to_string(),
+                agreement.to_string(),
+                dra.to_string(),
+                format!("{heals}/{}", seed_list.len()),
+            ]);
+        }
+    }
+    emit(
+        "exp_attack_vanilla",
+        "safety of vanilla vs extended MMR under the Section-1 attacks (5 seeds)",
+        &table,
+    );
+    println!(
+        "\nExpected: vanilla rows show nonzero violations (reorg additionally reverts D_ra);\n\
+         extended rows show zero violations and keep deciding after the window (Theorem 2)."
+    );
+}

@@ -1,0 +1,137 @@
+//! **P1 — the δ/π trade-off** (the paper's headline practical claim).
+//!
+//! "In practice, this allows picking a small synchrony bound δ, and
+//! therefore obtain a fast protocol in the common case, knowing that the
+//! protocol tolerates occasional periods of duration at most π > δ during
+//! which the bound does not hold. With existing dynamically available TOB
+//! protocols, maintaining safety under those assumptions would require
+//! setting δ = π, which would significantly slow down the protocol."
+//!
+//! Setup: the deployment must survive occasional asynchronous periods of
+//! real duration `T` ms while the true network delay is `d = 100` ms.
+//!
+//! * **Extended protocol**: δ = d (rounds of 3d = 300 ms), expiration
+//!   `η = ⌈T/300⌉ + 1` — survives the period by Theorem 2.
+//! * **Vanilla protocol**: must inflate δ = T so that the "asynchronous"
+//!   period is inside its synchrony bound; rounds of 3T.
+//!
+//! Both are simulated through an actual disturbance window; throughput is
+//! decisions per *wall-clock second* (decisions / (rounds × 3δ)) and
+//! latency is the transaction inclusion time in ms.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_delta_tradeoff`.
+
+use st_analysis::{mean, Table};
+use st_bench::{emit, f3, opt, seeds};
+use st_sim::adversary::BlackoutAdversary;
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_types::{Params, Round};
+
+const N: usize = 12;
+const D_MS: f64 = 100.0; // true network delay
+
+struct Outcome {
+    decisions_per_sec: f64,
+    tx_latency_ms: Option<f64>,
+    safe: bool,
+}
+
+/// Simulates a deployment with synchrony bound `delta_ms`. The real
+/// disturbance lasts `t_ms`; expressed in this deployment's rounds it
+/// spans `⌈t_ms / (3·delta_ms)⌉` rounds (0 ⇒ the disturbance fits inside
+/// one round's delivery budget and is invisible).
+fn run(delta_ms: f64, eta: u64, t_ms: f64, seed: u64) -> Outcome {
+    let round_ms = 3.0 * delta_ms;
+    let pi = (t_ms / round_ms).ceil() as u64;
+    let horizon = 40 + 2 * pi;
+    let params = Params::builder(N)
+        .expiration(eta)
+        .delta_ms(delta_ms)
+        .build()
+        .expect("valid");
+    let mut config = SimConfig::new(params, seed).horizon(horizon).txs_every(2);
+    if pi > 0 {
+        config = config.async_window(AsyncWindow::new(Round::new(16), pi));
+    }
+    let report = Simulation::new(config, Schedule::full(N, horizon), Box::new(BlackoutAdversary)).run();
+    let wall_secs = (horizon as f64 * round_ms) / 1000.0;
+    Outcome {
+        // Chain growth (final decided height) per second is the honest
+        // throughput measure: decision events double-count per process.
+        decisions_per_sec: report.final_decided_height as f64 / wall_secs,
+        tx_latency_ms: report.mean_tx_latency().map(|rounds| rounds * round_ms),
+        safe: report.is_safe() && report.is_asynchrony_resilient(),
+    }
+}
+
+fn main() {
+    let seed_list = seeds(3);
+    let mut table = Table::new(vec![
+        "disturbance T",
+        "config",
+        "delta",
+        "round",
+        "eta",
+        "blocks/sec",
+        "tx latency (ms)",
+        "safe",
+    ]);
+    for &t_ms in &[1_000.0f64, 5_000.0, 30_000.0] {
+        // Extended: small δ, expiration covers the disturbance.
+        let eta = (t_ms / (3.0 * D_MS)).ceil() as u64 + 1;
+        let mut ext_tp = Vec::new();
+        let mut ext_lat = Vec::new();
+        let mut ext_safe = true;
+        for &seed in &seed_list {
+            let o = run(D_MS, eta, t_ms, seed);
+            ext_tp.push(o.decisions_per_sec);
+            if let Some(l) = o.tx_latency_ms {
+                ext_lat.push(l);
+            }
+            ext_safe &= o.safe;
+        }
+        table.row(vec![
+            format!("{:.0} s", t_ms / 1000.0),
+            "extended (δ = d)".into(),
+            format!("{D_MS:.0} ms"),
+            format!("{:.0} ms", 3.0 * D_MS),
+            eta.to_string(),
+            f3(mean(&ext_tp).unwrap_or(0.0)),
+            opt(mean(&ext_lat).map(|l| format!("{l:.0}"))),
+            ext_safe.to_string(),
+        ]);
+
+        // Vanilla: δ inflated to T; the disturbance fits inside a round.
+        let mut van_tp = Vec::new();
+        let mut van_lat = Vec::new();
+        let mut van_safe = true;
+        for &seed in &seed_list {
+            let o = run(t_ms, 0, t_ms, seed);
+            van_tp.push(o.decisions_per_sec);
+            if let Some(l) = o.tx_latency_ms {
+                van_lat.push(l);
+            }
+            van_safe &= o.safe;
+        }
+        table.row(vec![
+            format!("{:.0} s", t_ms / 1000.0),
+            "vanilla (δ = T)".into(),
+            format!("{:.0} ms", t_ms),
+            format!("{:.0} ms", 3.0 * t_ms),
+            "0".into(),
+            f3(mean(&van_tp).unwrap_or(0.0)),
+            opt(mean(&van_lat).map(|l| format!("{l:.0}"))),
+            van_safe.to_string(),
+        ]);
+    }
+    emit(
+        "exp_delta_tradeoff",
+        "small δ + expiration vs conservative δ = π (3 seeds, d = 100 ms)",
+        &table,
+    );
+    println!(
+        "\nExpected: both configurations stay safe, but the extended protocol's\n\
+         throughput and latency are ≈ T/d times better — the paper's motivation\n\
+         for not setting δ = π. The gap widens with the disturbance duration."
+    );
+}

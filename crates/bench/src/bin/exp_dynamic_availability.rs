@@ -1,0 +1,131 @@
+//! **B1 — dynamic availability**: the introduction's motivating incident.
+//!
+//! "In May 2023, roughly 60% of Ethereum's consensus clients went offline
+//! for about 25 minutes due to a software bug; Ethereum's dynamically
+//! available chain nevertheless continued growing normally."
+//!
+//! Replays the incident against (a) the sleepy protocol (vanilla and
+//! extended) and (b) the classic static-quorum BFT baseline, plus a
+//! harsher 80% drop and the paper's "even 99%" claim (n = 100, one awake
+//! process — progress requires > 2/3 of *perceived* participation, so a
+//! lone awake process with expired peers still advances).
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_dynamic_availability`.
+
+use st_analysis::Table;
+use st_bench::{emit, seeds};
+use st_sim::adversary::SilentAdversary;
+use st_sim::baseline::StaticQuorumBft;
+use st_sim::{Schedule, SimConfig, Simulation};
+use st_types::Params;
+
+fn sleepy_decisions_during(
+    schedule: &Schedule,
+    eta: u64,
+    from: u64,
+    to: u64,
+    seed: u64,
+    n: usize,
+) -> (usize, usize, bool) {
+    let params = Params::builder(n).expiration(eta).build().expect("valid");
+    let report = Simulation::new(
+        SimConfig::new(params, seed).horizon(schedule.horizon()),
+        schedule.clone(),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    // Count decided views (height growth) inside vs outside the incident
+    // via tx-free chain-height proxy: use deciding rounds inside window.
+    // SimReport does not expose per-round decisions, so re-run is avoided
+    // by using total counts; incident-window activity is approximated by
+    // the healing/deciding counters. For the table we report: total
+    // deciding rounds, final height, safety.
+    let _ = (from, to);
+    (report.deciding_rounds, report.final_decided_height as usize, report.is_safe())
+}
+
+fn main() {
+    let seed = seeds(1)[0];
+    let mut table = Table::new(vec![
+        "scenario",
+        "protocol",
+        "deciding rounds",
+        "final chain height",
+        "safe/available",
+    ]);
+
+    // ---- May-2023 incident: 60% offline for a long stretch ----
+    let n = 20;
+    let horizon = 80u64;
+    let schedule = Schedule::mass_sleep(n, horizon, 0.6, 20, 60);
+    for &(eta, label) in &[(0u64, "sleepy vanilla (η=0)"), (4, "sleepy extended (η=4)")] {
+        let (deciding, height, safe) =
+            sleepy_decisions_during(&schedule, eta, 20, 60, seed, n);
+        table.row(vec![
+            "60% offline, rounds 20–60".into(),
+            label.to_string(),
+            deciding.to_string(),
+            height.to_string(),
+            safe.to_string(),
+        ]);
+    }
+    let baseline = StaticQuorumBft::new(n).run(&schedule);
+    table.row(vec![
+        "60% offline, rounds 20–60".into(),
+        "static-quorum BFT".into(),
+        baseline.decisions().to_string(),
+        baseline.decisions().to_string(), // one block per decided view
+        format!("stalls {} consecutive views", baseline.longest_stall()),
+    ]);
+
+    // ---- harsher: 80% offline ----
+    let schedule80 = Schedule::mass_sleep(n, horizon, 0.8, 20, 60);
+    let (deciding, height, safe) = sleepy_decisions_during(&schedule80, 0, 20, 60, seed, n);
+    table.row(vec![
+        "80% offline, rounds 20–60".into(),
+        "sleepy vanilla (η=0)".into(),
+        deciding.to_string(),
+        height.to_string(),
+        safe.to_string(),
+    ]);
+    let baseline80 = StaticQuorumBft::new(n).run(&schedule80);
+    table.row(vec![
+        "80% offline, rounds 20–60".into(),
+        "static-quorum BFT".into(),
+        baseline80.decisions().to_string(),
+        baseline80.decisions().to_string(),
+        format!("stalls {} consecutive views", baseline80.longest_stall()),
+    ]);
+
+    // ---- the "even 99%" claim: n = 100, 99 asleep ----
+    let n99 = 100;
+    let schedule99 = Schedule::mass_sleep(n99, 60, 0.99, 16, 48);
+    let (deciding, height, safe) = sleepy_decisions_during(&schedule99, 0, 16, 48, seed, n99);
+    table.row(vec![
+        "99% offline, rounds 16–48".into(),
+        "sleepy vanilla (η=0)".into(),
+        deciding.to_string(),
+        height.to_string(),
+        safe.to_string(),
+    ]);
+    let baseline99 = StaticQuorumBft::new(n99).run(&schedule99);
+    table.row(vec![
+        "99% offline, rounds 16–48".into(),
+        "static-quorum BFT".into(),
+        baseline99.decisions().to_string(),
+        baseline99.decisions().to_string(),
+        format!("stalls {} consecutive views", baseline99.longest_stall()),
+    ]);
+
+    emit(
+        "exp_dynamic_availability",
+        "the May-2023 incident and the 99% claim: sleepy TOB vs static-quorum BFT",
+        &table,
+    );
+    println!(
+        "\nExpected: the sleepy protocol keeps deciding through every incident\n\
+         (vanilla η = 0 tolerates fully dynamic participation; η > 0 trades some\n\
+         of that tolerance for asynchrony resilience — Section 2.3 discusses the\n\
+         trade-off). The static-quorum baseline stalls for the whole incident."
+    );
+}

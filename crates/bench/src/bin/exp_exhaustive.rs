@@ -1,0 +1,100 @@
+//! **V1 — bounded exhaustive verification of Theorem 2**.
+//!
+//! The theorem quantifies over every adversary; sampling attacks can only
+//! refute, never confirm. For small instances we can do better: enumerate
+//! **all** delivery strategies from a structured menu (per asynchronous
+//! round, per receiver: deliver everything / nothing / only even senders /
+//! only odd senders — a space containing blackout, the parity partition
+//! and one-sided eclipses) and run the full protocol under each.
+//!
+//! * extended protocol, `π < η`: the checker must report **zero**
+//!   violating strategies out of all `4^(n·π)`;
+//! * vanilla MMR (`η = 0`): the checker finds concrete witnesses.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_exhaustive`.
+
+use st_analysis::Table;
+use st_bench::emit;
+use st_sim::explore::{exhaustive_check, exhaustive_check_coupled, Strategy};
+use st_sim::AsyncWindow;
+use st_types::{Params, Round};
+
+const N: usize = 4;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "mode",
+        "protocol",
+        "pi",
+        "strategies",
+        "post-window violating",
+        "D_ra violating",
+        "in-window orphaning",
+    ]);
+
+    // ---- per-receiver mode: every assignment of {All, Nothing,
+    // EvenSenders, OddSenders} per receiver per round; 4^(n·π) runs ----
+    for &pi in &[1u64, 2] {
+        let window = AsyncWindow::new(Round::new(10), pi);
+        for &(eta, label) in &[(0u64, "vanilla MMR (η=0)"), (4, "extended (η=4)")] {
+            let params = Params::builder(N).expiration(eta).build().expect("valid");
+            let report = exhaustive_check(params, window, 14 + pi + 8);
+            table.row(vec![
+                "per-receiver".to_string(),
+                label.to_string(),
+                pi.to_string(),
+                report.strategies_run.to_string(),
+                report.violating.len().to_string(),
+                report.dra_violating.len().to_string(),
+                report.orphaning_only.len().to_string(),
+            ]);
+            eprintln!(
+                "per-receiver {label}, π = {pi}: {} strategies, {} violating",
+                report.strategies_run,
+                report.violating.len()
+            );
+        }
+    }
+
+    // ---- coupled mode: one network-wide pattern per round from {All,
+    // Nothing, Partition, EclipseEvens, EclipseOdds}; 5^π runs — reaches
+    // the π ≥ 3 windows where delivery-only attacks become possible ----
+    for &pi in &[3u64, 4] {
+        let window = AsyncWindow::new(Round::new(10), pi);
+        for &(eta, label) in &[(0u64, "vanilla MMR (η=0)"), (6, "extended (η=6)")] {
+            let params = Params::builder(N).expiration(eta).build().expect("valid");
+            let report = exhaustive_check_coupled(params, window, 14 + pi + 10);
+            table.row(vec![
+                "coupled".to_string(),
+                label.to_string(),
+                pi.to_string(),
+                report.strategies_run.to_string(),
+                report.violating.len().to_string(),
+                report.dra_violating.len().to_string(),
+                report.orphaning_only.len().to_string(),
+            ]);
+            eprintln!(
+                "coupled {label}, π = {pi}: {} strategies, {} violating",
+                report.strategies_run,
+                report.violating.len()
+            );
+        }
+    }
+
+    assert_eq!(Strategy::space_size(N, 2), 65_536);
+    emit(
+        "exp_exhaustive",
+        "exhaustive delivery-strategy sweeps (n = 4)",
+        &table,
+    );
+    println!(
+        "\nExpected: the extended rows report 0 guaranteed-property violations\n\
+         (post-window agreement + D_ra) in every mode — Theorem 2 verified\n\
+         exhaustively within the menus. Vanilla survives all π ≤ 2 delivery-only\n\
+         strategies (a finding: without Byzantine voters the divergence play needs\n\
+         ≥ 3 rounds) and falls to concrete witnesses from π = 3. The separate\n\
+         orphaning column counts strategies whose only conflicts involve a\n\
+         decision made *during* the window — outside the paper's guarantees for\n\
+         both protocols (see EXPERIMENTS.md, finding 5)."
+    );
+}

@@ -1,0 +1,103 @@
+//! **T3 — Theorem 3**: the extended protocol heals after any asynchronous
+//! period within `k = 1` view of synchrony resuming.
+//!
+//! For `π ∈ {1, 2, 3}` (all `< η = 4`) and three in-window adversaries
+//! (blackout, partition, reorg), measures the healing lag — rounds from
+//! the end of the window to the first subsequent decision — and confirms
+//! post-healing safety and liveness.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_healing`.
+
+use st_analysis::{mean, Table};
+use st_bench::{emit, f3, opt, seeds};
+use st_sim::adversary::{Adversary, BlackoutAdversary, PartitionAttacker, ReorgAttacker};
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_types::{Params, Round};
+
+const N: usize = 12;
+const ETA: u64 = 4;
+const START: u64 = 12;
+
+fn adversary(kind: &str) -> (Box<dyn Adversary>, usize) {
+    match kind {
+        "blackout" => (Box::new(BlackoutAdversary), 0),
+        "partition" => (Box::new(PartitionAttacker::new()), 0),
+        "reorg" => (Box::new(ReorgAttacker::new()), 3),
+        other => unreachable!("unknown adversary {other}"),
+    }
+}
+
+fn main() {
+    let seed_list = seeds(5);
+    let mut table = Table::new(vec![
+        "adversary",
+        "pi",
+        "mean healing lag (rounds)",
+        "max lag",
+        "violations",
+        "post-window tx inclusion",
+    ]);
+    for &kind in &["blackout", "partition", "reorg"] {
+        for &pi in &[1u64, 2, 3] {
+            let mut lags = Vec::new();
+            let mut violations = 0usize;
+            let mut inclusion = Vec::new();
+            for &seed in &seed_list {
+                let (adv, byz) = adversary(kind);
+                let horizon = START + pi + 20;
+                let schedule = Schedule::full(N, horizon).with_static_byzantine(byz);
+                let params = Params::builder(N)
+                    .expiration(ETA)
+                    .max_asynchrony(pi)
+                    .build()
+                    .expect("valid");
+                let report = Simulation::new(
+                    SimConfig::new(params, seed)
+                        .horizon(horizon)
+                        .async_window(AsyncWindow::new(Round::new(START), pi))
+                        .txs_every(4),
+                    schedule,
+                    adv,
+                )
+                .run();
+                violations += report.safety_violations.len() + report.resilience_violations.len();
+                if let Some(lag) = report.healing_lag() {
+                    lags.push(lag as f64);
+                }
+                // Liveness after healing: txs submitted after the window.
+                let window_end = START + pi;
+                let post: Vec<_> = report
+                    .txs
+                    .iter()
+                    .filter(|t| t.submitted.as_u64() > window_end)
+                    .collect();
+                if !post.is_empty() {
+                    inclusion.push(
+                        post.iter().filter(|t| t.included_everywhere.is_some()).count() as f64
+                            / post.len() as f64,
+                    );
+                }
+            }
+            table.row(vec![
+                kind.to_string(),
+                pi.to_string(),
+                opt(mean(&lags).map(|l| format!("{l:.1}"))),
+                opt(lags.iter().copied().fold(None::<f64>, |acc, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                })),
+                violations.to_string(),
+                f3(mean(&inclusion).unwrap_or(0.0)),
+            ]);
+        }
+    }
+    emit(
+        "exp_healing",
+        "Theorem 3: healing after asynchrony (η = 4, 5 seeds)",
+        &table,
+    );
+    println!(
+        "\nExpected: zero violations (π < η), healing lag ≤ one view (≈ 2 rounds —\n\
+         the first post-window decision needs one full GA exchange), and full\n\
+         post-window transaction inclusion."
+    );
+}

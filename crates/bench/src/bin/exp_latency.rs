@@ -1,0 +1,88 @@
+//! **L1 — MMR latency**: decision latency and the role of honest
+//! proposers.
+//!
+//! Section 3.1 cites MMR's "expected termination in 6 rounds": a view
+//! decides when its proposer's block is adopted, which happens whenever
+//! the highest VRF belongs to a proposer whose proposal every process
+//! sees. Against a [`WithholdingLeader`] (Byzantine proposers reveal their
+//! proposal to only half the processes), a view stalls exactly when a
+//! Byzantine proposer wins the election — probability `f/n` — so decision
+//! latency grows geometrically with the Byzantine fraction.
+//!
+//! Reports, per Byzantine fraction: the per-view decision probability,
+//! the mean/percentile gaps between consecutive new-height decisions, and
+//! the mean transaction inclusion latency.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_latency`.
+
+use st_analysis::{mean, percentile, Table};
+use st_bench::{emit, f3, opt, seeds};
+use st_sim::adversary::WithholdingLeader;
+use st_sim::{Schedule, SimConfig, Simulation};
+use st_types::Params;
+
+const N: usize = 16;
+const HORIZON: u64 = 120;
+
+fn main() {
+    let seed_list = seeds(4);
+    let mut table = Table::new(vec![
+        "f/n",
+        "P(view decides)",
+        "mean decision gap (rounds)",
+        "p90 gap",
+        "mean tx latency (rounds)",
+        "violations",
+    ]);
+    for &f in &[0usize, 2, 4, 5] {
+        let mut gaps: Vec<f64> = Vec::new();
+        let mut decide_probs = Vec::new();
+        let mut tx_lat = Vec::new();
+        let mut violations = 0usize;
+        for &seed in &seed_list {
+            let schedule = Schedule::full(N, HORIZON).with_static_byzantine(f);
+            let params = Params::builder(N).expiration(2).build().expect("valid");
+            let report = Simulation::new(
+                SimConfig::new(params, seed).horizon(HORIZON).txs_every(6),
+                schedule,
+                Box::new(WithholdingLeader::new()),
+            )
+            .run();
+            violations += report.safety_violations.len();
+            // A view "advances" when the decided chain grows by a block;
+            // a stalled view re-decides the old log. Chain growth per view
+            // is therefore the per-view success probability.
+            let views = HORIZON as f64 / 2.0;
+            let height = report.final_decided_height as f64;
+            decide_probs.push(height / views);
+            if height > 1.0 {
+                gaps.push(HORIZON as f64 / height);
+            }
+            if let Some(l) = report.mean_tx_latency() {
+                tx_lat.push(l);
+            }
+        }
+        table.row(vec![
+            f3(f as f64 / N as f64),
+            f3(mean(&decide_probs).unwrap_or(0.0)),
+            opt(mean(&gaps).map(|g| format!("{g:.2}"))),
+            opt(percentile(&gaps, 90.0).map(|g| format!("{g:.2}"))),
+            opt(mean(&tx_lat).map(|l| format!("{l:.1}"))),
+            violations.to_string(),
+        ]);
+    }
+    emit(
+        "exp_latency",
+        "decision latency vs Byzantine proposer fraction (withholding leader, 4 seeds)",
+        &table,
+    );
+    println!(
+        "\nExpected: with f = 0 every view decides and a transaction needs ≈ 4 rounds\n\
+         (submitted → proposed next view → decided the view after — the constant\n\
+         expected latency MMR claims). A withholding leader who wins the VRF splits\n\
+         that view's vote, delaying its block's decision by one view; the block is\n\
+         still adopted as an ancestor via C_v, so amortized chain growth stays near\n\
+         1 block/view while the mean transaction latency grows with f/n. Safety\n\
+         violations stay zero throughout — withholding is a liveness attack only."
+    );
+}

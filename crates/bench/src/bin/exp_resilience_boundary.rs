@@ -1,0 +1,100 @@
+//! **T2 — Theorem 2**: π-asynchrony resilience holds iff `π < η` (and the
+//! bound is not an artifact).
+//!
+//! For each expiration period `η` and window length `π`, runs the
+//! strongest attack in the arsenal for that regime:
+//!
+//! * `π ≤ η`: the immediate [`ReorgAttacker`] and [`PartitionAttacker`]
+//!   (no blackout) — Theorem 2 predicts zero violations whenever `π < η`;
+//! * `π > η`: blackout variants that first age the protective votes past
+//!   expiry, then attack — violations should (re)appear once the window
+//!   comfortably exceeds `η` plus the attack's play length.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_resilience_boundary`.
+
+use st_analysis::Table;
+use st_bench::{emit, seeds};
+use st_sim::adversary::{Adversary, PartitionAttacker, ReorgAttacker};
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_types::{Params, Round};
+
+const N: usize = 12;
+const START: u64 = 12; // window start (even: aligns the partition play)
+
+fn attack_for(pi: u64, eta: u64, reorg: bool) -> Box<dyn Adversary> {
+    // When the window is long enough to wait out the expiration period,
+    // spend the prefix as blackout; otherwise attack immediately.
+    let blackout = if pi > eta { eta + 1 } else { 0 };
+    if reorg {
+        Box::new(ReorgAttacker::with_blackout(blackout))
+    } else {
+        Box::new(PartitionAttacker::with_blackout(blackout))
+    }
+}
+
+fn violations(eta: u64, pi: u64, reorg: bool, seed: u64) -> (usize, usize) {
+    let byz = if reorg { 3 } else { 0 };
+    let schedule = Schedule::full(N, START + pi + 16).with_static_byzantine(byz);
+    let params = Params::builder(N).expiration(eta).build().expect("valid");
+    let report = Simulation::new(
+        SimConfig::new(params, seed)
+            .horizon(START + pi + 16)
+            .async_window(AsyncWindow::new(Round::new(START), pi)),
+        schedule,
+        attack_for(pi, eta, reorg),
+    )
+    .run();
+    (
+        report.safety_violations.len(),
+        report.resilience_violations.len(),
+    )
+}
+
+fn main() {
+    let seed_list = seeds(3);
+    let mut table = Table::new(vec![
+        "eta",
+        "pi",
+        "theorem 2 predicts",
+        "reorg: agreement/D_ra",
+        "partition: agreement/D_ra",
+    ]);
+    // The sweep is embarrassingly parallel: one cell per (η, π).
+    let cells: Vec<(u64, u64)> = [2u64, 4, 6]
+        .iter()
+        .flat_map(|&eta| (1..=eta + 8).map(move |pi| (eta, pi)))
+        .collect();
+    let results = st_bench::parallel_sweep(cells, |&(eta, pi)| {
+        let mut reorg_tot = (0usize, 0usize);
+        let mut part_tot = (0usize, 0usize);
+        for &seed in &seed_list {
+            let r = violations(eta, pi, true, seed);
+            reorg_tot.0 += r.0;
+            reorg_tot.1 += r.1;
+            let p = violations(eta, pi, false, seed);
+            part_tot.0 += p.0;
+            part_tot.1 += p.1;
+        }
+        (eta, pi, reorg_tot, part_tot)
+    });
+    for (eta, pi, reorg_tot, part_tot) in results {
+        let prediction = if pi < eta { "safe" } else { "no guarantee" };
+        table.row(vec![
+            eta.to_string(),
+            pi.to_string(),
+            prediction.to_string(),
+            format!("{}/{}", reorg_tot.0, reorg_tot.1),
+            format!("{}/{}", part_tot.0, part_tot.1),
+        ]);
+    }
+    emit(
+        "exp_resilience_boundary",
+        "Theorem 2 boundary: violations vs (η, π), 3 seeds each",
+        &table,
+    );
+    println!(
+        "\nExpected: all rows with π < η show 0/0 everywhere (Theorem 2).\n\
+         Rows with π sufficiently beyond η (≈ η + attack play length) show violations —\n\
+         the expiration bound is load-bearing, not an artifact of the proof."
+    );
+}

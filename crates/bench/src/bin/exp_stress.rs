@@ -1,0 +1,166 @@
+//! **S1 — soak/stress sweep**: a broad randomized configuration matrix,
+//! every run checked against the full invariant set. The closest thing to
+//! a fuzzer the lock-step world offers; any failure prints a reproducer
+//! line (all runs are deterministic in the printed seed).
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_stress [runs]`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_analysis::Table;
+use st_bench::emit;
+use st_sim::adversary::{
+    Adversary, BlackoutAdversary, EquivocatingVoter, JunkVoter, PartitionAttacker, ReorgAttacker,
+    SilentAdversary, WithholdingLeader,
+};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_types::{Params, Round};
+
+struct Case {
+    n: usize,
+    eta: u64,
+    pi: Option<u64>,
+    byz: usize,
+    adversary: &'static str,
+    churn: f64,
+    seed: u64,
+}
+
+fn adversary_named(name: &str) -> Box<dyn Adversary> {
+    match name {
+        "silent" => Box::new(SilentAdversary),
+        "blackout" => Box::new(BlackoutAdversary),
+        "partition" => Box::new(PartitionAttacker::new()),
+        "reorg" => Box::new(ReorgAttacker::new()),
+        "equivocate" => Box::new(EquivocatingVoter::new()),
+        "junk" => Box::new(JunkVoter::new()),
+        "withhold" => Box::new(WithholdingLeader::new()),
+        other => unreachable!("unknown adversary {other}"),
+    }
+}
+
+const ADVERSARIES: [&str; 7] = [
+    "silent",
+    "blackout",
+    "partition",
+    "reorg",
+    "equivocate",
+    "junk",
+    "withhold",
+];
+
+fn random_case(rng: &mut StdRng) -> Case {
+    let n = rng.random_range(4..20usize);
+    let eta = rng.random_range(2..8u64);
+    // Stay inside the guarantee: π < η when a window exists.
+    let pi = if rng.random_bool(0.6) {
+        Some(rng.random_range(1..eta))
+    } else {
+        None
+    };
+    // Byzantine budget below β̃·n with γ headroom.
+    let max_byz = ((n as f64) / 3.0 * 0.8).floor() as usize;
+    Case {
+        n,
+        eta,
+        pi,
+        byz: rng.random_range(0..=max_byz),
+        adversary: ADVERSARIES[rng.random_range(0..ADVERSARIES.len())],
+        churn: if rng.random_bool(0.5) { 0.01 } else { 0.0 },
+        seed: rng.random_range(0..u64::MAX),
+    }
+}
+
+fn run_case(case: &Case) -> Result<(), String> {
+    let horizon = 40 + case.pi.unwrap_or(0) * 2;
+    let params = Params::builder(case.n)
+        .expiration(case.eta)
+        .churn_rate(0.1)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let schedule = if case.churn > 0.0 {
+        Schedule::random_churn(
+            case.n,
+            horizon,
+            case.churn,
+            case.seed,
+            &ChurnOptions {
+                min_awake_frac: 0.75,
+                wake_prob: 0.5,
+                ..Default::default()
+            },
+        )
+    } else {
+        Schedule::full(case.n, horizon)
+    }
+    .with_static_byzantine(case.byz);
+
+    let mut config = SimConfig::new(params, case.seed).horizon(horizon).txs_every(5);
+    if let Some(pi) = case.pi {
+        config = config.async_window(AsyncWindow::new(Round::new(14), pi));
+    }
+    let report = Simulation::new(config, schedule, adversary_named(case.adversary)).run();
+
+    // Invariants. Guaranteed properties must hold in *every* in-model
+    // configuration: D_ra protection and post-window agreement. Full
+    // agreement additionally holds for every strategy in this arsenal
+    // (in-window orphaning needs eclipse choreography none of these
+    // adversaries performs with π < η).
+    if !report.resilience_violations.is_empty() {
+        return Err(format!("D_ra conflicts: {}", report.resilience_violations.len()));
+    }
+    if !report.post_window_violations().is_empty() {
+        return Err(format!(
+            "post-window agreement violations: {}",
+            report.post_window_violations().len()
+        ));
+    }
+    if !report.is_safe() {
+        return Err(format!("agreement violations: {}", report.safety_violations.len()));
+    }
+    // Liveness: silent/benign configurations must make progress.
+    if case.adversary == "silent" && case.pi.is_none() && report.final_decided_height < 10 {
+        return Err(format!("stalled at height {}", report.final_decided_height));
+    }
+    Ok(())
+}
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let mut rng = StdRng::seed_from_u64(0x57BE55);
+    let mut failures: Vec<(Case, String)> = Vec::new();
+    let mut per_adversary: std::collections::HashMap<&str, usize> = Default::default();
+    for i in 0..runs {
+        let case = random_case(&mut rng);
+        *per_adversary.entry(case.adversary).or_insert(0) += 1;
+        if let Err(msg) = run_case(&case) {
+            eprintln!(
+                "FAIL [{i}]: n={} eta={} pi={:?} byz={} adversary={} churn={} seed={} → {msg}",
+                case.n, case.eta, case.pi, case.byz, case.adversary, case.churn, case.seed
+            );
+            failures.push((case, msg));
+        }
+    }
+    let mut table = Table::new(vec!["adversary", "runs", "failures"]);
+    let mut names: Vec<&str> = per_adversary.keys().copied().collect();
+    names.sort_unstable();
+    for name in names {
+        let fails = failures.iter().filter(|(c, _)| c.adversary == name).count();
+        table.row(vec![
+            name.to_string(),
+            per_adversary[name].to_string(),
+            fails.to_string(),
+        ]);
+    }
+    emit("exp_stress", &format!("randomized soak over {runs} configurations"), &table);
+    assert!(
+        failures.is_empty(),
+        "{} of {} randomized configurations violated invariants",
+        failures.len(),
+        runs
+    );
+    println!("\nAll {runs} randomized in-model configurations upheld every invariant.");
+}

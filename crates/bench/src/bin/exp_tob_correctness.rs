@@ -1,0 +1,97 @@
+//! **T1 — Theorem 1**: the extended protocol implements Byzantine
+//! total-order broadcast under synchrony with dynamic participation.
+//!
+//! Sweeps participation schedules (full, bounded churn, a 60% mass-sleep
+//! incident, 75% oscillating) × expiration periods `η ∈ {0, 2, 4, 8}`,
+//! with a junk-voting Byzantine minority, and reports safety (agreement
+//! violations must be zero) and liveness (transaction inclusion rate and
+//! latency).
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_tob_correctness`.
+
+use st_analysis::{mean, Table};
+use st_bench::{emit, f3, opt, seeds};
+use st_sim::adversary::JunkVoter;
+use st_sim::{ChurnOptions, Schedule, SimConfig, Simulation};
+use st_types::Params;
+
+const N: usize = 16;
+const HORIZON: u64 = 60;
+const BYZ: usize = 2; // comfortably below β̃·n for the γ we use
+
+fn make_schedule(kind: &str, seed: u64) -> Schedule {
+    match kind {
+        "full" => Schedule::full(N, HORIZON),
+        "churn-5%" => Schedule::random_churn(
+            N,
+            HORIZON,
+            0.013, // ≈ 5% per η = 4 rounds
+            seed,
+            &ChurnOptions {
+                min_awake_frac: 0.6,
+                wake_prob: 0.35,
+                ..Default::default()
+            },
+        ),
+        "mass-sleep-60%" => Schedule::mass_sleep(N, HORIZON, 0.6, 20, 32),
+        "oscillating" => Schedule::oscillating(N, HORIZON, 0.75, 12),
+        other => unreachable!("unknown schedule {other}"),
+    }
+}
+
+fn main() {
+    let mut table = Table::new(vec![
+        "schedule",
+        "eta",
+        "agreement violations",
+        "decisions",
+        "tx inclusion",
+        "mean tx latency (rounds)",
+    ]);
+    let seed_list = seeds(3);
+    for &kind in &["full", "churn-5%", "mass-sleep-60%", "oscillating"] {
+        for &eta in &[0u64, 2, 4, 8] {
+            let mut violations = 0usize;
+            let mut decisions = 0usize;
+            let mut inclusion = Vec::new();
+            let mut latency = Vec::new();
+            for &seed in &seed_list {
+                let schedule = make_schedule(kind, seed).with_static_byzantine(BYZ);
+                let params = Params::builder(N)
+                    .expiration(eta)
+                    .churn_rate(if eta > 0 { 0.2 } else { 0.0 })
+                    .build()
+                    .expect("valid");
+                let report = Simulation::new(
+                    SimConfig::new(params, seed).horizon(HORIZON).txs_every(4),
+                    schedule,
+                    Box::new(JunkVoter::new()),
+                )
+                .run();
+                violations += report.safety_violations.len();
+                decisions += report.decisions_total;
+                inclusion.push(report.tx_inclusion_rate());
+                if let Some(l) = report.mean_tx_latency() {
+                    latency.push(l);
+                }
+            }
+            table.row(vec![
+                kind.to_string(),
+                eta.to_string(),
+                violations.to_string(),
+                decisions.to_string(),
+                f3(mean(&inclusion).unwrap_or(0.0)),
+                opt(mean(&latency).map(|l| format!("{l:.1}"))),
+            ]);
+        }
+    }
+    emit(
+        "exp_tob_correctness",
+        "Theorem 1: safety + liveness across schedules and η (3 seeds, n = 16, f = 2)",
+        &table,
+    );
+    println!(
+        "\nExpected: zero agreement violations everywhere; high tx inclusion with\n\
+         single-digit round latency. Mass-sleep keeps deciding (dynamic availability)."
+    );
+}

@@ -1,0 +1,177 @@
+//! **F1 — Figure 1**: allowable failure ratio `β̃₂⁄₃` versus churn rate
+//! `γ`.
+//!
+//! Reproduces the paper's only data figure two ways:
+//!
+//! 1. **Analytic**: the closed form `β̃₂⁄₃ = (1 − 3γ)/(3 − 5γ)`
+//!    (Section 2.3), printed over the same `γ ∈ [0, 0.4]` range the paper
+//!    plots.
+//! 2. **Empirical soundness check**: for each `γ`, generate worst-case
+//!    rotating-sleeper schedules with per-`η` drop-off rate `γ`, then
+//!    binary-search the largest Byzantine fraction (a [`JunkVoter`]
+//!    adversary plus stale-vote inflation) under which the extended
+//!    protocol still makes chain progress and stays safe.
+//!
+//!    `β̃` is a **sufficient** (worst-case-over-all-strategies) bound, so
+//!    the measured boundary must sit **at or above** the analytic curve,
+//!    coinciding at `γ = 0` where the bound is tight (`1/3` matches the
+//!    known upper bound for a 2/3 decision threshold). Under concretely
+//!    implementable churn the stale votes of sleepers keep chasing the
+//!    chain tip, so the measured boundary stays near `1/3` while the
+//!    guarantee decreases — the gap is the price of the closed form
+//!    quantifying over adversarial churn *timing* that no fixed schedule
+//!    realises.
+//! 3. **Churn cost**: at a fixed Byzantine fraction, transaction latency
+//!    as a function of `γ` — the concrete degradation churn causes even
+//!    away from the hard boundary.
+//!
+//! Run with `cargo run --release -p st-bench --bin fig1_failure_ratio`.
+
+use st_analysis::{beta_tilde_two_thirds, Table};
+use st_bench::{emit, f3, seeds};
+use st_sim::adversary::JunkVoter;
+use st_sim::{Schedule, SimConfig, Simulation};
+use st_types::Params;
+
+const N: usize = 30;
+const HORIZON: u64 = 60;
+const ETA: u64 = 4;
+
+/// Whether the protocol makes healthy progress and stays safe with `f`
+/// Byzantine processes under worst-case (rotating) churn-rate-γ schedules
+/// (majority over seeds).
+fn healthy(f: usize, gamma: f64, seed_list: &[u64]) -> bool {
+    let mut ok = 0usize;
+    for &seed in seed_list {
+        // Rotating sleepers: a γ fraction of processes is always asleep
+        // with unexpired votes — the worst case the β̃ discount covers.
+        let schedule = Schedule::rotating_sleep(N, HORIZON, gamma, ETA).with_static_byzantine(f);
+        let params = Params::builder(N)
+            .expiration(ETA)
+            .churn_rate(gamma.min(0.32))
+            .build()
+            .expect("valid parameters");
+        let report = Simulation::new(
+            SimConfig::new(params, seed).horizon(HORIZON),
+            schedule,
+            Box::new(JunkVoter::new()),
+        )
+        .run();
+        // Progress: the decided chain must actually grow. Healthy runs
+        // decide ≈ one block per view (≈ HORIZON/2 blocks); junk votes
+        // inflating perceived participation past the threshold starve
+        // *new-block* decisions even while old prefixes keep re-deciding,
+        // so chain growth is the honest progress measure.
+        let progressing = report.final_decided_height as f64 >= HORIZON as f64 / 6.0;
+        if report.is_safe() && progressing {
+            ok += 1;
+        }
+    }
+    ok * 2 > seed_list.len()
+}
+
+/// Largest tolerated Byzantine count at churn `γ` (binary search).
+fn max_tolerated_f(gamma: f64, seed_list: &[u64]) -> usize {
+    let mut lo = 0usize; // healthy (f = 0 must be healthy)
+    let mut hi = N / 2; // assumed unhealthy
+    if healthy(hi, gamma, seed_list) {
+        return hi;
+    }
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if healthy(mid, gamma, seed_list) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    // ---- analytic curve (the figure itself) ----
+    let mut analytic = Table::new(vec!["gamma", "beta_tilde_2/3 (analytic)"]);
+    let mut g = 0.0;
+    while g <= 0.401 {
+        let v = beta_tilde_two_thirds(g);
+        analytic.row(vec![f3(g), f3(v.max(0.0))]);
+        g += 0.02;
+    }
+    emit("fig1_analytic", "β̃₂⁄₃ = (1 − 3γ)/(3 − 5γ)", &analytic);
+
+    // ---- empirical boundary ----
+    let seed_list = seeds(3);
+    let mut empirical = Table::new(vec![
+        "gamma",
+        "analytic beta_tilde",
+        "measured max f",
+        "measured f/n",
+    ]);
+    for &gamma in &[0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30] {
+        let analytic_v = beta_tilde_two_thirds(gamma).max(0.0);
+        let f = max_tolerated_f(gamma, &seed_list);
+        empirical.row(vec![
+            f3(gamma),
+            f3(analytic_v),
+            f.to_string(),
+            f3(f as f64 / N as f64),
+        ]);
+        eprintln!("γ = {gamma:.2}: measured f = {f} (analytic β̃ = {analytic_v:.3})");
+    }
+    emit(
+        "fig1_empirical",
+        "measured progress boundary vs analytic guarantee (n = 30, η = 4, rotating churn)",
+        &empirical,
+    );
+
+    // ---- churn cost at a fixed failure ratio ----
+    let mut cost = Table::new(vec![
+        "gamma",
+        "mean tx latency (rounds)",
+        "chain growth (blocks)",
+        "safe",
+    ]);
+    for &gamma in &[0.0, 0.10, 0.20, 0.30] {
+        let mut lats = Vec::new();
+        let mut growth = Vec::new();
+        let mut safe = true;
+        for &seed in &seed_list {
+            let schedule = Schedule::rotating_sleep(N, HORIZON, gamma, ETA).with_static_byzantine(6);
+            let params = Params::builder(N)
+                .expiration(ETA)
+                .churn_rate(gamma.min(0.32))
+                .build()
+                .expect("valid parameters");
+            let report = Simulation::new(
+                SimConfig::new(params, seed).horizon(HORIZON).txs_every(4),
+                schedule,
+                Box::new(JunkVoter::new()),
+            )
+            .run();
+            if let Some(l) = report.mean_tx_latency() {
+                lats.push(l);
+            }
+            growth.push(report.final_decided_height as f64);
+            safe &= report.is_safe();
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        cost.row(vec![
+            f3(gamma),
+            format!("{:.1}", mean(&lats)),
+            format!("{:.1}", mean(&growth)),
+            safe.to_string(),
+        ]);
+    }
+    emit(
+        "fig1_churn_cost",
+        "latency/growth cost of churn at fixed f = 6 of 30 (JunkVoter, 3 seeds)",
+        &cost,
+    );
+
+    println!(
+        "\nExpected: the measured boundary coincides with the analytic guarantee at\n\
+         γ = 0 (both ≈ 1/3, the known optimum) and never falls below it — β̃ is a\n\
+         sound worst-case bound. The churn-cost table shows the mechanism's price:\n\
+         latency grows and chain growth sags as γ rises, even at a safe f."
+    );
+}

@@ -1,0 +1,133 @@
+//! Shared plumbing for the experiment binaries (one per paper
+//! figure/claim; see DESIGN.md §4 for the index) and the Criterion
+//! micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use st_analysis::Table;
+use std::path::PathBuf;
+
+/// Where experiment CSVs are written (`target/experiments/`).
+pub fn output_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Prints a titled table to stdout and writes its CSV next to the other
+/// experiment outputs. IO failures are reported but non-fatal — the
+/// printed table is the primary artifact.
+pub fn emit(experiment_id: &str, title: &str, table: &Table) {
+    println!("\n=== {experiment_id}: {title} ===\n");
+    print!("{}", table.render());
+    let path = output_dir().join(format!("{experiment_id}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("\n[written {}]", path.display()),
+        Err(e) => println!("\n[could not write {}: {e}]", path.display()),
+    }
+}
+
+/// The seeds experiments average over. Fixed so every run of an
+/// experiment binary reproduces the same numbers.
+pub fn seeds(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| 0xC0FFEE + 7 * i).collect()
+}
+
+/// Formats a fraction as a fixed-width ratio string (`0.333`).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an optional value, rendering `None` as `—`.
+pub fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "—".to_string())
+}
+
+/// Runs `job` over every item of `inputs` across `crossbeam` scoped
+/// threads (one per core, striped) and returns outputs in input order.
+/// Experiment sweeps are embarrassingly parallel and deterministic per
+/// item, so parallel execution cannot change any result — only wall-clock.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(inputs.len().max(1));
+    let out_slots: Vec<parking_lot_free::Slot<O>> =
+        (0..inputs.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let inputs = &inputs;
+            let job = &job;
+            let out_slots = &out_slots;
+            scope.spawn(move |_| {
+                let mut i = w;
+                while i < inputs.len() {
+                    out_slots[i].set(job(&inputs[i]));
+                    i += workers;
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out_slots.into_iter().map(|s| s.take()).collect()
+}
+
+/// Tiny once-cell slot used by [`parallel_sweep`] (avoids pulling in a
+/// sync primitive for a write-once, read-after-join pattern).
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    pub struct Slot<T>(Mutex<Option<T>>);
+
+    impl<T> Slot<T> {
+        pub fn new() -> Slot<T> {
+            Slot(Mutex::new(None))
+        }
+
+        pub fn set(&self, value: T) {
+            *self.0.lock().expect("slot poisoned") = Some(value);
+        }
+
+        pub fn take(self) -> T {
+            self.0
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("slot never filled")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a = seeds(5);
+        let b = seeds(5);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.0 / 3.0), "0.333");
+        assert_eq!(opt(Some(3)), "3");
+        assert_eq!(opt::<u64>(None), "—");
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let out = parallel_sweep(inputs.clone(), |&x| x * x);
+        assert_eq!(out, inputs.iter().map(|&x| x * x).collect::<Vec<_>>());
+        // Degenerate cases.
+        assert!(parallel_sweep(Vec::<u64>::new(), |&x| x).is_empty());
+        assert_eq!(parallel_sweep(vec![7u64], |&x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Block tree structural errors.
+
+use st_types::BlockId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::BlockTree`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BlockTreeError {
+    /// The block references a parent that is not in the tree. In a real
+    /// deployment this triggers block-sync; in the lock-step simulation it
+    /// indicates a protocol bug or an adversarial fabricated chain that
+    /// honest processes correctly refuse to adopt.
+    UnknownParent {
+        /// The block being inserted.
+        block: BlockId,
+        /// Its missing parent.
+        parent: BlockId,
+    },
+    /// The queried block is not in the tree.
+    UnknownBlock(BlockId),
+    /// Attempted to insert a block whose id is already present (idempotent
+    /// re-insertion is exposed separately; this is the strict API).
+    DuplicateBlock(BlockId),
+}
+
+impl fmt::Display for BlockTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockTreeError::UnknownParent { block, parent } => {
+                write!(f, "block {block} references unknown parent {parent}")
+            }
+            BlockTreeError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            BlockTreeError::DuplicateBlock(b) => write!(f, "duplicate block {b}"),
+        }
+    }
+}
+
+impl Error for BlockTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = BlockTreeError::UnknownBlock(BlockId::new(5));
+        assert!(e.to_string().contains("unknown block"));
+    }
+}

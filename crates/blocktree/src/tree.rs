@@ -1,0 +1,523 @@
+//! Append-only block tree with fast ancestry queries.
+
+use crate::{Block, BlockTreeError};
+use st_types::{BlockId, TxId};
+use std::collections::HashMap;
+
+/// Per-block bookkeeping inside the tree.
+#[derive(Clone, Debug)]
+struct Node {
+    block: Block,
+    height: u64,
+    /// Binary-lifting table: `up[k]` is the ancestor `2^k` levels above.
+    up: Vec<BlockId>,
+}
+
+/// An append-only tree of blocks rooted at genesis.
+///
+/// Logs are identified by their tip [`BlockId`]; prefix relations between
+/// logs translate to ancestry between tips. Ancestor queries use binary
+/// lifting and cost `O(log h)`.
+#[derive(Clone, Debug)]
+pub struct BlockTree {
+    nodes: HashMap<BlockId, Node>,
+}
+
+impl BlockTree {
+    /// Creates a tree containing only the genesis block `b₀` (an empty
+    /// payload block at height 0, producer `p0`, view 0).
+    pub fn new() -> BlockTree {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            BlockId::GENESIS,
+            Node {
+                block: Block::genesis(),
+                height: 0,
+                up: Vec::new(),
+            },
+        );
+        BlockTree { nodes }
+    }
+
+    /// Number of blocks in the tree (including genesis).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only genesis.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Inserts a block.
+    ///
+    /// # Errors
+    ///
+    /// * [`BlockTreeError::UnknownParent`] if the parent is absent;
+    /// * [`BlockTreeError::DuplicateBlock`] if the id is already present.
+    pub fn insert(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
+        let id = block.id();
+        if self.nodes.contains_key(&id) {
+            return Err(BlockTreeError::DuplicateBlock(id));
+        }
+        self.insert_or_get(block)
+    }
+
+    /// Inserts a block, treating re-insertion of an identical block as a
+    /// no-op success. This is the variant protocol code uses when the same
+    /// proposal arrives from several peers.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockTreeError::UnknownParent`] if the parent is absent.
+    pub fn insert_or_get(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
+        let id = block.id();
+        if self.nodes.contains_key(&id) {
+            return Ok(id);
+        }
+        let parent = block.parent();
+        let (parent_height, parent_up_len) = match self.nodes.get(&parent) {
+            Some(p) => (p.height, p.up.len()),
+            None => return Err(BlockTreeError::UnknownParent { block: id, parent }),
+        };
+        // Build the binary-lifting table: up[0] = parent,
+        // up[k] = up[k-1] of up[k-1].
+        let mut up = Vec::with_capacity(parent_up_len + 1);
+        up.push(parent);
+        let mut k = 0;
+        loop {
+            let prev = up[k];
+            let prev_node = &self.nodes[&prev];
+            match prev_node.up.get(k) {
+                Some(&next) => up.push(next),
+                None => break,
+            }
+            k += 1;
+        }
+        self.nodes.insert(
+            id,
+            Node {
+                block,
+                height: parent_height + 1,
+                up,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The block stored under `id`.
+    pub fn block(&self, id: BlockId) -> Option<&Block> {
+        self.nodes.get(&id).map(|n| &n.block)
+    }
+
+    /// Height of a block (genesis is 0). This is also the length of the
+    /// log whose tip is `id`.
+    pub fn height(&self, id: BlockId) -> Option<u64> {
+        self.nodes.get(&id).map(|n| n.height)
+    }
+
+    /// Parent of a block; genesis returns `None`.
+    pub fn parent(&self, id: BlockId) -> Option<BlockId> {
+        if id.is_genesis() {
+            return None;
+        }
+        self.nodes.get(&id).map(|n| n.block.parent())
+    }
+
+    /// The ancestor of `id` at exactly `target_height`, or `None` if `id`
+    /// is unknown or shallower than the target.
+    pub fn ancestor_at_height(&self, id: BlockId, target_height: u64) -> Option<BlockId> {
+        let node = self.nodes.get(&id)?;
+        if node.height < target_height {
+            return None;
+        }
+        let mut cur = id;
+        let mut remaining = node.height - target_height;
+        while remaining > 0 {
+            let k = 63 - remaining.leading_zeros() as usize; // floor(log2)
+            let n = &self.nodes[&cur];
+            cur = *n.up.get(k)?;
+            remaining -= 1 << k;
+        }
+        Some(cur)
+    }
+
+    /// Whether `a` is an ancestor of `b` **or equal to it** — i.e. whether
+    /// the log with tip `a` is a prefix of the log with tip `b`
+    /// (`Λ_a ⪯ Λ_b` in the paper's notation).
+    ///
+    /// Returns `false` if either block is unknown.
+    pub fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
+        let (Some(ha), Some(hb)) = (self.height(a), self.height(b)) else {
+            return false;
+        };
+        if ha > hb {
+            return false;
+        }
+        self.ancestor_at_height(b, ha) == Some(a)
+    }
+
+    /// Whether the logs with tips `a` and `b` are compatible (one is a
+    /// prefix of the other, Definition 1).
+    pub fn compatible(&self, a: BlockId, b: BlockId) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    /// Whether the logs with tips `a` and `b` conflict (neither is a
+    /// prefix of the other).
+    pub fn conflicting(&self, a: BlockId, b: BlockId) -> bool {
+        self.contains(a) && self.contains(b) && !self.compatible(a, b)
+    }
+
+    /// Lowest common ancestor of two blocks; `None` if either is unknown.
+    /// All blocks share genesis, so known blocks always have an LCA.
+    pub fn lca(&self, a: BlockId, b: BlockId) -> Option<BlockId> {
+        let ha = self.height(a)?;
+        let hb = self.height(b)?;
+        let (mut x, mut y) = if ha <= hb {
+            (a, self.ancestor_at_height(b, ha)?)
+        } else {
+            (self.ancestor_at_height(a, hb)?, b)
+        };
+        while x != y {
+            // Walk both up one level; heights are equal so this terminates
+            // at genesis in the worst case. Use binary lifting to jump.
+            let nx = &self.nodes[&x];
+            let ny = &self.nodes[&y];
+            // Find highest k where the 2^k-ancestors differ and jump there;
+            // if all equal, the parents are the LCA path.
+            let mut jumped = false;
+            let kmax = nx.up.len().min(ny.up.len());
+            for k in (0..kmax).rev() {
+                if nx.up[k] != ny.up[k] {
+                    x = nx.up[k];
+                    y = ny.up[k];
+                    jumped = true;
+                    break;
+                }
+            }
+            if !jumped {
+                x = nx.up[0];
+                y = ny.up[0];
+            }
+        }
+        Some(x)
+    }
+
+    /// The longest common prefix (deepest common ancestor) of a non-empty
+    /// set of tips. Unknown tips are ignored; returns `None` if no tip is
+    /// known.
+    ///
+    /// Used by graded-agreement validity: "processes output with grade 1
+    /// the longest common prefix among well-behaved processes' input logs".
+    pub fn longest_common_prefix<I>(&self, tips: I) -> Option<BlockId>
+    where
+        I: IntoIterator<Item = BlockId>,
+    {
+        let mut acc: Option<BlockId> = None;
+        for tip in tips {
+            if !self.contains(tip) {
+                continue;
+            }
+            acc = Some(match acc {
+                None => tip,
+                Some(cur) => self.lca(cur, tip)?,
+            });
+        }
+        acc
+    }
+
+    /// Iterates the chain from `tip` down to genesis (inclusive), yielding
+    /// tips first. Unknown tips yield an empty iterator.
+    pub fn chain(&self, tip: BlockId) -> ChainIter<'_> {
+        let cur = if self.contains(tip) { Some(tip) } else { None };
+        ChainIter { tree: self, cur }
+    }
+
+    /// The log with tip `tip` as a block-id sequence from genesis to tip.
+    pub fn log_of(&self, tip: BlockId) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.chain(tip).collect();
+        v.reverse();
+        v
+    }
+
+    /// Whether transaction `tx` appears in the log with tip `tip`.
+    pub fn log_contains_tx(&self, tip: BlockId, tx: TxId) -> bool {
+        self.chain(tip)
+            .any(|id| self.nodes[&id].block.payload().contains(&tx))
+    }
+
+    /// All transactions in the log with tip `tip`, genesis-first order.
+    pub fn log_transactions(&self, tip: BlockId) -> Vec<TxId> {
+        let mut txs = Vec::new();
+        for id in self.log_of(tip) {
+            txs.extend_from_slice(self.nodes[&id].block.payload());
+        }
+        txs
+    }
+
+    /// Merges every block of `other` that this tree is missing (used by
+    /// the simulator to ship proposals between processes).
+    pub fn absorb(&mut self, other: &BlockTree) {
+        // Insert in height order so parents always precede children.
+        let mut missing: Vec<&Node> = other
+            .nodes
+            .values()
+            .filter(|n| !self.nodes.contains_key(&n.block.id()))
+            .collect();
+        missing.sort_by_key(|n| n.height);
+        for node in missing {
+            // Parent must exist: other is a valid tree and we insert in
+            // height order.
+            self.insert_or_get(node.block.clone())
+                .expect("absorb preserves parent-before-child order");
+        }
+    }
+
+    /// All block ids currently in the tree (unordered).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.nodes.keys().copied()
+    }
+}
+
+impl Default for BlockTree {
+    fn default() -> Self {
+        BlockTree::new()
+    }
+}
+
+/// Iterator over a chain from tip to genesis. Produced by
+/// [`BlockTree::chain`].
+#[derive(Clone, Debug)]
+pub struct ChainIter<'a> {
+    tree: &'a BlockTree,
+    cur: Option<BlockId>,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        let cur = self.cur?;
+        self.cur = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, BlockTreeError};
+    use st_types::{ProcessId, View};
+
+    /// Builds a linear chain of `len` blocks on top of `base`, returning
+    /// the tips in order.
+    fn extend_chain(tree: &mut BlockTree, base: BlockId, len: usize, producer: u32) -> Vec<BlockId> {
+        let mut tips = Vec::new();
+        let mut parent = base;
+        for i in 0..len {
+            let b = Block::build(
+                parent,
+                View::new(i as u64 + 1),
+                ProcessId::new(producer),
+                vec![TxId::new((producer as u64) << 32 | i as u64)],
+            );
+            parent = tree.insert(b).unwrap();
+            tips.push(parent);
+        }
+        tips
+    }
+
+    #[test]
+    fn new_tree_has_genesis() {
+        let tree = BlockTree::new();
+        assert!(tree.contains(BlockId::GENESIS));
+        assert_eq!(tree.height(BlockId::GENESIS), Some(0));
+        assert_eq!(tree.parent(BlockId::GENESIS), None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_unknown_parent() {
+        let mut tree = BlockTree::new();
+        let orphan = Block::build(BlockId::new(999), View::new(1), ProcessId::new(0), vec![]);
+        assert!(matches!(
+            tree.insert(orphan),
+            Err(BlockTreeError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_but_insert_or_get_is_idempotent() {
+        let mut tree = BlockTree::new();
+        let b = Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]);
+        let id = tree.insert(b.clone()).unwrap();
+        assert!(matches!(
+            tree.insert(b.clone()),
+            Err(BlockTreeError::DuplicateBlock(_))
+        ));
+        assert_eq!(tree.insert_or_get(b).unwrap(), id);
+    }
+
+    #[test]
+    fn ancestry_on_linear_chain() {
+        let mut tree = BlockTree::new();
+        let tips = extend_chain(&mut tree, BlockId::GENESIS, 20, 0);
+        for (i, &a) in tips.iter().enumerate() {
+            assert!(tree.is_ancestor(BlockId::GENESIS, a));
+            assert!(tree.is_ancestor(a, a), "self-prefix");
+            for &b in &tips[i + 1..] {
+                assert!(tree.is_ancestor(a, b));
+                assert!(!tree.is_ancestor(b, a));
+                assert!(tree.compatible(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn forks_conflict() {
+        let mut tree = BlockTree::new();
+        let left = extend_chain(&mut tree, BlockId::GENESIS, 5, 0);
+        let right = extend_chain(&mut tree, BlockId::GENESIS, 5, 1);
+        for &l in &left {
+            for &r in &right {
+                assert!(tree.conflicting(l, r), "{l} vs {r} should conflict");
+                assert!(!tree.compatible(l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn fork_below_tip_conflicts_above_fork_point() {
+        let mut tree = BlockTree::new();
+        let trunk = extend_chain(&mut tree, BlockId::GENESIS, 5, 0);
+        let branch = extend_chain(&mut tree, trunk[2], 4, 1);
+        // branch extends trunk[2], so it is compatible with trunk[0..=2]…
+        for &t in &trunk[..3] {
+            assert!(tree.compatible(t, *branch.last().unwrap()));
+        }
+        // …and conflicts with trunk[3..].
+        for &t in &trunk[3..] {
+            assert!(tree.conflicting(t, *branch.last().unwrap()));
+        }
+    }
+
+    #[test]
+    fn ancestor_at_height_jumps_correctly() {
+        let mut tree = BlockTree::new();
+        let tips = extend_chain(&mut tree, BlockId::GENESIS, 100, 0);
+        let deep = *tips.last().unwrap();
+        assert_eq!(tree.ancestor_at_height(deep, 0), Some(BlockId::GENESIS));
+        for h in 1..=100u64 {
+            assert_eq!(tree.ancestor_at_height(deep, h), Some(tips[h as usize - 1]));
+        }
+        assert_eq!(tree.ancestor_at_height(deep, 101), None);
+    }
+
+    #[test]
+    fn lca_on_fork() {
+        let mut tree = BlockTree::new();
+        let trunk = extend_chain(&mut tree, BlockId::GENESIS, 4, 0);
+        let fork_point = trunk[1];
+        let left = extend_chain(&mut tree, fork_point, 7, 1);
+        let right = extend_chain(&mut tree, fork_point, 3, 2);
+        assert_eq!(
+            tree.lca(*left.last().unwrap(), *right.last().unwrap()),
+            Some(fork_point)
+        );
+        assert_eq!(
+            tree.lca(*left.last().unwrap(), *trunk.last().unwrap()),
+            Some(fork_point)
+        );
+        // LCA with an ancestor is the ancestor itself.
+        assert_eq!(tree.lca(fork_point, *left.last().unwrap()), Some(fork_point));
+        // LCA of disjoint branches from genesis is genesis.
+        let solo = extend_chain(&mut tree, BlockId::GENESIS, 2, 3);
+        assert_eq!(
+            tree.lca(*solo.last().unwrap(), *left.last().unwrap()),
+            Some(BlockId::GENESIS)
+        );
+    }
+
+    #[test]
+    fn lca_of_same_node_is_itself() {
+        let mut tree = BlockTree::new();
+        let tips = extend_chain(&mut tree, BlockId::GENESIS, 5, 0);
+        for &t in &tips {
+            assert_eq!(tree.lca(t, t), Some(t));
+        }
+    }
+
+    #[test]
+    fn longest_common_prefix_of_tips() {
+        let mut tree = BlockTree::new();
+        let trunk = extend_chain(&mut tree, BlockId::GENESIS, 3, 0);
+        let a = extend_chain(&mut tree, trunk[2], 2, 1);
+        let b = extend_chain(&mut tree, trunk[2], 2, 2);
+        let lcp = tree
+            .longest_common_prefix([*a.last().unwrap(), *b.last().unwrap(), trunk[2]])
+            .unwrap();
+        assert_eq!(lcp, trunk[2]);
+        // Unknown tips are skipped.
+        let lcp2 = tree
+            .longest_common_prefix([*a.last().unwrap(), BlockId::new(12345)])
+            .unwrap();
+        assert_eq!(lcp2, *a.last().unwrap());
+        // All-unknown yields None.
+        assert_eq!(tree.longest_common_prefix([BlockId::new(777)]), None);
+    }
+
+    #[test]
+    fn chain_iterates_tip_to_genesis() {
+        let mut tree = BlockTree::new();
+        let tips = extend_chain(&mut tree, BlockId::GENESIS, 3, 0);
+        let chain: Vec<_> = tree.chain(*tips.last().unwrap()).collect();
+        assert_eq!(chain, vec![tips[2], tips[1], tips[0], BlockId::GENESIS]);
+        let log = tree.log_of(*tips.last().unwrap());
+        assert_eq!(log, vec![BlockId::GENESIS, tips[0], tips[1], tips[2]]);
+    }
+
+    #[test]
+    fn tx_lookup_in_log() {
+        let mut tree = BlockTree::new();
+        let tips = extend_chain(&mut tree, BlockId::GENESIS, 3, 7);
+        let tip = *tips.last().unwrap();
+        let tx0 = TxId::new((7u64) << 32);
+        assert!(tree.log_contains_tx(tip, tx0));
+        assert!(!tree.log_contains_tx(tip, TxId::new(424242)));
+        assert_eq!(tree.log_transactions(tip).len(), 3);
+    }
+
+    #[test]
+    fn absorb_merges_missing_blocks() {
+        let mut a = BlockTree::new();
+        let mut b = BlockTree::new();
+        let tips_a = extend_chain(&mut a, BlockId::GENESIS, 4, 0);
+        let tips_b = extend_chain(&mut b, BlockId::GENESIS, 4, 1);
+        a.absorb(&b);
+        assert!(a.contains(*tips_b.last().unwrap()));
+        assert!(a.contains(*tips_a.last().unwrap()));
+        assert_eq!(a.len(), 9); // genesis + 4 + 4
+        // Absorb is idempotent.
+        a.absorb(&b);
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn unknown_queries_return_none_or_false() {
+        let tree = BlockTree::new();
+        let ghost = BlockId::new(42);
+        assert_eq!(tree.height(ghost), None);
+        assert_eq!(tree.parent(ghost), None);
+        assert!(!tree.is_ancestor(ghost, BlockId::GENESIS));
+        assert!(!tree.is_ancestor(BlockId::GENESIS, ghost));
+        assert!(!tree.compatible(ghost, BlockId::GENESIS));
+        assert!(!tree.conflicting(ghost, BlockId::GENESIS));
+        assert_eq!(tree.chain(ghost).count(), 0);
+    }
+}

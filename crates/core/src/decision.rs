@@ -1,0 +1,51 @@
+//! Decision events.
+
+use serde::{Deserialize, Serialize};
+use st_types::{BlockId, Round, View};
+use std::fmt;
+
+/// A decision made by a process: in the first round of `view` (= `round`),
+/// the graded agreement `GA_{view−1,2}` output the log with tip `tip` at
+/// grade 1 (Algorithm 1 lines 2–3).
+///
+/// Decision events are recorded faithfully — *including* events that would
+/// conflict with earlier decisions under broken model assumptions — so
+/// that safety monitors can detect agreement violations instead of the
+/// process silently masking them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecisionEvent {
+    /// The round the decision was made in.
+    pub round: Round,
+    /// The view whose second graded agreement produced the decision.
+    pub view: View,
+    /// The tip of the decided log.
+    pub tip: BlockId,
+}
+
+impl fmt::Debug for DecisionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decide({} {} {})", self.round, self.view, self.tip)
+    }
+}
+
+impl fmt::Display for DecisionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_format_mentions_all_fields() {
+        let e = DecisionEvent {
+            round: Round::new(3),
+            view: View::new(2),
+            tip: BlockId::new(7),
+        };
+        let s = format!("{e:?}");
+        assert!(s.contains("r3") && s.contains("v2"));
+    }
+}

@@ -1,0 +1,506 @@
+//! The per-process state machine of Algorithm 1 (with message expiration).
+
+use crate::{BlockBuffer, DecisionEvent, TobConfig};
+use st_blocktree::{Block, BlockTree};
+use st_crypto::Keypair;
+use st_ga::{tally, GaOutput};
+use st_messages::{Envelope, Payload, Propose, ProposeStore, Vote, VoteStore};
+use st_types::{BlockId, ProcessId, Round, RoundKind, TxId, View};
+use std::collections::HashSet;
+
+/// A well-behaved process running Algorithm 1, parameterised by the
+/// expiration period `η` from its [`TobConfig`].
+///
+/// The state machine is deterministic and I/O-free: drivers call
+/// [`TobProcess::on_receive`] for every delivered message and
+/// [`TobProcess::step_send`] once per round the process is awake in; the
+/// latter returns the messages to multicast. A process that is asleep for
+/// some rounds is simply not stepped for them — queued messages are
+/// delivered via `on_receive` when it wakes, exactly matching the sleepy
+/// model's message-queueing semantics.
+#[derive(Clone, Debug)]
+pub struct TobProcess {
+    id: ProcessId,
+    config: TobConfig,
+    keypair: Keypair,
+    tree: BlockTree,
+    buffer: BlockBuffer,
+    votes: VoteStore,
+    proposes: ProposeStore,
+    mempool: Vec<TxId>,
+    decisions: Vec<DecisionEvent>,
+    /// Tip of the longest decided log (genesis until the first decision).
+    decided_tip: BlockId,
+    /// The log this process voted for most recently (diagnostics/fallback).
+    last_vote_tip: BlockId,
+    /// Output of the most recent graded-agreement tally (diagnostics).
+    last_ga_output: Option<GaOutput>,
+}
+
+impl TobProcess {
+    /// Creates the process `id` under the shared `config`.
+    pub fn new(id: ProcessId, config: TobConfig) -> TobProcess {
+        let keypair = Keypair::derive(id, config.seed());
+        TobProcess {
+            id,
+            config,
+            keypair,
+            tree: BlockTree::new(),
+            buffer: BlockBuffer::new(),
+            votes: VoteStore::new(),
+            proposes: ProposeStore::new(),
+            mempool: Vec::new(),
+            decisions: Vec::new(),
+            decided_tip: BlockId::GENESIS,
+            last_vote_tip: BlockId::GENESIS,
+            last_ga_output: None,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &TobConfig {
+        &self.config
+    }
+
+    /// The process's view of the block tree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// The tip of the longest log this process has decided (genesis before
+    /// any decision).
+    pub fn decided_tip(&self) -> BlockId {
+        self.decided_tip
+    }
+
+    /// Every decision event, in the order they occurred. Conflicting
+    /// decisions (possible only when model assumptions are violated) are
+    /// recorded faithfully so monitors can detect them.
+    pub fn decisions(&self) -> &[DecisionEvent] {
+        &self.decisions
+    }
+
+    /// The tip this process voted for most recently.
+    pub fn last_vote_tip(&self) -> BlockId {
+        self.last_vote_tip
+    }
+
+    /// The most recent graded-agreement output (diagnostics).
+    pub fn last_ga_output(&self) -> Option<&GaOutput> {
+        self.last_ga_output.as_ref()
+    }
+
+    /// Queues a transaction for inclusion in this process's future
+    /// proposals.
+    pub fn submit_tx(&mut self, tx: TxId) {
+        if !self.mempool.contains(&tx) {
+            self.mempool.push(tx);
+        }
+    }
+
+    /// Handles a received message: verifies the signature (unverifiable
+    /// messages are discarded per Section 2.1), then routes votes to the
+    /// vote store and proposals to the propose store / block tree.
+    pub fn on_receive(&mut self, envelope: Envelope) {
+        if !envelope.verify(self.config.directory()) {
+            return;
+        }
+        match envelope.payload() {
+            Payload::Vote(vote) => {
+                // Round 0 is view 0's propose-only round: no graded
+                // agreement has a send phase there, so a round-0 vote tag
+                // is protocol-invalid (only an adversary would produce
+                // one) and is discarded.
+                if vote.round() > Round::ZERO {
+                    self.votes.insert(*vote);
+                }
+            }
+            Payload::Propose(proposal) => {
+                self.receive_block(proposal.block().clone());
+                self.proposes.insert(proposal.clone(), self.config.directory());
+            }
+        }
+    }
+
+    /// Adds a block body to the local tree (buffering orphans). Used for
+    /// proposal delivery and checkpoint installation.
+    pub(crate) fn receive_block(&mut self, block: Block) {
+        self.buffer.insert(&mut self.tree, block);
+    }
+
+    /// Executes the send phase of `round` and returns the messages this
+    /// process multicasts. Callers must invoke this only for rounds the
+    /// process is awake in; rounds may be skipped (sleep) but must be
+    /// presented in increasing order.
+    pub fn step_send(&mut self, round: Round) -> Vec<Envelope> {
+        let out = match RoundKind::of(round) {
+            RoundKind::Bootstrap => self.step_bootstrap(round),
+            RoundKind::ViewFirst(view) => self.step_view_first(round, view),
+            RoundKind::ViewSecond(view) => self.step_view_second(round, view),
+        };
+        self.prune(round);
+        out
+    }
+
+    /// Round 0: multicast `[propose, Λ := [b₀], VRF(1)]` (Algorithm 1,
+    /// view 0).
+    fn step_bootstrap(&mut self, round: Round) -> Vec<Envelope> {
+        let (vrf_value, vrf_proof) = self.keypair.vrf_eval(1);
+        let proposal = Propose::new(
+            self.id,
+            round,
+            View::new(1),
+            Block::genesis(),
+            vrf_value,
+            vrf_proof,
+        );
+        // Record own proposal locally (a process hears its own multicast).
+        self.proposes.insert(proposal.clone(), self.config.directory());
+        vec![Envelope::sign(&self.keypair, Payload::Propose(proposal))]
+    }
+
+    /// First round of view `v` (`r = 2v − 1`): compute `GA_{v−1,2}`
+    /// outputs, decide grade-1 logs, and vote in `GA_{v,1}` for the
+    /// admissible proposal with the largest VRF.
+    fn step_view_first(&mut self, round: Round, view: View) -> Vec<Envelope> {
+        let outputs = self.tally_previous_round(round);
+
+        // Lines 2–3: decide any grade-1 log (we record the longest).
+        // View 1 has no preceding GA_{0,2} — view 0 is the propose-only
+        // bootstrap round — so the first possible decision is in view 2.
+        if view.as_u64() >= 2 {
+            if let Some(decided) = outputs.longest_grade1() {
+                self.record_decision(round, view, decided);
+            }
+        }
+
+        // Line 5: L_{v−1} = longest log output with any grade. For view 1
+        // there is no GA_{0,2}; the bootstrap log [b₀] stands in.
+        let l_prev = outputs.longest_any_grade().unwrap_or(BlockId::GENESIS);
+
+        // Lines 6–7: vote the proposal with the largest valid VRF(v) not
+        // conflicting with L_{v−1}. The block must be locally known,
+        // otherwise conflict-checking (and later counting) is impossible.
+        let proposal_tip = self
+            .proposes
+            .select_leader_proposal(view, |p| {
+                self.tree.contains(p.tip()) && self.tree.compatible(p.tip(), l_prev)
+            })
+            .map(|p| p.tip());
+        // Fallback outside the model's guarantees (e.g. no proposal was
+        // delivered during asynchrony): vote L_{v−1} itself, which keeps
+        // this process voting for extensions of its protected prefix —
+        // the behaviour Lemma 2's induction relies on.
+        let vote_tip = proposal_tip.unwrap_or(l_prev);
+
+        self.last_ga_output = Some(outputs);
+        vec![self.make_vote(round, vote_tip)]
+    }
+
+    /// Second round of view `v` (`r = 2v`): compute `GA_{v,1}` outputs,
+    /// vote the longest grade-1 log in `GA_{v,2}`, and propose a new block
+    /// extending `C_v` for view `v + 1`.
+    fn step_view_second(&mut self, round: Round, view: View) -> Vec<Envelope> {
+        let outputs = self.tally_previous_round(round);
+
+        // Line 9: vote the longest Λ output with grade 1. Validity
+        // guarantees one exists under the model's assumptions; outside
+        // them fall back to the longest any-grade output, then to the last
+        // vote (never regress to nothing).
+        let vote_tip = outputs
+            .longest_grade1()
+            .or_else(|| outputs.longest_any_grade())
+            .unwrap_or(self.last_vote_tip);
+
+        // Line 10: C_v = longest log output with any grade.
+        let c_v = outputs.longest_any_grade().unwrap_or(self.last_vote_tip);
+
+        // Line 12: propose b‖C_v for view v+1 with VRF(v+1).
+        let next_view = view.next();
+        let payload = self.take_payload_for(c_v);
+        let block = Block::build(c_v, next_view, self.id, payload);
+        let (vrf_value, vrf_proof) = self.keypair.vrf_eval(next_view.as_u64());
+        let proposal = Propose::new(self.id, round, next_view, block.clone(), vrf_value, vrf_proof);
+        // A process hears its own multicast: record locally right away.
+        self.buffer.insert(&mut self.tree, block);
+        self.proposes.insert(proposal.clone(), self.config.directory());
+
+        self.last_ga_output = Some(outputs);
+        vec![
+            self.make_vote(round, vote_tip),
+            Envelope::sign(&self.keypair, Payload::Propose(proposal)),
+        ]
+    }
+
+    /// Tallies the graded agreement whose send phase was the previous
+    /// round: latest unexpired votes from `[r − 1 − η, r − 1]`
+    /// (Section 2.1's expiration window for round `r`). With `η = 0` this
+    /// is exactly the vanilla single-round tally of Figure 2.
+    fn tally_previous_round(&self, round: Round) -> GaOutput {
+        let Some(prev) = round.prev() else {
+            return GaOutput::empty();
+        };
+        let lo = prev.saturating_sub(self.config.params().expiration());
+        let votes = self.votes.latest_in_window(lo, prev);
+        tally(&self.tree, &votes, self.config.thresholds())
+    }
+
+    fn make_vote(&mut self, round: Round, tip: BlockId) -> Envelope {
+        self.last_vote_tip = tip;
+        let vote = Vote::new(self.id, round, tip);
+        // A process hears its own vote.
+        self.votes.insert(vote);
+        Envelope::sign(&self.keypair, Payload::Vote(vote))
+    }
+
+    fn record_decision(&mut self, round: Round, view: View, tip: BlockId) {
+        self.decisions.push(DecisionEvent { round, view, tip });
+        // Adopt as the decided tip if it extends the current decided log;
+        // a conflicting decision (model violation) is recorded above but
+        // the exposed decided log stays monotone for downstream readers.
+        if self.tree.is_ancestor(self.decided_tip, tip) {
+            self.decided_tip = tip;
+        }
+    }
+
+    /// Transactions to include in the next proposal: pending mempool
+    /// entries not already present in the log being extended.
+    fn take_payload_for(&mut self, parent_tip: BlockId) -> Vec<TxId> {
+        if self.mempool.is_empty() {
+            return Vec::new();
+        }
+        let onchain: HashSet<TxId> = self.tree.log_transactions(parent_tip).into_iter().collect();
+        let payload: Vec<TxId> = self
+            .mempool
+            .iter()
+            .copied()
+            .filter(|tx| !onchain.contains(tx))
+            .collect();
+        payload
+    }
+
+    /// Drops state that can no longer influence any future tally:
+    /// votes older than one full expiration window behind, proposals for
+    /// past views.
+    fn prune(&mut self, round: Round) {
+        // Keep a safety margin of one extra window to serve diagnostics.
+        let horizon = round.saturating_sub(2 * self.config.params().expiration() + 4);
+        self.votes.prune_below(horizon);
+        let view = RoundKind::of(round).view();
+        if view.as_u64() > 1 {
+            self.proposes.prune_below(View::new(view.as_u64() - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_types::Params;
+
+    /// Lock-step synchronous driver: every round, all processes send and
+    /// every message reaches everyone before the next round.
+    fn run_lockstep(n: usize, eta: u64, rounds: u64, seed: u64) -> Vec<TobProcess> {
+        let params = Params::builder(n).expiration(eta).build().unwrap();
+        let config = TobConfig::new(params, seed);
+        let mut procs: Vec<TobProcess> = (0..n as u32)
+            .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+            .collect();
+        for r in 0..=rounds {
+            lockstep_round(&mut procs, Round::new(r));
+        }
+        procs
+    }
+
+    fn lockstep_round(procs: &mut [TobProcess], round: Round) {
+        let batches: Vec<Vec<Envelope>> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+        for batch in &batches {
+            for env in batch {
+                for p in procs.iter_mut() {
+                    p.on_receive(env.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_run_decides_and_agrees() {
+        for eta in [0u64, 2, 4] {
+            let procs = run_lockstep(4, eta, 12, 7);
+            for p in &procs {
+                assert!(
+                    !p.decisions().is_empty(),
+                    "η={eta}: process {:?} never decided",
+                    p.id()
+                );
+            }
+            // All decided tips pairwise compatible (checked on p0's tree,
+            // which has absorbed every proposal).
+            let tree = procs[0].tree();
+            for a in &procs {
+                for b in &procs {
+                    assert!(
+                        tree.compatible(a.decided_tip(), b.decided_tip()),
+                        "η={eta}: decided logs diverge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decided_log_grows_monotonically() {
+        let params = Params::builder(4).expiration(2).build().unwrap();
+        let config = TobConfig::new(params, 3);
+        let mut procs: Vec<TobProcess> = (0..4u32)
+            .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+            .collect();
+        let mut tips: Vec<BlockId> = vec![BlockId::GENESIS; 4];
+        for r in 0..=20u64 {
+            lockstep_round(&mut procs, Round::new(r));
+            for (i, p) in procs.iter().enumerate() {
+                assert!(
+                    p.tree().is_ancestor(tips[i], p.decided_tip()),
+                    "round {r}: decided log of p{i} regressed"
+                );
+                tips[i] = p.decided_tip();
+            }
+        }
+        // After 10 views the decided log extends beyond genesis.
+        assert!(procs.iter().all(|p| p.decided_tip() != BlockId::GENESIS));
+    }
+
+    #[test]
+    fn submitted_transaction_reaches_decided_log() {
+        let params = Params::builder(4).expiration(2).build().unwrap();
+        let config = TobConfig::new(params, 11);
+        let mut procs: Vec<TobProcess> = (0..4u32)
+            .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+            .collect();
+        let tx = TxId::new(777);
+        procs[2].submit_tx(tx);
+        for r in 0..=16u64 {
+            lockstep_round(&mut procs, Round::new(r));
+        }
+        for p in &procs {
+            assert!(
+                p.tree().log_contains_tx(p.decided_tip(), tx),
+                "tx missing from {:?}'s decided log",
+                p.id()
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_progress_once_per_view_under_synchrony() {
+        let procs = run_lockstep(4, 2, 24, 5);
+        // With honest unanimity, every view from the second on decides:
+        // roughly (rounds/2 − 1) decisions.
+        for p in &procs {
+            assert!(
+                p.decisions().len() >= 8,
+                "expected ≥8 decisions, got {} for {:?}",
+                p.decisions().len(),
+                p.id()
+            );
+            // Views strictly increase.
+            for w in p.decisions().windows(2) {
+                assert!(w[0].view < w[1].view);
+            }
+        }
+    }
+
+    #[test]
+    fn sleeping_process_catches_up_on_wake() {
+        let params = Params::builder(4).expiration(4).build().unwrap();
+        let config = TobConfig::new(params, 9);
+        let mut procs: Vec<TobProcess> = (0..4u32)
+            .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+            .collect();
+        // p3 sleeps during rounds 3..=6: it neither sends nor receives.
+        let mut queued: Vec<Envelope> = Vec::new();
+        for r in 0..=12u64 {
+            let round = Round::new(r);
+            let asleep = (3..=6).contains(&r);
+            let active: Vec<usize> = if asleep { vec![0, 1, 2] } else { vec![0, 1, 2, 3] };
+            let mut batches: Vec<Envelope> = Vec::new();
+            for &i in &active {
+                batches.extend(procs[i].step_send(round));
+            }
+            if asleep {
+                queued.extend(batches.iter().cloned());
+                for &i in &active {
+                    for env in &batches {
+                        procs[i].on_receive(env.clone());
+                    }
+                }
+            } else {
+                // Wake-up: deliver everything queued while asleep first.
+                if !queued.is_empty() {
+                    for env in queued.drain(..) {
+                        procs[3].on_receive(env);
+                    }
+                }
+                for env in &batches {
+                    for p in procs.iter_mut() {
+                        p.on_receive(env.clone());
+                    }
+                }
+            }
+        }
+        // p3 decided after waking, and its log agrees with the others.
+        assert!(!procs[3].decisions().is_empty());
+        let tree = procs[0].tree();
+        assert!(tree.compatible(procs[3].decided_tip(), procs[0].decided_tip()));
+    }
+
+    #[test]
+    fn invalid_signature_is_discarded() {
+        let params = Params::builder(3).build().unwrap();
+        let config = TobConfig::new(params, 1);
+        let mut p = TobProcess::new(ProcessId::new(0), config.clone());
+        // An envelope signed under a different seed fails verification.
+        let alien = Keypair::derive(ProcessId::new(1), 999);
+        let vote = Vote::new(ProcessId::new(1), Round::new(1), BlockId::GENESIS);
+        let env = Envelope::sign(&alien, Payload::Vote(vote));
+        p.on_receive(env);
+        let w = p.votes.latest_in_window(Round::new(1), Round::new(1));
+        assert_eq!(w.participation(), 0);
+    }
+
+    #[test]
+    fn vanilla_and_extended_agree_under_full_synchrony() {
+        // Under full participation and synchrony the extended protocol
+        // must match the vanilla protocol's decisions (claim: it "matches
+        // the latency and throughput of the original protocol when the
+        // synchrony bound holds").
+        let vanilla = run_lockstep(4, 0, 14, 21);
+        let extended = run_lockstep(4, 4, 14, 21);
+        for (v, e) in vanilla.iter().zip(extended.iter()) {
+            assert_eq!(
+                v.decisions().len(),
+                e.decisions().len(),
+                "decision counts diverge"
+            );
+            for (dv, de) in v.decisions().iter().zip(e.decisions().iter()) {
+                assert_eq!(dv.round, de.round);
+                assert_eq!(dv.tip, de.tip, "decided different logs at {:?}", dv.round);
+            }
+        }
+    }
+
+    #[test]
+    fn mempool_dedupes_and_drains() {
+        let params = Params::builder(1).build().unwrap();
+        let config = TobConfig::new(params, 2);
+        let mut p = TobProcess::new(ProcessId::new(0), config);
+        p.submit_tx(TxId::new(1));
+        p.submit_tx(TxId::new(1));
+        assert_eq!(p.mempool.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Edge-case tests of the protocol state machine, driven by hand-crafted
+//! message sequences rather than the simulator.
+
+use st_blocktree::Block;
+use st_core::{TobConfig, TobProcess};
+use st_crypto::Keypair;
+use st_messages::{Envelope, Payload, Propose, Vote};
+use st_types::{BlockId, Params, ProcessId, Round, TxId, View};
+
+fn config(n: usize, eta: u64) -> TobConfig {
+    TobConfig::new(Params::builder(n).expiration(eta).build().unwrap(), 7)
+}
+
+fn keypair(i: u32) -> Keypair {
+    Keypair::derive(ProcessId::new(i), 7)
+}
+
+/// Lock-step helper: run all processes through rounds 0..=last with full
+/// delivery.
+fn lockstep(procs: &mut [TobProcess], last: u64) {
+    for r in 0..=last {
+        let round = Round::new(r);
+        let batches: Vec<Vec<Envelope>> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+        for batch in &batches {
+            for env in batch {
+                for p in procs.iter_mut() {
+                    p.on_receive(env.clone());
+                }
+            }
+        }
+    }
+}
+
+/// An equivocating proposer (two proposals for one view) does not split
+/// honest processes: the deterministic VRF/tip tie-break keeps them
+/// voting identically.
+#[test]
+fn equivocating_proposer_does_not_split_honest_votes() {
+    let n = 4;
+    let cfg = config(n, 2);
+    let mut procs: Vec<TobProcess> = (0..n as u32)
+        .map(|i| TobProcess::new(ProcessId::new(i), cfg.clone()))
+        .collect();
+    lockstep(&mut procs, 4);
+
+    // A (Byzantine-ish) fifth keypair is not in the directory, so instead
+    // equivocate as p3: two different proposals for view 4.
+    let kp = keypair(3);
+    let parent = procs[0].decided_tip();
+    let (value, proof) = kp.vrf_eval(4);
+    for salt in [1u64, 2] {
+        let block = Block::build(parent, View::new(4), kp.owner(), vec![TxId::new(salt)]);
+        let prop = Propose::new(kp.owner(), Round::new(6), View::new(4), block, value, proof);
+        let env = Envelope::sign(&kp, Payload::Propose(prop));
+        for p in procs.iter_mut() {
+            p.on_receive(env.clone());
+        }
+    }
+    // Advance through view 4's first round: all honest processes must
+    // have voted for the same tip.
+    for r in 5..=7u64 {
+        let round = Round::new(r);
+        let batches: Vec<Vec<Envelope>> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+        for batch in &batches {
+            for env in batch {
+                for p in procs.iter_mut() {
+                    p.on_receive(env.clone());
+                }
+            }
+        }
+    }
+    let tips: Vec<BlockId> = procs.iter().map(|p| p.last_vote_tip()).collect();
+    assert!(tips.windows(2).all(|w| w[0] == w[1]), "honest votes split: {tips:?}");
+}
+
+/// A proposal conflicting with the established chain is never voted for,
+/// even with the highest VRF in its view.
+#[test]
+fn conflicting_proposal_is_filtered() {
+    let n = 4;
+    let cfg = config(n, 2);
+    let mut procs: Vec<TobProcess> = (0..n as u32)
+        .map(|i| TobProcess::new(ProcessId::new(i), cfg.clone()))
+        .collect();
+    lockstep(&mut procs, 8);
+    let established = procs[0].decided_tip();
+    assert_ne!(established, BlockId::GENESIS);
+
+    // p3 proposes a genesis fork for view 6 (round 11 uses it).
+    let kp = keypair(3);
+    let fork = Block::build(BlockId::GENESIS, View::new(6), kp.owner(), vec![TxId::new(666)]);
+    let fork_id = fork.id();
+    let (value, proof) = kp.vrf_eval(6);
+    let prop = Propose::new(kp.owner(), Round::new(10), View::new(6), fork, value, proof);
+    let env = Envelope::sign(&kp, Payload::Propose(prop));
+    for p in procs.iter_mut() {
+        p.on_receive(env.clone());
+    }
+    lockstep_from(&mut procs, 9, 13);
+    for p in &procs {
+        assert_ne!(p.last_vote_tip(), fork_id, "{:?} voted the genesis fork", p.id());
+        assert!(p.tree().is_ancestor(established, p.decided_tip()));
+    }
+}
+
+fn lockstep_from(procs: &mut [TobProcess], from: u64, to: u64) {
+    for r in from..=to {
+        let round = Round::new(r);
+        let batches: Vec<Vec<Envelope>> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+        for batch in &batches {
+            for env in batch {
+                for p in procs.iter_mut() {
+                    p.on_receive(env.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Round-0 votes are rejected outright (no graded agreement has a send
+/// phase in the bootstrap round).
+#[test]
+fn round_zero_votes_rejected() {
+    let cfg = config(3, 0);
+    let mut p = TobProcess::new(ProcessId::new(0), cfg);
+    let kp = keypair(1);
+    let vote = Vote::new(kp.owner(), Round::ZERO, BlockId::GENESIS);
+    p.on_receive(Envelope::sign(&kp, Payload::Vote(vote)));
+    // Drive a few rounds: an accepted round-0 vote would produce a
+    // grade-1 output and a (bogus) decision at round 1; instead the first
+    // legitimate decision arrives at round 3 (view 2 tallying GA_{1,2}).
+    let mut procs = vec![p, TobProcess::new(ProcessId::new(1), config(3, 0)), TobProcess::new(ProcessId::new(2), config(3, 0))];
+    lockstep(&mut procs, 5);
+    assert!(!procs[0].decisions().is_empty());
+    assert!(procs[0].decisions().iter().all(|d| d.round >= Round::new(3)));
+}
+
+/// Pruning keeps memory bounded: after many rounds the vote store holds
+/// only a window of recent rounds.
+#[test]
+fn state_is_pruned_over_long_runs() {
+    let n = 4;
+    let eta = 3;
+    let cfg = config(n, eta);
+    let mut procs: Vec<TobProcess> = (0..n as u32)
+        .map(|i| TobProcess::new(ProcessId::new(i), cfg.clone()))
+        .collect();
+    lockstep(&mut procs, 100);
+    // The tree grows with the chain, but the decisions list and chain are
+    // the only unbounded state; proposals and votes are windowed.
+    // Indirect check: a process clone is cheap enough to be usable and
+    // decisions track the chain height.
+    let p = &procs[0];
+    let height = p.tree().height(p.decided_tip()).unwrap();
+    assert!(height >= 45, "height {height}");
+    assert!(p.decisions().len() >= 45);
+}
+
+/// The same config can be shared across processes and reused for late
+/// joiners: a process constructed fresh and fed the full message history
+/// converges to the same decided log.
+#[test]
+fn late_joiner_converges() {
+    let n = 4;
+    let cfg = config(n, 2);
+    let mut procs: Vec<TobProcess> = (0..n as u32)
+        .map(|i| TobProcess::new(ProcessId::new(i), cfg.clone()))
+        .collect();
+    // Record every message.
+    let mut history: Vec<Envelope> = Vec::new();
+    for r in 0..=20u64 {
+        let round = Round::new(r);
+        let batches: Vec<Vec<Envelope>> = procs.iter_mut().map(|p| p.step_send(round)).collect();
+        for batch in &batches {
+            history.extend(batch.iter().cloned());
+            for env in batch {
+                for p in procs.iter_mut() {
+                    p.on_receive(env.clone());
+                }
+            }
+        }
+    }
+    // A brand-new observer replays the history (a light client / late
+    // joiner) and then participates in one tally-only step.
+    let mut observer = TobProcess::new(ProcessId::new(0), cfg);
+    for env in &history {
+        observer.on_receive(env.clone());
+    }
+    let _ = observer.step_send(Round::new(21));
+    assert!(observer
+        .tree()
+        .compatible(observer.decided_tip(), procs[1].decided_tip()));
+    // After replay + one step the observer's decided log is within one
+    // view of the live processes (it may even be one decision *ahead*,
+    // having tallied round-20 votes the live processes will only use at
+    // their own round 21).
+    let live = procs[1].tree().height(procs[1].decided_tip()).unwrap() as i64;
+    let observed = observer.tree().height(observer.decided_tip()).unwrap() as i64;
+    assert!((live - observed).abs() <= 2, "observer at {observed}, live at {live}");
+}

@@ -1,0 +1,177 @@
+//! Simulated verifiable random function.
+//!
+//! Algorithm 1 elects, in every view `v`, the proposal carried by the
+//! propose message with the *largest valid* `VRF(v)`. The paper's VRF
+//! (Section 2.1) provides: a deterministic pseudorandom output `ρ`, a proof
+//! `π`, and public verifiability. We realise it as a keyed hash of the
+//! input under the process's secret; the proof is a second keyed hash that
+//! the verifier can recompute from the public key.
+//!
+//! As with signatures (see [`crate::Keypair`]), soundness is enforced by
+//! encapsulation: [`VrfProof`] values only come out of [`Keypair::vrf_eval`],
+//! so a Byzantine process cannot claim a VRF value it did not legitimately
+//! evaluate — it *can* refuse to reveal its value, reveal it selectively,
+//! or evaluate it for any view it likes, all of which the paper permits.
+
+use crate::hash::Hasher64;
+use crate::keys::{Keypair, PublicKey};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The pseudorandom output `ρ` of a VRF evaluation, compared numerically
+/// to pick the view leader (largest wins).
+pub type VrfOutput = u64;
+
+/// The proof `π` accompanying a VRF output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VrfProof {
+    tag: u64,
+}
+
+/// Namespace for VRF verification.
+#[derive(Clone, Copy, Debug)]
+pub struct Vrf;
+
+impl Keypair {
+    /// Evaluates `(ρ, π) ← VRF_p(input)`.
+    ///
+    /// `input` is the view number in Algorithm 1 (`VRF_p(v)`).
+    ///
+    /// ```
+    /// use st_crypto::{Keypair, Vrf};
+    /// use st_types::ProcessId;
+    /// let kp = Keypair::derive(ProcessId::new(0), 7);
+    /// let (rho, proof) = kp.vrf_eval(3);
+    /// assert!(Vrf::verify(kp.public(), 3, rho, &proof));
+    /// ```
+    pub fn vrf_eval(&self, input: u64) -> (VrfOutput, VrfProof) {
+        let rho = vrf_value(self.secret(), input);
+        let tag = Hasher64::with_domain("st/vrf-proof")
+            .chain_u64(self.public().key_material())
+            .chain_u64(input)
+            .chain_u64(rho)
+            .finish();
+        (rho, VrfProof { tag })
+    }
+}
+
+impl Vrf {
+    /// Verifies that `value` is the correct evaluation of the VRF of the
+    /// key's owner on `input`, using the accompanying proof.
+    pub fn verify(public: PublicKey, input: u64, value: VrfOutput, proof: &VrfProof) -> bool {
+        let expected_value = vrf_value_from_public(public.key_material(), input);
+        let expected_tag = Hasher64::with_domain("st/vrf-proof")
+            .chain_u64(public.key_material())
+            .chain_u64(input)
+            .chain_u64(value)
+            .finish();
+        value == expected_value && proof.tag == expected_tag
+    }
+}
+
+// The VRF value must be recomputable by the verifier. In a real ECVRF the
+// proof carries enough material; here we derive the value from the *public*
+// key so verification is exact, and rely on encapsulation (proof tags are
+// only produced by vrf_eval) to model unpredictability-before-reveal.
+fn vrf_value(secret: u64, input: u64) -> u64 {
+    let key_material = Hasher64::with_domain("st/pubkey").chain_u64(secret).finish();
+    vrf_value_from_public(key_material, input)
+}
+
+fn vrf_value_from_public(key_material: u64, input: u64) -> u64 {
+    Hasher64::with_domain("st/vrf")
+        .chain_u64(key_material)
+        .chain_u64(input)
+        .finish()
+}
+
+impl fmt::Debug for VrfProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vrfπ({:016x})", self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_types::ProcessId;
+
+    fn kp(i: u32) -> Keypair {
+        Keypair::derive(ProcessId::new(i), 77)
+    }
+
+    #[test]
+    fn eval_verify_roundtrip() {
+        let k = kp(0);
+        let (rho, proof) = k.vrf_eval(5);
+        assert!(Vrf::verify(k.public(), 5, rho, &proof));
+    }
+
+    #[test]
+    fn wrong_input_rejected() {
+        let k = kp(0);
+        let (rho, proof) = k.vrf_eval(5);
+        assert!(!Vrf::verify(k.public(), 6, rho, &proof));
+    }
+
+    #[test]
+    fn wrong_value_rejected() {
+        let k = kp(0);
+        let (rho, proof) = k.vrf_eval(5);
+        assert!(!Vrf::verify(k.public(), 5, rho ^ 1, &proof));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = kp(0);
+        let b = kp(1);
+        let (rho, proof) = a.vrf_eval(5);
+        assert!(!Vrf::verify(b.public(), 5, rho, &proof));
+    }
+
+    #[test]
+    fn outputs_vary_across_processes_and_views() {
+        // The leader election needs distinct values with overwhelming
+        // probability; check a grid has no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50u32 {
+            for v in 0..50u64 {
+                let (rho, _) = kp(i).vrf_eval(v);
+                assert!(seen.insert(rho), "duplicate VRF output p{i} v{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_rederivation() {
+        let (r1, p1) = kp(3).vrf_eval(9);
+        let (r2, p2) = kp(3).vrf_eval(9);
+        assert_eq!(r1, r2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn leader_distribution_roughly_uniform() {
+        // Over many views, each of 8 processes should win a fair share of
+        // leader elections (largest VRF value wins).
+        let kps: Vec<_> = (0..8).map(kp).collect();
+        let mut wins = [0usize; 8];
+        let views = 4000u64;
+        for v in 0..views {
+            let winner = kps
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, k)| k.vrf_eval(v).0)
+                .map(|(i, _)| i)
+                .unwrap();
+            wins[winner] += 1;
+        }
+        let expected = views as f64 / 8.0;
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                (w as f64) > expected * 0.6 && (w as f64) < expected * 1.4,
+                "process {i} won {w} of {views} (expected ≈{expected})"
+            );
+        }
+    }
+}

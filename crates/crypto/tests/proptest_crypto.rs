@@ -1,0 +1,76 @@
+//! Property tests of the simulated cryptography: signatures and VRF
+//! evaluations must be deterministic, domain-separated, and reject every
+//! perturbation of (key, message, value).
+
+use proptest::prelude::*;
+use st_crypto::{Keypair, Vrf};
+use st_types::ProcessId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn signatures_verify_iff_untampered(
+        owner in 0u32..64,
+        seed in any::<u64>(),
+        message in prop::collection::vec(any::<u8>(), 0..64),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let kp = Keypair::derive(ProcessId::new(owner), seed);
+        let sig = kp.sign(&message);
+        prop_assert!(kp.public().verify(&message, &sig));
+        // Flip one byte (when the message is non-empty): must reject.
+        if !message.is_empty() {
+            let mut tampered = message.clone();
+            let i = flip.index(tampered.len());
+            tampered[i] ^= 1;
+            prop_assert!(!kp.public().verify(&tampered, &sig));
+        }
+    }
+
+    #[test]
+    fn signatures_do_not_cross_keys(
+        a in 0u32..32,
+        b in 0u32..32,
+        seed in any::<u64>(),
+        message in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        prop_assume!(a != b);
+        let ka = Keypair::derive(ProcessId::new(a), seed);
+        let kb = Keypair::derive(ProcessId::new(b), seed);
+        let sig = ka.sign(&message);
+        prop_assert!(!kb.public().verify(&message, &sig));
+    }
+
+    #[test]
+    fn vrf_verifies_iff_exact(
+        owner in 0u32..32,
+        seed in any::<u64>(),
+        input in any::<u64>(),
+        wrong_input in any::<u64>(),
+    ) {
+        let kp = Keypair::derive(ProcessId::new(owner), seed);
+        let (value, proof) = kp.vrf_eval(input);
+        prop_assert!(Vrf::verify(kp.public(), input, value, &proof));
+        if wrong_input != input {
+            prop_assert!(!Vrf::verify(kp.public(), wrong_input, value, &proof));
+        }
+        prop_assert!(!Vrf::verify(kp.public(), input, value.wrapping_add(1), &proof));
+    }
+
+    #[test]
+    fn vrf_deterministic_and_key_separated(
+        owner in 0u32..32,
+        seed in any::<u64>(),
+        input in any::<u64>(),
+    ) {
+        let kp = Keypair::derive(ProcessId::new(owner), seed);
+        let (v1, p1) = kp.vrf_eval(input);
+        let (v2, p2) = kp.vrf_eval(input);
+        prop_assert_eq!(v1, v2);
+        prop_assert_eq!(p1, p2);
+        // A different process's VRF on the same input differs (w.h.p.).
+        let other = Keypair::derive(ProcessId::new(owner.wrapping_add(1)), seed);
+        prop_assert_ne!(other.vrf_eval(input).0, v1);
+    }
+}

@@ -1,0 +1,171 @@
+//! A standalone extended-graded-agreement instance (Figure 3).
+//!
+//! The protocol crate drives graded agreement through its long-lived vote
+//! store, but Lemma 1's properties are stated about a *one-shot* object:
+//! an instance initialised with a set `M₀` of earlier votes, receiving
+//! fresh round-`r` votes, and producing graded outputs. [`GaInstance`]
+//! packages exactly that for direct testing (experiment G1) and for users
+//! who want the primitive without the full TOB protocol.
+
+use crate::{tally, GaOutput, Thresholds};
+use st_blocktree::BlockTree;
+use st_messages::{Vote, VoteStore};
+use st_types::Round;
+
+/// A one-shot extended graded-agreement instance for round `round`,
+/// initialised with an `M₀` set of votes from rounds `< round` (Figure 3).
+///
+/// With an empty `M₀` this is exactly the vanilla GA of Figure 2.
+///
+/// # Example
+///
+/// ```
+/// use st_blocktree::{Block, BlockTree};
+/// use st_ga::{GaInstance, Thresholds};
+/// use st_messages::Vote;
+/// use st_types::{BlockId, Grade, ProcessId, Round, View};
+///
+/// let mut tree = BlockTree::new();
+/// let b = tree.insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(9), vec![]))?;
+///
+/// let mut ga = GaInstance::new(Round::new(5), Thresholds::mmr());
+/// // M₀: an old (round-3) vote from p0.
+/// ga.init_with(Vote::new(ProcessId::new(0), Round::new(3), b));
+/// // Fresh round-5 votes from p1, p2.
+/// ga.receive(Vote::new(ProcessId::new(1), Round::new(5), b));
+/// ga.receive(Vote::new(ProcessId::new(2), Round::new(5), b));
+///
+/// let out = ga.output(&tree);
+/// assert_eq!(out.participation(), 3); // M₀ vote still counts
+/// assert_eq!(out.grade_of(b), Some(Grade::One));
+/// # Ok::<(), st_blocktree::BlockTreeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaInstance {
+    round: Round,
+    thresholds: Thresholds,
+    store: VoteStore,
+    /// Lowest round seen in `M₀` (bounds the tally window).
+    window_lo: Round,
+}
+
+impl GaInstance {
+    /// Creates an instance for `round` with no initial votes.
+    pub fn new(round: Round, thresholds: Thresholds) -> GaInstance {
+        GaInstance {
+            round,
+            thresholds,
+            store: VoteStore::new(),
+            window_lo: round,
+        }
+    }
+
+    /// The round of this instance.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Adds a vote to the initial set `M₀`.
+    ///
+    /// Votes from rounds `≥` the instance round are rejected (they are not
+    /// "messages from previous rounds") and ignored, returning `false`.
+    pub fn init_with(&mut self, vote: Vote) -> bool {
+        if vote.round() >= self.round {
+            return false;
+        }
+        if vote.round() < self.window_lo {
+            self.window_lo = vote.round();
+        }
+        self.store.insert(vote);
+        true
+    }
+
+    /// Receives a vote for the instance round (the Figure 3 receive
+    /// phase). Votes tagged with other rounds are ignored, returning
+    /// `false` — a one-shot instance only accepts its own round's votes.
+    pub fn receive(&mut self, vote: Vote) -> bool {
+        if vote.round() != self.round {
+            return false;
+        }
+        self.store.insert(vote);
+        true
+    }
+
+    /// Computes the graded outputs over `M₀ ∪ {round votes}`, where a
+    /// round-`r` vote supersedes the same sender's `M₀` vote and
+    /// equivocating latest votes are discarded.
+    pub fn output(&self, tree: &BlockTree) -> GaOutput {
+        let votes = self.store.latest_in_window(self.window_lo, self.round);
+        tally(tree, &votes, self.thresholds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_blocktree::Block;
+    use st_types::{BlockId, Grade, ProcessId, View};
+
+    fn tree_with_fork() -> (BlockTree, BlockId, BlockId) {
+        let mut tree = BlockTree::new();
+        let a = tree
+            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+            .unwrap();
+        let b = tree
+            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]))
+            .unwrap();
+        (tree, a, b)
+    }
+
+    #[test]
+    fn fresh_vote_supersedes_m0_vote() {
+        let (tree, a, b) = tree_with_fork();
+        let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
+        // p0's old vote was for a…
+        assert!(ga.init_with(Vote::new(ProcessId::new(0), Round::new(2), a)));
+        // …but its fresh vote is for b: only b counts.
+        assert!(ga.receive(Vote::new(ProcessId::new(0), Round::new(4), b)));
+        let out = ga.output(&tree);
+        assert_eq!(out.participation(), 1);
+        assert_eq!(out.grade_of(b), Some(Grade::One));
+        assert_eq!(out.grade_of(a), None);
+    }
+
+    #[test]
+    fn m0_rejects_current_or_future_rounds() {
+        let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
+        assert!(!ga.init_with(Vote::new(ProcessId::new(0), Round::new(4), BlockId::GENESIS)));
+        assert!(!ga.init_with(Vote::new(ProcessId::new(0), Round::new(5), BlockId::GENESIS)));
+    }
+
+    #[test]
+    fn receive_rejects_other_rounds() {
+        let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
+        assert!(!ga.receive(Vote::new(ProcessId::new(0), Round::new(3), BlockId::GENESIS)));
+        assert!(!ga.receive(Vote::new(ProcessId::new(0), Round::new(5), BlockId::GENESIS)));
+        assert!(ga.receive(Vote::new(ProcessId::new(0), Round::new(4), BlockId::GENESIS)));
+    }
+
+    #[test]
+    fn empty_m0_recovers_vanilla_ga() {
+        let (tree, a, _) = tree_with_fork();
+        let mut ga = GaInstance::new(Round::new(1), Thresholds::mmr());
+        for i in 0..3 {
+            ga.receive(Vote::new(ProcessId::new(i), Round::new(1), a));
+        }
+        let out = ga.output(&tree);
+        assert_eq!(out.grade_of(a), Some(Grade::One));
+    }
+
+    #[test]
+    fn equivocation_in_m0_discards_sender() {
+        let (tree, a, b) = tree_with_fork();
+        let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
+        ga.init_with(Vote::new(ProcessId::new(0), Round::new(2), a));
+        ga.init_with(Vote::new(ProcessId::new(0), Round::new(2), b));
+        ga.receive(Vote::new(ProcessId::new(1), Round::new(4), a));
+        let out = ga.output(&tree);
+        assert_eq!(out.participation(), 1); // p0 discarded
+        assert_eq!(out.grade_of(a), Some(Grade::One));
+    }
+}

@@ -1,0 +1,47 @@
+//! The peer-to-peer dissemination substrate underneath the round model.
+//!
+//! Section 2.1 of the paper assumes "a message-passing system with an
+//! underlying peer-to-peer dissemination protocol (e.g., a gossip
+//! protocol)", and footnote 2 adds the retention property the
+//! asynchrony-resilience machinery needs: *messages entering the
+//! dissemination layer reach all processes even if the original sender
+//! goes to sleep*. The lock-step simulator (`st-sim`) abstracts all of
+//! this into "every message sent in round r arrives by the end of round
+//! r"; this crate builds the abstracted layer so the assumption can be
+//! *checked* rather than assumed:
+//!
+//! * [`Topology`] — random regular-ish peer graphs with connectivity and
+//!   diameter measurement;
+//! * [`GossipEngine`] — hop-by-hop push gossip with per-node seen-caches,
+//!   relay retention, and node sleep;
+//! * dissemination experiments (`exp_gossip`) measuring hops-to-coverage
+//!   against `log_fanout(n)` and verifying sender-sleep resilience —
+//!   which together justify the round duration `Δ = 3δ`: one network
+//!   delay per protocol phase is enough *if* gossip completes within δ,
+//!   i.e. if δ is chosen as (gossip hops) × (per-hop delay).
+//!
+//! # Example
+//!
+//! ```
+//! use st_gossip::{GossipEngine, Topology};
+//! use st_types::ProcessId;
+//!
+//! let topology = Topology::random_regular(50, 6, 7)?;
+//! let mut engine = GossipEngine::new(topology);
+//! let msg = engine.inject(ProcessId::new(0), 42);
+//! engine.step(); // one hop: the message reaches the origin's peers…
+//! engine.sleep(ProcessId::new(0)); // …then the origin sleeps (footnote 2)
+//! let hops = 1 + engine.run_to_quiescence();
+//! assert!(engine.coverage(msg) >= 1.0); // every awake node has it anyway
+//! assert!(hops <= 8);
+//! # Ok::<(), st_gossip::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod topology;
+
+pub use engine::{GossipEngine, MessageId};
+pub use topology::{Topology, TopologyError};

@@ -1,0 +1,242 @@
+//! Peer graphs for the dissemination layer.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_types::ProcessId;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from topology construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A graph needs at least two nodes to have edges.
+    TooFewNodes(usize),
+    /// The requested degree is not realisable (`degree ≥ n` or odd
+    /// `n·degree`).
+    BadDegree {
+        /// Nodes requested.
+        n: usize,
+        /// Degree requested.
+        degree: usize,
+    },
+    /// The sampler failed to produce a connected graph (pathological
+    /// seed/degree combination).
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewNodes(n) => write!(f, "topology needs ≥ 2 nodes, got {n}"),
+            TopologyError::BadDegree { n, degree } => {
+                write!(f, "degree {degree} unrealisable for {n} nodes")
+            }
+            TopologyError::Disconnected => write!(f, "sampled graph is disconnected"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// An undirected peer graph over processes `0..n`.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    peers: Vec<Vec<ProcessId>>,
+}
+
+impl Topology {
+    /// A connected random graph where every node has (close to) `degree`
+    /// peers: a Hamiltonian ring (guaranteeing connectivity) plus random
+    /// chords. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::TooFewNodes`] for `n < 2`;
+    /// [`TopologyError::BadDegree`] when `degree < 2` or `degree ≥ n`.
+    pub fn random_regular(n: usize, degree: usize, seed: u64) -> Result<Topology, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooFewNodes(n));
+        }
+        if degree < 2 || degree >= n {
+            return Err(TopologyError::BadDegree { n, degree });
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x90551b);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            if a != b && !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        };
+        // Ring backbone.
+        for i in 0..n {
+            connect(&mut adj, i, (i + 1) % n);
+        }
+        // Random chords until everyone reaches the target degree (best
+        // effort: a few nodes may end one short when n·degree is odd).
+        let mut attempts = 0;
+        while attempts < 20 * n * degree {
+            attempts += 1;
+            let a = rng.random_range(0..n);
+            if adj[a].len() >= degree {
+                continue;
+            }
+            let b = rng.random_range(0..n);
+            if adj[b].len() >= degree {
+                continue;
+            }
+            connect(&mut adj, a, b);
+            if adj.iter().all(|p| p.len() >= degree) {
+                break;
+            }
+        }
+        let topology = Topology {
+            peers: adj
+                .into_iter()
+                .map(|p| p.into_iter().map(|i| ProcessId::new(i as u32)).collect())
+                .collect(),
+        };
+        if !topology.is_connected() {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(topology)
+    }
+
+    /// A full mesh (every pair connected) — the degenerate "gossip in one
+    /// hop" comparison point.
+    pub fn full_mesh(n: usize) -> Topology {
+        Topology {
+            peers: (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| ProcessId::new(j as u32))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The peers of `p`.
+    pub fn peers_of(&self, p: ProcessId) -> &[ProcessId] {
+        &self.peers[p.index()]
+    }
+
+    /// Whether the graph is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        if self.peers.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = queue.pop_front() {
+            for &peer in &self.peers[i] {
+                if !seen[peer.index()] {
+                    seen[peer.index()] = true;
+                    count += 1;
+                    queue.push_back(peer.index());
+                }
+            }
+        }
+        count == self.n()
+    }
+
+    /// Graph diameter (longest shortest path), by BFS from every node.
+    /// `None` for disconnected graphs.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.n();
+        let mut diameter = 0;
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(i) = queue.pop_front() {
+                for &peer in &self.peers[i] {
+                    if dist[peer.index()] == usize::MAX {
+                        dist[peer.index()] = dist[i] + 1;
+                        queue.push_back(peer.index());
+                    }
+                }
+            }
+            let max = *dist.iter().max().expect("n ≥ 1");
+            if max == usize::MAX {
+                return None;
+            }
+            diameter = diameter.max(max);
+        }
+        Some(diameter)
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        self.peers.iter().map(Vec::len).sum::<usize>() as f64 / self.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_regular_is_connected_with_target_degree() {
+        let t = Topology::random_regular(40, 6, 3).unwrap();
+        assert!(t.is_connected());
+        assert!(t.mean_degree() >= 5.0, "mean degree {}", t.mean_degree());
+        for i in 0..40 {
+            assert!(t.peers_of(ProcessId::new(i)).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Topology::random_regular(20, 4, 9).unwrap();
+        let b = Topology::random_regular(20, 4, 9).unwrap();
+        for i in 0..20 {
+            assert_eq!(a.peers_of(ProcessId::new(i)), b.peers_of(ProcessId::new(i)));
+        }
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(matches!(
+            Topology::random_regular(1, 2, 0),
+            Err(TopologyError::TooFewNodes(1))
+        ));
+        assert!(matches!(
+            Topology::random_regular(10, 10, 0),
+            Err(TopologyError::BadDegree { .. })
+        ));
+        assert!(matches!(
+            Topology::random_regular(10, 1, 0),
+            Err(TopologyError::BadDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn full_mesh_diameter_is_one() {
+        let t = Topology::full_mesh(8);
+        assert_eq!(t.diameter(), Some(1));
+        assert!((t.mean_degree() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_plus_chords_shrinks_diameter() {
+        // A plain ring of 64 has diameter 32; degree-6 chords should cut
+        // it well below 10.
+        let t = Topology::random_regular(64, 6, 5).unwrap();
+        let d = t.diameter().unwrap();
+        assert!(d <= 10, "diameter {d}");
+    }
+}

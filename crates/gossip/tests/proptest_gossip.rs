@@ -1,0 +1,71 @@
+//! Property tests of the dissemination layer: on any connected sampled
+//! topology, gossip reaches every awake node, survives origin sleep after
+//! the first hop, and never exceeds the edge-count transmission bound.
+
+use proptest::prelude::*;
+use st_gossip::{GossipEngine, Topology};
+use st_types::ProcessId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_coverage_on_any_topology(
+        n in 4usize..80,
+        degree in 2usize..8,
+        seed in any::<u64>(),
+        origin in any::<u32>(),
+    ) {
+        prop_assume!(degree < n);
+        let topology = match Topology::random_regular(n, degree, seed) {
+            Ok(t) => t,
+            Err(_) => return Ok(()), // pathological sample: skip
+        };
+        let mut g = GossipEngine::new(topology);
+        let msg = g.inject(ProcessId::new(origin % n as u32), 1);
+        let hops = g.run_to_quiescence();
+        prop_assert_eq!(g.coverage(msg), 1.0);
+        prop_assert!(hops <= n, "gossip did not terminate promptly");
+    }
+
+    #[test]
+    fn origin_sleep_after_first_hop_never_hurts(
+        n in 6usize..60,
+        degree in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(degree < n);
+        let topology = match Topology::random_regular(n, degree, seed) {
+            Ok(t) => t,
+            Err(_) => return Ok(()),
+        };
+        let mut g = GossipEngine::new(topology);
+        let origin = ProcessId::new(0);
+        let msg = g.inject(origin, 1);
+        g.step();
+        g.sleep(origin);
+        g.run_to_quiescence();
+        prop_assert!(g.coverage(msg) >= 1.0);
+    }
+
+    #[test]
+    fn transmissions_bounded(
+        n in 4usize..60,
+        degree in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(degree < n);
+        let topology = match Topology::random_regular(n, degree, seed) {
+            Ok(t) => t,
+            Err(_) => return Ok(()),
+        };
+        let max_edges: usize = (0..n)
+            .map(|i| topology.peers_of(ProcessId::new(i as u32)).len())
+            .sum();
+        let mut g = GossipEngine::new(topology);
+        g.inject(ProcessId::new(0), 1);
+        g.run_to_quiescence();
+        // Each node pushes the message to each of its peers at most once.
+        prop_assert!(g.transmissions() <= max_edges);
+    }
+}

@@ -1,0 +1,271 @@
+//! Vote aggregation — the dissemination-layer optimisation of footnote 2.
+//!
+//! "In Ethereum, process votes are aggregated by intermediate nodes which
+//! then disseminate the votes independently." An [`AggregatedVote`] packs
+//! every received vote for one `(round, tip)` pair into a single message
+//! carrying the signer set; relays merge aggregates and forward one
+//! message instead of `n`. Aggregation is transparent to the protocol —
+//! receivers unpack the constituent votes and feed them to their stores —
+//! but shrinks per-round message complexity from `O(n²)` vote deliveries
+//! to `O(n·k)` for `k` aggregators/distinct tips.
+
+use crate::envelope::{Envelope, KeyDirectory, Payload};
+use crate::types::Vote;
+use serde::{Deserialize, Serialize};
+use st_crypto::Signature;
+use st_types::{BlockId, ProcessId, Round};
+
+/// A batch of votes for the same `(round, tip)`, each by a distinct
+/// signer, verifiable against the key directory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregatedVote {
+    round: Round,
+    tip: BlockId,
+    /// `(signer, signature over the signer's vote)`, sorted by signer and
+    /// deduplicated.
+    signers: Vec<(ProcessId, Signature)>,
+}
+
+impl AggregatedVote {
+    /// An empty aggregate for `(round, tip)`.
+    pub fn new(round: Round, tip: BlockId) -> AggregatedVote {
+        AggregatedVote {
+            round,
+            tip,
+            signers: Vec::new(),
+        }
+    }
+
+    /// The vote round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The voted tip.
+    pub fn tip(&self) -> BlockId {
+        self.tip
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.signers.len()
+    }
+
+    /// Whether the aggregate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signers.is_empty()
+    }
+
+    /// Absorbs a signed vote envelope if it matches this aggregate's
+    /// `(round, tip)` and verifies; returns whether it was added.
+    ///
+    /// The signature is checked *before* inclusion, so a verified
+    /// aggregate never carries an invalid constituent — relays cannot be
+    /// tricked into laundering forgeries.
+    pub fn absorb(&mut self, envelope: &Envelope, directory: &KeyDirectory) -> bool {
+        let Payload::Vote(vote) = envelope.payload() else {
+            return false;
+        };
+        if vote.round() != self.round || vote.tip() != self.tip {
+            return false;
+        }
+        if !envelope.verify(directory) {
+            return false;
+        }
+        match self.signers.binary_search_by_key(&vote.sender(), |&(s, _)| s) {
+            Ok(_) => false, // already aggregated
+            Err(pos) => {
+                self.signers.insert(pos, (vote.sender(), *envelope.signature()));
+                true
+            }
+        }
+    }
+
+    /// Merges another aggregate for the same `(round, tip)`; returns the
+    /// number of new signers added. Mismatched aggregates merge nothing.
+    pub fn merge(&mut self, other: &AggregatedVote) -> usize {
+        if other.round != self.round || other.tip != self.tip {
+            return 0;
+        }
+        let mut added = 0;
+        for &(signer, sig) in &other.signers {
+            if let Err(pos) = self.signers.binary_search_by_key(&signer, |&(s, _)| s) {
+                self.signers.insert(pos, (signer, sig));
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Verifies every constituent signature; returns the valid votes.
+    /// Invalid entries (possible only if the aggregate was built outside
+    /// [`AggregatedVote::absorb`], e.g. deserialized from a peer) are
+    /// skipped.
+    pub fn verified_votes(&self, directory: &KeyDirectory) -> Vec<Vote> {
+        self.signers
+            .iter()
+            .filter_map(|&(signer, sig)| {
+                let vote = Vote::new(signer, self.round, self.tip);
+                let pk = directory.key_of(signer)?;
+                pk.verify(&vote.to_bytes(), &sig).then_some(vote)
+            })
+            .collect()
+    }
+
+    /// Wire-size estimate in bytes: header (round + tip) plus one
+    /// (id, signature) pair per signer. Used by the message-complexity
+    /// experiment.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.signers.len() * 12
+    }
+}
+
+/// A relay that aggregates every vote envelope it sees, per `(round, tip)`.
+#[derive(Clone, Debug, Default)]
+pub struct VoteAggregator {
+    aggregates: Vec<AggregatedVote>,
+}
+
+impl VoteAggregator {
+    /// An empty aggregator.
+    pub fn new() -> VoteAggregator {
+        VoteAggregator::default()
+    }
+
+    /// Routes a vote envelope into the matching aggregate (creating one
+    /// as needed); returns whether it was absorbed.
+    pub fn ingest(&mut self, envelope: &Envelope, directory: &KeyDirectory) -> bool {
+        let Payload::Vote(vote) = envelope.payload() else {
+            return false;
+        };
+        if let Some(agg) = self
+            .aggregates
+            .iter_mut()
+            .find(|a| a.round() == vote.round() && a.tip() == vote.tip())
+        {
+            return agg.absorb(envelope, directory);
+        }
+        let mut agg = AggregatedVote::new(vote.round(), vote.tip());
+        let ok = agg.absorb(envelope, directory);
+        if ok {
+            self.aggregates.push(agg);
+        }
+        ok
+    }
+
+    /// The aggregates collected so far (one per distinct `(round, tip)`).
+    pub fn aggregates(&self) -> &[AggregatedVote] {
+        &self.aggregates
+    }
+
+    /// Drops aggregates older than `lo` (expired — can never be tallied).
+    pub fn prune_below(&mut self, lo: Round) {
+        self.aggregates.retain(|a| a.round() >= lo);
+    }
+
+    /// Total messages a relay forwards per round with aggregation: one
+    /// per aggregate, versus one per constituent without.
+    pub fn compression_ratio(&self) -> f64 {
+        let votes: usize = self.aggregates.iter().map(AggregatedVote::len).sum();
+        if self.aggregates.is_empty() {
+            return 1.0;
+        }
+        votes as f64 / self.aggregates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_crypto::Keypair;
+
+    fn signed_vote(sender: u32, round: u64, tip: u64, seed: u64) -> Envelope {
+        let kp = Keypair::derive(ProcessId::new(sender), seed);
+        Envelope::sign(
+            &kp,
+            Payload::Vote(Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip))),
+        )
+    }
+
+    #[test]
+    fn absorb_and_unpack() {
+        let dir = KeyDirectory::derive(5, 9);
+        let mut agg = AggregatedVote::new(Round::new(2), BlockId::new(7));
+        for i in 0..5 {
+            assert!(agg.absorb(&signed_vote(i, 2, 7, 9), &dir));
+        }
+        assert_eq!(agg.len(), 5);
+        let votes = agg.verified_votes(&dir);
+        assert_eq!(votes.len(), 5);
+        assert!(votes.iter().all(|v| v.tip() == BlockId::new(7)));
+    }
+
+    #[test]
+    fn absorb_rejects_mismatches_and_duplicates() {
+        let dir = KeyDirectory::derive(5, 9);
+        let mut agg = AggregatedVote::new(Round::new(2), BlockId::new(7));
+        assert!(agg.absorb(&signed_vote(0, 2, 7, 9), &dir));
+        assert!(!agg.absorb(&signed_vote(0, 2, 7, 9), &dir)); // duplicate signer
+        assert!(!agg.absorb(&signed_vote(1, 3, 7, 9), &dir)); // wrong round
+        assert!(!agg.absorb(&signed_vote(1, 2, 8, 9), &dir)); // wrong tip
+        assert!(!agg.absorb(&signed_vote(1, 2, 7, 10), &dir)); // bad signature (wrong seed)
+        assert_eq!(agg.len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_signers() {
+        let dir = KeyDirectory::derive(6, 9);
+        let mut a = AggregatedVote::new(Round::new(1), BlockId::new(3));
+        let mut b = AggregatedVote::new(Round::new(1), BlockId::new(3));
+        for i in 0..3 {
+            a.absorb(&signed_vote(i, 1, 3, 9), &dir);
+        }
+        for i in 2..6 {
+            b.absorb(&signed_vote(i, 1, 3, 9), &dir);
+        }
+        assert_eq!(a.merge(&b), 3); // signers 3,4,5 are new
+        assert_eq!(a.len(), 6);
+        // Mismatched merge is a no-op.
+        let other = AggregatedVote::new(Round::new(2), BlockId::new(3));
+        assert_eq!(a.merge(&other), 0);
+    }
+
+    #[test]
+    fn aggregator_routes_by_round_and_tip() {
+        let dir = KeyDirectory::derive(6, 9);
+        let mut relay = VoteAggregator::new();
+        for i in 0..4 {
+            relay.ingest(&signed_vote(i, 1, 3, 9), &dir);
+        }
+        for i in 4..6 {
+            relay.ingest(&signed_vote(i, 1, 4, 9), &dir);
+        }
+        assert_eq!(relay.aggregates().len(), 2);
+        assert!((relay.compression_ratio() - 3.0).abs() < 1e-9);
+        relay.prune_below(Round::new(2));
+        assert!(relay.aggregates().is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_signers() {
+        let dir = KeyDirectory::derive(10, 9);
+        let mut agg = AggregatedVote::new(Round::new(1), BlockId::new(1));
+        let empty = agg.wire_bytes();
+        for i in 0..10 {
+            agg.absorb(&signed_vote(i, 1, 1, 9), &dir);
+        }
+        assert_eq!(agg.wire_bytes(), empty + 10 * 12);
+    }
+
+    #[test]
+    fn serde_roundtrip_then_verify() {
+        let dir = KeyDirectory::derive(4, 9);
+        let mut agg = AggregatedVote::new(Round::new(1), BlockId::new(2));
+        for i in 0..4 {
+            agg.absorb(&signed_vote(i, 1, 2, 9), &dir);
+        }
+        let json = serde_json::to_string(&agg).unwrap();
+        let back: AggregatedVote = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.verified_votes(&dir).len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Signed message envelopes and the public-key directory.
+//!
+//! Every message exchanged among processes carries an unforgeable
+//! signature; messages without a valid signature are discarded
+//! (Section 2.1). [`Envelope::sign`] produces a signed message and
+//! [`Envelope::verify`] checks it against the claimed sender's key in the
+//! [`KeyDirectory`].
+
+use crate::{Propose, Vote};
+use serde::{Deserialize, Serialize};
+use st_crypto::{Keypair, PublicKey, Signature};
+use st_types::{ProcessId, Round};
+use std::fmt;
+
+/// The payload of a signed message: a vote or a proposal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// A graded-agreement vote.
+    Vote(Vote),
+    /// A view proposal.
+    Propose(Propose),
+}
+
+impl Payload {
+    /// The claimed sender of the payload.
+    pub fn sender(&self) -> ProcessId {
+        match self {
+            Payload::Vote(v) => v.sender(),
+            Payload::Propose(p) => p.sender(),
+        }
+    }
+
+    /// The round the payload is tagged with.
+    pub fn round(&self) -> Round {
+        match self {
+            Payload::Vote(v) => v.round(),
+            Payload::Propose(p) => p.round(),
+        }
+    }
+
+    /// Canonical bytes for signing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Payload::Vote(v) => v.to_bytes(),
+            Payload::Propose(p) => p.to_bytes(),
+        }
+    }
+}
+
+impl From<Vote> for Payload {
+    fn from(v: Vote) -> Payload {
+        Payload::Vote(v)
+    }
+}
+
+impl From<Propose> for Payload {
+    fn from(p: Propose) -> Payload {
+        Payload::Propose(p)
+    }
+}
+
+/// A signed protocol message.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Envelope {
+    payload: Payload,
+    signature: Signature,
+}
+
+impl Envelope {
+    /// Signs `payload` with `keypair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload's claimed sender is not the keypair's owner —
+    /// that would be a forgery, which even Byzantine processes cannot do
+    /// (they *can* sign arbitrary content under their own identity; create
+    /// the payload with their own `ProcessId` for that).
+    pub fn sign(keypair: &Keypair, payload: Payload) -> Envelope {
+        assert_eq!(
+            payload.sender(),
+            keypair.owner(),
+            "cannot sign a message claiming another process's identity"
+        );
+        let signature = keypair.sign(&payload.to_bytes());
+        Envelope { payload, signature }
+    }
+
+    /// The payload (valid only if [`Envelope::verify`] accepts).
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// The raw signature (used by vote aggregation, which repacks
+    /// constituent signatures into batch messages).
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Verifies the signature against the claimed sender's public key in
+    /// `directory`. Returns `false` for unknown senders.
+    pub fn verify(&self, directory: &KeyDirectory) -> bool {
+        match directory.key_of(self.payload.sender()) {
+            Some(pk) => pk.verify(&self.payload.to_bytes(), &self.signature),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Envelope({:?})", self.payload)
+    }
+}
+
+/// The registry of public keys, indexed by process id.
+///
+/// In a deployment this is the validator set / PKI; in the simulation it is
+/// derived once from the system seed.
+#[derive(Clone, Debug)]
+pub struct KeyDirectory {
+    keys: Vec<PublicKey>,
+}
+
+impl KeyDirectory {
+    /// Builds the directory for a system of `n` processes under a seed,
+    /// matching [`Keypair::derive`].
+    pub fn derive(n: usize, system_seed: u64) -> KeyDirectory {
+        let keys = ProcessId::all(n)
+            .map(|p| Keypair::derive(p, system_seed).public())
+            .collect();
+        KeyDirectory { keys }
+    }
+
+    /// The number of registered processes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The public key of `p`, if registered.
+    pub fn key_of(&self, p: ProcessId) -> Option<PublicKey> {
+        self.keys.get(p.index()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_types::BlockId;
+
+    fn setup() -> (Keypair, Keypair, KeyDirectory) {
+        let a = Keypair::derive(ProcessId::new(0), 42);
+        let b = Keypair::derive(ProcessId::new(1), 42);
+        let dir = KeyDirectory::derive(2, 42);
+        (a, b, dir)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (a, _, dir) = setup();
+        let vote = Vote::new(a.owner(), Round::new(1), BlockId::new(5));
+        let env = Envelope::sign(&a, vote.into());
+        assert!(env.verify(&dir));
+    }
+
+    #[test]
+    #[should_panic(expected = "claiming another process")]
+    fn forging_identity_panics() {
+        let (a, b, _) = setup();
+        let vote = Vote::new(b.owner(), Round::new(1), BlockId::new(5));
+        let _ = Envelope::sign(&a, vote.into());
+    }
+
+    #[test]
+    fn unknown_sender_rejected() {
+        let dir = KeyDirectory::derive(1, 42);
+        let ghost = Keypair::derive(ProcessId::new(9), 42);
+        let vote = Vote::new(ghost.owner(), Round::new(1), BlockId::new(5));
+        let env = Envelope::sign(&ghost, vote.into());
+        assert!(!env.verify(&dir));
+    }
+
+    #[test]
+    fn wrong_seed_key_rejected() {
+        let a_evil = Keypair::derive(ProcessId::new(0), 43); // different seed
+        let dir = KeyDirectory::derive(2, 42);
+        let vote = Vote::new(a_evil.owner(), Round::new(1), BlockId::new(5));
+        let env = Envelope::sign(&a_evil, vote.into());
+        assert!(!env.verify(&dir));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let (a, _, _) = setup();
+        let vote = Vote::new(a.owner(), Round::new(3), BlockId::new(5));
+        let p: Payload = vote.into();
+        assert_eq!(p.sender(), a.owner());
+        assert_eq!(p.round(), Round::new(3));
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-view proposal store with VRF-based leader selection.
+
+use crate::envelope::KeyDirectory;
+use crate::Propose;
+use st_crypto::Vrf;
+use st_types::{ProcessId, View};
+use std::collections::HashMap;
+
+/// Stores the proposals received for each view and selects the leader's
+/// proposal: the one with the **largest valid VRF(v)** (Algorithm 1,
+/// round 1 of view v).
+///
+/// Equivocating proposers (several distinct proposals for one view) are
+/// allowed by the model; selection applies a caller-supplied admissibility
+/// filter (the "not conflicting with `L_{v−1}`" check) and breaks VRF ties
+/// deterministically so that all honest processes with the same message set
+/// choose the same proposal.
+#[derive(Clone, Debug, Default)]
+pub struct ProposeStore {
+    by_view: HashMap<View, Vec<Propose>>,
+}
+
+impl ProposeStore {
+    /// Creates an empty store.
+    pub fn new() -> ProposeStore {
+        ProposeStore::default()
+    }
+
+    /// Records a proposal after verifying its VRF evaluation; returns
+    /// whether it was accepted (invalid VRFs are discarded, duplicates
+    /// ignored).
+    pub fn insert(&mut self, proposal: Propose, directory: &KeyDirectory) -> bool {
+        let Some(pk) = directory.key_of(proposal.sender()) else {
+            return false;
+        };
+        if !Vrf::verify(
+            pk,
+            proposal.view().as_u64(),
+            proposal.vrf_value(),
+            proposal.vrf_proof(),
+        ) {
+            return false;
+        }
+        let entry = self.by_view.entry(proposal.view()).or_default();
+        if entry.contains(&proposal) {
+            return false;
+        }
+        entry.push(proposal);
+        true
+    }
+
+    /// All proposals recorded for `view`.
+    pub fn proposals_for(&self, view: View) -> &[Propose] {
+        self.by_view.get(&view).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Selects the proposal for `view` with the largest valid VRF among
+    /// those satisfying `admissible` (Algorithm 1: "a log in the propose
+    /// message with the largest valid VRF(v) not conflicting with
+    /// `L_{v−1}`").
+    ///
+    /// Ties (only possible when one sender equivocates, since VRF values
+    /// are sender-unique per view) break by larger tip id so that honest
+    /// processes holding the same proposal set agree.
+    pub fn select_leader_proposal<F>(&self, view: View, mut admissible: F) -> Option<&Propose>
+    where
+        F: FnMut(&Propose) -> bool,
+    {
+        self.proposals_for(view)
+            .iter()
+            .filter(|p| admissible(p))
+            .max_by_key(|p| (p.vrf_value(), p.tip().as_u64()))
+    }
+
+    /// Drops proposals for views strictly below `view` (past views can no
+    /// longer be voted on).
+    pub fn prune_below(&mut self, view: View) {
+        self.by_view.retain(|&v, _| v >= view);
+    }
+
+    /// Number of views with at least one stored proposal.
+    pub fn views_tracked(&self) -> usize {
+        self.by_view.len()
+    }
+
+    /// The distinct proposers recorded for `view`.
+    pub fn proposers_for(&self, view: View) -> Vec<ProcessId> {
+        let mut out: Vec<ProcessId> = self
+            .proposals_for(view)
+            .iter()
+            .map(|p| p.sender())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::KeyDirectory;
+    use st_blocktree::Block;
+    use st_crypto::Keypair;
+    use st_types::{BlockId, Round, TxId};
+
+    fn mk_proposal(kp: &Keypair, view: u64, tx: u64) -> Propose {
+        let (value, proof) = kp.vrf_eval(view);
+        let block = Block::build(
+            BlockId::GENESIS,
+            View::new(view),
+            kp.owner(),
+            vec![TxId::new(tx)],
+        );
+        Propose::new(
+            kp.owner(),
+            Round::new(view.saturating_mul(2).saturating_sub(2)),
+            View::new(view),
+            block,
+            value,
+            proof,
+        )
+    }
+
+    fn setup(n: usize) -> (Vec<Keypair>, KeyDirectory) {
+        let kps: Vec<_> = (0..n as u32)
+            .map(|i| Keypair::derive(ProcessId::new(i), 7))
+            .collect();
+        (kps, KeyDirectory::derive(n, 7))
+    }
+
+    #[test]
+    fn valid_proposal_accepted() {
+        let (kps, dir) = setup(2);
+        let mut s = ProposeStore::new();
+        assert!(s.insert(mk_proposal(&kps[0], 1, 10), &dir));
+        assert_eq!(s.proposals_for(View::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn invalid_vrf_rejected() {
+        let (kps, dir) = setup(2);
+        let mut s = ProposeStore::new();
+        let (value, proof) = kps[0].vrf_eval(2); // VRF for the wrong view
+        let block = Block::build(BlockId::GENESIS, View::new(1), kps[0].owner(), vec![]);
+        let p = Propose::new(kps[0].owner(), Round::ZERO, View::new(1), block, value, proof);
+        assert!(!s.insert(p, &dir));
+        assert!(s.proposals_for(View::new(1)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let (kps, dir) = setup(1);
+        let mut s = ProposeStore::new();
+        let p = mk_proposal(&kps[0], 1, 10);
+        assert!(s.insert(p.clone(), &dir));
+        assert!(!s.insert(p, &dir));
+        assert_eq!(s.proposals_for(View::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn leader_selection_takes_max_vrf() {
+        let (kps, dir) = setup(8);
+        let mut s = ProposeStore::new();
+        for kp in &kps {
+            s.insert(mk_proposal(kp, 3, 100 + kp.owner().as_u32() as u64), &dir);
+        }
+        let best = s.select_leader_proposal(View::new(3), |_| true).unwrap();
+        let max_vrf = kps.iter().map(|k| k.vrf_eval(3).0).max().unwrap();
+        assert_eq!(best.vrf_value(), max_vrf);
+    }
+
+    #[test]
+    fn admissibility_filter_excludes() {
+        let (kps, dir) = setup(4);
+        let mut s = ProposeStore::new();
+        for kp in &kps {
+            s.insert(mk_proposal(kp, 1, 100 + kp.owner().as_u32() as u64), &dir);
+        }
+        let winner_unfiltered = s
+            .select_leader_proposal(View::new(1), |_| true)
+            .unwrap()
+            .sender();
+        // Exclude the winner; a different proposer must be selected.
+        let second = s
+            .select_leader_proposal(View::new(1), |p| p.sender() != winner_unfiltered)
+            .unwrap();
+        assert_ne!(second.sender(), winner_unfiltered);
+        // Excluding everything yields None.
+        assert!(s.select_leader_proposal(View::new(1), |_| false).is_none());
+    }
+
+    #[test]
+    fn equivocating_proposer_tie_breaks_by_tip() {
+        let (kps, dir) = setup(1);
+        let mut s = ProposeStore::new();
+        let p1 = mk_proposal(&kps[0], 1, 10);
+        let p2 = mk_proposal(&kps[0], 1, 99);
+        let expected = if p1.tip().as_u64() > p2.tip().as_u64() {
+            p1.tip()
+        } else {
+            p2.tip()
+        };
+        s.insert(p1, &dir);
+        s.insert(p2, &dir);
+        let best = s.select_leader_proposal(View::new(1), |_| true).unwrap();
+        assert_eq!(best.tip(), expected);
+    }
+
+    #[test]
+    fn prune_below_drops_old_views() {
+        let (kps, dir) = setup(1);
+        let mut s = ProposeStore::new();
+        for view in 1..=5u64 {
+            s.insert(mk_proposal(&kps[0], view, view), &dir);
+        }
+        s.prune_below(View::new(4));
+        assert_eq!(s.views_tracked(), 2);
+        assert!(s.proposals_for(View::new(3)).is_empty());
+        assert!(!s.proposals_for(View::new(4)).is_empty());
+    }
+
+    #[test]
+    fn proposers_listed_dedup() {
+        let (kps, dir) = setup(2);
+        let mut s = ProposeStore::new();
+        s.insert(mk_proposal(&kps[0], 1, 10), &dir);
+        s.insert(mk_proposal(&kps[0], 1, 11), &dir);
+        s.insert(mk_proposal(&kps[1], 1, 12), &dir);
+        assert_eq!(
+            s.proposers_for(View::new(1)),
+            vec![ProcessId::new(0), ProcessId::new(1)]
+        );
+    }
+}

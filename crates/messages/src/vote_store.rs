@@ -1,0 +1,323 @@
+//! The latest-unexpired-vote store.
+//!
+//! This is the data structure behind the paper's core mechanism: at round
+//! `r`, the protocol's behaviour is influenced only by the **latest** vote
+//! each process sent within the expiration window `[r − η, r]`, with
+//! equivocating latest votes discarded (Section 2.1 "Message structure" and
+//! Figure 3).
+
+use crate::Vote;
+use st_types::{BlockId, ProcessId, Round};
+use std::collections::{BTreeMap, HashMap};
+
+/// What happened when a vote was inserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// First vote from this sender for this round.
+    Recorded,
+    /// Identical vote already present (gossip duplicates are normal).
+    Duplicate,
+    /// A *different* vote from the same sender for the same round —
+    /// equivocation. Both votes are remembered so the round is poisoned
+    /// for this sender ("two different vote messages from the same process
+    /// are ignored", Figures 2–3).
+    Equivocation,
+}
+
+/// Per-(sender, round) record of what was voted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RoundRecord {
+    /// A single, unequivocal vote for this tip.
+    Single(BlockId),
+    /// The sender equivocated in this round; the record keeps the first
+    /// two distinct tips as evidence (further tips add no information).
+    Equivocated(BlockId, BlockId),
+}
+
+/// Stores every vote a process has received and answers latest-in-window
+/// queries.
+///
+/// See the crate-level docs for an example.
+#[derive(Clone, Debug, Default)]
+pub struct VoteStore {
+    /// sender → (round → record). `BTreeMap` gives cheap
+    /// latest-within-window lookups via `range(..).next_back()`.
+    by_sender: HashMap<ProcessId, BTreeMap<Round, RoundRecord>>,
+    /// Total count of distinct (sender, round, tip) votes recorded.
+    distinct_votes: usize,
+}
+
+impl VoteStore {
+    /// Creates an empty store.
+    pub fn new() -> VoteStore {
+        VoteStore::default()
+    }
+
+    /// Number of distinct (sender, round, tip) votes recorded.
+    pub fn len(&self) -> usize {
+        self.distinct_votes
+    }
+
+    /// Whether no votes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.distinct_votes == 0
+    }
+
+    /// Records a received vote. Returns what happened; equivocations are
+    /// remembered as poison for the (sender, round) pair.
+    pub fn insert(&mut self, vote: Vote) -> InsertOutcome {
+        let rounds = self.by_sender.entry(vote.sender()).or_default();
+        match rounds.get_mut(&vote.round()) {
+            None => {
+                rounds.insert(vote.round(), RoundRecord::Single(vote.tip()));
+                self.distinct_votes += 1;
+                InsertOutcome::Recorded
+            }
+            Some(RoundRecord::Single(tip)) if *tip == vote.tip() => InsertOutcome::Duplicate,
+            Some(rec @ RoundRecord::Single(_)) => {
+                let RoundRecord::Single(first) = *rec else { unreachable!() };
+                *rec = RoundRecord::Equivocated(first, vote.tip());
+                self.distinct_votes += 1;
+                InsertOutcome::Equivocation
+            }
+            Some(RoundRecord::Equivocated(a, b)) => {
+                if *a == vote.tip() || *b == vote.tip() {
+                    InsertOutcome::Duplicate
+                } else {
+                    InsertOutcome::Equivocation
+                }
+            }
+        }
+    }
+
+    /// Whether `sender` has an equivocation recorded for `round`.
+    pub fn is_equivocator_at(&self, sender: ProcessId, round: Round) -> bool {
+        matches!(
+            self.by_sender.get(&sender).and_then(|r| r.get(&round)),
+            Some(RoundRecord::Equivocated(_, _))
+        )
+    }
+
+    /// The latest vote of every sender within the closed round window
+    /// `[lo, hi]` — the tally input `M_i^r` of the extended graded
+    /// agreement (Figure 3).
+    ///
+    /// Per sender, the vote from its highest round within the window is
+    /// selected. If the sender equivocated in that round, the sender is
+    /// **discarded entirely** ("equivocating latest messages being
+    /// discarded", Section 3.3) — it contributes neither a vote nor to the
+    /// perceived participation count.
+    pub fn latest_in_window(&self, lo: Round, hi: Round) -> LatestVotes {
+        let mut votes = Vec::new();
+        for (&sender, rounds) in &self.by_sender {
+            if let Some((&round, rec)) = rounds.range(lo..=hi).next_back() {
+                match rec {
+                    RoundRecord::Single(tip) => votes.push((sender, round, *tip)),
+                    RoundRecord::Equivocated(_, _) => { /* discarded */ }
+                }
+            }
+        }
+        // Deterministic order for reproducibility of downstream iteration.
+        votes.sort_by_key(|&(s, _, _)| s);
+        LatestVotes { votes }
+    }
+
+    /// Drops all votes from rounds strictly below `lo` (they can never
+    /// again fall inside an expiration window once `r − η ≥ lo`). Keeps
+    /// memory proportional to `n · η`.
+    pub fn prune_below(&mut self, lo: Round) {
+        for rounds in self.by_sender.values_mut() {
+            let keep = rounds.split_off(&lo);
+            for rec in rounds.values() {
+                self.distinct_votes -= match rec {
+                    RoundRecord::Single(_) => 1,
+                    RoundRecord::Equivocated(_, _) => 2,
+                };
+            }
+            *rounds = keep;
+        }
+        self.by_sender.retain(|_, rounds| !rounds.is_empty());
+    }
+
+    /// The senders with at least one stored vote (for diagnostics).
+    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.by_sender.keys().copied()
+    }
+}
+
+/// The result of a latest-in-window query: at most one vote per sender,
+/// equivocators excluded. This is the set `M_i^r` the graded-agreement
+/// tally runs over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatestVotes {
+    /// `(sender, round the vote was cast in, tip voted for)`, sorted by
+    /// sender.
+    votes: Vec<(ProcessId, Round, BlockId)>,
+}
+
+impl LatestVotes {
+    /// The perceived participation `m = |M_i^r|`: the number of distinct
+    /// processes contributing a (non-equivocating) latest vote.
+    pub fn participation(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Whether no votes fell in the window.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Iterates `(sender, cast round, tip)` triples, sorted by sender.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Round, BlockId)> + '_ {
+        self.votes.iter().copied()
+    }
+
+    /// The tip voted for by `sender`, if it contributed.
+    pub fn vote_of(&self, sender: ProcessId) -> Option<BlockId> {
+        self.votes
+            .binary_search_by_key(&sender, |&(s, _, _)| s)
+            .ok()
+            .map(|i| self.votes[i].2)
+    }
+
+    /// The distinct tips voted for (deduplicated, unordered).
+    pub fn distinct_tips(&self) -> Vec<BlockId> {
+        let mut tips: Vec<BlockId> = self.votes.iter().map(|&(_, _, t)| t).collect();
+        tips.sort_by_key(|t| t.as_u64());
+        tips.dedup();
+        tips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(sender: u32, round: u64, tip: u64) -> Vote {
+        Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip))
+    }
+
+    #[test]
+    fn insert_outcomes() {
+        let mut s = VoteStore::new();
+        assert_eq!(s.insert(v(1, 1, 10)), InsertOutcome::Recorded);
+        assert_eq!(s.insert(v(1, 1, 10)), InsertOutcome::Duplicate);
+        assert_eq!(s.insert(v(1, 1, 11)), InsertOutcome::Equivocation);
+        // Same-round third distinct tip still reports equivocation.
+        assert_eq!(s.insert(v(1, 1, 12)), InsertOutcome::Equivocation);
+        // Re-sending a poisoned tip is a duplicate.
+        assert_eq!(s.insert(v(1, 1, 11)), InsertOutcome::Duplicate);
+    }
+
+    #[test]
+    fn latest_picks_highest_round_in_window() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 1, 10));
+        s.insert(v(1, 3, 30));
+        s.insert(v(1, 5, 50));
+        let w = s.latest_in_window(Round::new(0), Round::new(4));
+        assert_eq!(w.vote_of(ProcessId::new(1)), Some(BlockId::new(30)));
+        let w = s.latest_in_window(Round::new(0), Round::new(9));
+        assert_eq!(w.vote_of(ProcessId::new(1)), Some(BlockId::new(50)));
+        let w = s.latest_in_window(Round::new(6), Round::new(9));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equivocating_latest_discards_sender() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 2, 20));
+        s.insert(v(1, 4, 40));
+        s.insert(v(1, 4, 41)); // equivocation in the latest round
+        let w = s.latest_in_window(Round::new(0), Round::new(5));
+        // Sender discarded entirely: no vote, not counted in participation.
+        assert_eq!(w.vote_of(ProcessId::new(1)), None);
+        assert_eq!(w.participation(), 0);
+        // But a window that excludes the poisoned round sees the old vote.
+        let w = s.latest_in_window(Round::new(0), Round::new(3));
+        assert_eq!(w.vote_of(ProcessId::new(1)), Some(BlockId::new(20)));
+        assert_eq!(w.participation(), 1);
+    }
+
+    #[test]
+    fn equivocation_in_older_round_does_not_poison_newer_vote() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 2, 20));
+        s.insert(v(1, 2, 21)); // equivocation at round 2
+        s.insert(v(1, 4, 40)); // clean vote later
+        let w = s.latest_in_window(Round::new(0), Round::new(5));
+        assert_eq!(w.vote_of(ProcessId::new(1)), Some(BlockId::new(40)));
+    }
+
+    #[test]
+    fn participation_counts_distinct_senders() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 1, 10));
+        s.insert(v(2, 1, 10));
+        s.insert(v(3, 2, 11));
+        let w = s.latest_in_window(Round::new(1), Round::new(2));
+        assert_eq!(w.participation(), 3);
+        assert_eq!(w.distinct_tips(), vec![BlockId::new(10), BlockId::new(11)]);
+    }
+
+    #[test]
+    fn window_boundaries_are_inclusive() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 3, 30));
+        assert_eq!(
+            s.latest_in_window(Round::new(3), Round::new(3)).participation(),
+            1
+        );
+        assert_eq!(
+            s.latest_in_window(Round::new(4), Round::new(9)).participation(),
+            0
+        );
+        assert_eq!(
+            s.latest_in_window(Round::new(0), Round::new(2)).participation(),
+            0
+        );
+    }
+
+    #[test]
+    fn vanilla_window_is_single_round() {
+        // η = 0 semantics: window [r, r] sees only round-r votes.
+        let mut s = VoteStore::new();
+        s.insert(v(1, 4, 40));
+        s.insert(v(2, 5, 50));
+        let w = s.latest_in_window(Round::new(5), Round::new(5));
+        assert_eq!(w.participation(), 1);
+        assert_eq!(w.vote_of(ProcessId::new(2)), Some(BlockId::new(50)));
+    }
+
+    #[test]
+    fn prune_below_removes_and_recounts() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 1, 10));
+        s.insert(v(1, 1, 11)); // equivocation: 2 distinct votes
+        s.insert(v(1, 5, 50));
+        s.insert(v(2, 2, 20));
+        assert_eq!(s.len(), 4);
+        s.prune_below(Round::new(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.latest_in_window(Round::new(0), Round::new(9))
+                .vote_of(ProcessId::new(1)),
+            Some(BlockId::new(50))
+        );
+        assert_eq!(s.senders().count(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_sender() {
+        let mut s = VoteStore::new();
+        s.insert(v(5, 1, 1));
+        s.insert(v(1, 1, 1));
+        s.insert(v(3, 1, 1));
+        let senders: Vec<_> = s
+            .latest_in_window(Round::new(0), Round::new(2))
+            .iter()
+            .map(|(s, _, _)| s.as_u32())
+            .collect();
+        assert_eq!(senders, vec![1, 3, 5]);
+    }
+}

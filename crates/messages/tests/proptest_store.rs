@@ -1,0 +1,112 @@
+//! Model-based property tests: `VoteStore` against a naive reference
+//! implementation of the latest-unexpired-vote semantics.
+
+use proptest::prelude::*;
+use st_messages::{Vote, VoteStore};
+use st_types::{BlockId, ProcessId, Round};
+use std::collections::HashMap;
+
+/// The reference model: a flat list of votes, queried by brute force.
+#[derive(Default)]
+struct NaiveStore {
+    votes: Vec<Vote>,
+}
+
+impl NaiveStore {
+    fn insert(&mut self, vote: Vote) {
+        self.votes.push(vote);
+    }
+
+    /// Latest vote per sender within `[lo, hi]`, discarding senders whose
+    /// latest round contains two distinct tips.
+    fn latest_in_window(&self, lo: Round, hi: Round) -> HashMap<ProcessId, BlockId> {
+        let mut latest_round: HashMap<ProcessId, Round> = HashMap::new();
+        for v in &self.votes {
+            if v.round() < lo || v.round() > hi {
+                continue;
+            }
+            let entry = latest_round.entry(v.sender()).or_insert(v.round());
+            if v.round() > *entry {
+                *entry = v.round();
+            }
+        }
+        let mut out = HashMap::new();
+        for (&sender, &round) in &latest_round {
+            let tips: Vec<BlockId> = {
+                let mut t: Vec<BlockId> = self
+                    .votes
+                    .iter()
+                    .filter(|v| v.sender() == sender && v.round() == round)
+                    .map(|v| v.tip())
+                    .collect();
+                t.sort_by_key(|b| b.as_u64());
+                t.dedup();
+                t
+            };
+            if tips.len() == 1 {
+                out.insert(sender, tips[0]);
+            }
+            // ≥ 2 distinct tips in the latest round: equivocator, dropped.
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn store_matches_reference(
+        ops in prop::collection::vec((0u32..6, 1u64..12, 0u64..5), 1..80),
+        window in (0u64..12, 0u64..6),
+    ) {
+        let mut store = VoteStore::new();
+        let mut naive = NaiveStore::default();
+        for &(sender, round, tip) in &ops {
+            let vote = Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip));
+            store.insert(vote);
+            naive.insert(vote);
+        }
+        let lo = Round::new(window.0);
+        let hi = Round::new(window.0 + window.1);
+        let fast = store.latest_in_window(lo, hi);
+        let reference = naive.latest_in_window(lo, hi);
+        prop_assert_eq!(fast.participation(), reference.len());
+        for (sender, round, tip) in fast.iter() {
+            prop_assert_eq!(reference.get(&sender), Some(&tip), "sender {:?}", sender);
+            prop_assert!(round >= lo && round <= hi);
+        }
+    }
+
+    #[test]
+    fn prune_never_changes_window_above_cut(
+        ops in prop::collection::vec((0u32..5, 1u64..20, 0u64..4), 1..60),
+        cut in 1u64..20,
+    ) {
+        let mut store = VoteStore::new();
+        for &(sender, round, tip) in &ops {
+            store.insert(Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip)));
+        }
+        let before = store.latest_in_window(Round::new(cut), Round::new(25));
+        store.prune_below(Round::new(cut));
+        let after = store.latest_in_window(Round::new(cut), Round::new(25));
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn insert_is_idempotent(
+        ops in prop::collection::vec((0u32..4, 1u64..8, 0u64..4), 1..40),
+    ) {
+        let mut once = VoteStore::new();
+        let mut twice = VoteStore::new();
+        for &(sender, round, tip) in &ops {
+            let vote = Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip));
+            once.insert(vote);
+            twice.insert(vote);
+            twice.insert(vote);
+        }
+        let w_once = once.latest_in_window(Round::new(0), Round::new(10));
+        let w_twice = twice.latest_in_window(Round::new(0), Round::new(10));
+        prop_assert_eq!(w_once, w_twice);
+    }
+}

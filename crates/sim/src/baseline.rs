@@ -1,0 +1,135 @@
+//! A classic fixed-quorum BFT baseline.
+//!
+//! The introduction motivates dynamic availability with the observation
+//! that "traditional BFT protocols (synchronous or partially synchronous)
+//! get stuck when participation drops below their fixed (usually 1/2 or
+//! 2/3) quorum threshold". This module provides that comparator for
+//! experiment B1: a deliberately simple two-round-per-view protocol whose
+//! decision rule requires votes from more than `2n/3` of **all** `n`
+//! processes — the static quorum — rather than of the perceived
+//! participation.
+//!
+//! Under full participation it decides every view; when more than a third
+//! of the processes sleep, it stalls until they return, while the sleepy
+//! protocol keeps deciding. The baseline is honest-only (the comparison is
+//! about availability, not attack resistance).
+
+use crate::schedule::Schedule;
+use st_types::View;
+
+/// Outcome of running the static-quorum baseline over a schedule.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineReport {
+    /// Views in which the quorum was met and a decision happened.
+    pub decided_views: Vec<View>,
+    /// Views that stalled (quorum missed).
+    pub stalled_views: Vec<View>,
+}
+
+impl BaselineReport {
+    /// Number of decisions.
+    pub fn decisions(&self) -> usize {
+        self.decided_views.len()
+    }
+
+    /// Longest run of consecutive stalled views.
+    pub fn longest_stall(&self) -> usize {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        let mut prev: Option<u64> = None;
+        for v in &self.stalled_views {
+            run = match prev {
+                Some(p) if v.as_u64() == p + 1 => run + 1,
+                _ => 1,
+            };
+            prev = Some(v.as_u64());
+            longest = longest.max(run);
+        }
+        longest
+    }
+}
+
+/// The static-quorum BFT baseline.
+///
+/// One view per two rounds, mirroring the sleepy protocol's cadence so
+/// decision counts are directly comparable. A view decides iff the number
+/// of awake honest processes in its *decision round* exceeds `2n/3` —
+/// votes from asleep processes cannot arrive, and the quorum is counted
+/// against the fixed membership `n`.
+#[derive(Clone, Debug)]
+pub struct StaticQuorumBft {
+    n: usize,
+}
+
+impl StaticQuorumBft {
+    /// A baseline instance over `n` fixed members.
+    pub fn new(n: usize) -> StaticQuorumBft {
+        StaticQuorumBft { n }
+    }
+
+    /// The quorum size: decisions need strictly more than `2n/3` votes.
+    pub fn quorum_exceeded(&self, votes: usize) -> bool {
+        (votes as f64) > 2.0 * (self.n as f64) / 3.0
+    }
+
+    /// Runs the baseline over `schedule` for views whose decision rounds
+    /// fall within the horizon.
+    pub fn run(&self, schedule: &Schedule) -> BaselineReport {
+        let mut report = BaselineReport::default();
+        let mut v = 1u64;
+        loop {
+            let view = View::new(v);
+            let Some(decision_round) = view.second_round() else {
+                v += 1;
+                continue;
+            };
+            if decision_round.as_u64() > schedule.horizon() {
+                break;
+            }
+            let votes = schedule.honest_awake(decision_round).len();
+            if self.quorum_exceeded(votes) {
+                report.decided_views.push(view);
+            } else {
+                report.stalled_views.push(view);
+            }
+            v += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use st_types::Round;
+
+    #[test]
+    fn full_participation_decides_every_view() {
+        let schedule = Schedule::full(9, 20);
+        let report = StaticQuorumBft::new(9).run(&schedule);
+        assert_eq!(report.stalled_views.len(), 0);
+        assert_eq!(report.decisions(), 10); // views 1..=10 decide at rounds 2..=20
+    }
+
+    #[test]
+    fn majority_sleep_stalls_baseline() {
+        // 60% asleep during rounds 6..=14: every decision round in that
+        // span misses the 2n/3 quorum.
+        let schedule = Schedule::mass_sleep(10, 20, 0.6, 6, 14);
+        let report = StaticQuorumBft::new(10).run(&schedule);
+        assert!(report.longest_stall() >= 4, "stall {} views", report.longest_stall());
+        // It recovers after the incident.
+        assert!(report
+            .decided_views
+            .iter()
+            .any(|v| v.second_round().unwrap() > Round::new(14)));
+    }
+
+    #[test]
+    fn exact_two_thirds_is_not_enough() {
+        let bft = StaticQuorumBft::new(9);
+        assert!(!bft.quorum_exceeded(6)); // 6 = 2·9/3 exactly
+        assert!(bft.quorum_exceeded(7));
+    }
+}

@@ -1,0 +1,66 @@
+//! The sleepy-model execution substrate.
+//!
+//! The paper's theorems are stated in a lock-step round model
+//! (Section 2.1): each round has a send phase (processes in `O_r`
+//! multicast) and a receive phase (processes awake at the end of the round
+//! receive). Under synchrony every message sent in rounds `≤ r` reaches
+//! every process awake in the receive phase of round `r`; during an
+//! asynchronous period the adversary delivers an arbitrary subset. Asleep
+//! processes have their messages queued and delivered on wake-up; messages
+//! are never lost.
+//!
+//! This crate *is* that model, executable:
+//!
+//! * [`Schedule`] — who is awake (`H_r`) and who is corrupted (`B_r`,
+//!   growing adversary) in every round, with generators for full
+//!   participation, bounded random churn, mass-sleep incidents and
+//!   oscillating participation;
+//! * [`Network`] — the global message pool with per-process delivery
+//!   cursors implementing exactly the synchronous/asynchronous delivery
+//!   rules above;
+//! * [`Adversary`] — full-knowledge Byzantine strategy hook: fabricates
+//!   signed messages from corrupted processes (equivocation, targeted
+//!   sends) and controls delivery during asynchronous rounds. Includes the
+//!   paper's split-vote safety attack (Section 1) among several strategies;
+//! * [`Simulation`] — the round loop driving [`st_core::TobProcess`]
+//!   instances through the schedule, network and adversary, with monitors
+//!   attached;
+//! * [`SimReport`] — decisions, safety/resilience violations (Definitions
+//!   2 and 5), transaction-liveness statistics, healing measurements;
+//! * [`baseline::StaticQuorumBft`] — a classic fixed-quorum BFT protocol
+//!   used to demonstrate what *dynamic availability* buys (experiment B1).
+//!
+//! # Example: a synchronous run with churn
+//!
+//! ```
+//! use st_sim::{Schedule, SimConfig, Simulation, adversary::SilentAdversary};
+//! use st_types::Params;
+//!
+//! let params = Params::builder(10).expiration(2).churn_rate(0.05).build()?;
+//! let schedule = Schedule::random_churn(10, 40, 0.02, 99, &Default::default());
+//! let config = SimConfig::new(params, 123).horizon(40).txs_every(4);
+//! let report = Simulation::new(config, schedule, Box::new(SilentAdversary)).run();
+//! assert!(report.safety_violations.is_empty());
+//! assert!(report.decisions_total > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod baseline;
+pub mod explore;
+pub mod scenario;
+mod metrics;
+mod monitor;
+mod network;
+mod runner;
+mod schedule;
+
+pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};
+pub use metrics::{RoundSample, Timeline};
+pub use monitor::{SafetyViolation, SimReport, TxRecord};
+pub use network::{Network, Recipients, SentMessage};
+pub use runner::{AsyncWindow, SimConfig, Simulation};
+pub use schedule::{ChurnOptions, Schedule};

@@ -1,0 +1,206 @@
+//! Round-by-round execution time series.
+//!
+//! The scalar [`crate::SimReport`] answers "did the run satisfy the
+//! definitions"; the [`Timeline`] answers *when*: chain growth round by
+//! round, participation, message volume and decision activity. Experiment
+//! binaries use it to show, e.g., that the chain kept growing *during*
+//! the mass-sleep incident rather than merely recovering afterwards.
+
+use serde::Serialize;
+use st_types::Round;
+
+/// One round's sample.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RoundSample {
+    /// The sampled round.
+    pub round: u64,
+    /// `|H_r|` — honest processes awake at the round's beginning.
+    pub honest_awake: usize,
+    /// `|B_r|` — Byzantine processes.
+    pub byzantine: usize,
+    /// Whether the round was inside the asynchronous window.
+    pub is_async: bool,
+    /// Messages sent during the round (honest + adversarial).
+    pub messages_sent: usize,
+    /// Decision events recorded this round across all honest processes.
+    pub decisions: usize,
+    /// Maximum decided-log height over honest processes after the round.
+    pub max_decided_height: u64,
+    /// Minimum decided-log height over honest *awake* processes.
+    pub min_decided_height: u64,
+}
+
+/// The per-round history of a simulation.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Timeline {
+    samples: Vec<RoundSample>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Appends a sample (rounds must be pushed in order).
+    pub(crate) fn push(&mut self, sample: RoundSample) {
+        debug_assert!(
+            self.samples
+                .last()
+                .map(|s| s.round < sample.round)
+                .unwrap_or(true),
+            "timeline samples must be pushed in round order"
+        );
+        self.samples.push(sample);
+    }
+
+    /// All samples, in round order.
+    pub fn samples(&self) -> &[RoundSample] {
+        &self.samples
+    }
+
+    /// Number of sampled rounds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no rounds were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample for a specific round, if recorded.
+    pub fn at(&self, round: Round) -> Option<&RoundSample> {
+        self.samples
+            .binary_search_by_key(&round.as_u64(), |s| s.round)
+            .ok()
+            .map(|i| &self.samples[i])
+    }
+
+    /// Chain growth (max decided height delta) over a closed round range.
+    pub fn growth_in(&self, from: Round, to: Round) -> u64 {
+        let h = |r: Round| self.at(r).map(|s| s.max_decided_height);
+        match (h(from), h(to)) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        }
+    }
+
+    /// Rounds in the range with at least one decision event.
+    pub fn deciding_rounds_in(&self, from: Round, to: Round) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| s.round >= from.as_u64() && s.round <= to.as_u64() && s.decisions > 0)
+            .count()
+    }
+
+    /// Total messages sent over the whole run.
+    pub fn total_messages(&self) -> usize {
+        self.samples.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Mean messages per round.
+    pub fn mean_messages_per_round(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.total_messages() as f64 / self.samples.len() as f64
+    }
+
+    /// The largest spread between the most- and least-advanced honest
+    /// awake process over the run — a divergence indicator (large spreads
+    /// appear during asynchrony and close again after healing).
+    pub fn max_height_spread(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.max_decided_height.saturating_sub(s.min_decided_height))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders a CSV of the full series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,honest_awake,byzantine,is_async,messages_sent,decisions,\
+             max_decided_height,min_decided_height\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                s.round,
+                s.honest_awake,
+                s.byzantine,
+                s.is_async,
+                s.messages_sent,
+                s.decisions,
+                s.max_decided_height,
+                s.min_decided_height
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: u64, decisions: usize, max_h: u64, min_h: u64) -> RoundSample {
+        RoundSample {
+            round,
+            honest_awake: 8,
+            byzantine: 2,
+            is_async: false,
+            messages_sent: 10,
+            decisions,
+            max_decided_height: max_h,
+            min_decided_height: min_h,
+        }
+    }
+
+    fn timeline() -> Timeline {
+        let mut t = Timeline::new();
+        t.push(sample(0, 0, 0, 0));
+        t.push(sample(1, 0, 0, 0));
+        t.push(sample(2, 3, 1, 0));
+        t.push(sample(3, 0, 1, 1));
+        t.push(sample(4, 5, 2, 1));
+        t
+    }
+
+    #[test]
+    fn lookup_and_growth() {
+        let t = timeline();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.at(Round::new(2)).unwrap().decisions, 3);
+        assert!(t.at(Round::new(9)).is_none());
+        assert_eq!(t.growth_in(Round::new(0), Round::new(4)), 2);
+        assert_eq!(t.growth_in(Round::new(2), Round::new(3)), 0);
+        // Out-of-range endpoints yield zero growth.
+        assert_eq!(t.growth_in(Round::new(0), Round::new(99)), 0);
+    }
+
+    #[test]
+    fn deciding_rounds_and_messages() {
+        let t = timeline();
+        assert_eq!(t.deciding_rounds_in(Round::new(0), Round::new(4)), 2);
+        assert_eq!(t.deciding_rounds_in(Round::new(3), Round::new(3)), 0);
+        assert_eq!(t.total_messages(), 50);
+        assert!((t.mean_messages_per_round() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn height_spread() {
+        let t = timeline();
+        assert_eq!(t.max_height_spread(), 1);
+        assert_eq!(Timeline::new().max_height_spread(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = timeline();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.starts_with("round,"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The simulated network: a global message pool with per-process delivery
+//! cursors.
+//!
+//! Implements the model of Section 2.1 exactly:
+//!
+//! * messages are never lost — at worst delayed past an asynchronous
+//!   period (footnote 2: the dissemination layer retains them);
+//! * in the receive phase of a **synchronous** round `r`, an awake process
+//!   receives *every* message sent in rounds `≤ r` it has not received
+//!   yet (including while it slept);
+//! * in the receive phase of an **asynchronous** round, the adversary
+//!   selects an arbitrary subset per receiver;
+//! * Byzantine senders may target messages at subsets of processes
+//!   (equivocation is sending different targeted messages).
+
+use st_messages::Envelope;
+use st_types::{ProcessId, Round};
+use std::collections::HashSet;
+
+/// Who a message is addressed to. Honest multicasts are [`Recipients::All`];
+/// Byzantine processes may target subsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recipients {
+    /// Every process.
+    All,
+    /// Only the listed processes.
+    Only(Vec<ProcessId>),
+}
+
+impl Recipients {
+    /// Whether `p` is addressed.
+    pub fn includes(&self, p: ProcessId) -> bool {
+        match self {
+            Recipients::All => true,
+            Recipients::Only(list) => list.contains(&p),
+        }
+    }
+}
+
+/// A message in the global pool.
+#[derive(Clone, Debug)]
+pub struct SentMessage {
+    /// Position in the pool (global, monotone).
+    pub index: usize,
+    /// The round the message was sent in.
+    pub round: Round,
+    /// The actual (claimed) sender.
+    pub sender: ProcessId,
+    /// Addressing.
+    pub recipients: Recipients,
+    /// The signed message.
+    pub envelope: Envelope,
+}
+
+/// Per-process delivery state: everything below `cursor` has been
+/// delivered (or was not addressed to us); `extras` holds indices at or
+/// beyond the cursor delivered early during asynchrony.
+#[derive(Clone, Debug, Default)]
+struct DeliveryState {
+    cursor: usize,
+    extras: HashSet<usize>,
+}
+
+/// The simulated network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    pool: Vec<SentMessage>,
+    delivery: Vec<DeliveryState>,
+}
+
+impl Network {
+    /// A network for `n` processes.
+    pub fn new(n: usize) -> Network {
+        Network {
+            pool: Vec::new(),
+            delivery: (0..n).map(|_| DeliveryState::default()).collect(),
+        }
+    }
+
+    /// Total messages ever sent.
+    pub fn messages_sent(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Appends a message to the pool (send phase). Messages must be
+    /// appended in non-decreasing round order — the delivery cursor relies
+    /// on the pool being round-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is lower than the last appended round.
+    pub fn send(&mut self, round: Round, sender: ProcessId, recipients: Recipients, envelope: Envelope) {
+        if let Some(last) = self.pool.last() {
+            assert!(
+                round >= last.round,
+                "messages must be appended in round order"
+            );
+        }
+        let index = self.pool.len();
+        self.pool.push(SentMessage {
+            index,
+            round,
+            sender,
+            recipients,
+            envelope,
+        });
+    }
+
+    /// Synchronous receive for `p` at the end of round `r`: returns every
+    /// not-yet-delivered message addressed to `p` sent in rounds `≤ r`,
+    /// in pool order, and marks them delivered.
+    pub fn deliver_sync(&mut self, p: ProcessId, r: Round) -> Vec<Envelope> {
+        let state = &mut self.delivery[p.index()];
+        let mut out = Vec::new();
+        let mut idx = state.cursor;
+        while idx < self.pool.len() && self.pool[idx].round <= r {
+            if !state.extras.remove(&idx) && self.pool[idx].recipients.includes(p) {
+                out.push(self.pool[idx].envelope.clone());
+            }
+            idx += 1;
+        }
+        state.cursor = idx;
+        // Extras below the new cursor are consumed above; any remaining
+        // extras reference indices ≥ cursor (sent later than r): keep.
+        out
+    }
+
+    /// The messages *available* for adversarial delivery to `p` at the end
+    /// of an asynchronous round `r`: addressed to `p`, sent in rounds
+    /// `≤ r`, not yet delivered.
+    pub fn available_for(&self, p: ProcessId, r: Round) -> Vec<&SentMessage> {
+        let state = &self.delivery[p.index()];
+        self.pool[state.cursor..]
+            .iter()
+            .take_while(|m| m.round <= r)
+            .filter(|m| m.recipients.includes(p) && !state.extras.contains(&m.index))
+            .collect()
+    }
+
+    /// Adversarial (asynchronous) delivery: marks the chosen pool indices
+    /// delivered to `p` and returns their envelopes in pool order. Indices
+    /// not actually available to `p` are ignored — the adversary cannot
+    /// deliver a message twice, to a non-addressee, or from the future.
+    pub fn deliver_async(&mut self, p: ProcessId, r: Round, chosen: &[usize]) -> Vec<Envelope> {
+        let mut sorted: Vec<usize> = chosen.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let state = &mut self.delivery[p.index()];
+        let mut out = Vec::new();
+        for idx in sorted {
+            if idx < state.cursor || idx >= self.pool.len() {
+                continue;
+            }
+            let msg = &self.pool[idx];
+            if msg.round > r || !msg.recipients.includes(p) || state.extras.contains(&idx) {
+                continue;
+            }
+            state.extras.insert(idx);
+            out.push(msg.envelope.clone());
+        }
+        out
+    }
+
+    /// Read-only view of the pool (adversary knowledge, diagnostics).
+    pub fn pool(&self) -> &[SentMessage] {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_crypto::Keypair;
+    use st_messages::{Payload, Vote};
+    use st_types::BlockId;
+
+    fn env(sender: u32, round: u64, tip: u64) -> Envelope {
+        let kp = Keypair::derive(ProcessId::new(sender), 42);
+        Envelope::sign(
+            &kp,
+            Payload::Vote(Vote::new(
+                ProcessId::new(sender),
+                Round::new(round),
+                BlockId::new(tip),
+            )),
+        )
+    }
+
+    #[test]
+    fn sync_delivery_gets_everything_once() {
+        let mut net = Network::new(2);
+        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 5));
+        net.send(Round::new(1), ProcessId::new(1), Recipients::All, env(1, 1, 6));
+        let p0 = ProcessId::new(0);
+        let got = net.deliver_sync(p0, Round::new(1));
+        assert_eq!(got.len(), 2);
+        // Second call: nothing new.
+        assert!(net.deliver_sync(p0, Round::new(1)).is_empty());
+    }
+
+    #[test]
+    fn sync_delivery_respects_round_bound() {
+        let mut net = Network::new(1);
+        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 5));
+        net.send(Round::new(3), ProcessId::new(0), Recipients::All, env(0, 3, 6));
+        let p = ProcessId::new(0);
+        assert_eq!(net.deliver_sync(p, Round::new(2)).len(), 1);
+        assert_eq!(net.deliver_sync(p, Round::new(3)).len(), 1);
+    }
+
+    #[test]
+    fn queued_messages_arrive_on_wake() {
+        // A process that "slept" (did not call deliver) through rounds 1-3
+        // receives everything on its first receive.
+        let mut net = Network::new(2);
+        for r in 1..=3u64 {
+            net.send(Round::new(r), ProcessId::new(0), Recipients::All, env(0, r, r));
+        }
+        assert_eq!(net.deliver_sync(ProcessId::new(1), Round::new(3)).len(), 3);
+    }
+
+    #[test]
+    fn targeted_messages_skip_non_addressees() {
+        let mut net = Network::new(3);
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::Only(vec![ProcessId::new(1)]),
+            env(0, 1, 5),
+        );
+        assert_eq!(net.deliver_sync(ProcessId::new(1), Round::new(1)).len(), 1);
+        assert!(net.deliver_sync(ProcessId::new(2), Round::new(1)).is_empty());
+    }
+
+    #[test]
+    fn async_delivery_is_subset_then_sync_catches_up() {
+        let mut net = Network::new(2);
+        for r in 1..=1u64 {
+            for s in 0..2u32 {
+                net.send(Round::new(r), ProcessId::new(s), Recipients::All, env(s, r, s as u64));
+            }
+        }
+        let p = ProcessId::new(0);
+        let avail = net.available_for(p, Round::new(1));
+        assert_eq!(avail.len(), 2);
+        let first_idx = avail[0].index;
+        // Adversary delivers only the first message.
+        let got = net.deliver_async(p, Round::new(1), &[first_idx]);
+        assert_eq!(got.len(), 1);
+        // Available shrinks.
+        assert_eq!(net.available_for(p, Round::new(1)).len(), 1);
+        // Synchrony restored: the withheld message arrives, no duplicate.
+        let later = net.deliver_sync(p, Round::new(2));
+        assert_eq!(later.len(), 1);
+        assert!(net.deliver_sync(p, Round::new(2)).is_empty());
+    }
+
+    #[test]
+    fn async_delivery_ignores_bogus_choices() {
+        let mut net = Network::new(2);
+        net.send(
+            Round::new(2),
+            ProcessId::new(0),
+            Recipients::Only(vec![ProcessId::new(0)]),
+            env(0, 2, 1),
+        );
+        let p1 = ProcessId::new(1);
+        // Not addressed to p1, out-of-range index, future round.
+        assert!(net.deliver_async(p1, Round::new(2), &[0]).is_empty());
+        assert!(net.deliver_async(p1, Round::new(2), &[99]).is_empty());
+        let p0 = ProcessId::new(0);
+        assert!(net.deliver_async(p0, Round::new(1), &[0]).is_empty()); // round 2 > 1
+        assert_eq!(net.deliver_async(p0, Round::new(2), &[0, 0]).len(), 1); // dedup
+    }
+
+    #[test]
+    #[should_panic(expected = "round order")]
+    fn out_of_order_send_panics() {
+        let mut net = Network::new(1);
+        net.send(Round::new(2), ProcessId::new(0), Recipients::All, env(0, 2, 1));
+        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 1));
+    }
+}

@@ -1,0 +1,668 @@
+//! The round-loop execution engine.
+
+use crate::adversary::{Adversary, AdversaryCtx};
+use crate::metrics::{RoundSample, Timeline};
+use crate::monitor::{ResilienceMonitor, SafetyMonitor, SimReport, TxRecord};
+use crate::network::{Network, Recipients};
+use crate::schedule::Schedule;
+use st_blocktree::BlockTree;
+use st_core::{TobConfig, TobProcess};
+use st_crypto::Keypair;
+use st_messages::Payload;
+use st_types::{Params, ProcessId, Round, TxId};
+use std::collections::HashSet;
+
+/// An asynchronous window `[start, start + len − 1]` during which message
+/// delivery is adversarial. In the paper's notation the window is
+/// `[ra + 1, ra + π]`, so `start = ra + 1` and `len = π`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsyncWindow {
+    start: Round,
+    len: u64,
+}
+
+impl AsyncWindow {
+    /// A window of `pi` rounds beginning at `start` (= `ra + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi == 0` (an empty window is no window) or if
+    /// `start` is round 0 (there must exist a last synchronous round
+    /// `ra ≥ 0` before the window).
+    pub fn new(start: Round, pi: u64) -> AsyncWindow {
+        assert!(pi > 0, "asynchronous window must have positive length");
+        assert!(
+            start > Round::ZERO,
+            "the window must start after at least one synchronous round"
+        );
+        AsyncWindow { start, len: pi }
+    }
+
+    /// The last synchronous round before the window (`ra`).
+    pub fn ra(&self) -> Round {
+        self.start.prev().expect("start > 0 enforced at construction")
+    }
+
+    /// The first asynchronous round (`ra + 1`).
+    pub fn start(&self) -> Round {
+        self.start
+    }
+
+    /// The window length `π`.
+    pub fn pi(&self) -> u64 {
+        self.len
+    }
+
+    /// The last asynchronous round (`ra + π`).
+    pub fn end(&self) -> Round {
+        Round::new(self.start.as_u64() + self.len - 1)
+    }
+
+    /// Whether `r` lies inside the window.
+    pub fn contains(&self, r: Round) -> bool {
+        self.start <= r && r <= self.end()
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    params: Params,
+    seed: u64,
+    horizon: u64,
+    async_window: Option<AsyncWindow>,
+    txs_every: Option<u64>,
+}
+
+impl SimConfig {
+    /// A run of the protocol described by `params` under `seed`, with a
+    /// default horizon of 40 rounds, no asynchronous window and no
+    /// transaction workload.
+    pub fn new(params: Params, seed: u64) -> SimConfig {
+        SimConfig {
+            params,
+            seed,
+            horizon: 40,
+            async_window: None,
+            txs_every: None,
+        }
+    }
+
+    /// Sets the number of rounds to execute (rounds `0..=horizon`).
+    #[must_use]
+    pub fn horizon(mut self, rounds: u64) -> SimConfig {
+        self.horizon = rounds;
+        self
+    }
+
+    /// Injects an asynchronous window.
+    #[must_use]
+    pub fn async_window(mut self, window: AsyncWindow) -> SimConfig {
+        self.async_window = Some(window);
+        self
+    }
+
+    /// Submits one fresh transaction every `k` rounds (to the first honest
+    /// awake process).
+    #[must_use]
+    pub fn txs_every(mut self, k: u64) -> SimConfig {
+        self.txs_every = Some(k.max(1));
+        self
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+}
+
+/// A single simulation: processes + schedule + network + adversary +
+/// monitors. Construct with [`Simulation::new`], execute with
+/// [`Simulation::run`].
+pub struct Simulation {
+    config: SimConfig,
+    tob_config: TobConfig,
+    schedule: Schedule,
+    adversary: Box<dyn Adversary>,
+    procs: Vec<TobProcess>,
+    keypairs: Vec<Keypair>,
+    network: Network,
+    global_tree: BlockTree,
+    safety: SafetyMonitor,
+    resilience: Option<ResilienceMonitor>,
+    decisions_seen: Vec<usize>,
+    txs: Vec<TxRecord>,
+    /// Cached set of txs in each process's decided log (refreshed when the
+    /// decided tip changes).
+    decided_txs: Vec<(st_types::BlockId, HashSet<TxId>)>,
+    tx_counter: u64,
+    first_decision_after_async: Option<Round>,
+    deciding_rounds: usize,
+    timeline: Timeline,
+}
+
+impl Simulation {
+    /// Builds a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's process count differs from
+    /// `config.params().n()`.
+    pub fn new(config: SimConfig, schedule: Schedule, adversary: Box<dyn Adversary>) -> Simulation {
+        let n = config.params.n();
+        assert_eq!(
+            schedule.n(),
+            n,
+            "schedule covers {} processes but params specify {}",
+            schedule.n(),
+            n
+        );
+        let tob_config = TobConfig::new(config.params, config.seed);
+        let procs: Vec<TobProcess> = ProcessId::all(n)
+            .map(|p| TobProcess::new(p, tob_config.clone()))
+            .collect();
+        let keypairs: Vec<Keypair> = ProcessId::all(n)
+            .map(|p| Keypair::derive(p, config.seed))
+            .collect();
+        let resilience = config.async_window.map(|w| ResilienceMonitor::new(w.ra()));
+        Simulation {
+            config,
+            tob_config,
+            schedule,
+            adversary,
+            procs,
+            keypairs,
+            network: Network::new(n),
+            global_tree: BlockTree::new(),
+            safety: SafetyMonitor::new(),
+            resilience,
+            decisions_seen: vec![0; n],
+            txs: Vec::new(),
+            decided_txs: vec![(st_types::BlockId::GENESIS, HashSet::new()); n],
+            tx_counter: 0,
+            first_decision_after_async: None,
+            deciding_rounds: 0,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Executes rounds `0..=horizon` and produces the report.
+    pub fn run(mut self) -> SimReport {
+        for r in 0..=self.config.horizon {
+            self.step_round(Round::new(r));
+        }
+        self.finish()
+    }
+
+    fn is_async(&self, r: Round) -> bool {
+        self.config
+            .async_window
+            .map(|w| w.contains(r))
+            .unwrap_or(false)
+    }
+
+    fn step_round(&mut self, round: Round) {
+        let is_async = self.is_async(round);
+        let messages_before = self.network.messages_sent();
+        let decisions_before: usize = self.decisions_seen.iter().sum();
+
+        // ------ transaction workload: a fresh transaction reaches every
+        // honest awake process's mempool (modelling transaction gossip,
+        // which floods independently of the consensus rounds) ------
+        if let Some(k) = self.config.txs_every {
+            if round.as_u64() > 0 && round.as_u64().is_multiple_of(k) {
+                let targets = self.schedule.honest_awake(round);
+                if !targets.is_empty() {
+                    self.tx_counter += 1;
+                    let tx = TxId::new(self.tx_counter);
+                    for &target in &targets {
+                        self.procs[target.index()].submit_tx(tx);
+                    }
+                    self.txs.push(TxRecord {
+                        tx,
+                        submitted: round,
+                        included_everywhere: None,
+                    });
+                }
+            }
+        }
+
+        // ------ send phase: honest processes ------
+        let honest = self.schedule.honest_awake(round);
+        let mut honest_out = Vec::new();
+        for &p in &honest {
+            let envs = self.procs[p.index()].step_send(round);
+            honest_out.push((p, envs));
+        }
+        for (p, envs) in &honest_out {
+            for env in envs {
+                if let Payload::Propose(prop) = env.payload() {
+                    // Keep the global tree complete (monitor/adversary view).
+                    let mut buf = st_core::BlockBuffer::new();
+                    buf.insert(&mut self.global_tree, prop.block().clone());
+                }
+                self.network
+                    .send(round, *p, Recipients::All, env.clone());
+            }
+        }
+
+        // ------ send phase: adversary ------
+        let corrupted = self.schedule.byzantine(round);
+        let byz_msgs = {
+            let byz_keypairs: Vec<Keypair> = corrupted
+                .iter()
+                .map(|p| self.keypairs[p.index()].clone())
+                .collect();
+            let ctx = AdversaryCtx {
+                round,
+                is_async,
+                corrupted: &corrupted,
+                keypairs: &byz_keypairs,
+                processes: &self.procs,
+                schedule: &self.schedule,
+                global_tree: &self.global_tree,
+                config: &self.tob_config,
+            };
+            self.adversary.send(&ctx)
+        };
+        for msg in byz_msgs {
+            let sender = msg.envelope.payload().sender();
+            // The adversary can only author messages from corrupted
+            // processes; anything else would be a forgery.
+            assert!(
+                corrupted.contains(&sender),
+                "adversary attempted to send as uncorrupted {sender}"
+            );
+            if let Payload::Propose(prop) = msg.envelope.payload() {
+                let mut buf = st_core::BlockBuffer::new();
+                buf.insert(&mut self.global_tree, prop.block().clone());
+            }
+            self.network.send(round, sender, msg.recipients, msg.envelope);
+        }
+
+        // ------ decision monitoring (decisions happen in step_send) ------
+        self.observe_decisions(round);
+
+        // ------ receive phase: processes awake at the END of this round,
+        // i.e. at the beginning of round + 1 ------
+        let next = round.next();
+        let receivers: Vec<ProcessId> = ProcessId::all(self.schedule.n())
+            .filter(|&p| self.schedule.is_awake(p, next) && !self.schedule.is_byzantine(p, next))
+            .collect();
+        if is_async {
+            // First ask the adversary what everyone gets (immutable phase),
+            // then apply (mutable phase).
+            let mut plan: Vec<(ProcessId, Vec<usize>)> = Vec::new();
+            {
+                let byz_keypairs: Vec<Keypair> = corrupted
+                    .iter()
+                    .map(|p| self.keypairs[p.index()].clone())
+                    .collect();
+                let ctx = AdversaryCtx {
+                    round,
+                    is_async,
+                    corrupted: &corrupted,
+                    keypairs: &byz_keypairs,
+                    processes: &self.procs,
+                    schedule: &self.schedule,
+                    global_tree: &self.global_tree,
+                    config: &self.tob_config,
+                };
+                for &p in &receivers {
+                    let available = self.network.available_for(p, round);
+                    let chosen = self.adversary.deliver(&ctx, p, &available);
+                    plan.push((p, chosen));
+                }
+            }
+            for (p, chosen) in plan {
+                for env in self.network.deliver_async(p, round, &chosen) {
+                    self.procs[p.index()].on_receive(env);
+                }
+            }
+        } else {
+            for &p in &receivers {
+                for env in self.network.deliver_sync(p, round) {
+                    self.procs[p.index()].on_receive(env);
+                }
+            }
+        }
+
+        // ------ transaction inclusion bookkeeping ------
+        self.update_tx_inclusion(round);
+
+        // ------ timeline sample ------
+        let honest = self.schedule.honest_awake(round);
+        let heights: Vec<u64> = honest
+            .iter()
+            .map(|p| {
+                let proc = &self.procs[p.index()];
+                proc.tree().height(proc.decided_tip()).unwrap_or(0)
+            })
+            .collect();
+        let all_max = ProcessId::all(self.schedule.n())
+            .filter(|&p| !self.schedule.is_byzantine(p, round))
+            .map(|p| {
+                let proc = &self.procs[p.index()];
+                proc.tree().height(proc.decided_tip()).unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        self.timeline.push(RoundSample {
+            round: round.as_u64(),
+            honest_awake: honest.len(),
+            byzantine: self.schedule.byzantine(round).len(),
+            is_async,
+            messages_sent: self.network.messages_sent() - messages_before,
+            decisions: self.decisions_seen.iter().sum::<usize>() - decisions_before,
+            max_decided_height: all_max,
+            min_decided_height: heights.iter().copied().min().unwrap_or(0),
+        });
+    }
+
+    /// Drains new decision events from every process into the monitors.
+    fn observe_decisions(&mut self, round: Round) {
+        let mut any = false;
+        for p in ProcessId::all(self.schedule.n()) {
+            // Corrupted processes' "decisions" don't count for safety —
+            // the definitions quantify over well-behaved processes.
+            if self.schedule.is_byzantine(p, round) {
+                continue;
+            }
+            let events: Vec<_> = self.procs[p.index()].decisions()[self.decisions_seen[p.index()]..]
+                .to_vec();
+            self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
+            for event in events {
+                any = true;
+                self.safety.observe(&self.global_tree, p, event);
+                if let Some(res) = &mut self.resilience {
+                    res.observe(&self.global_tree, p, event);
+                }
+                if let Some(w) = self.config.async_window {
+                    if event.round > w.end() && self.first_decision_after_async.is_none() {
+                        self.first_decision_after_async = Some(event.round);
+                    }
+                }
+            }
+        }
+        if any {
+            self.deciding_rounds += 1;
+        }
+    }
+
+    /// Refreshes decided-tx caches and marks txs included everywhere.
+    fn update_tx_inclusion(&mut self, round: Round) {
+        if self.txs.is_empty() {
+            return;
+        }
+        let next = round.next();
+        for p in ProcessId::all(self.schedule.n()) {
+            let proc = &self.procs[p.index()];
+            let tip = proc.decided_tip();
+            if self.decided_txs[p.index()].0 != tip {
+                let set: HashSet<TxId> = proc.tree().log_transactions(tip).into_iter().collect();
+                self.decided_txs[p.index()] = (tip, set);
+            }
+        }
+        let awake_next: Vec<ProcessId> = self
+            .schedule
+            .honest_awake(next)
+            .into_iter()
+            .collect();
+        if awake_next.is_empty() {
+            return;
+        }
+        for rec in self.txs.iter_mut().filter(|t| t.included_everywhere.is_none()) {
+            let everywhere = awake_next
+                .iter()
+                .all(|p| self.decided_txs[p.index()].1.contains(&rec.tx));
+            if everywhere {
+                rec.included_everywhere = Some(next);
+            }
+        }
+    }
+
+    fn finish(self) -> SimReport {
+        let final_decided_height = self
+            .procs
+            .iter()
+            .map(|p| p.tree().height(p.decided_tip()).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        SimReport {
+            adversary: self.adversary.name().to_string(),
+            rounds_run: self.config.horizon,
+            decisions_total: self.decisions_seen.iter().sum(),
+            per_process_decisions: self.decisions_seen,
+            safety_violations: self.safety.violations,
+            resilience_violations: self
+                .resilience
+                .map(|r| r.violations)
+                .unwrap_or_default(),
+            txs: self.txs,
+            final_decided_height,
+            messages_sent: self.network.messages_sent(),
+            first_decision_after_async: self.first_decision_after_async,
+            async_window_end: self.config.async_window.map(|w| w.end()),
+            deciding_rounds: self.deciding_rounds,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BlackoutAdversary, PartitionAttacker, SilentAdversary};
+
+    fn params(n: usize, eta: u64) -> Params {
+        Params::builder(n).expiration(eta).build().unwrap()
+    }
+
+    #[test]
+    fn synchronous_full_participation_is_safe_and_live() {
+        let report = Simulation::new(
+            SimConfig::new(params(8, 2), 1).horizon(30).txs_every(4),
+            Schedule::full(8, 30),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe());
+        assert!(report.decisions_total > 0);
+        assert!(report.final_decided_height > 0);
+        assert!(report.tx_inclusion_rate() > 0.7, "rate {}", report.tx_inclusion_rate());
+    }
+
+    #[test]
+    fn mass_sleep_keeps_protocol_alive() {
+        // 60% of processes sleep for rounds 10..=20 — the protocol keeps
+        // deciding (dynamic availability).
+        let report = Simulation::new(
+            SimConfig::new(params(10, 0), 3).horizon(40),
+            Schedule::mass_sleep(10, 40, 0.6, 10, 20),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe());
+        // Decisions continue during the incident: far more deciding rounds
+        // than just before/after.
+        assert!(report.deciding_rounds > 15, "{} deciding rounds", report.deciding_rounds);
+    }
+
+    #[test]
+    fn partition_attack_breaks_vanilla_mmr() {
+        // η = 0, a 4-round partition window starting at an even round:
+        // the two halves diverge and decide conflicting logs (the
+        // Section-1 attack).
+        let n = 8;
+        let report = Simulation::new(
+            SimConfig::new(params(n, 0), 5)
+                .horizon(22)
+                .async_window(AsyncWindow::new(Round::new(10), 4)),
+            Schedule::full(n, 22),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run();
+        assert!(
+            !report.safety_violations.is_empty(),
+            "vanilla MMR survived the partition attack"
+        );
+        // Note: the halves diverge *forward* (both extend D_ra), so this
+        // breaks agreement (Definition 2) without necessarily conflicting
+        // with D_ra itself; the strict Definition-5 violation is exercised
+        // by the reorg attack below.
+    }
+
+    #[test]
+    fn partition_attack_fails_against_expiration() {
+        // Same attack, η = 6 > π = 4: Theorem 2 says safety holds.
+        let n = 8;
+        let report = Simulation::new(
+            SimConfig::new(params(n, 6), 5)
+                .horizon(28)
+                .async_window(AsyncWindow::new(Round::new(10), 4)),
+            Schedule::full(n, 28),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run();
+        assert!(
+            report.is_safe(),
+            "extended protocol lost safety: {:?}",
+            report.safety_violations
+        );
+        assert!(report.is_asynchrony_resilient());
+        // And it heals: decisions resume after the window.
+        assert!(report.first_decision_after_async.is_some());
+    }
+
+    #[test]
+    fn blackout_partition_defeats_insufficient_expiration() {
+        // π ≥ η + play length: a blackout of η rounds expires the
+        // protective votes, then the partition play splits the halves —
+        // the extended protocol with η ≤ π loses agreement.
+        let n = 8;
+        let eta = 3;
+        let report = Simulation::new(
+            SimConfig::new(params(n, eta), 5)
+                .horizon(34)
+                .async_window(AsyncWindow::new(Round::new(10), eta + 8)),
+            Schedule::full(n, 34),
+            Box::new(PartitionAttacker::with_blackout(eta + 1)),
+        )
+        .run();
+        assert!(
+            !report.safety_violations.is_empty(),
+            "η ≤ π should be attackable (Theorem 2 bound)"
+        );
+    }
+
+    #[test]
+    fn reorg_attack_violates_definition_5_on_vanilla() {
+        // One asynchronous round, f = 3 Byzantine of n = 10: honest
+        // processes decide a genesis-fork conflicting with their earlier
+        // decisions — the strict Definition 5 violation.
+        let n = 10;
+        let schedule = Schedule::full(n, 20).with_static_byzantine(3);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 0), 5)
+                .horizon(20)
+                .async_window(AsyncWindow::new(Round::new(10), 1)),
+            schedule,
+            Box::new(crate::adversary::ReorgAttacker::new()),
+        )
+        .run();
+        assert!(
+            !report.resilience_violations.is_empty(),
+            "vanilla MMR survived the reorg attack"
+        );
+    }
+
+    #[test]
+    fn reorg_attack_fails_against_expiration() {
+        let n = 10;
+        let schedule = Schedule::full(n, 24).with_static_byzantine(3);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 4), 5)
+                .horizon(24)
+                .async_window(AsyncWindow::new(Round::new(10), 1)),
+            schedule,
+            Box::new(crate::adversary::ReorgAttacker::new()),
+        )
+        .run();
+        assert!(report.is_safe());
+        assert!(
+            report.is_asynchrony_resilient(),
+            "η = 4 > π = 1 should resist the reorg attack: {:?}",
+            report.resilience_violations
+        );
+    }
+
+    #[test]
+    fn blackout_preserves_safety_and_heals() {
+        let n = 6;
+        let report = Simulation::new(
+            SimConfig::new(params(n, 4), 9)
+                .horizon(30)
+                .async_window(AsyncWindow::new(Round::new(9), 3)),
+            Schedule::full(n, 30),
+            Box::new(BlackoutAdversary),
+        )
+        .run();
+        assert!(report.is_safe());
+        assert!(report.is_asynchrony_resilient());
+        let lag = report.healing_lag().expect("decisions resume");
+        assert!(lag <= 4, "healing took {lag} rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule covers")]
+    fn mismatched_schedule_panics() {
+        let _ = Simulation::new(
+            SimConfig::new(params(4, 0), 1),
+            Schedule::full(5, 10),
+            Box::new(SilentAdversary),
+        );
+    }
+
+    #[test]
+    fn timeline_tracks_execution() {
+        let report = Simulation::new(
+            SimConfig::new(params(8, 2), 1)
+                .horizon(20)
+                .async_window(AsyncWindow::new(Round::new(10), 2)),
+            Schedule::mass_sleep(8, 20, 0.5, 4, 8),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        let t = &report.timeline;
+        assert_eq!(t.len(), 21); // rounds 0..=20
+        // Participation drop is visible.
+        assert_eq!(t.at(Round::new(3)).unwrap().honest_awake, 8);
+        assert_eq!(t.at(Round::new(5)).unwrap().honest_awake, 4);
+        // Async flags line up with the window.
+        assert!(t.at(Round::new(10)).unwrap().is_async);
+        assert!(t.at(Round::new(11)).unwrap().is_async);
+        assert!(!t.at(Round::new(12)).unwrap().is_async);
+        // Message counts add up to the report total.
+        assert_eq!(t.total_messages(), report.messages_sent);
+        // The chain grew overall and the series is monotone in max height.
+        let mut prev = 0;
+        for s in t.samples() {
+            assert!(s.max_decided_height >= prev);
+            prev = s.max_decided_height;
+        }
+        assert!(t.growth_in(Round::new(0), Round::new(20)) > 5);
+    }
+
+    #[test]
+    fn async_window_accessors() {
+        let w = AsyncWindow::new(Round::new(5), 3);
+        assert_eq!(w.ra(), Round::new(4));
+        assert_eq!(w.start(), Round::new(5));
+        assert_eq!(w.end(), Round::new(7));
+        assert_eq!(w.pi(), 3);
+        assert!(w.contains(Round::new(5)));
+        assert!(w.contains(Round::new(7)));
+        assert!(!w.contains(Round::new(8)));
+        assert!(!w.contains(Round::new(4)));
+    }
+}

@@ -1,0 +1,213 @@
+//! Named, pre-configured scenarios.
+//!
+//! The examples, the CLI and several experiments all want the same handful
+//! of set-pieces (the paper's attack, the Ethereum incident, a healthy
+//! baseline…). A [`Scenario`] packages parameters + schedule + adversary +
+//! window so callers get a one-liner:
+//!
+//! ```
+//! use st_sim::scenario::Scenario;
+//! let report = Scenario::PartitionAttackVanilla.run(42);
+//! assert!(!report.is_safe()); // the Section-1 attack lands
+//! let report = Scenario::PartitionAttackExtended.run(42);
+//! assert!(report.is_safe()); // Theorem 2 holds
+//! ```
+
+use crate::adversary::{
+    Adversary, BlackoutAdversary, PartitionAttacker, ReorgAttacker, SilentAdversary,
+};
+use crate::monitor::SimReport;
+use crate::runner::{AsyncWindow, SimConfig, Simulation};
+use crate::schedule::Schedule;
+use st_types::{Params, Round};
+
+/// A named set-piece configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Scenario {
+    /// Healthy synchronous run: n = 12, η = 4, no adversary, tx workload.
+    Healthy,
+    /// The May-2023 Ethereum incident: 60% offline for half the run.
+    EthereumIncident,
+    /// The Section-1 attack against vanilla MMR (η = 0, π = 4 partition):
+    /// agreement breaks.
+    PartitionAttackVanilla,
+    /// The same attack against the extended protocol (η = 6 > π = 4):
+    /// safety holds.
+    PartitionAttackExtended,
+    /// The strict Definition-5 reorg attack against vanilla MMR (f = 3 of
+    /// 10, one asynchronous round): `D_ra` is reverted.
+    ReorgAttackVanilla,
+    /// The reorg attack against the extended protocol (η = 4 > π = 1).
+    ReorgAttackExtended,
+    /// A 3-round total blackout under the extended protocol: safe, heals
+    /// in one view.
+    BlackoutExtended,
+}
+
+impl Scenario {
+    /// All scenarios, for enumeration in CLIs and docs.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::Healthy,
+        Scenario::EthereumIncident,
+        Scenario::PartitionAttackVanilla,
+        Scenario::PartitionAttackExtended,
+        Scenario::ReorgAttackVanilla,
+        Scenario::ReorgAttackExtended,
+        Scenario::BlackoutExtended,
+    ];
+
+    /// The scenario's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Healthy => "healthy",
+            Scenario::EthereumIncident => "ethereum-incident",
+            Scenario::PartitionAttackVanilla => "partition-vanilla",
+            Scenario::PartitionAttackExtended => "partition-extended",
+            Scenario::ReorgAttackVanilla => "reorg-vanilla",
+            Scenario::ReorgAttackExtended => "reorg-extended",
+            Scenario::BlackoutExtended => "blackout-extended",
+        }
+    }
+
+    /// Looks a scenario up by its CLI name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// One-line description for help output.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Scenario::Healthy => "synchronous baseline: n=12, η=4, tx workload, no adversary",
+            Scenario::EthereumIncident => "60% of processes offline for rounds 20–60 (n=20)",
+            Scenario::PartitionAttackVanilla => {
+                "4-round delivery partition vs vanilla MMR — agreement breaks"
+            }
+            Scenario::PartitionAttackExtended => {
+                "the same partition vs η=6 — Theorem 2 holds"
+            }
+            Scenario::ReorgAttackVanilla => {
+                "1 async round, f=3 Byzantine genesis-fork votes vs vanilla — D_ra reverted"
+            }
+            Scenario::ReorgAttackExtended => "the same reorg vs η=4 — D_ra protected",
+            Scenario::BlackoutExtended => "3-round total blackout vs η=5 — safe, heals in one view",
+        }
+    }
+
+    /// The expected outcome, as a `(safe, resilient)` pair, for
+    /// documentation and self-tests.
+    pub fn expected(&self) -> (bool, bool) {
+        match self {
+            Scenario::Healthy
+            | Scenario::EthereumIncident
+            | Scenario::PartitionAttackExtended
+            | Scenario::ReorgAttackExtended
+            | Scenario::BlackoutExtended => (true, true),
+            Scenario::PartitionAttackVanilla => (false, true), // forward divergence only
+            Scenario::ReorgAttackVanilla => (false, false),
+        }
+    }
+
+    /// Builds and runs the scenario under `seed`.
+    pub fn run(&self, seed: u64) -> SimReport {
+        let (params, schedule, adversary, window, horizon): (
+            Params,
+            Schedule,
+            Box<dyn Adversary>,
+            Option<AsyncWindow>,
+            u64,
+        ) = match self {
+            Scenario::Healthy => (
+                Params::builder(12).expiration(4).build().expect("valid"),
+                Schedule::full(12, 40),
+                Box::new(SilentAdversary),
+                None,
+                40,
+            ),
+            Scenario::EthereumIncident => (
+                Params::builder(20).build().expect("valid"),
+                Schedule::mass_sleep(20, 80, 0.6, 20, 60),
+                Box::new(SilentAdversary),
+                None,
+                80,
+            ),
+            Scenario::PartitionAttackVanilla => (
+                Params::builder(10).expiration(0).build().expect("valid"),
+                Schedule::full(10, 30),
+                Box::new(PartitionAttacker::new()),
+                Some(AsyncWindow::new(Round::new(12), 4)),
+                30,
+            ),
+            Scenario::PartitionAttackExtended => (
+                Params::builder(10).expiration(6).build().expect("valid"),
+                Schedule::full(10, 30),
+                Box::new(PartitionAttacker::new()),
+                Some(AsyncWindow::new(Round::new(12), 4)),
+                30,
+            ),
+            Scenario::ReorgAttackVanilla => (
+                Params::builder(10).expiration(0).build().expect("valid"),
+                Schedule::full(10, 26).with_static_byzantine(3),
+                Box::new(ReorgAttacker::new()),
+                Some(AsyncWindow::new(Round::new(12), 1)),
+                26,
+            ),
+            Scenario::ReorgAttackExtended => (
+                Params::builder(10).expiration(4).build().expect("valid"),
+                Schedule::full(10, 26).with_static_byzantine(3),
+                Box::new(ReorgAttacker::new()),
+                Some(AsyncWindow::new(Round::new(12), 1)),
+                26,
+            ),
+            Scenario::BlackoutExtended => (
+                Params::builder(10).expiration(5).build().expect("valid"),
+                Schedule::full(10, 32),
+                Box::new(BlackoutAdversary),
+                Some(AsyncWindow::new(Round::new(12), 3)),
+                32,
+            ),
+        };
+        let mut config = SimConfig::new(params, seed).horizon(horizon).txs_every(4);
+        if let Some(w) = window {
+            config = config.async_window(w);
+        }
+        Simulation::new(config, schedule, adversary).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::by_name(s.name()), Some(s));
+            assert!(!s.describe().is_empty());
+        }
+        assert_eq!(Scenario::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn every_scenario_meets_its_expected_outcome() {
+        for s in Scenario::ALL {
+            let report = s.run(7);
+            let (safe, resilient) = s.expected();
+            assert_eq!(report.is_safe(), safe, "{} safety mismatch", s.name());
+            assert_eq!(
+                report.is_asynchrony_resilient(),
+                resilient,
+                "{} resilience mismatch",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = Scenario::PartitionAttackVanilla.run(5);
+        let b = Scenario::PartitionAttackVanilla.run(5);
+        assert_eq!(a.safety_violations.len(), b.safety_violations.len());
+        assert_eq!(a.final_decided_height, b.final_decided_height);
+    }
+}

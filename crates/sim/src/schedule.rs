@@ -1,0 +1,436 @@
+//! Participation schedules: `H_r`, `B_r`, `O_r` for every round.
+//!
+//! A [`Schedule`] fixes, for a whole execution, which processes are awake
+//! in each round and from which round each corrupted process is Byzantine
+//! (the growing-adversary model: `B_r ⊆ B_{r+1}`). Byzantine processes
+//! never sleep (Section 2.1), so awake flags only govern well-behaved
+//! processes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_types::{ProcessId, Round};
+
+/// Options for the bounded-churn random schedule generator.
+#[derive(Clone, Debug)]
+pub struct ChurnOptions {
+    /// Probability that an awake process goes to sleep in a given round.
+    pub sleep_prob: f64,
+    /// Probability that an asleep process wakes in a given round.
+    pub wake_prob: f64,
+    /// Minimum fraction of processes kept awake every round (guard against
+    /// degenerate empty rounds).
+    pub min_awake_frac: f64,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        ChurnOptions {
+            sleep_prob: 0.0, // overridden by the per-η churn target
+            wake_prob: 0.25,
+            min_awake_frac: 0.25,
+        }
+    }
+}
+
+/// A complete participation schedule for `n` processes over `horizon + 1`
+/// rounds (rounds `0..=horizon`).
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    n: usize,
+    horizon: u64,
+    /// Round-major awake flags for well-behaved processes.
+    awake: Vec<Vec<bool>>,
+    /// `corrupt_from[p] = Some(r)` means `p ∈ B_{r'}` for all `r' ≥ r`.
+    corrupt_from: Vec<Option<u64>>,
+}
+
+impl Schedule {
+    /// Everyone awake in every round, nobody corrupted.
+    pub fn full(n: usize, horizon: u64) -> Schedule {
+        Schedule {
+            n,
+            horizon,
+            awake: (0..=horizon).map(|_| vec![true; n]).collect(),
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// A schedule from an explicit round-major awake matrix
+    /// (`awake[r][p]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or ragged.
+    pub fn custom(awake: Vec<Vec<bool>>) -> Schedule {
+        assert!(!awake.is_empty(), "schedule must cover at least round 0");
+        let n = awake[0].len();
+        assert!(awake.iter().all(|row| row.len() == n), "ragged awake matrix");
+        Schedule {
+            n,
+            horizon: awake.len() as u64 - 1,
+            awake,
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// Random bounded churn: each round, awake processes fall asleep with
+    /// `sleep_prob` and asleep ones wake with `opts.wake_prob`, never
+    /// dropping below `opts.min_awake_frac`. Round 0 starts fully awake.
+    ///
+    /// `sleep_prob` here is the *per-round* drop probability; the per-`η`
+    /// churn rate this induces is roughly `1 − (1 − sleep_prob)^η` and is
+    /// verified empirically by `st-analysis`'s condition checkers rather
+    /// than guaranteed by construction.
+    pub fn random_churn(
+        n: usize,
+        horizon: u64,
+        sleep_prob: f64,
+        seed: u64,
+        opts: &ChurnOptions,
+    ) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5c4e);
+        let min_awake = ((n as f64) * opts.min_awake_frac).ceil().max(1.0) as usize;
+        let mut awake = Vec::with_capacity(horizon as usize + 1);
+        let mut cur = vec![true; n];
+        awake.push(cur.clone());
+        for _ in 1..=horizon {
+            let mut next = cur.clone();
+            for flag in next.iter_mut() {
+                if *flag {
+                    if rng.random_bool(sleep_prob.clamp(0.0, 1.0)) {
+                        *flag = false;
+                    }
+                } else if rng.random_bool(opts.wake_prob.clamp(0.0, 1.0)) {
+                    *flag = true;
+                }
+            }
+            // Enforce the floor by waking random sleepers.
+            let mut awake_count = next.iter().filter(|&&a| a).count();
+            while awake_count < min_awake {
+                let idx = rng.random_range(0..n);
+                if !next[idx] {
+                    next[idx] = true;
+                    awake_count += 1;
+                }
+            }
+            awake.push(next.clone());
+            cur = next;
+        }
+        Schedule {
+            n,
+            horizon,
+            awake,
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// A mass-sleep incident: a fraction `frac` of the processes (the
+    /// highest-numbered ones) are asleep during rounds `[from, to]` —
+    /// the May-2023 Ethereum scenario from the introduction.
+    pub fn mass_sleep(n: usize, horizon: u64, frac: f64, from: u64, to: u64) -> Schedule {
+        let sleepers = ((n as f64) * frac.clamp(0.0, 1.0)).floor() as usize;
+        let awake = (0..=horizon)
+            .map(|r| {
+                (0..n)
+                    .map(|p| !((from..=to).contains(&r) && p >= n - sleepers))
+                    .collect()
+            })
+            .collect();
+        Schedule {
+            n,
+            horizon,
+            awake,
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// Adversarially-paced churn: a group of `⌊γ·n⌋` processes sleeps for
+    /// exactly `eta` rounds, then wakes as the next group (round-robin)
+    /// goes to sleep.
+    ///
+    /// This is the worst-case pattern for the expiration mechanism: at
+    /// every round, a full `γ` fraction of the recently-awake processes
+    /// is asleep with **unexpired** stale votes, maximising the perceived
+    /// participation inflation that the adjusted failure ratio `β̃` of
+    /// Section 2.3 prices in. Used by the empirical Figure-1 boundary.
+    pub fn rotating_sleep(n: usize, horizon: u64, gamma: f64, eta: u64) -> Schedule {
+        let group = ((n as f64) * gamma.clamp(0.0, 0.9)).floor() as usize;
+        let eta = eta.max(1);
+        let awake = (0..=horizon)
+            .map(|r| {
+                if group == 0 {
+                    return vec![true; n];
+                }
+                let phase = (r / eta) as usize;
+                let start = (phase * group) % n;
+                (0..n)
+                    .map(|p| {
+                        // Sleeping window [start, start+group) cyclically.
+                        let offset = (p + n - start) % n;
+                        offset >= group
+                    })
+                    .collect()
+            })
+            .collect();
+        Schedule {
+            n,
+            horizon,
+            awake,
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// Oscillating participation: the awake fraction swings between
+    /// `min_frac` and 1.0 with the given period (diurnal pattern).
+    pub fn oscillating(n: usize, horizon: u64, min_frac: f64, period: u64) -> Schedule {
+        let period = period.max(2);
+        let awake = (0..=horizon)
+            .map(|r| {
+                let phase = (r % period) as f64 / period as f64 * std::f64::consts::TAU;
+                let frac = min_frac + (1.0 - min_frac) * (0.5 + 0.5 * phase.cos());
+                let awake_count = ((n as f64) * frac).round().max(1.0) as usize;
+                (0..n).map(|p| p < awake_count).collect()
+            })
+            .collect();
+        Schedule {
+            n,
+            horizon,
+            awake,
+            corrupt_from: vec![None; n],
+        }
+    }
+
+    /// Marks `p` as corrupted from round `from` onward (growing
+    /// adversary). Corrupting at round 0 models a static adversary.
+    /// Returns `self` for chaining.
+    #[must_use]
+    pub fn with_corrupted(mut self, p: ProcessId, from: Round) -> Schedule {
+        self.corrupt_from[p.index()] = Some(match self.corrupt_from[p.index()] {
+            // Growing adversary: corruption can only move earlier, never
+            // be revoked.
+            Some(existing) => existing.min(from.as_u64()),
+            None => from.as_u64(),
+        });
+        self
+    }
+
+    /// Corrupts the `f` highest-numbered processes from round 0 (the
+    /// common static-adversary setup).
+    #[must_use]
+    pub fn with_static_byzantine(mut self, f: usize) -> Schedule {
+        let n = self.n;
+        for p in n.saturating_sub(f)..n {
+            self.corrupt_from[p] = Some(0);
+        }
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The last round covered.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Whether well-behaved process `p` is awake at (the beginning of)
+    /// round `r`. Rounds beyond the horizon repeat the final row.
+    pub fn is_awake(&self, p: ProcessId, r: Round) -> bool {
+        let row = (r.as_u64().min(self.horizon)) as usize;
+        self.awake[row][p.index()]
+    }
+
+    /// Whether `p` is Byzantine at round `r`.
+    pub fn is_byzantine(&self, p: ProcessId, r: Round) -> bool {
+        match self.corrupt_from[p.index()] {
+            Some(from) => r.as_u64() >= from,
+            None => false,
+        }
+    }
+
+    /// `H_r`: well-behaved processes awake at round `r`.
+    pub fn honest_awake(&self, r: Round) -> Vec<ProcessId> {
+        ProcessId::all(self.n)
+            .filter(|&p| self.is_awake(p, r) && !self.is_byzantine(p, r))
+            .collect()
+    }
+
+    /// `B_r`: Byzantine processes at round `r` (they never sleep).
+    pub fn byzantine(&self, r: Round) -> Vec<ProcessId> {
+        ProcessId::all(self.n)
+            .filter(|&p| self.is_byzantine(p, r))
+            .collect()
+    }
+
+    /// `O_r = H_r ∪ B_r`.
+    pub fn online(&self, r: Round) -> Vec<ProcessId> {
+        ProcessId::all(self.n)
+            .filter(|&p| self.is_byzantine(p, r) || self.is_awake(p, r))
+            .collect()
+    }
+
+    /// `H_{s,r} = ∪_{s ≤ r' ≤ r} H_{r'}` (the union of honest-awake sets
+    /// over a window, Section 2.3).
+    pub fn honest_awake_union(&self, s: Round, r: Round) -> Vec<ProcessId> {
+        let mut seen = vec![false; self.n];
+        let mut r_cur = s;
+        while r_cur <= r {
+            for p in self.honest_awake(r_cur) {
+                seen[p.index()] = true;
+            }
+            r_cur = r_cur.next();
+        }
+        ProcessId::all(self.n).filter(|p| seen[p.index()]).collect()
+    }
+
+    /// `O_{s,r} = ∪_{s ≤ r' ≤ r} O_{r'}`.
+    pub fn online_union(&self, s: Round, r: Round) -> Vec<ProcessId> {
+        let mut seen = vec![false; self.n];
+        let mut r_cur = s;
+        while r_cur <= r {
+            for p in self.online(r_cur) {
+                seen[p.index()] = true;
+            }
+            r_cur = r_cur.next();
+        }
+        ProcessId::all(self.n).filter(|p| seen[p.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_schedule_everyone_always_awake() {
+        let s = Schedule::full(4, 10);
+        for r in 0..=10 {
+            assert_eq!(s.honest_awake(Round::new(r)).len(), 4);
+            assert!(s.byzantine(Round::new(r)).is_empty());
+        }
+    }
+
+    #[test]
+    fn static_byzantine_marks_tail_processes() {
+        let s = Schedule::full(6, 5).with_static_byzantine(2);
+        let byz = s.byzantine(Round::ZERO);
+        assert_eq!(byz, vec![ProcessId::new(4), ProcessId::new(5)]);
+        assert_eq!(s.honest_awake(Round::ZERO).len(), 4);
+        // O_r includes everyone (Byzantine never sleep).
+        assert_eq!(s.online(Round::ZERO).len(), 6);
+    }
+
+    #[test]
+    fn growing_adversary_is_monotone() {
+        let s = Schedule::full(4, 20)
+            .with_corrupted(ProcessId::new(1), Round::new(5))
+            .with_corrupted(ProcessId::new(2), Round::new(10));
+        for r in 0..20u64 {
+            let now = s.byzantine(Round::new(r)).len();
+            let next = s.byzantine(Round::new(r + 1)).len();
+            assert!(next >= now, "B_r shrank at {r}");
+        }
+        assert!(!s.is_byzantine(ProcessId::new(1), Round::new(4)));
+        assert!(s.is_byzantine(ProcessId::new(1), Round::new(5)));
+    }
+
+    #[test]
+    fn corruption_never_revoked() {
+        let s = Schedule::full(2, 10)
+            .with_corrupted(ProcessId::new(0), Round::new(3))
+            .with_corrupted(ProcessId::new(0), Round::new(8)); // later mark ignored
+        assert!(s.is_byzantine(ProcessId::new(0), Round::new(3)));
+        let s2 = Schedule::full(2, 10)
+            .with_corrupted(ProcessId::new(0), Round::new(8))
+            .with_corrupted(ProcessId::new(0), Round::new(3)); // earlier wins
+        assert!(s2.is_byzantine(ProcessId::new(0), Round::new(3)));
+    }
+
+    #[test]
+    fn mass_sleep_window() {
+        let s = Schedule::mass_sleep(10, 20, 0.6, 5, 8);
+        assert_eq!(s.honest_awake(Round::new(4)).len(), 10);
+        assert_eq!(s.honest_awake(Round::new(5)).len(), 4);
+        assert_eq!(s.honest_awake(Round::new(8)).len(), 4);
+        assert_eq!(s.honest_awake(Round::new(9)).len(), 10);
+    }
+
+    #[test]
+    fn random_churn_respects_floor_and_determinism() {
+        let opts = ChurnOptions {
+            min_awake_frac: 0.3,
+            ..Default::default()
+        };
+        let a = Schedule::random_churn(20, 50, 0.2, 7, &opts);
+        let b = Schedule::random_churn(20, 50, 0.2, 7, &opts);
+        for r in 0..=50 {
+            let round = Round::new(r);
+            assert_eq!(a.honest_awake(round), b.honest_awake(round), "nondeterministic");
+            assert!(a.honest_awake(round).len() >= 6, "floor violated at {r}");
+        }
+        // Some churn actually happened.
+        let changes: usize = (1..=50)
+            .map(|r| {
+                let prev = a.honest_awake(Round::new(r - 1));
+                let cur = a.honest_awake(Round::new(r));
+                prev.iter().filter(|p| !cur.contains(p)).count()
+            })
+            .sum();
+        assert!(changes > 0, "no churn generated");
+    }
+
+    #[test]
+    fn rotating_sleep_keeps_constant_stale_mass() {
+        let s = Schedule::rotating_sleep(10, 40, 0.2, 4);
+        for r in 0..=40 {
+            assert_eq!(s.honest_awake(Round::new(r)).len(), 8, "round {r}");
+        }
+        // The sleeping group changes every η rounds.
+        let g0 = s.honest_awake(Round::new(0));
+        let g1 = s.honest_awake(Round::new(4));
+        assert_ne!(g0, g1);
+        // γ = 0 degenerates to full participation.
+        let full = Schedule::rotating_sleep(10, 10, 0.0, 4);
+        assert_eq!(full.honest_awake(Round::new(5)).len(), 10);
+    }
+
+    #[test]
+    fn oscillating_hits_min_and_max() {
+        let s = Schedule::oscillating(10, 40, 0.4, 8);
+        let counts: Vec<usize> = (0..=40)
+            .map(|r| s.honest_awake(Round::new(r)).len())
+            .collect();
+        assert!(counts.contains(&10));
+        assert!(counts.iter().any(|&c| c <= 5));
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn unions_accumulate() {
+        let s = Schedule::mass_sleep(4, 10, 0.5, 3, 6);
+        // During the incident only p0, p1 are awake, but the union over
+        // [0, 5] still contains everyone.
+        assert_eq!(s.honest_awake(Round::new(4)).len(), 2);
+        assert_eq!(
+            s.honest_awake_union(Round::ZERO, Round::new(5)).len(),
+            4
+        );
+        assert_eq!(s.online_union(Round::new(3), Round::new(4)).len(), 2);
+    }
+
+    #[test]
+    fn beyond_horizon_repeats_last_row() {
+        let s = Schedule::mass_sleep(4, 5, 0.5, 5, 5);
+        assert_eq!(s.honest_awake(Round::new(5)).len(), 2);
+        // Round 6 is past the horizon: repeats round 5's row.
+        assert_eq!(s.honest_awake(Round::new(6)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn custom_rejects_ragged() {
+        let _ = Schedule::custom(vec![vec![true, true], vec![true]]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Scenario tests: every adversary strategy against the configuration it
+//! should and should not beat.
+
+use st_sim::adversary::{
+    BlackoutAdversary, EquivocatingVoter, JunkVoter, PartitionAttacker, ReorgAttacker,
+    SilentAdversary, WithholdingLeader,
+};
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_types::{Params, ProcessId, Round};
+
+fn params(n: usize, eta: u64) -> Params {
+    Params::builder(n).expiration(eta).build().unwrap()
+}
+
+/// Equivocating voters within the failure budget cannot break safety or
+/// stall the chain under synchrony.
+#[test]
+fn equivocating_voter_is_harmless_within_budget() {
+    let n = 12;
+    let report = Simulation::new(
+        SimConfig::new(params(n, 4), 3).horizon(40).txs_every(4),
+        Schedule::full(n, 40).with_static_byzantine(3),
+        Box::new(EquivocatingVoter::new()),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(report.final_decided_height > 12, "height {}", report.final_decided_height);
+    assert!(report.tx_inclusion_rate() > 0.8);
+}
+
+/// Junk voters inflate perceived participation but stay below every
+/// threshold within the budget: no effect on safety or liveness.
+#[test]
+fn junk_voter_within_budget_no_effect() {
+    let n = 12;
+    let clean = Simulation::new(
+        SimConfig::new(params(n, 2), 9).horizon(40),
+        Schedule::full(n, 40).with_static_byzantine(3),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    let junk = Simulation::new(
+        SimConfig::new(params(n, 2), 9).horizon(40),
+        Schedule::full(n, 40).with_static_byzantine(3),
+        Box::new(JunkVoter::new()),
+    )
+    .run();
+    assert!(junk.is_safe());
+    assert_eq!(
+        clean.final_decided_height, junk.final_decided_height,
+        "junk votes below threshold changed chain growth"
+    );
+}
+
+/// The withholding leader never endangers safety — it is a pure liveness
+/// nuisance (its block is simply decided one view late).
+#[test]
+fn withholding_leader_is_liveness_only() {
+    let n = 12;
+    let report = Simulation::new(
+        SimConfig::new(params(n, 2), 11).horizon(60).txs_every(4),
+        Schedule::full(n, 60).with_static_byzantine(4),
+        Box::new(WithholdingLeader::new()),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(report.tx_inclusion_rate() > 0.8);
+}
+
+/// A growing adversary corrupting processes mid-run (outside any
+/// asynchronous window) cannot break safety while within the budget:
+/// corrupted processes simply go silent (worst case for progress).
+#[test]
+fn growing_adversary_within_budget_is_safe() {
+    let n = 12;
+    let schedule = Schedule::full(n, 50)
+        .with_corrupted(ProcessId::new(9), Round::new(10))
+        .with_corrupted(ProcessId::new(10), Round::new(20))
+        .with_corrupted(ProcessId::new(11), Round::new(30));
+    let report = Simulation::new(
+        SimConfig::new(params(n, 4), 13).horizon(50).txs_every(4),
+        schedule,
+        Box::new(SilentAdversary),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(report.final_decided_height > 15);
+}
+
+/// Corrupting a process *during* the window and using it for the reorg
+/// attack: the growing adversary gains nothing extra while Eq. 4 holds.
+#[test]
+fn reorg_with_growing_corruption_still_fails_for_small_pi() {
+    let n = 16;
+    let schedule = Schedule::full(n, 44)
+        .with_static_byzantine(3)
+        // A fourth process falls at the window edge; Eq. 4 still holds
+        // (12 of 16 survivors > 2/3).
+        .with_corrupted(ProcessId::new(12), Round::new(14));
+    let report = Simulation::new(
+        SimConfig::new(params(n, 5), 3)
+            .horizon(44)
+            .async_window(AsyncWindow::new(Round::new(14), 2)),
+        schedule,
+        Box::new(ReorgAttacker::new()),
+    )
+    .run();
+    assert!(report.is_asynchrony_resilient(), "{:?}", report.resilience_violations);
+    assert!(report.is_safe());
+}
+
+/// Back-to-back asynchronous windows are not in the model (single window),
+/// but a blackout window immediately followed by heavy churn is: safety
+/// must survive the combination.
+#[test]
+fn blackout_then_mass_sleep_is_safe() {
+    let n = 12;
+    let mut awake = vec![vec![true; n]; 51];
+    // Rounds 18..=30: 5 processes sleep right after the window ends.
+    for r in 18..=30 {
+        for p in 7..12 {
+            awake[r][p] = false;
+        }
+    }
+    let schedule = Schedule::custom(awake);
+    let report = Simulation::new(
+        SimConfig::new(params(n, 5), 21)
+            .horizon(50)
+            .async_window(AsyncWindow::new(Round::new(12), 3))
+            .txs_every(5),
+        schedule,
+        Box::new(BlackoutAdversary),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(report.is_asynchrony_resilient());
+    assert!(report.final_decided_height > 10);
+}
+
+/// The partition attacker does nothing when no round is asynchronous —
+/// its power comes entirely from the delivery oracle.
+#[test]
+fn partition_attacker_powerless_under_synchrony() {
+    let n = 8;
+    let report = Simulation::new(
+        SimConfig::new(params(n, 0), 5).horizon(30).txs_every(4),
+        Schedule::full(n, 30),
+        Box::new(PartitionAttacker::new()),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(report.tx_inclusion_rate() > 0.8);
+}
+
+/// Determinism extends to adversarial runs: same seed, same attack, same
+/// violations.
+#[test]
+fn adversarial_runs_are_deterministic() {
+    let run = || {
+        Simulation::new(
+            SimConfig::new(params(10, 0), 77)
+                .horizon(26)
+                .async_window(AsyncWindow::new(Round::new(10), 4)),
+            Schedule::full(10, 26),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.safety_violations.len(), b.safety_violations.len());
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.final_decided_height, b.final_decided_height);
+}

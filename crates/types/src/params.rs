@@ -1,0 +1,385 @@
+//! Protocol parameters `(n, β, γ, η, π, δ)` and the derived adjusted
+//! failure ratio `β̃` of Section 2.3 of the paper.
+
+use crate::TypesError;
+use serde::{Deserialize, Serialize};
+
+/// The failure ratio `β = 1/3` of the MMR protocol (decision threshold
+/// `1 − β = 2/3`), used throughout the paper's Figure 1.
+pub const DEFAULT_FAILURE_RATIO: f64 = 1.0 / 3.0;
+
+/// Protocol and model parameters.
+///
+/// * `n` — total number of processes;
+/// * `beta` (`β`) — failure ratio tolerated by the *original* dynamically
+///   available protocol (1/3 for MMR);
+/// * `gamma` (`γ`) — maximum churn rate per `η` rounds (Equation 1);
+/// * `eta` (`η`) — message expiration period in rounds; `η = 0` recovers the
+///   vanilla protocol that only uses current-round votes;
+/// * `pi` (`π`) — maximum tolerated asynchronous period; safety under
+///   asynchrony requires `π < η` (Theorem 2);
+/// * `delta_ms` (`δ`) — the synchrony bound in milliseconds; rounds last
+///   `Δ = 3δ` (Section 2.1). Only used to convert round counts into
+///   wall-clock figures in experiments.
+///
+/// Use [`Params::builder`] to construct validated parameters.
+///
+/// ```
+/// use st_types::Params;
+/// let p = Params::builder(100).expiration(8).churn_rate(0.1).build()?;
+/// assert_eq!(p.n(), 100);
+/// assert_eq!(p.expiration(), 8);
+/// # Ok::<(), st_types::TypesError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    n: usize,
+    beta: f64,
+    gamma: f64,
+    eta: u64,
+    pi: u64,
+    delta_ms: f64,
+}
+
+impl Params {
+    /// Starts building parameters for a system of `n` processes.
+    pub fn builder(n: usize) -> ParamsBuilder {
+        ParamsBuilder::new(n)
+    }
+
+    /// Convenience constructor for the vanilla MMR protocol (no message
+    /// expiration, no churn bound needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`.
+    pub fn vanilla(n: usize) -> Result<Params, TypesError> {
+        Params::builder(n).expiration(0).churn_rate(0.0).build()
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The base failure ratio `β` of the original protocol.
+    pub fn failure_ratio(&self) -> f64 {
+        self.beta
+    }
+
+    /// The churn-rate bound `γ` (Equation 1).
+    pub fn churn_rate(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The message expiration period `η` in rounds.
+    pub fn expiration(&self) -> u64 {
+        self.eta
+    }
+
+    /// The maximum tolerated asynchronous period `π` in rounds.
+    pub fn max_asynchrony(&self) -> u64 {
+        self.pi
+    }
+
+    /// The synchrony bound `δ` in milliseconds.
+    pub fn delta_ms(&self) -> f64 {
+        self.delta_ms
+    }
+
+    /// Round duration `Δ = 3δ` in milliseconds (Section 2.1).
+    pub fn round_duration_ms(&self) -> f64 {
+        3.0 * self.delta_ms
+    }
+
+    /// The adjusted failure ratio `β̃ = (β − γ) / (γ(β − 2) + 1)` that the
+    /// modified protocol must enforce per round (Equation 2, Section 2.3).
+    ///
+    /// For `γ = 0` this reduces to `β`; it decreases monotonically in `γ`
+    /// and reaches 0 at `γ = β`.
+    ///
+    /// ```
+    /// use st_types::Params;
+    /// let p = Params::builder(10).churn_rate(0.0).build().unwrap();
+    /// assert!((p.adjusted_failure_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    /// ```
+    pub fn adjusted_failure_ratio(&self) -> f64 {
+        adjusted_failure_ratio(self.beta, self.gamma)
+    }
+
+    /// Whether the configuration is asynchrony-resilient by Theorem 2,
+    /// i.e. `π < η`.
+    pub fn is_asynchrony_resilient(&self) -> bool {
+        self.pi < self.eta
+    }
+
+    /// Quorum numerator for grade-1 outputs: votes must exceed
+    /// `(1 − β)·m`. With `β = 1/3` this is the `> 2m/3` test of Figure 2.
+    ///
+    /// Returns the threshold as a count: the smallest integer `t` such that
+    /// `t > (1 − β) · m` fails for counts `≤ t − 1`. Callers compare
+    /// `support > grade1_threshold(m)` is *not* needed — use
+    /// `support as f64 > (1.0 - beta) * m as f64` via [`Params::meets_grade1`].
+    pub fn meets_grade1(&self, support: usize, m: usize) -> bool {
+        (support as f64) > (1.0 - self.beta) * (m as f64)
+    }
+
+    /// Whether `support` out of `m` perceived participants meets the
+    /// grade-0 quorum (`> β·m`, the `> m/3` test of Figure 2).
+    pub fn meets_grade0(&self, support: usize, m: usize) -> bool {
+        (support as f64) > self.beta * (m as f64)
+    }
+}
+
+impl Default for Params {
+    /// A small but representative default: 40 processes, `η = 4`, `π = 2`,
+    /// `γ = 0.05`, `β = 1/3`, `δ = 100 ms`.
+    fn default() -> Self {
+        Params::builder(40)
+            .expiration(4)
+            .max_asynchrony(2)
+            .churn_rate(0.05)
+            .build()
+            .expect("default parameters are valid")
+    }
+}
+
+/// Computes `β̃ = (β − γ) / (γ(β − 2) + 1)` (Section 2.3).
+///
+/// This is the failure ratio that must be enforced per round once the
+/// protocol counts latest unexpired messages over an `η`-round window with
+/// churn bounded by `γ`. Free function so the analysis crate can sweep it
+/// without building full parameter sets.
+///
+/// ```
+/// use st_types::adjusted_failure_ratio;
+/// // Figure 1's specialisation: β = 1/3 gives (1 − 3γ)/(3 − 5γ).
+/// let beta = 1.0 / 3.0;
+/// for g in [0.0, 0.1, 0.2, 0.3] {
+///     let lhs = adjusted_failure_ratio(beta, g);
+///     let rhs = (1.0 - 3.0 * g) / (3.0 - 5.0 * g);
+///     assert!((lhs - rhs).abs() < 1e-12);
+/// }
+/// ```
+pub fn adjusted_failure_ratio(beta: f64, gamma: f64) -> f64 {
+    (beta - gamma) / (gamma * (beta - 2.0) + 1.0)
+}
+
+/// Builder for [`Params`] (C-BUILDER).
+///
+/// All setters are chainable; [`ParamsBuilder::build`] validates the
+/// combination.
+#[derive(Clone, Debug)]
+pub struct ParamsBuilder {
+    n: usize,
+    beta: f64,
+    gamma: f64,
+    eta: u64,
+    pi: u64,
+    delta_ms: f64,
+}
+
+impl ParamsBuilder {
+    fn new(n: usize) -> Self {
+        ParamsBuilder {
+            n,
+            beta: DEFAULT_FAILURE_RATIO,
+            gamma: 0.0,
+            eta: 0,
+            pi: 0,
+            delta_ms: 100.0,
+        }
+    }
+
+    /// Sets the base failure ratio `β` (default 1/3).
+    pub fn failure_ratio(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the churn-rate bound `γ` (default 0).
+    pub fn churn_rate(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the message expiration period `η` in rounds (default 0 =
+    /// vanilla protocol).
+    pub fn expiration(mut self, eta: u64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Sets the maximum asynchronous-period length `π` in rounds
+    /// (default 0).
+    pub fn max_asynchrony(mut self, pi: u64) -> Self {
+        self.pi = pi;
+        self
+    }
+
+    /// Sets the synchrony bound `δ` in milliseconds (default 100).
+    pub fn delta_ms(mut self, delta_ms: f64) -> Self {
+        self.delta_ms = delta_ms;
+        self
+    }
+
+    /// Validates and builds the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// * [`TypesError::EmptySystem`] if `n == 0`;
+    /// * [`TypesError::InvalidFailureRatio`] if `β ∉ (0, 1/2]`;
+    /// * [`TypesError::InvalidChurnRate`] if `γ < 0`, or `γ ≥ β` (the paper
+    ///   requires `γ < β`, else Equation 2 demands `|B_r| < 0`);
+    /// * [`TypesError::InvalidDelta`] if `δ ≤ 0` or not finite.
+    pub fn build(self) -> Result<Params, TypesError> {
+        if self.n == 0 {
+            return Err(TypesError::EmptySystem);
+        }
+        if !(self.beta > 0.0 && self.beta <= 0.5 && self.beta.is_finite()) {
+            return Err(TypesError::InvalidFailureRatio(self.beta));
+        }
+        #[allow(clippy::manual_range_contains)]
+        if !(0.0..1.0).contains(&self.gamma) || !self.gamma.is_finite() {
+            return Err(TypesError::InvalidChurnRate(self.gamma));
+        }
+        // γ must be strictly below β whenever expiration is in effect,
+        // otherwise the adjusted failure ratio is non-positive and no
+        // adversary at all can be tolerated (Section 2.3).
+        if self.eta > 0 && self.gamma >= self.beta {
+            return Err(TypesError::ChurnExceedsFailureRatio {
+                gamma: self.gamma,
+                beta: self.beta,
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the check
+        if !(self.delta_ms > 0.0) || !self.delta_ms.is_finite() {
+            return Err(TypesError::InvalidDelta(self.delta_ms));
+        }
+        Ok(Params {
+            n: self.n,
+            beta: self.beta,
+            gamma: self.gamma,
+            eta: self.eta,
+            pi: self.pi,
+            delta_ms: self.delta_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_vanilla_mmr() {
+        let p = Params::builder(10).build().unwrap();
+        assert_eq!(p.n(), 10);
+        assert_eq!(p.expiration(), 0);
+        assert_eq!(p.max_asynchrony(), 0);
+        assert!((p.failure_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        assert!(matches!(
+            Params::builder(0).build(),
+            Err(TypesError::EmptySystem)
+        ));
+    }
+
+    #[test]
+    fn invalid_failure_ratio_rejected() {
+        assert!(Params::builder(4).failure_ratio(0.0).build().is_err());
+        assert!(Params::builder(4).failure_ratio(0.6).build().is_err());
+        assert!(Params::builder(4).failure_ratio(f64::NAN).build().is_err());
+        assert!(Params::builder(4).failure_ratio(0.5).build().is_ok());
+    }
+
+    #[test]
+    fn churn_must_be_below_beta_when_expiring() {
+        // With η > 0 the paper requires γ < β.
+        let err = Params::builder(4)
+            .expiration(4)
+            .churn_rate(1.0 / 3.0)
+            .build();
+        assert!(matches!(
+            err,
+            Err(TypesError::ChurnExceedsFailureRatio { .. })
+        ));
+        // With η = 0 the requirement is vacuous (H_{r−η,r−1} = ∅).
+        assert!(Params::builder(4)
+            .expiration(0)
+            .churn_rate(1.0 / 3.0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn adjusted_ratio_matches_figure_1_formula() {
+        // β̃_{2/3} = (1 − 3γ)/(3 − 5γ) from the Figure 1 caption.
+        for i in 0..=33 {
+            let gamma = i as f64 / 100.0;
+            let general = adjusted_failure_ratio(1.0 / 3.0, gamma);
+            let fig1 = (1.0 - 3.0 * gamma) / (3.0 - 5.0 * gamma);
+            assert!(
+                (general - fig1).abs() < 1e-12,
+                "mismatch at γ={gamma}: {general} vs {fig1}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjusted_ratio_boundary_values() {
+        // γ = 0 ⇒ β̃ = β (no stronger assumption under static participation).
+        assert!((adjusted_failure_ratio(1.0 / 3.0, 0.0) - 1.0 / 3.0).abs() < 1e-12);
+        // γ = β ⇒ β̃ = 0 (system may stall even without failures).
+        assert!(adjusted_failure_ratio(1.0 / 3.0, 1.0 / 3.0).abs() < 1e-12);
+        // Monotone decreasing in γ.
+        let mut prev = f64::INFINITY;
+        for i in 0..=33 {
+            let v = adjusted_failure_ratio(1.0 / 3.0, i as f64 / 100.0);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quorum_tests_match_thirds() {
+        let p = Params::builder(10).build().unwrap();
+        // m = 9: grade 1 needs > 6 votes, grade 0 needs > 3 votes.
+        assert!(!p.meets_grade1(6, 9));
+        assert!(p.meets_grade1(7, 9));
+        assert!(!p.meets_grade0(3, 9));
+        assert!(p.meets_grade0(4, 9));
+    }
+
+    #[test]
+    fn asynchrony_resilience_predicate() {
+        let p = Params::builder(10)
+            .expiration(4)
+            .max_asynchrony(3)
+            .build()
+            .unwrap();
+        assert!(p.is_asynchrony_resilient());
+        let q = Params::builder(10)
+            .expiration(4)
+            .max_asynchrony(4)
+            .build()
+            .unwrap();
+        assert!(!q.is_asynchrony_resilient());
+    }
+
+    #[test]
+    fn round_duration_is_three_delta() {
+        let p = Params::builder(10).delta_ms(50.0).build().unwrap();
+        assert!((p.round_duration_ms() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_params_are_resilient() {
+        let p = Params::default();
+        assert!(p.is_asynchrony_resilient());
+        assert!(p.adjusted_failure_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Writing your own adversary.
+//!
+//! ```sh
+//! cargo run --example custom_adversary
+//! ```
+//!
+//! The simulator's [`Adversary`] trait gives a strategy full knowledge of
+//! the execution and two powers, exactly matching the paper's model:
+//! authoring messages for corrupted processes (including per-recipient
+//! equivocation) and choosing what every process receives during
+//! asynchronous rounds.
+//!
+//! This example implements a **flip-flop eclipse**: during the window it
+//! isolates one victim process, feeding it only Byzantine votes that
+//! alternate between two conflicting planted blocks. Against vanilla MMR
+//! the victim can be driven to decide one of the forks; with η > π the
+//! victim's window still contains the other processes' unexpired votes
+//! and the eclipse starves.
+
+use sleepy_tob::prelude::*;
+use sleepy_tob::sim::adversary::{Adversary, AdversaryCtx, TargetedMessage};
+use sleepy_tob::sim::{Recipients, SentMessage};
+use sleepy_tob::blocktree::Block;
+
+/// Eclipses `victim` during asynchrony and feeds it alternating votes for
+/// two conflicting blocks.
+struct FlipFlopEclipse {
+    victim: ProcessId,
+    forks: Option<(Block, Block)>,
+}
+
+impl FlipFlopEclipse {
+    fn new(victim: ProcessId) -> Self {
+        FlipFlopEclipse { victim, forks: None }
+    }
+}
+
+impl Adversary for FlipFlopEclipse {
+    fn name(&self) -> &'static str {
+        "flip-flop-eclipse"
+    }
+
+    fn send(&mut self, ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
+        if !ctx.is_async || ctx.corrupted.is_empty() {
+            return Vec::new();
+        }
+        let leader = ctx.corrupted[0];
+        let kp_leader = ctx.keypair_of(leader).expect("corrupted");
+        let mut out = Vec::new();
+        if self.forks.is_none() {
+            // Plant two conflicting blocks off genesis, shipped to the
+            // victim so it can interpret the votes.
+            let view = View::from_round(ctx.round).next();
+            let a = Block::build(BlockId::GENESIS, view, leader, vec![TxId::new(1_000_001)]);
+            let b = Block::build(BlockId::GENESIS, view, leader, vec![TxId::new(1_000_002)]);
+            let (value, proof) = kp_leader.vrf_eval(view.as_u64());
+            for block in [&a, &b] {
+                let prop = sleepy_tob::messages::Propose::new(
+                    leader,
+                    ctx.round,
+                    view,
+                    block.clone(),
+                    value,
+                    proof,
+                );
+                out.push(TargetedMessage {
+                    envelope: Envelope::sign(kp_leader, Payload::Propose(prop)),
+                    recipients: Recipients::Only(vec![self.victim]),
+                });
+            }
+            self.forks = Some((a, b));
+        }
+        let (a, b) = self.forks.as_ref().expect("planted");
+        // Alternate the unanimous Byzantine vote between the two forks.
+        let target = if ctx.round.as_u64().is_multiple_of(2) { a } else { b };
+        for (i, &byz) in ctx.corrupted.iter().enumerate() {
+            out.push(TargetedMessage {
+                envelope: Envelope::sign(
+                    &ctx.keypairs[i],
+                    Payload::Vote(Vote::new(byz, ctx.round, target.id())),
+                ),
+                recipients: Recipients::Only(vec![self.victim]),
+            });
+        }
+        out
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &AdversaryCtx<'_>,
+        receiver: ProcessId,
+        available: &[&SentMessage],
+    ) -> Vec<usize> {
+        if receiver == self.victim {
+            // The victim hears only Byzantine traffic.
+            available
+                .iter()
+                .filter(|m| ctx.corrupted.contains(&m.sender))
+                .map(|m| m.index)
+                .collect()
+        } else {
+            // Everyone else sees everything except the victim's votes
+            // (so the rest of the network doesn't notice the eclipse).
+            available
+                .iter()
+                .filter(|m| m.sender != self.victim)
+                .map(|m| m.index)
+                .collect()
+        }
+    }
+}
+
+fn run(eta: u64) -> SimReport {
+    let n = 10;
+    let horizon = 40;
+    let schedule = Schedule::full(n, horizon).with_static_byzantine(3);
+    let params = Params::builder(n).expiration(eta).build().expect("valid");
+    Simulation::new(
+        SimConfig::new(params, 99)
+            .horizon(horizon)
+            .async_window(AsyncWindow::new(Round::new(14), 3)),
+        schedule,
+        Box::new(FlipFlopEclipse::new(ProcessId::new(0))),
+    )
+    .run()
+}
+
+fn main() {
+    for (label, eta) in [("vanilla (η=0)", 0u64), ("extended (η=6)", 6)] {
+        let report = run(eta);
+        println!(
+            "{label}: agreement violations = {}, D_ra conflicts = {}, final height = {}",
+            report.safety_violations.len(),
+            report.resilience_violations.len(),
+            report.final_decided_height,
+        );
+    }
+    println!(
+        "\nThe eclipse drives the vanilla victim onto a planted fork (violations > 0);\n\
+         with η > π the victim's expiration window still holds the other processes'\n\
+         votes, the Byzantine minority never reaches 2/3 of its perceived\n\
+         participation, and the eclipse starves (Theorem 2's mechanism at work)."
+    );
+}

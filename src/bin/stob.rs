@@ -1,0 +1,325 @@
+//! `stob` — command-line runner for the sleepy-tob simulator.
+//!
+//! ```text
+//! stob run        [--n 16] [--eta 4] [--rounds 60] [--seed 1] [--churn 0.0]
+//!                 [--byz 0] [--txs 4] [--async-at R --pi P] [--adversary NAME]
+//!                 [--timeline]
+//! stob attack     [--eta 0|4] — the Section-1 attack demo, both protocols
+//! stob curve      [--beta 0.3333] — print the Figure-1 β̃ curve
+//! stob check      [--n 16] [--eta 4] [--gamma 0.1] [--sleep 0.02] — verify
+//!                 Equations 1–3 for a random-churn schedule
+//! stob scenario   [NAME|list] — run a named set-piece (the paper's attacks,
+//!                 the Ethereum incident, …)
+//! stob explore    [--pi 1] [--eta 4] — exhaustively enumerate every
+//!                 delivery strategy at n = 4 (Theorem 2, verified)
+//! ```
+//!
+//! Adversaries: `silent`, `blackout`, `partition`, `reorg`, `equivocate`,
+//! `junk`, `withhold`.
+
+use sleepy_tob::prelude::*;
+use sleepy_tob::sim::adversary::{Adversary, JunkVoter, WithholdingLeader};
+use sleepy_tob::sim::ChurnOptions;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Minimal `--key value` argument parser (flags without values get "true").
+struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                let has_value = i + 1 < argv.len() && !argv[i + 1].starts_with("--");
+                if has_value {
+                    values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    values.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("warning: ignoring stray argument {:?}", argv[i]);
+                i += 1;
+            }
+        }
+        Args { values }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("warning: could not parse --{key} {v:?}; using default");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    fn opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+}
+
+fn make_adversary(name: &str) -> Option<Box<dyn Adversary>> {
+    Some(match name {
+        "silent" => Box::new(SilentAdversary),
+        "blackout" => Box::new(BlackoutAdversary),
+        "partition" => Box::new(PartitionAttacker::new()),
+        "reorg" => Box::new(ReorgAttacker::new()),
+        "equivocate" => Box::new(EquivocatingVoter::new()),
+        "junk" => Box::new(JunkVoter::new()),
+        "withhold" => Box::new(WithholdingLeader::new()),
+        _ => return None,
+    })
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let n: usize = args.get("n", 16);
+    let eta: u64 = args.get("eta", 4);
+    let rounds: u64 = args.get("rounds", 60);
+    let seed: u64 = args.get("seed", 1);
+    let churn: f64 = args.get("churn", 0.0);
+    let byz: usize = args.get("byz", 0);
+    let txs: u64 = args.get("txs", 4);
+    let adversary_name = args.opt("adversary").unwrap_or("silent");
+
+    let Some(adversary) = make_adversary(adversary_name) else {
+        eprintln!("unknown adversary {adversary_name:?}");
+        return ExitCode::from(2);
+    };
+    let params = match Params::builder(n)
+        .expiration(eta)
+        .churn_rate(churn.min(0.32))
+        .build()
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let schedule = if churn > 0.0 {
+        let sleep_prob = 1.0 - (1.0 - churn).powf(1.0 / eta.max(1) as f64);
+        Schedule::random_churn(
+            n,
+            rounds,
+            sleep_prob,
+            seed,
+            &ChurnOptions {
+                min_awake_frac: 0.4,
+                wake_prob: 0.3,
+                ..Default::default()
+            },
+        )
+    } else {
+        Schedule::full(n, rounds)
+    }
+    .with_static_byzantine(byz);
+
+    let mut config = SimConfig::new(params, seed).horizon(rounds).txs_every(txs);
+    if let Some(at) = args.opt("async-at") {
+        let at: u64 = at.parse().unwrap_or(0);
+        let pi: u64 = args.get("pi", 1);
+        if at == 0 {
+            eprintln!("--async-at must be ≥ 1");
+            return ExitCode::from(2);
+        }
+        config = config.async_window(AsyncWindow::new(Round::new(at), pi));
+    }
+
+    let report = Simulation::new(config, schedule, adversary).run();
+    println!("adversary            : {}", report.adversary);
+    println!("rounds               : 0..={}", report.rounds_run);
+    println!("decision events      : {}", report.decisions_total);
+    println!("final chain height   : {}", report.final_decided_height);
+    println!("messages sent        : {}", report.messages_sent);
+    println!("agreement violations : {}", report.safety_violations.len());
+    println!("D_ra conflicts       : {}", report.resilience_violations.len());
+    if report.async_window_end.is_some() {
+        println!(
+            "healing lag          : {}",
+            report.healing_lag().map_or("—".into(), |l| format!("{l} rounds")),
+        );
+    }
+    println!(
+        "tx inclusion         : {:.0}% (mean latency {})",
+        report.tx_inclusion_rate() * 100.0,
+        report
+            .mean_tx_latency()
+            .map_or("—".into(), |l| format!("{l:.1} rounds")),
+    );
+    if args.flag("timeline") {
+        print!("{}", report.timeline.to_csv());
+    }
+    if report.is_safe() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_attack(args: &Args) -> ExitCode {
+    for eta in [0u64, args.get("eta", 6).max(5)] {
+        let n = 12;
+        let horizon = 32;
+        let params = Params::builder(n).expiration(eta).build().expect("valid");
+        let report = Simulation::new(
+            SimConfig::new(params, 5)
+                .horizon(horizon)
+                .async_window(AsyncWindow::new(Round::new(12), 4)),
+            Schedule::full(n, horizon),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run();
+        println!(
+            "η = {eta:<2} → agreement violations: {:<4} (π = 4 {} η)",
+            report.safety_violations.len(),
+            if 4 < eta { "<" } else { "≥" },
+        );
+    }
+    println!("\nThe Section-1 attack: vanilla breaks, η > π survives (Theorem 2).");
+    ExitCode::SUCCESS
+}
+
+fn cmd_curve(args: &Args) -> ExitCode {
+    let beta: f64 = args.get("beta", 1.0 / 3.0);
+    println!("γ      β̃(β = {beta:.4})");
+    let mut g = 0.0;
+    while g < beta + 0.07 {
+        let v = beta_tilde(beta, g).max(0.0);
+        let bars = (v * 120.0) as usize;
+        println!("{g:.2}   {v:.3}  {}", "█".repeat(bars));
+        g += 0.02;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &Args) -> ExitCode {
+    let n: usize = args.get("n", 16);
+    let eta: u64 = args.get("eta", 4);
+    let gamma: f64 = args.get("gamma", 0.1);
+    let sleep: f64 = args.get("sleep", 0.02);
+    let seed: u64 = args.get("seed", 1);
+    let schedule = Schedule::random_churn(
+        n,
+        60,
+        sleep,
+        seed,
+        &ChurnOptions {
+            min_awake_frac: 0.4,
+            wake_prob: 0.3,
+            ..Default::default()
+        },
+    );
+    let report = check_conditions(&schedule, 1.0 / 3.0, gamma, eta, None);
+    println!("schedule: n = {n}, 60 rounds, per-round sleep {sleep}, seed {seed}");
+    println!("Eq.1 (churn ≤ γ = {gamma}): {} violating rounds", report.churn_violations.len());
+    println!(
+        "Eq.3 (η-sleepiness):      {} violating rounds",
+        report.eta_sleepiness_violations.len()
+    );
+    println!(
+        "verdict: synchronous-operation conditions {}",
+        if report.synchronous_conditions_hold() { "HOLD" } else { "VIOLATED" },
+    );
+    if report.synchronous_conditions_hold() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_scenario(argv: &[String]) -> ExitCode {
+    use sleepy_tob::sim::scenario::Scenario;
+    let name = argv.first().map(String::as_str).unwrap_or("list");
+    if name == "list" {
+        println!("available scenarios:");
+        for s in Scenario::ALL {
+            println!("  {:<22} {}", s.name(), s.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(scenario) = Scenario::by_name(name) else {
+        eprintln!("unknown scenario {name:?}; try `stob scenario list`");
+        return ExitCode::from(2);
+    };
+    let report = scenario.run(7);
+    let (expect_safe, expect_resilient) = scenario.expected();
+    println!("{}: {}", scenario.name(), scenario.describe());
+    println!("  agreement violations : {}", report.safety_violations.len());
+    println!("  D_ra conflicts       : {}", report.resilience_violations.len());
+    println!("  final chain height   : {}", report.final_decided_height);
+    println!(
+        "  outcome              : safe={} resilient={} (expected {}/{})",
+        report.is_safe(),
+        report.is_asynchrony_resilient(),
+        expect_safe,
+        expect_resilient,
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_explore(args: &Args) -> ExitCode {
+    use sleepy_tob::sim::explore::exhaustive_check;
+    use sleepy_tob::sim::AsyncWindow;
+    let pi: u64 = args.get("pi", 1);
+    let eta: u64 = args.get("eta", 4);
+    if pi > 2 {
+        eprintln!("per-receiver exploration is 4^(4·π) runs; use π ≤ 2");
+        return ExitCode::from(2);
+    }
+    let params = Params::builder(4).expiration(eta).build().expect("valid");
+    let window = AsyncWindow::new(Round::new(10), pi);
+    let report = exhaustive_check(params, window, 14 + pi + 8);
+    println!(
+        "n = 4, η = {eta}, π = {pi}: {} strategies exhaustively executed",
+        report.strategies_run
+    );
+    println!("  post-window agreement violations : {}", report.violating.len());
+    println!("  D_ra violations                  : {}", report.dra_violating.len());
+    println!("  in-window orphaning strategies   : {}", report.orphaning_only.len());
+    if report.all_safe() {
+        println!("  verdict: every strategy survived — Theorem 2, checked");
+        ExitCode::SUCCESS
+    } else {
+        println!("  verdict: witnesses found (expected for η ≤ π)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprintln!(
+            "usage: stob <run|attack|curve|check|scenario|explore> [--flags]\n\
+             see the binary's source header for the full flag list"
+        );
+        return ExitCode::from(2);
+    };
+    // `scenario` takes a positional argument; the rest are flag-driven.
+    if command == "scenario" {
+        return cmd_scenario(&argv[1..]);
+    }
+    let args = Args::parse(&argv[1..]);
+    match command {
+        "run" => cmd_run(&args),
+        "attack" => cmd_attack(&args),
+        "curve" => cmd_curve(&args),
+        "check" => cmd_check(&args),
+        "explore" => cmd_explore(&args),
+        other => {
+            eprintln!("unknown command {other:?} (expected run|attack|curve|check|scenario|explore)");
+            ExitCode::from(2)
+        }
+    }
+}

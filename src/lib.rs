@@ -1,0 +1,81 @@
+//! # sleepy-tob
+//!
+//! A complete, executable reproduction of **"Asynchrony-Resilient Sleepy
+//! Total-Order Broadcast Protocols"** (D'Amato, Losa, Zanolini —
+//! PODC 2024, arXiv:2309.05347).
+//!
+//! The paper shows how to make a *dynamically available* total-order
+//! broadcast protocol — the Malkhi–Momose–Ren (MMR) protocol, which keeps
+//! working even when most participants go offline — tolerate **bounded
+//! periods of asynchrony** of up to `π` rounds. The mechanism is a
+//! configurable **message expiration period** `η > π`: instead of counting
+//! only current-round votes, every graded agreement counts the *latest
+//! unexpired* vote of each process, at the price of a bounded churn rate
+//! `γ` and a reduced failure ratio `β̃ = (β − γ)/(γ(β − 2) + 1)`.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `st-types` | ids, rounds/views, validated parameters |
+//! | [`crypto`] | `st-crypto` | simulated signatures + VRF |
+//! | [`blocktree`] | `st-blocktree` | logs as chains in a block tree |
+//! | [`messages`] | `st-messages` | votes/proposals, expiration-window stores |
+//! | [`ga`] | `st-ga` | graded agreement (Figures 2–3, Lemma 1) |
+//! | [`core`] | `st-core` | Algorithm 1 with expiration (the contribution) |
+//! | [`sim`] | `st-sim` | sleepy-model simulator, adversaries, monitors |
+//! | [`analysis`] | `st-analysis` | Figure-1 formulas, Eq. 1–5 checkers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sleepy_tob::prelude::*;
+//!
+//! // An asynchrony-resilient configuration: η = 4 tolerates any π ≤ 3.
+//! let params = Params::builder(10)
+//!     .expiration(4)
+//!     .max_asynchrony(3)
+//!     .churn_rate(0.05)
+//!     .build()?;
+//! assert!(params.is_asynchrony_resilient());
+//!
+//! // Run it through a 2-round network partition: safety holds.
+//! let report = Simulation::new(
+//!     SimConfig::new(params, 42)
+//!         .horizon(30)
+//!         .async_window(AsyncWindow::new(Round::new(10), 2)),
+//!     Schedule::full(10, 30),
+//!     Box::new(PartitionAttacker::new()),
+//! )
+//! .run();
+//! assert!(report.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use st_analysis as analysis;
+pub use st_blocktree as blocktree;
+pub use st_core as core;
+pub use st_crypto as crypto;
+pub use st_ga as ga;
+pub use st_gossip as gossip;
+pub use st_messages as messages;
+pub use st_sim as sim;
+pub use st_types as types;
+
+/// One-stop imports for the common API surface.
+pub mod prelude {
+    pub use st_analysis::{beta_tilde, beta_tilde_two_thirds, check_conditions};
+    pub use st_blocktree::{Block, BlockTree};
+    pub use st_core::{DecisionEvent, TobConfig, TobProcess};
+    pub use st_ga::{tally, GaInstance, GaOutput, Thresholds};
+    pub use st_messages::{Envelope, Payload, Propose, Vote, VoteStore};
+    pub use st_sim::adversary::{
+        BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker, SilentAdversary,
+    };
+    pub use st_sim::baseline::StaticQuorumBft;
+    pub use st_sim::{AsyncWindow, Schedule, SimConfig, SimReport, Simulation};
+    pub use st_types::{BlockId, Grade, Params, ProcessId, Round, RoundKind, TxId, View};
+}

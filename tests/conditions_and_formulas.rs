@@ -1,0 +1,146 @@
+//! Integration tests tying the analysis crate's condition checkers to
+//! actual protocol behaviour: when the checkers certify a schedule, the
+//! theorems' conclusions hold in simulation; the formulas agree with the
+//! parameter validation in `st-types`.
+
+use sleepy_tob::prelude::*;
+use sleepy_tob::sim::ChurnOptions;
+
+/// Schedules certified by the Equation 1–3 checkers yield safe + live
+/// executions (the checkers are a sound precondition oracle).
+#[test]
+fn certified_schedules_behave() {
+    let n = 15;
+    let horizon = 50;
+    let eta = 4u64;
+    let gamma = 0.15;
+    let mut certified = 0;
+    for seed in 0..6u64 {
+        let schedule = Schedule::random_churn(
+            n,
+            horizon,
+            0.01,
+            seed,
+            &ChurnOptions {
+                min_awake_frac: 0.7,
+                wake_prob: 0.5,
+                ..Default::default()
+            },
+        )
+        .with_static_byzantine(2);
+        let report = check_conditions(&schedule, 1.0 / 3.0, gamma, eta, None);
+        if !report.synchronous_conditions_hold() {
+            continue; // only certified schedules are under test
+        }
+        certified += 1;
+        let params = Params::builder(n)
+            .expiration(eta)
+            .churn_rate(gamma)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(
+            SimConfig::new(params, seed).horizon(horizon).txs_every(5),
+            schedule,
+            Box::new(EquivocatingVoter::new()),
+        )
+        .run();
+        assert!(sim.is_safe(), "certified schedule (seed {seed}) broke safety");
+        assert!(
+            sim.final_decided_height > 15,
+            "certified schedule (seed {seed}) stalled at {}",
+            sim.final_decided_height
+        );
+    }
+    assert!(certified >= 3, "too few certified schedules to be meaningful");
+}
+
+/// The analytic β̃ agrees between `st-analysis` and `st-types`, including
+/// the Figure-1 specialisation.
+#[test]
+fn beta_tilde_consistency_across_crates() {
+    for i in 0..=30 {
+        let gamma = i as f64 / 100.0;
+        let p = Params::builder(10)
+            .expiration(4)
+            .churn_rate(gamma)
+            .build()
+            .unwrap();
+        assert!((p.adjusted_failure_ratio() - beta_tilde(1.0 / 3.0, gamma)).abs() < 1e-12);
+        assert!((beta_tilde(1.0 / 3.0, gamma) - beta_tilde_two_thirds(gamma)).abs() < 1e-12);
+    }
+}
+
+/// Equation 4 is what protects D_ra: the same attack flips from failing
+/// to succeeding exactly when the checker's verdict flips.
+#[test]
+fn eq4_verdict_predicts_attack_outcome() {
+    let n = 20;
+    let eta = 4u64;
+    let pi = 2u64;
+    let window = AsyncWindow::new(Round::new(12), pi);
+    for (extra_corruptions, should_hold) in [(0usize, true), (10, false)] {
+        let mut schedule = Schedule::full(n, 50).with_static_byzantine(3);
+        for i in 0..extra_corruptions {
+            schedule = schedule.with_corrupted(ProcessId::new(i as u32), Round::new(12));
+        }
+        let verdict = check_conditions(&schedule, 1.0 / 3.0, 0.0, eta, Some(window));
+        assert_eq!(
+            verdict.eq4_violations.is_empty(),
+            should_hold,
+            "checker verdict unexpected for {extra_corruptions} corruptions"
+        );
+        let params = Params::builder(n).expiration(eta).build().unwrap();
+        let report = Simulation::new(
+            SimConfig::new(params, 3).horizon(50).async_window(window),
+            schedule,
+            Box::new(ReorgAttacker::new()),
+        )
+        .run();
+        assert_eq!(
+            report.resilience_violations.is_empty(),
+            should_hold,
+            "attack outcome disagrees with Eq.4 verdict ({extra_corruptions} corruptions)"
+        );
+    }
+}
+
+/// Parameter validation rejects exactly the configurations the theory
+/// rejects.
+#[test]
+fn parameter_validation_matches_theory() {
+    // γ ≥ β with expiration: Equation 2 would demand |B_r| < 0.
+    assert!(Params::builder(10).expiration(4).churn_rate(0.34).build().is_err());
+    // Without expiration the churn bound is vacuous.
+    assert!(Params::builder(10).expiration(0).churn_rate(0.34).build().is_ok());
+    // π ≥ η is constructible (you may run outside the guarantee) but
+    // flagged as not asynchrony-resilient.
+    let p = Params::builder(10).expiration(3).max_asynchrony(3).build().unwrap();
+    assert!(!p.is_asynchrony_resilient());
+}
+
+/// The graded-agreement primitive and the full protocol agree on
+/// thresholds: a GA instance with the same votes the protocol would see
+/// produces the decision the protocol makes.
+#[test]
+fn ga_instance_matches_protocol_decision() {
+    use sleepy_tob::blocktree::{Block, BlockTree};
+
+    let mut tree = BlockTree::new();
+    let block = tree
+        .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+        .unwrap();
+
+    // 7 fresh votes + 2 stale (M₀) votes for the block, 1 stale vote for
+    // genesis: all 10 count, 9 > 2/3·10 ⇒ grade 1.
+    let mut ga = GaInstance::new(Round::new(6), Thresholds::mmr());
+    for i in 0..7 {
+        ga.receive(Vote::new(ProcessId::new(i), Round::new(6), block));
+    }
+    ga.init_with(Vote::new(ProcessId::new(7), Round::new(4), block));
+    ga.init_with(Vote::new(ProcessId::new(8), Round::new(4), block));
+    ga.init_with(Vote::new(ProcessId::new(9), Round::new(3), BlockId::GENESIS));
+    let out = ga.output(&tree);
+    assert_eq!(out.participation(), 10);
+    assert_eq!(out.grade_of(block), Some(Grade::One));
+    assert_eq!(out.longest_grade1(), Some(block));
+}

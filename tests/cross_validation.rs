@@ -1,0 +1,98 @@
+//! Cross-validation: the `Simulation` engine and a hand-written lock-step
+//! driver must produce byte-identical protocol behaviour for the same
+//! configuration — guarding against the engine itself distorting the
+//! protocol (delivery order, phase sequencing, decision observation).
+
+use sleepy_tob::prelude::*;
+use sleepy_tob::sim::{Network, Recipients};
+
+const N: usize = 8;
+const HORIZON: u64 = 30;
+const SEED: u64 = 1234;
+
+fn params() -> Params {
+    Params::builder(N).expiration(3).build().unwrap()
+}
+
+/// Hand-written driver: full participation, synchronous, using the same
+/// Network primitive.
+fn manual_run() -> Vec<TobProcess> {
+    let config = TobConfig::new(params(), SEED);
+    let mut procs: Vec<TobProcess> = (0..N as u32)
+        .map(|i| TobProcess::new(ProcessId::new(i), config.clone()))
+        .collect();
+    let mut network = Network::new(N);
+    for r in 0..=HORIZON {
+        let round = Round::new(r);
+        for (i, p) in procs.iter_mut().enumerate() {
+            for env in p.step_send(round) {
+                network.send(round, ProcessId::new(i as u32), Recipients::All, env);
+            }
+        }
+        for (i, p) in procs.iter_mut().enumerate() {
+            for env in network.deliver_sync(ProcessId::new(i as u32), round) {
+                p.on_receive(env);
+            }
+        }
+    }
+    procs
+}
+
+#[test]
+fn engine_matches_manual_driver() {
+    let report = Simulation::new(
+        SimConfig::new(params(), SEED).horizon(HORIZON),
+        Schedule::full(N, HORIZON),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    let manual = manual_run();
+
+    // Same decision count per process, same final decided height.
+    let manual_heights: Vec<u64> = manual
+        .iter()
+        .map(|p| p.tree().height(p.decided_tip()).unwrap_or(0))
+        .collect();
+    assert_eq!(
+        report.final_decided_height,
+        *manual_heights.iter().max().unwrap()
+    );
+    let manual_decisions: Vec<usize> = manual.iter().map(|p| p.decisions().len()).collect();
+    assert_eq!(report.per_process_decisions, manual_decisions);
+
+    // Same decision *contents* for process 0 (round + tip, in order):
+    // decisions are observable through the manual procs; the engine's are
+    // summarized in the report, so compare via a second engine-free rerun
+    // (determinism already covered elsewhere) — here cross-check decision
+    // rounds against the timeline's deciding-round count.
+    let manual_deciding_rounds: std::collections::BTreeSet<u64> = manual[0]
+        .decisions()
+        .iter()
+        .map(|d| d.round.as_u64())
+        .collect();
+    let engine_deciding = report
+        .timeline
+        .samples()
+        .iter()
+        .filter(|s| s.decisions > 0)
+        .map(|s| s.round)
+        .collect::<std::collections::BTreeSet<u64>>();
+    assert_eq!(manual_deciding_rounds, engine_deciding);
+}
+
+#[test]
+fn engine_message_count_matches_manual() {
+    let report = Simulation::new(
+        SimConfig::new(params(), SEED).horizon(HORIZON),
+        Schedule::full(N, HORIZON),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    // Manual count: every process sends 1 proposal at round 0; 1 vote per
+    // odd round; 1 vote + 1 proposal per even round ≥ 2.
+    let mut expected = N; // round 0
+    for r in 1..=HORIZON {
+        expected += if r % 2 == 1 { N } else { 2 * N };
+    }
+    assert_eq!(report.messages_sent, expected);
+}

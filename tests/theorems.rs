@@ -1,0 +1,224 @@
+//! End-to-end integration tests: each of the paper's theorems, lemmas and
+//! headline claims exercised through the full stack (protocol + simulator
+//! + monitors).
+
+use sleepy_tob::prelude::*;
+
+fn params(n: usize, eta: u64) -> Params {
+    Params::builder(n).expiration(eta).build().expect("valid parameters")
+}
+
+/// Theorem 1: the extended protocol is a correct TOB under synchrony —
+/// safety and transaction liveness across participation patterns.
+#[test]
+fn theorem1_safety_and_liveness_under_synchrony() {
+    for (label, schedule) in [
+        ("full", Schedule::full(12, 50)),
+        ("mass-sleep", Schedule::mass_sleep(12, 50, 0.5, 15, 35)),
+        ("oscillating", Schedule::oscillating(12, 50, 0.7, 10)),
+    ] {
+        for eta in [0u64, 4] {
+            let report = Simulation::new(
+                SimConfig::new(params(12, eta), 31).horizon(50).txs_every(5),
+                schedule.clone(),
+                Box::new(SilentAdversary),
+            )
+            .run();
+            assert!(report.is_safe(), "{label}/η={eta}: agreement broken");
+            assert!(
+                report.tx_inclusion_rate() > 0.8,
+                "{label}/η={eta}: inclusion {}",
+                report.tx_inclusion_rate()
+            );
+            assert!(report.final_decided_height > 15, "{label}/η={eta}: no progress");
+        }
+    }
+}
+
+/// Theorem 2 (positive): any asynchronous period of π < η rounds is
+/// survived, against every attack strategy in the arsenal.
+#[test]
+fn theorem2_resilience_for_pi_less_than_eta() {
+    let eta = 5u64;
+    for pi in 1..eta {
+        let attacks: Vec<(Box<dyn sleepy_tob::sim::Adversary>, usize)> = vec![
+            (Box::new(BlackoutAdversary), 0),
+            (Box::new(PartitionAttacker::new()), 0),
+            (Box::new(ReorgAttacker::new()), 3),
+            (Box::new(PartitionAttacker::with_blackout(eta)), 0),
+            (Box::new(ReorgAttacker::with_blackout(eta)), 3),
+        ];
+        for (adversary, byz) in attacks {
+            let name = adversary.name();
+            let horizon = 20 + pi + 14;
+            let schedule = Schedule::full(12, horizon).with_static_byzantine(byz);
+            let report = Simulation::new(
+                SimConfig::new(params(12, eta), 17)
+                    .horizon(horizon)
+                    .async_window(AsyncWindow::new(Round::new(14), pi)),
+                schedule,
+                adversary,
+            )
+            .run();
+            assert!(
+                report.is_safe() && report.is_asynchrony_resilient(),
+                "π={pi} < η={eta} but {name} broke safety"
+            );
+        }
+    }
+}
+
+/// Theorem 2 (negative direction): with π sufficiently beyond η the same
+/// attacks succeed — the bound is meaningful.
+#[test]
+fn theorem2_bound_is_meaningful() {
+    let eta = 3u64;
+    let pi = eta + 8;
+    let horizon = 14 + pi + 16;
+    // Partition flavour: agreement breaks.
+    let report = Simulation::new(
+        SimConfig::new(params(12, eta), 23)
+            .horizon(horizon)
+            .async_window(AsyncWindow::new(Round::new(14), pi)),
+        Schedule::full(12, horizon),
+        Box::new(PartitionAttacker::with_blackout(eta + 1)),
+    )
+    .run();
+    assert!(!report.safety_violations.is_empty(), "partition attack should succeed at π ≫ η");
+    // Reorg flavour: D_ra is reverted.
+    let report = Simulation::new(
+        SimConfig::new(params(12, eta), 23)
+            .horizon(horizon)
+            .async_window(AsyncWindow::new(Round::new(14), pi)),
+        Schedule::full(12, horizon).with_static_byzantine(3),
+        Box::new(ReorgAttacker::with_blackout(eta + 1)),
+    )
+    .run();
+    assert!(
+        !report.resilience_violations.is_empty(),
+        "reorg attack should revert D_ra at π ≫ η"
+    );
+}
+
+/// Theorem 3: healing — after the window closes, decisions resume within
+/// one view and liveness returns.
+#[test]
+fn theorem3_healing() {
+    for pi in [1u64, 2, 3] {
+        let horizon = 16 + pi + 20;
+        let report = Simulation::new(
+            SimConfig::new(params(10, 4), 5)
+                .horizon(horizon)
+                .async_window(AsyncWindow::new(Round::new(16), pi))
+                .txs_every(4),
+            Schedule::full(10, horizon),
+            Box::new(BlackoutAdversary),
+        )
+        .run();
+        let lag = report.healing_lag().expect("decisions resume after the window");
+        assert!(lag <= 2, "healing took {lag} rounds (π={pi})");
+        assert!(report.is_safe());
+        // Transactions submitted after the window are included.
+        let post: Vec<_> = report
+            .txs
+            .iter()
+            .filter(|t| t.submitted.as_u64() > 16 + pi)
+            .collect();
+        assert!(
+            post.iter()
+                .filter(|t| t.included_everywhere.is_some())
+                .count() as f64
+                >= post.len() as f64 * 0.7,
+            "post-window liveness degraded (π={pi})"
+        );
+    }
+}
+
+/// The vanilla protocol really is broken by one asynchronous round — the
+/// negative result motivating the whole paper.
+#[test]
+fn vanilla_mmr_breaks_in_one_async_round() {
+    let horizon = 30;
+    let report = Simulation::new(
+        SimConfig::new(params(10, 0), 5)
+            .horizon(horizon)
+            .async_window(AsyncWindow::new(Round::new(12), 1)),
+        Schedule::full(10, horizon).with_static_byzantine(3),
+        Box::new(ReorgAttacker::new()),
+    )
+    .run();
+    assert!(!report.resilience_violations.is_empty());
+}
+
+/// Dynamic availability: 99% of processes offline, the chain keeps
+/// growing (the introduction's "even 99%" claim).
+#[test]
+fn dynamic_availability_at_99_percent_offline() {
+    let n = 100;
+    let horizon = 60u64;
+    let schedule = Schedule::mass_sleep(n, horizon, 0.99, 16, 44);
+    let report = Simulation::new(
+        SimConfig::new(params(n, 0), 9).horizon(horizon),
+        schedule.clone(),
+        Box::new(SilentAdversary),
+    )
+    .run();
+    assert!(report.is_safe());
+    assert!(
+        report.final_decided_height > 20,
+        "chain stalled at height {}",
+        report.final_decided_height
+    );
+    // While the classic baseline stalls for the whole incident.
+    let baseline = StaticQuorumBft::new(n).run(&schedule);
+    assert!(baseline.longest_stall() >= 13);
+}
+
+/// The common-case equivalence claim: under synchrony the extended
+/// protocol matches the vanilla protocol's decisions exactly.
+#[test]
+fn extended_matches_vanilla_under_synchrony() {
+    let run = |eta: u64| {
+        Simulation::new(
+            SimConfig::new(params(8, eta), 77).horizon(40).txs_every(4),
+            Schedule::full(8, 40),
+            Box::new(SilentAdversary),
+        )
+        .run()
+    };
+    let vanilla = run(0);
+    let extended = run(6);
+    assert_eq!(vanilla.decisions_total, extended.decisions_total);
+    assert_eq!(vanilla.final_decided_height, extended.final_decided_height);
+    assert_eq!(
+        vanilla.mean_tx_latency(),
+        extended.mean_tx_latency(),
+        "expiration must not slow the common case"
+    );
+}
+
+/// Simulations are exactly reproducible from their seed.
+#[test]
+fn determinism_across_runs() {
+    let run = || {
+        Simulation::new(
+            SimConfig::new(params(10, 4), 1234)
+                .horizon(36)
+                .async_window(AsyncWindow::new(Round::new(10), 3))
+                .txs_every(3),
+            Schedule::oscillating(10, 36, 0.6, 8),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.decisions_total, b.decisions_total);
+    assert_eq!(a.final_decided_height, b.final_decided_height);
+    assert_eq!(a.messages_sent, b.messages_sent);
+    assert_eq!(a.per_process_decisions, b.per_process_decisions);
+    assert_eq!(a.txs.len(), b.txs.len());
+    for (ta, tb) in a.txs.iter().zip(b.txs.iter()) {
+        assert_eq!(ta.included_everywhere, tb.included_everywhere);
+    }
+}
