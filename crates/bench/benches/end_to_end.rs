@@ -23,6 +23,9 @@ fn bench_full_scenario(c: &mut Criterion) {
                 &ChurnOptions {
                     min_awake_frac: 0.6,
                     wake_prob: 0.4,
+                    // Keep this experiment's pre-envelope semantics: the labeled
+                    // churn level is the raw per-round sleep probability.
+                    max_dropped_frac: 1.0,
                     ..Default::default()
                 },
             );

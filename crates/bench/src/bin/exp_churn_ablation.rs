@@ -48,6 +48,10 @@ fn main() {
                 &ChurnOptions {
                     min_awake_frac: 0.2,
                     wake_prob: 0.15,
+                    // The ablation's whole point is driving churn past γ to
+                    // observe Eq.1 violations, so disable the generator's
+                    // bounded-churn envelope.
+                    max_dropped_frac: 1.0,
                     ..Default::default()
                 },
             )

@@ -87,6 +87,9 @@ fn run_case(case: &Case) -> Result<(), String> {
             &ChurnOptions {
                 min_awake_frac: 0.75,
                 wake_prob: 0.5,
+                // Keep this experiment's pre-envelope semantics: the labeled
+                // churn level is the raw per-round sleep probability.
+                max_dropped_frac: 1.0,
                 ..Default::default()
             },
         )

@@ -30,6 +30,9 @@ fn make_schedule(kind: &str, seed: u64) -> Schedule {
             &ChurnOptions {
                 min_awake_frac: 0.6,
                 wake_prob: 0.35,
+                // Keep this experiment's pre-envelope semantics: the labeled
+                // churn level is the raw per-round sleep probability.
+                max_dropped_frac: 1.0,
                 ..Default::default()
             },
         ),

@@ -42,10 +42,10 @@ pub fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "—".to_string())
 }
 
-/// Runs `job` over every item of `inputs` across `crossbeam` scoped
-/// threads (one per core, striped) and returns outputs in input order.
-/// Experiment sweeps are embarrassingly parallel and deterministic per
-/// item, so parallel execution cannot change any result — only wall-clock.
+/// Runs `job` over every item of `inputs` across scoped threads (one per
+/// core, striped) and returns outputs in input order. Experiment sweeps are
+/// embarrassingly parallel and deterministic per item, so parallel execution
+/// cannot change any result — only wall-clock.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
 where
     I: Sync,
@@ -58,12 +58,12 @@ where
         .min(inputs.len().max(1));
     let out_slots: Vec<parking_lot_free::Slot<O>> =
         (0..inputs.len()).map(|_| parking_lot_free::Slot::new()).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..workers {
             let inputs = &inputs;
             let job = &job;
             let out_slots = &out_slots;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut i = w;
                 while i < inputs.len() {
                     out_slots[i].set(job(&inputs[i]));
@@ -71,8 +71,7 @@ where
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     out_slots.into_iter().map(|s| s.take()).collect()
 }
 

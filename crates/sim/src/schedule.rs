@@ -20,6 +20,20 @@ pub struct ChurnOptions {
     /// Minimum fraction of processes kept awake every round (guard against
     /// degenerate empty rounds).
     pub min_awake_frac: f64,
+    /// Churn envelope: a process may start sleeping only while fewer than
+    /// `max(1, ⌊max_dropped_frac · |recently awake|⌋)` processes that were
+    /// awake within the last [`ChurnOptions::drop_window`] rounds are
+    /// currently asleep. This is what makes the generator *bounded*-churn:
+    /// Equation 1 compares the recently-awake-but-now-asleep set against
+    /// `γ·|H_{r−η,r−1}|`, so uncapped independent sleep events cluster past
+    /// any small `γ` at realistic `n`. Set to `1.0` to disable the envelope
+    /// and get raw independent per-round sleep events (ablations and stress
+    /// sweeps that deliberately drive churn past `γ` do this).
+    pub max_dropped_frac: f64,
+    /// How many rounds back a process still counts as "recently awake" for
+    /// the [`ChurnOptions::max_dropped_frac`] envelope. Must cover the
+    /// expiration window `η` the schedule will be checked against.
+    pub drop_window: u64,
 }
 
 impl Default for ChurnOptions {
@@ -28,6 +42,8 @@ impl Default for ChurnOptions {
             sleep_prob: 0.0, // overridden by the per-η churn target
             wake_prob: 0.25,
             min_awake_frac: 0.25,
+            max_dropped_frac: 0.1,
+            drop_window: 8,
         }
     }
 }
@@ -77,10 +93,15 @@ impl Schedule {
     /// `sleep_prob` and asleep ones wake with `opts.wake_prob`, never
     /// dropping below `opts.min_awake_frac`. Round 0 starts fully awake.
     ///
-    /// `sleep_prob` here is the *per-round* drop probability; the per-`η`
-    /// churn rate this induces is roughly `1 − (1 − sleep_prob)^η` and is
-    /// verified empirically by `st-analysis`'s condition checkers rather
-    /// than guaranteed by construction.
+    /// `sleep_prob` is the *per-round* drop probability; unconstrained, it
+    /// induces a per-`η` churn rate of roughly `1 − (1 − sleep_prob)^η`.
+    /// Sleep events are additionally admitted only within the
+    /// [`ChurnOptions::max_dropped_frac`] envelope, which keeps the
+    /// recently-awake-but-asleep set (the quantity Equation 1 bounds by
+    /// `γ`) small by construction; when the envelope binds, realized churn
+    /// is below the formula. Set `max_dropped_frac: 1.0` for raw
+    /// independent sleep events, and use `st-analysis`'s condition
+    /// checkers to verify what a generated schedule actually satisfies.
     pub fn random_churn(
         n: usize,
         horizon: u64,
@@ -90,18 +111,53 @@ impl Schedule {
     ) -> Schedule {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5c4e);
         let min_awake = ((n as f64) * opts.min_awake_frac).ceil().max(1.0) as usize;
+        let dropped_frac = opts.max_dropped_frac.clamp(0.0, 1.0);
         let mut awake = Vec::with_capacity(horizon as usize + 1);
         let mut cur = vec![true; n];
+        // last_awake[p] = most recent round p was awake (round 0: everyone).
+        let mut last_awake = vec![0u64; n];
+        let mut order: Vec<usize> = (0..n).collect();
         awake.push(cur.clone());
-        for _ in 1..=horizon {
+        for r in 1..=horizon {
             let mut next = cur.clone();
-            for flag in next.iter_mut() {
-                if *flag {
-                    if rng.random_bool(sleep_prob.clamp(0.0, 1.0)) {
-                        *flag = false;
+            // Processes asleep now but awake within the drop window: the
+            // set Equation 1 measures. Counted once per round, maintained
+            // incrementally; new sleep events are admitted only while it
+            // stays within the envelope.
+            let mut dropped = next
+                .iter()
+                .zip(&last_awake)
+                .filter(|&(&a, &la)| !a && la + opts.drop_window >= r)
+                .count();
+            // The envelope cap is normalized by the recently-awake count —
+            // the generator's stand-in for Equation 1's `|H_{r−η,r−1}|` —
+            // not by `n`, so low-participation stretches stay bounded too.
+            // Like min_awake, rounding is guarded: any positive fraction
+            // admits at least one concurrent sleeper, else small systems
+            // would silently produce zero churn.
+            let recently_awake = last_awake.iter().filter(|&&la| la + opts.drop_window >= r).count();
+            let max_dropped = if dropped_frac <= 0.0 {
+                0
+            } else {
+                (((recently_awake as f64) * dropped_frac).floor() as usize).max(1)
+            };
+            // Visit processes in a fresh random order so envelope slots
+            // are not biased toward low indices when the cap binds.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for &p in &order {
+                if next[p] {
+                    if dropped < max_dropped && rng.random_bool(sleep_prob.clamp(0.0, 1.0)) {
+                        next[p] = false;
+                        dropped += 1;
                     }
                 } else if rng.random_bool(opts.wake_prob.clamp(0.0, 1.0)) {
-                    *flag = true;
+                    next[p] = true;
+                    if last_awake[p] + opts.drop_window >= r {
+                        dropped -= 1;
+                    }
                 }
             }
             // Enforce the floor by waking random sleepers.
@@ -111,6 +167,11 @@ impl Schedule {
                 if !next[idx] {
                     next[idx] = true;
                     awake_count += 1;
+                }
+            }
+            for (p, &a) in next.iter().enumerate() {
+                if a {
+                    last_awake[p] = r;
                 }
             }
             awake.push(next.clone());
@@ -379,6 +440,54 @@ mod tests {
             })
             .sum();
         assert!(changes > 0, "no churn generated");
+    }
+
+    #[test]
+    fn random_churn_respects_drop_envelope() {
+        // Aggressive sleep pressure against a tight envelope: at every
+        // round, the recently-awake-but-asleep set (the quantity
+        // Equation 1 bounds) must stay within
+        // max(1, ⌊frac · |recently awake|⌋).
+        let opts = ChurnOptions {
+            min_awake_frac: 0.2,
+            wake_prob: 0.3,
+            max_dropped_frac: 0.1,
+            drop_window: 6,
+            ..Default::default()
+        };
+        for (n, seed) in [(20usize, 1u64), (15, 2), (6, 3)] {
+            let s = Schedule::random_churn(n, 80, 0.3, seed, &opts);
+            for r in 1..=80u64 {
+                let lo = Round::new(r.saturating_sub(opts.drop_window));
+                let hi = Round::new(r - 1);
+                let recent = s.honest_awake_union(lo, hi);
+                let now = s.honest_awake(Round::new(r));
+                let dropped = recent.iter().filter(|p| !now.contains(p)).count();
+                let cap = ((recent.len() as f64) * opts.max_dropped_frac).floor().max(1.0);
+                assert!(
+                    dropped as f64 <= cap,
+                    "n={n} seed={seed} round {r}: {dropped} dropped exceeds cap {cap}"
+                );
+            }
+        }
+        // A disabled envelope (frac = 1.0) with heavy sleep pressure
+        // produces more churn than the tight one: the cap is real.
+        let free = ChurnOptions {
+            max_dropped_frac: 1.0,
+            ..opts.clone()
+        };
+        let total = |s: &Schedule| -> usize {
+            (1..=80u64)
+                .map(|r| {
+                    let prev = s.honest_awake(Round::new(r - 1));
+                    let cur = s.honest_awake(Round::new(r));
+                    prev.iter().filter(|p| !cur.contains(p)).count()
+                })
+                .sum()
+        };
+        let capped = Schedule::random_churn(20, 80, 0.3, 1, &opts);
+        let uncapped = Schedule::random_churn(20, 80, 0.3, 1, &free);
+        assert!(total(&uncapped) > total(&capped), "envelope had no effect");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Minimal in-repo replacement for the `rand` crate.
+//!
+//! Provides the surface this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `RngExt` extension trait with
+//! `random_range` / `random_bool`. The generator is xoshiro256++ seeded via
+//! SplitMix64 — deterministic for a given seed on every platform, which the
+//! simulator relies on for reproducible schedules and topologies.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Maps `self` onto `u64` for span arithmetic.
+    fn to_u64(self) -> u64;
+    /// Inverse of [`SampleUniform::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "random_range called with an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "random_range called with an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.next_u64() % (span + 1))
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::RngExt;
+
+        #[test]
+        fn deterministic_for_seed() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn range_bounds_respected() {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..1000 {
+                let x: u64 = rng.random_range(3..17);
+                assert!((3..17).contains(&x));
+                let y: usize = rng.random_range(0..=4);
+                assert!(y <= 4);
+            }
+        }
+
+        #[test]
+        fn bool_probability_extremes() {
+            let mut rng = StdRng::seed_from_u64(2);
+            assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+            assert!((0..100).all(|_| rng.random_bool(1.0)));
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Derive macros for the in-repo `serde` replacement.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs and enums using only the standard `proc_macro` API
+//! (no `syn`/`quote`, which are unavailable offline). The input item is
+//! parsed structurally from its token stream; the generated impl is built
+//! as a string and re-parsed.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple/newtype structs, and enums with unit, tuple,
+//! and named-field variants. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Item {
+    name: String,
+    is_enum: bool,
+    /// For structs: single entry keyed by the struct name.
+    /// For enums: one entry per variant.
+    variants: Vec<(String, Shape)>,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item { name: name.clone(), is_enum: false, variants: vec![(name, shape)] }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item { name, is_enum: true, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `field: Type, ...` returning the field names. Commas nested in
+/// generic arguments (tracked via `<`/`>` depth) do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut expecting_name = true;
+    let mut pending: Option<String> = None;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => i += 1, // attr body group skipped below
+            TokenTree::Group(g)
+                if expecting_name && g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => pending = Some(id.to_string()),
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' if depth == 0 && pending.is_some() => {
+                    fields.push(pending.take().unwrap());
+                    expecting_name = false;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut saw_token = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        saw_token = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !saw_token {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut variants = Vec::new();
+    let mut current: Option<(String, Shape)> = None;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // skip attr: '#' then [..] group
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if let Some(v) = current.take() {
+                    variants.push(v);
+                }
+            }
+            TokenTree::Ident(id) => current = Some((id.to_string(), Shape::Unit)),
+            TokenTree::Group(g) if current.is_some() => {
+                let shape = match g.delimiter() {
+                    Delimiter::Parenthesis => Shape::Tuple(count_tuple_fields(g.stream())),
+                    Delimiter::Brace => Shape::Named(parse_named_fields(g.stream())),
+                    _ => Shape::Unit, // attribute bracket group — ignore
+                };
+                if !matches!(g.delimiter(), Delimiter::Bracket) {
+                    current.as_mut().unwrap().1 = shape;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(v) = current.take() {
+        variants.push(v);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+fn string_lit(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let arms: Vec<String> = item
+            .variants
+            .iter()
+            .map(|(vname, shape)| {
+                let tag = string_lit(vname);
+                match shape {
+                    Shape::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({tag})),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec::Vec::from([(::std::string::String::from({tag}), {S}(__f0))])),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds.iter().map(|b| format!("{S}({b})")).collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec::Vec::from([(::std::string::String::from({tag}), ::serde::Value::Seq(::std::vec::Vec::from([{}])))])),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("(::std::string::String::from({}), {S}({f}))", string_lit(f)))
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec::Vec::from([(::std::string::String::from({tag}), ::serde::Value::Map(::std::vec::Vec::from([{}])))])),",
+                            entries.join(", ")
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join(" "))
+    } else {
+        match &item.variants[0].1 {
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(::std::string::String::from({}), {S}(&self.{f}))", string_lit(f)))
+                    .collect();
+                format!("::serde::Value::Map(::std::vec::Vec::from([{}]))", entries.join(", "))
+            }
+            Shape::Tuple(1) => format!("{S}(&self.0)"),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n).map(|k| format!("{S}(&self.{k})")).collect();
+                format!("::serde::Value::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+            }
+            Shape::Unit => "::serde::Value::Null".to_string(),
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let ty_lit = string_lit(name);
+    let body = if item.is_enum {
+        let mut arms: Vec<String> = Vec::new();
+        for (vname, shape) in &item.variants {
+            let tag = string_lit(vname);
+            match shape {
+                Shape::Unit => arms.push(format!(
+                    "::serde::Value::Str(__s) if __s == {tag} => ::std::result::Result::Ok({name}::{vname}),"
+                )),
+                Shape::Tuple(1) => arms.push(format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == {tag} => \
+                     ::std::result::Result::Ok({name}::{vname}({D}(&__m[0].1)?)),"
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|k| format!("{D}(&__seq[{k}])?")).collect();
+                    arms.push(format!(
+                        "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == {tag} => \
+                         match &__m[0].1 {{ \
+                            ::serde::Value::Seq(__seq) if __seq.len() == {n} => \
+                                ::std::result::Result::Ok({name}::{vname}({})), \
+                            _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant tuple\", {ty_lit})), \
+                         }},",
+                        items.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: {D}(::serde::map_get(__inner, {fl}).ok_or_else(|| ::serde::DeError::missing_field({ty_lit}, {fl}))?)?",
+                                fl = string_lit(f)
+                            )
+                        })
+                        .collect();
+                    arms.push(format!(
+                        "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == {tag} => \
+                         match &__m[0].1 {{ \
+                            ::serde::Value::Map(__inner) => ::std::result::Result::Ok({name}::{vname} {{ {} }}), \
+                            _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant map\", {ty_lit})), \
+                         }},",
+                        inits.join(", ")
+                    ));
+                }
+            }
+        }
+        arms.push(format!(
+            "_ => ::std::result::Result::Err(::serde::DeError::expected(\"enum variant\", {ty_lit})),"
+        ));
+        format!("match __v {{ {} }}", arms.join(" "))
+    } else {
+        match &item.variants[0].1 {
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: {D}(::serde::map_get(__fields, {fl}).ok_or_else(|| ::serde::DeError::missing_field({ty_lit}, {fl}))?)?",
+                            fl = string_lit(f)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __v {{ \
+                        ::serde::Value::Map(__fields) => ::std::result::Result::Ok({name} {{ {} }}), \
+                        _ => ::std::result::Result::Err(::serde::DeError::expected(\"map\", {ty_lit})), \
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::Tuple(1) => format!("::std::result::Result::Ok({name}({D}(__v)?))"),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n).map(|k| format!("{D}(&__seq[{k}])?")).collect();
+                format!(
+                    "match __v {{ \
+                        ::serde::Value::Seq(__seq) if __seq.len() == {n} => \
+                            ::std::result::Result::Ok({name}({})), \
+                        _ => ::std::result::Result::Err(::serde::DeError::expected(\"sequence\", {ty_lit})), \
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
