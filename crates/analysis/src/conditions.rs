@@ -109,9 +109,7 @@ pub fn check_conditions(
                 .iter()
                 .filter(|&&p| !schedule.is_byzantine(p, r))
                 .count();
-            let o_union = schedule
-                .online_union(r.saturating_sub(eta), r)
-                .len();
+            let o_union = schedule.online_union(r.saturating_sub(eta), r).len();
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !((survivors as f64) > (1.0 - beta) * (o_union as f64)) {
                 report.eq4_violations.push(r);

@@ -14,7 +14,11 @@ fn bench_full_scenario(c: &mut Criterion) {
     group.bench_function("partition_attack_n16_40rounds", |b| {
         b.iter(|| {
             let n = 16;
-            let params = Params::builder(n).expiration(4).churn_rate(0.1).build().unwrap();
+            let params = Params::builder(n)
+                .expiration(4)
+                .churn_rate(0.1)
+                .build()
+                .unwrap();
             let schedule = Schedule::random_churn(
                 n,
                 40,

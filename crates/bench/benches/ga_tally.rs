@@ -83,7 +83,11 @@ fn bench_incremental(c: &mut Criterion) {
             for step in 1..ids.len() {
                 let mut store = VoteStore::new();
                 for p in 0..n {
-                    store.insert(Vote::new(ProcessId::new(p as u32), Round::new(1), ids[step]));
+                    store.insert(Vote::new(
+                        ProcessId::new(p as u32),
+                        Round::new(1),
+                        ids[step],
+                    ));
                 }
                 let votes = store.latest_in_window(Round::new(1), Round::new(1));
                 acc += tally(&tree, &votes, Thresholds::mmr()).participation();

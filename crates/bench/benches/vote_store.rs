@@ -20,7 +20,9 @@ fn filled(n: usize, rounds: u64) -> VoteStore {
 }
 
 fn bench_insert(c: &mut Criterion) {
-    c.bench_function("vote_store/insert_100x50", |b| b.iter(|| filled(100, 50).len()));
+    c.bench_function("vote_store/insert_100x50", |b| {
+        b.iter(|| filled(100, 50).len())
+    });
 }
 
 fn bench_window(c: &mut Criterion) {

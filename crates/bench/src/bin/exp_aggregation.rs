@@ -64,16 +64,23 @@ fn main() {
                 // Each relay aggregates the subset of voters assigned to it
                 // (sharded upload), then disseminates one aggregate per
                 // distinct tip to all n processes.
-                let mut relays: Vec<VoteAggregator> = (0..k).map(|_| VoteAggregator::new()).collect();
+                let mut relays: Vec<VoteAggregator> =
+                    (0..k).map(|_| VoteAggregator::new()).collect();
                 for (i, env) in votes.iter().enumerate() {
-                    assert!(relays[i % k].ingest(env, &dir), "relay rejected a valid vote");
+                    assert!(
+                        relays[i % k].ingest(env, &dir),
+                        "relay rejected a valid vote"
+                    );
                 }
                 let aggregates: Vec<_> = relays
                     .iter()
                     .flat_map(|r| r.aggregates().iter().cloned())
                     .collect();
                 // Transparency: unpacking reproduces every vote.
-                let unpacked: usize = aggregates.iter().map(|a| a.verified_votes(&dir).len()).sum();
+                let unpacked: usize = aggregates
+                    .iter()
+                    .map(|a| a.verified_votes(&dir).len())
+                    .sum();
                 assert_eq!(unpacked, n, "aggregation lost votes");
 
                 // Flood: every vote delivered to every process.
@@ -81,8 +88,8 @@ fn main() {
                 let flood_bytes = flood_msgs * VOTE_BYTES;
                 // Aggregated: n uploads + each aggregate delivered to all.
                 let agg_msgs = n + aggregates.len() * n;
-                let agg_bytes = n * VOTE_BYTES
-                    + aggregates.iter().map(|a| a.wire_bytes()).sum::<usize>() * n;
+                let agg_bytes =
+                    n * VOTE_BYTES + aggregates.iter().map(|a| a.wire_bytes()).sum::<usize>() * n;
                 table.row(vec![
                     n.to_string(),
                     tips.to_string(),

@@ -40,7 +40,9 @@ fn run_case(eta: u64, attack: &str, seed: u64) -> st_sim::SimReport {
     let schedule = Schedule::full(N, HORIZON).with_static_byzantine(byz);
     let params = Params::builder(N).expiration(eta).build().expect("valid");
     Simulation::new(
-        SimConfig::new(params, seed).horizon(HORIZON).async_window(window),
+        SimConfig::new(params, seed)
+            .horizon(HORIZON)
+            .async_window(window),
         schedule,
         adversary,
     )

@@ -107,12 +107,13 @@ fn main() {
             for i in 0..extra_corrupt {
                 schedule = schedule.with_corrupted(ProcessId::new(i as u32), Round::new(12));
             }
-            let conditions =
-                check_conditions(&schedule, 1.0 / 3.0, 0.0, ETA, Some(window));
+            let conditions = check_conditions(&schedule, 1.0 / 3.0, 0.0, ETA, Some(window));
             eq4_ok &= conditions.eq4_violations.is_empty();
             let params = Params::builder(N).expiration(ETA).build().expect("valid");
             let report = Simulation::new(
-                SimConfig::new(params, seed).horizon(HORIZON).async_window(window),
+                SimConfig::new(params, seed)
+                    .horizon(HORIZON)
+                    .async_window(window),
                 schedule,
                 Box::new(ReorgAttacker::new()),
             )

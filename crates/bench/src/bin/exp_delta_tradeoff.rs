@@ -53,7 +53,12 @@ fn run(delta_ms: f64, eta: u64, t_ms: f64, seed: u64) -> Outcome {
     if pi > 0 {
         config = config.async_window(AsyncWindow::new(Round::new(16), pi));
     }
-    let report = Simulation::new(config, Schedule::full(N, horizon), Box::new(BlackoutAdversary)).run();
+    let report = Simulation::new(
+        config,
+        Schedule::full(N, horizon),
+        Box::new(BlackoutAdversary),
+    )
+    .run();
     let wall_secs = (horizon as f64 * round_ms) / 1000.0;
     Outcome {
         // Chain growth (final decided height) per second is the honest

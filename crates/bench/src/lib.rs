@@ -56,8 +56,9 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(inputs.len().max(1));
-    let out_slots: Vec<parking_lot_free::Slot<O>> =
-        (0..inputs.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    let out_slots: Vec<parking_lot_free::Slot<O>> = (0..inputs.len())
+        .map(|_| parking_lot_free::Slot::new())
+        .collect();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let inputs = &inputs;

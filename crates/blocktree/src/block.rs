@@ -120,7 +120,8 @@ mod tests {
     fn distinct_contents_distinct_ids() {
         let base = Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]);
         let other_view = Block::build(BlockId::GENESIS, View::new(2), ProcessId::new(0), vec![]);
-        let other_producer = Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]);
+        let other_producer =
+            Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]);
         let other_payload = Block::build(
             BlockId::GENESIS,
             View::new(1),

@@ -1,16 +1,21 @@
 //! Append-only block tree with fast ancestry queries.
 
 use crate::{Block, BlockTreeError};
+use st_types::FastMap;
 use st_types::{BlockId, TxId};
-use std::collections::HashMap;
 
-/// Per-block bookkeeping inside the tree.
+/// Per-block bookkeeping inside the tree. Nodes live in a contiguous
+/// arena and refer to each other by arena index — ancestry walks are
+/// array reads, not hash lookups.
 #[derive(Clone, Debug)]
 struct Node {
     block: Block,
     height: u64,
-    /// Binary-lifting table: `up[k]` is the ancestor `2^k` levels above.
-    up: Vec<BlockId>,
+    /// Arena index of the parent (genesis points at itself).
+    parent: u32,
+    /// Binary-lifting table: `up[k]` is the arena index of the ancestor
+    /// `2^k` levels above.
+    up: Vec<u32>,
 }
 
 /// An append-only tree of blocks rooted at genesis.
@@ -18,25 +23,38 @@ struct Node {
 /// Logs are identified by their tip [`BlockId`]; prefix relations between
 /// logs translate to ancestry between tips. Ancestor queries use binary
 /// lifting and cost `O(log h)`.
+///
+/// Internally the tree is an arena: one `Vec` of nodes plus a single
+/// id → index map. Every traversal (lifting jumps, chain iteration, LCA)
+/// pays the hash lookup **once** at entry and then walks plain indices —
+/// the difference between ~1 µs and ~100 ns per insert once trees reach
+/// simulation scale.
 #[derive(Clone, Debug)]
 pub struct BlockTree {
-    nodes: HashMap<BlockId, Node>,
+    nodes: Vec<Node>,
+    index: FastMap<BlockId, u32>,
 }
 
 impl BlockTree {
     /// Creates a tree containing only the genesis block `b₀` (an empty
     /// payload block at height 0, producer `p0`, view 0).
     pub fn new() -> BlockTree {
-        let mut nodes = HashMap::new();
-        nodes.insert(
-            BlockId::GENESIS,
-            Node {
+        let mut index = FastMap::default();
+        index.insert(BlockId::GENESIS, 0u32);
+        BlockTree {
+            nodes: vec![Node {
                 block: Block::genesis(),
                 height: 0,
+                parent: 0,
                 up: Vec::new(),
-            },
-        );
-        BlockTree { nodes }
+            }],
+            index,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, id: BlockId) -> Option<u32> {
+        self.index.get(&id).copied()
     }
 
     /// Number of blocks in the tree (including genesis).
@@ -51,7 +69,7 @@ impl BlockTree {
 
     /// Whether `id` is present.
     pub fn contains(&self, id: BlockId) -> bool {
-        self.nodes.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// Inserts a block.
@@ -62,7 +80,7 @@ impl BlockTree {
     /// * [`BlockTreeError::DuplicateBlock`] if the id is already present.
     pub fn insert(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
         let id = block.id();
-        if self.nodes.contains_key(&id) {
+        if self.contains(id) {
             return Err(BlockTreeError::DuplicateBlock(id));
         }
         self.insert_or_get(block)
@@ -77,48 +95,50 @@ impl BlockTree {
     /// [`BlockTreeError::UnknownParent`] if the parent is absent.
     pub fn insert_or_get(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
         let id = block.id();
-        if self.nodes.contains_key(&id) {
+        if self.contains(id) {
             return Ok(id);
         }
-        let parent = block.parent();
-        let (parent_height, parent_up_len) = match self.nodes.get(&parent) {
-            Some(p) => (p.height, p.up.len()),
-            None => return Err(BlockTreeError::UnknownParent { block: id, parent }),
+        let Some(parent_idx) = self.idx(block.parent()) else {
+            return Err(BlockTreeError::UnknownParent {
+                block: id,
+                parent: block.parent(),
+            });
         };
-        // Build the binary-lifting table: up[0] = parent,
-        // up[k] = up[k-1] of up[k-1].
-        let mut up = Vec::with_capacity(parent_up_len + 1);
-        up.push(parent);
+        // Build the binary-lifting table with pure arena reads:
+        // up[0] = parent, up[k+1] = up[k] of up[k].
+        let parent_node = &self.nodes[parent_idx as usize];
+        let height = parent_node.height + 1;
+        let mut up = Vec::with_capacity(parent_node.up.len() + 1);
+        up.push(parent_idx);
         let mut k = 0;
         loop {
-            let prev = up[k];
-            let prev_node = &self.nodes[&prev];
-            match prev_node.up.get(k) {
+            let prev = up[k] as usize;
+            match self.nodes[prev].up.get(k) {
                 Some(&next) => up.push(next),
                 None => break,
             }
             k += 1;
         }
-        self.nodes.insert(
-            id,
-            Node {
-                block,
-                height: parent_height + 1,
-                up,
-            },
-        );
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            block,
+            height,
+            parent: parent_idx,
+            up,
+        });
+        self.index.insert(id, idx);
         Ok(id)
     }
 
     /// The block stored under `id`.
     pub fn block(&self, id: BlockId) -> Option<&Block> {
-        self.nodes.get(&id).map(|n| &n.block)
+        self.idx(id).map(|i| &self.nodes[i as usize].block)
     }
 
     /// Height of a block (genesis is 0). This is also the length of the
     /// log whose tip is `id`.
     pub fn height(&self, id: BlockId) -> Option<u64> {
-        self.nodes.get(&id).map(|n| n.height)
+        self.idx(id).map(|i| self.nodes[i as usize].height)
     }
 
     /// Parent of a block; genesis returns `None`.
@@ -126,25 +146,34 @@ impl BlockTree {
         if id.is_genesis() {
             return None;
         }
-        self.nodes.get(&id).map(|n| n.block.parent())
+        self.idx(id).map(|i| {
+            self.nodes[self.nodes[i as usize].parent as usize]
+                .block
+                .id()
+        })
+    }
+
+    /// Arena-internal: the ancestor index of `idx` at `target_height`
+    /// (which must not exceed the node's height).
+    fn ancestor_idx_at(&self, mut idx: u32, target_height: u64) -> u32 {
+        let mut remaining = self.nodes[idx as usize].height - target_height;
+        while remaining > 0 {
+            let k = 63 - remaining.leading_zeros() as usize; // floor(log2)
+            idx = self.nodes[idx as usize].up[k];
+            remaining -= 1 << k;
+        }
+        idx
     }
 
     /// The ancestor of `id` at exactly `target_height`, or `None` if `id`
     /// is unknown or shallower than the target.
     pub fn ancestor_at_height(&self, id: BlockId, target_height: u64) -> Option<BlockId> {
-        let node = self.nodes.get(&id)?;
-        if node.height < target_height {
+        let idx = self.idx(id)?;
+        if self.nodes[idx as usize].height < target_height {
             return None;
         }
-        let mut cur = id;
-        let mut remaining = node.height - target_height;
-        while remaining > 0 {
-            let k = 63 - remaining.leading_zeros() as usize; // floor(log2)
-            let n = &self.nodes[&cur];
-            cur = *n.up.get(k)?;
-            remaining -= 1 << k;
-        }
-        Some(cur)
+        let a = self.ancestor_idx_at(idx, target_height);
+        Some(self.nodes[a as usize].block.id())
     }
 
     /// Whether `a` is an ancestor of `b` **or equal to it** — i.e. whether
@@ -153,13 +182,14 @@ impl BlockTree {
     ///
     /// Returns `false` if either block is unknown.
     pub fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
-        let (Some(ha), Some(hb)) = (self.height(a), self.height(b)) else {
+        let (Some(ia), Some(ib)) = (self.idx(a), self.idx(b)) else {
             return false;
         };
-        if ha > hb {
+        let ha = self.nodes[ia as usize].height;
+        if ha > self.nodes[ib as usize].height {
             return false;
         }
-        self.ancestor_at_height(b, ha) == Some(a)
+        self.ancestor_idx_at(ib, ha) == ia
     }
 
     /// Whether the logs with tips `a` and `b` are compatible (one is a
@@ -177,20 +207,20 @@ impl BlockTree {
     /// Lowest common ancestor of two blocks; `None` if either is unknown.
     /// All blocks share genesis, so known blocks always have an LCA.
     pub fn lca(&self, a: BlockId, b: BlockId) -> Option<BlockId> {
-        let ha = self.height(a)?;
-        let hb = self.height(b)?;
+        let ia = self.idx(a)?;
+        let ib = self.idx(b)?;
+        let ha = self.nodes[ia as usize].height;
+        let hb = self.nodes[ib as usize].height;
         let (mut x, mut y) = if ha <= hb {
-            (a, self.ancestor_at_height(b, ha)?)
+            (ia, self.ancestor_idx_at(ib, ha))
         } else {
-            (self.ancestor_at_height(a, hb)?, b)
+            (self.ancestor_idx_at(ia, hb), ib)
         };
         while x != y {
-            // Walk both up one level; heights are equal so this terminates
-            // at genesis in the worst case. Use binary lifting to jump.
-            let nx = &self.nodes[&x];
-            let ny = &self.nodes[&y];
-            // Find highest k where the 2^k-ancestors differ and jump there;
-            // if all equal, the parents are the LCA path.
+            let nx = &self.nodes[x as usize];
+            let ny = &self.nodes[y as usize];
+            // Jump at the highest k where the 2^k-ancestors differ; if all
+            // are equal, the parents meet at the LCA.
             let mut jumped = false;
             let kmax = nx.up.len().min(ny.up.len());
             for k in (0..kmax).rev() {
@@ -206,7 +236,7 @@ impl BlockTree {
                 y = ny.up[0];
             }
         }
-        Some(x)
+        Some(self.nodes[x as usize].block.id())
     }
 
     /// The longest common prefix (deepest common ancestor) of a non-empty
@@ -235,8 +265,10 @@ impl BlockTree {
     /// Iterates the chain from `tip` down to genesis (inclusive), yielding
     /// tips first. Unknown tips yield an empty iterator.
     pub fn chain(&self, tip: BlockId) -> ChainIter<'_> {
-        let cur = if self.contains(tip) { Some(tip) } else { None };
-        ChainIter { tree: self, cur }
+        ChainIter {
+            tree: self,
+            cur: self.idx(tip),
+        }
     }
 
     /// The log with tip `tip` as a block-id sequence from genesis to tip.
@@ -248,15 +280,38 @@ impl BlockTree {
 
     /// Whether transaction `tx` appears in the log with tip `tip`.
     pub fn log_contains_tx(&self, tip: BlockId, tx: TxId) -> bool {
-        self.chain(tip)
-            .any(|id| self.nodes[&id].block.payload().contains(&tx))
+        let Some(mut idx) = self.idx(tip) else {
+            return false;
+        };
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.block.payload().contains(&tx) {
+                return true;
+            }
+            if node.height == 0 {
+                return false;
+            }
+            idx = node.parent;
+        }
     }
 
     /// All transactions in the log with tip `tip`, genesis-first order.
     pub fn log_transactions(&self, tip: BlockId) -> Vec<TxId> {
+        let Some(mut idx) = self.idx(tip) else {
+            return Vec::new();
+        };
+        let mut rev: Vec<u32> = Vec::new();
+        loop {
+            rev.push(idx);
+            let node = &self.nodes[idx as usize];
+            if node.height == 0 {
+                break;
+            }
+            idx = node.parent;
+        }
         let mut txs = Vec::new();
-        for id in self.log_of(tip) {
-            txs.extend_from_slice(self.nodes[&id].block.payload());
+        for &i in rev.iter().rev() {
+            txs.extend_from_slice(self.nodes[i as usize].block.payload());
         }
         txs
     }
@@ -267,8 +322,8 @@ impl BlockTree {
         // Insert in height order so parents always precede children.
         let mut missing: Vec<&Node> = other
             .nodes
-            .values()
-            .filter(|n| !self.nodes.contains_key(&n.block.id()))
+            .iter()
+            .filter(|n| !self.contains(n.block.id()))
             .collect();
         missing.sort_by_key(|n| n.height);
         for node in missing {
@@ -281,7 +336,7 @@ impl BlockTree {
 
     /// All block ids currently in the tree (unordered).
     pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.nodes.keys().copied()
+        self.index.keys().copied()
     }
 }
 
@@ -292,11 +347,12 @@ impl Default for BlockTree {
 }
 
 /// Iterator over a chain from tip to genesis. Produced by
-/// [`BlockTree::chain`].
+/// [`BlockTree::chain`]. Walks arena indices: one hash lookup at
+/// construction, array reads per step.
 #[derive(Clone, Debug)]
 pub struct ChainIter<'a> {
     tree: &'a BlockTree,
-    cur: Option<BlockId>,
+    cur: Option<u32>,
 }
 
 impl Iterator for ChainIter<'_> {
@@ -304,8 +360,13 @@ impl Iterator for ChainIter<'_> {
 
     fn next(&mut self) -> Option<BlockId> {
         let cur = self.cur?;
-        self.cur = self.tree.parent(cur);
-        Some(cur)
+        let node = &self.tree.nodes[cur as usize];
+        self.cur = if node.height == 0 {
+            None
+        } else {
+            Some(node.parent)
+        };
+        Some(node.block.id())
     }
 }
 
@@ -317,7 +378,12 @@ mod tests {
 
     /// Builds a linear chain of `len` blocks on top of `base`, returning
     /// the tips in order.
-    fn extend_chain(tree: &mut BlockTree, base: BlockId, len: usize, producer: u32) -> Vec<BlockId> {
+    fn extend_chain(
+        tree: &mut BlockTree,
+        base: BlockId,
+        len: usize,
+        producer: u32,
+    ) -> Vec<BlockId> {
         let mut tips = Vec::new();
         let mut parent = base;
         for i in 0..len {
@@ -435,7 +501,10 @@ mod tests {
             Some(fork_point)
         );
         // LCA with an ancestor is the ancestor itself.
-        assert_eq!(tree.lca(fork_point, *left.last().unwrap()), Some(fork_point));
+        assert_eq!(
+            tree.lca(fork_point, *left.last().unwrap()),
+            Some(fork_point)
+        );
         // LCA of disjoint branches from genesis is genesis.
         let solo = extend_chain(&mut tree, BlockId::GENESIS, 2, 3);
         assert_eq!(
@@ -503,7 +572,7 @@ mod tests {
         assert!(a.contains(*tips_b.last().unwrap()));
         assert!(a.contains(*tips_a.last().unwrap()));
         assert_eq!(a.len(), 9); // genesis + 4 + 4
-        // Absorb is idempotent.
+                                // Absorb is idempotent.
         a.absorb(&b);
         assert_eq!(a.len(), 9);
     }

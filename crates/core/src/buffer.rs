@@ -5,16 +5,16 @@
 //! orphans and retries them whenever a parent lands, so the process's tree
 //! only ever contains fully connected chains.
 
-use st_blocktree::{Block, BlockTree, BlockTreeError};
+use st_blocktree::{Block, BlockTree};
 use st_types::BlockId;
-use std::collections::HashMap;
+use st_types::FastMap;
 
 /// Parks blocks whose parent is unknown and flushes them once the parent
 /// arrives.
 #[derive(Clone, Debug, Default)]
 pub struct BlockBuffer {
     /// parent id → orphans waiting for it.
-    waiting: HashMap<BlockId, Vec<Block>>,
+    waiting: FastMap<BlockId, Vec<Block>>,
 }
 
 impl BlockBuffer {
@@ -41,20 +41,25 @@ impl BlockBuffer {
         let mut inserted = Vec::new();
         let mut queue = vec![block];
         while let Some(b) = queue.pop() {
-            match tree.insert_or_get(b.clone()) {
+            // Only the unknown-parent path needs `b` back (to park it), so
+            // probe for the parent first and move — rather than clone —
+            // the block into the tree on the (overwhelmingly common)
+            // insertable path.
+            if !tree.contains(b.parent()) && !tree.contains(b.id()) {
+                let entry = self.waiting.entry(b.parent()).or_default();
+                if !entry.contains(&b) {
+                    entry.push(b);
+                }
+                continue;
+            }
+            match tree.insert_or_get(b) {
                 Ok(id) => {
                     inserted.push(id);
                     if let Some(children) = self.waiting.remove(&id) {
                         queue.extend(children);
                     }
                 }
-                Err(BlockTreeError::UnknownParent { parent, .. }) => {
-                    let entry = self.waiting.entry(parent).or_default();
-                    if !entry.contains(&b) {
-                        entry.push(b);
-                    }
-                }
-                Err(_) => unreachable!("insert_or_get only fails with UnknownParent"),
+                Err(_) => unreachable!("parent presence checked above"),
             }
         }
         inserted

@@ -274,11 +274,19 @@ mod tests {
         let kp = st_crypto::Keypair::derive(ProcessId::new(0), 7);
         let old = Envelope::sign(
             &kp,
-            Payload::Vote(st_messages::Vote::new(ProcessId::new(0), Round::new(40), BlockId::GENESIS)),
+            Payload::Vote(st_messages::Vote::new(
+                ProcessId::new(0),
+                Round::new(40),
+                BlockId::GENESIS,
+            )),
         );
         let fresh = Envelope::sign(
             &kp,
-            Payload::Vote(st_messages::Vote::new(ProcessId::new(0), Round::new(48), BlockId::GENESIS)),
+            Payload::Vote(st_messages::Vote::new(
+                ProcessId::new(0),
+                Round::new(48),
+                BlockId::GENESIS,
+            )),
         );
         assert!(!filter(&old));
         assert!(filter(&fresh));

@@ -4,9 +4,11 @@ use crate::{BlockBuffer, DecisionEvent, TobConfig};
 use st_blocktree::{Block, BlockTree};
 use st_crypto::Keypair;
 use st_ga::{tally, GaOutput};
-use st_messages::{Envelope, Payload, Propose, ProposeStore, Vote, VoteStore};
+use st_messages::{
+    Envelope, LatestVotes, Payload, Propose, ProposeStore, SharedEnvelope, Vote, VoteStore,
+};
+use st_types::FastSet;
 use st_types::{BlockId, ProcessId, Round, RoundKind, TxId, View};
-use std::collections::HashSet;
 
 /// A well-behaved process running Algorithm 1, parameterised by the
 /// expiration period `η` from its [`TobConfig`].
@@ -35,6 +37,14 @@ pub struct TobProcess {
     last_vote_tip: BlockId,
     /// Output of the most recent graded-agreement tally (diagnostics).
     last_ga_output: Option<GaOutput>,
+    /// Reusable scratch for the per-round tally input (avoids allocating
+    /// an `n`-entry vote vector twice per view in the hot loop).
+    tally_scratch: LatestVotes,
+    /// Benchmarking baseline switch: route proposal inserts through the
+    /// pre-fast-path full-view duplicate scan
+    /// ([`ProposeStore::insert_full_scan`]). Identical behaviour, seed
+    /// cost model. Off everywhere except `SimConfig::naive_delivery`.
+    naive_receive: bool,
 }
 
 impl TobProcess {
@@ -54,7 +64,15 @@ impl TobProcess {
             decided_tip: BlockId::GENESIS,
             last_vote_tip: BlockId::GENESIS,
             last_ga_output: None,
+            tally_scratch: LatestVotes::empty(),
+            naive_receive: false,
         }
+    }
+
+    /// Switches this process to the pre-fast-path receive cost model (see
+    /// the `naive_receive` field). Benchmarking only.
+    pub fn set_naive_receive(&mut self, naive: bool) {
+        self.naive_receive = naive;
     }
 
     /// This process's id.
@@ -106,8 +124,25 @@ impl TobProcess {
     /// Handles a received message: verifies the signature (unverifiable
     /// messages are discarded per Section 2.1), then routes votes to the
     /// vote store and proposals to the propose store / block tree.
+    ///
+    /// This convenience wrapper wraps the envelope into a fresh
+    /// [`SharedEnvelope`] and therefore re-verifies it; multicast drivers
+    /// should wrap each envelope **once** and fan the shared handle out to
+    /// every receiver via [`TobProcess::on_receive_shared`] so the
+    /// signature is checked once per envelope, not once per receiver.
     pub fn on_receive(&mut self, envelope: Envelope) {
-        if !envelope.verify(self.config.directory()) {
+        self.on_receive_shared(&SharedEnvelope::new(envelope));
+    }
+
+    /// Handles a received shared envelope. The signature verdict is read
+    /// from the envelope's verification cache — over a whole process set,
+    /// a multicast envelope is verified exactly once (the first receiver
+    /// pays the hash; everyone else reuses the verdict). Behaviour is
+    /// identical to [`TobProcess::on_receive`]: honest envelopes are
+    /// immutable after signing and forgeries fail deterministically, so
+    /// caching the verdict cannot change any accept/discard outcome.
+    pub fn on_receive_shared(&mut self, envelope: &SharedEnvelope) {
+        if !envelope.verify_cached(self.config.directory()) {
             return;
         }
         match envelope.payload() {
@@ -122,8 +157,18 @@ impl TobProcess {
             }
             Payload::Propose(proposal) => {
                 self.receive_block(proposal.block().clone());
-                self.proposes.insert(proposal.clone(), self.config.directory());
+                self.store_proposal(proposal.clone());
             }
+        }
+    }
+
+    /// Records a proposal, honouring the naive-baseline switch.
+    fn store_proposal(&mut self, proposal: Propose) {
+        if self.naive_receive {
+            self.proposes
+                .insert_full_scan(proposal, self.config.directory());
+        } else {
+            self.proposes.insert(proposal, self.config.directory());
         }
     }
 
@@ -160,7 +205,8 @@ impl TobProcess {
             vrf_proof,
         );
         // Record own proposal locally (a process hears its own multicast).
-        self.proposes.insert(proposal.clone(), self.config.directory());
+        self.proposes
+            .insert(proposal.clone(), self.config.directory());
         vec![Envelope::sign(&self.keypair, Payload::Propose(proposal))]
     }
 
@@ -225,10 +271,18 @@ impl TobProcess {
         let payload = self.take_payload_for(c_v);
         let block = Block::build(c_v, next_view, self.id, payload);
         let (vrf_value, vrf_proof) = self.keypair.vrf_eval(next_view.as_u64());
-        let proposal = Propose::new(self.id, round, next_view, block.clone(), vrf_value, vrf_proof);
+        let proposal = Propose::new(
+            self.id,
+            round,
+            next_view,
+            block.clone(),
+            vrf_value,
+            vrf_proof,
+        );
         // A process hears its own multicast: record locally right away.
         self.buffer.insert(&mut self.tree, block);
-        self.proposes.insert(proposal.clone(), self.config.directory());
+        self.proposes
+            .insert(proposal.clone(), self.config.directory());
 
         self.last_ga_output = Some(outputs);
         vec![
@@ -241,13 +295,14 @@ impl TobProcess {
     /// round: latest unexpired votes from `[r − 1 − η, r − 1]`
     /// (Section 2.1's expiration window for round `r`). With `η = 0` this
     /// is exactly the vanilla single-round tally of Figure 2.
-    fn tally_previous_round(&self, round: Round) -> GaOutput {
+    fn tally_previous_round(&mut self, round: Round) -> GaOutput {
         let Some(prev) = round.prev() else {
             return GaOutput::empty();
         };
         let lo = prev.saturating_sub(self.config.params().expiration());
-        let votes = self.votes.latest_in_window(lo, prev);
-        tally(&self.tree, &votes, self.config.thresholds())
+        self.votes
+            .latest_in_window_into(lo, prev, &mut self.tally_scratch);
+        tally(&self.tree, &self.tally_scratch, self.config.thresholds())
     }
 
     fn make_vote(&mut self, round: Round, tip: BlockId) -> Envelope {
@@ -274,7 +329,7 @@ impl TobProcess {
         if self.mempool.is_empty() {
             return Vec::new();
         }
-        let onchain: HashSet<TxId> = self.tree.log_transactions(parent_tip).into_iter().collect();
+        let onchain: FastSet<TxId> = self.tree.log_transactions(parent_tip).into_iter().collect();
         let payload: Vec<TxId> = self
             .mempool
             .iter()
@@ -290,7 +345,11 @@ impl TobProcess {
     fn prune(&mut self, round: Round) {
         // Keep a safety margin of one extra window to serve diagnostics.
         let horizon = round.saturating_sub(2 * self.config.params().expiration() + 4);
-        self.votes.prune_below(horizon);
+        if self.naive_receive {
+            self.votes.prune_below_presplit(horizon);
+        } else {
+            self.votes.prune_below(horizon);
+        }
         let view = RoundKind::of(round).view();
         if view.as_u64() > 1 {
             self.proposes.prune_below(View::new(view.as_u64() - 1));
@@ -427,7 +486,11 @@ mod tests {
         for r in 0..=12u64 {
             let round = Round::new(r);
             let asleep = (3..=6).contains(&r);
-            let active: Vec<usize> = if asleep { vec![0, 1, 2] } else { vec![0, 1, 2, 3] };
+            let active: Vec<usize> = if asleep {
+                vec![0, 1, 2]
+            } else {
+                vec![0, 1, 2, 3]
+            };
             let mut batches: Vec<Envelope> = Vec::new();
             for &i in &active {
                 batches.extend(procs[i].step_send(round));

@@ -85,7 +85,10 @@ fn proposals_of(batch: &[Envelope]) -> Vec<(ProcessId, View, BlockId)> {
 fn view0_proposes_genesis_with_vrf1() {
     let mut h = Harness::new(0);
     let batch = h.round(0).to_vec();
-    assert!(votes_of(&batch).is_empty(), "no votes in the bootstrap round");
+    assert!(
+        votes_of(&batch).is_empty(),
+        "no votes in the bootstrap round"
+    );
     let proposals = proposals_of(&batch);
     assert_eq!(proposals.len(), N);
     for (_, view, tip) in proposals {
@@ -184,7 +187,11 @@ fn proposals_chain_one_block_per_view() {
             // The next round's votes elect this view's winner.
             let next = h.round(r + 1).to_vec();
             let votes = votes_of(&next);
-            assert!(votes.windows(2).all(|w| w[0].1 == w[1].1), "split vote at {}", r + 1);
+            assert!(
+                votes.windows(2).all(|w| w[0].1 == w[1].1),
+                "split vote at {}",
+                r + 1
+            );
             last_winner = Some(votes[0].1);
         }
     }
@@ -204,7 +211,10 @@ fn round2_votes_echo_grade1_log() {
             last_odd_vote = Some(votes[0].1);
         } else if let Some(expected) = last_odd_vote {
             for (sender, tip) in votes {
-                assert_eq!(tip, expected, "round {r}: {sender} diverged from grade-1 log");
+                assert_eq!(
+                    tip, expected,
+                    "round {r}: {sender} diverged from grade-1 log"
+                );
             }
         }
     }

@@ -70,7 +70,10 @@ fn equivocating_proposer_does_not_split_honest_votes() {
         }
     }
     let tips: Vec<BlockId> = procs.iter().map(|p| p.last_vote_tip()).collect();
-    assert!(tips.windows(2).all(|w| w[0] == w[1]), "honest votes split: {tips:?}");
+    assert!(
+        tips.windows(2).all(|w| w[0] == w[1]),
+        "honest votes split: {tips:?}"
+    );
 }
 
 /// A proposal conflicting with the established chain is never voted for,
@@ -88,7 +91,12 @@ fn conflicting_proposal_is_filtered() {
 
     // p3 proposes a genesis fork for view 6 (round 11 uses it).
     let kp = keypair(3);
-    let fork = Block::build(BlockId::GENESIS, View::new(6), kp.owner(), vec![TxId::new(666)]);
+    let fork = Block::build(
+        BlockId::GENESIS,
+        View::new(6),
+        kp.owner(),
+        vec![TxId::new(666)],
+    );
     let fork_id = fork.id();
     let (value, proof) = kp.vrf_eval(6);
     let prop = Propose::new(kp.owner(), Round::new(10), View::new(6), fork, value, proof);
@@ -98,7 +106,12 @@ fn conflicting_proposal_is_filtered() {
     }
     lockstep_from(&mut procs, 9, 13);
     for p in &procs {
-        assert_ne!(p.last_vote_tip(), fork_id, "{:?} voted the genesis fork", p.id());
+        assert_ne!(
+            p.last_vote_tip(),
+            fork_id,
+            "{:?} voted the genesis fork",
+            p.id()
+        );
         assert!(p.tree().is_ancestor(established, p.decided_tip()));
     }
 }
@@ -129,10 +142,17 @@ fn round_zero_votes_rejected() {
     // Drive a few rounds: an accepted round-0 vote would produce a
     // grade-1 output and a (bogus) decision at round 1; instead the first
     // legitimate decision arrives at round 3 (view 2 tallying GA_{1,2}).
-    let mut procs = vec![p, TobProcess::new(ProcessId::new(1), config(3, 0)), TobProcess::new(ProcessId::new(2), config(3, 0))];
+    let mut procs = vec![
+        p,
+        TobProcess::new(ProcessId::new(1), config(3, 0)),
+        TobProcess::new(ProcessId::new(2), config(3, 0)),
+    ];
     lockstep(&mut procs, 5);
     assert!(!procs[0].decisions().is_empty());
-    assert!(procs[0].decisions().iter().all(|d| d.round >= Round::new(3)));
+    assert!(procs[0]
+        .decisions()
+        .iter()
+        .all(|d| d.round >= Round::new(3)));
 }
 
 /// Pruning keeps memory bounded: after many rounds the vote store holds
@@ -196,5 +216,8 @@ fn late_joiner_converges() {
     // their own round 21).
     let live = procs[1].tree().height(procs[1].decided_tip()).unwrap() as i64;
     let observed = observer.tree().height(observer.decided_tip()).unwrap() as i64;
-    assert!((live - observed).abs() <= 2, "observer at {observed}, live at {live}");
+    assert!(
+        (live - observed).abs() <= 2,
+        "observer at {observed}, live at {live}"
+    );
 }

@@ -106,7 +106,10 @@ mod tests {
         // Not a collision-resistance proof, just a smoke check over a grid.
         let mut seen = std::collections::HashSet::new();
         for i in 0u64..10_000 {
-            assert!(seen.insert(Hasher64::new().chain_u64(i).finish()), "collision at {i}");
+            assert!(
+                seen.insert(Hasher64::new().chain_u64(i).finish()),
+                "collision at {i}"
+            );
         }
     }
 

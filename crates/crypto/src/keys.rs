@@ -21,6 +21,28 @@ use crate::hash::Hasher64;
 use serde::{Deserialize, Serialize};
 use st_types::ProcessId;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of signature verifications performed.
+///
+/// The verify-once envelope fast path promises *at most one* signature
+/// check per unique honest envelope per process set; this counter is how
+/// benches and tests demonstrate the promise instead of asserting it
+/// rhetorically. Relaxed ordering: the counter is a metric, not a
+/// synchronisation point.
+static VERIFICATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total signature verifications performed by this process since start
+/// (or since the last [`reset_verification_count`]).
+pub fn verification_count() -> u64 {
+    VERIFICATIONS.load(Ordering::Relaxed)
+}
+
+/// Resets the global verification counter (bench bookkeeping). Returns
+/// the value the counter had before the reset.
+pub fn reset_verification_count() -> u64 {
+    VERIFICATIONS.swap(0, Ordering::Relaxed)
+}
 
 /// A process's public (verification) key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,11 +86,16 @@ impl Keypair {
             .chain_u64(system_seed)
             .chain_u64(owner.as_u32() as u64)
             .finish();
-        let key_material = Hasher64::with_domain("st/pubkey").chain_u64(secret).finish();
+        let key_material = Hasher64::with_domain("st/pubkey")
+            .chain_u64(secret)
+            .finish();
         Keypair {
             owner,
             secret,
-            public: PublicKey { owner, key_material },
+            public: PublicKey {
+                owner,
+                key_material,
+            },
         }
     }
 
@@ -120,6 +147,7 @@ impl PublicKey {
     /// assert!(!other.public().verify(b"m", &sig));
     /// ```
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        VERIFICATIONS.fetch_add(1, Ordering::Relaxed);
         sig.tag == sig_tag(self.key_material, message)
     }
 }
@@ -188,6 +216,18 @@ mod tests {
         let b = Keypair::derive(ProcessId::new(5), 123);
         assert_eq!(a.public(), b.public());
         assert_eq!(a.sign(b"x"), b.sign(b"x"));
+    }
+
+    #[test]
+    fn verification_counter_ticks() {
+        let k = kp(3);
+        let sig = k.sign(b"count me");
+        let before = verification_count();
+        assert!(k.public().verify(b"count me", &sig));
+        assert!(!k.public().verify(b"not me", &sig));
+        // Other tests run concurrently, so the counter can only grow by
+        // *at least* our two checks.
+        assert!(verification_count() >= before + 2);
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl Vrf {
 // key so verification is exact, and rely on encapsulation (proof tags are
 // only produced by vrf_eval) to model unpredictability-before-reveal.
 fn vrf_value(secret: u64, input: u64) -> u64 {
-    let key_material = Hasher64::with_domain("st/pubkey").chain_u64(secret).finish();
+    let key_material = Hasher64::with_domain("st/pubkey")
+        .chain_u64(secret)
+        .finish();
     vrf_value_from_public(key_material, input)
 }
 

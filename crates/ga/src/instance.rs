@@ -109,10 +109,20 @@ mod tests {
     fn tree_with_fork() -> (BlockTree, BlockId, BlockId) {
         let mut tree = BlockTree::new();
         let a = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(0),
+                vec![],
+            ))
             .unwrap();
         let b = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(1),
+                vec![],
+            ))
             .unwrap();
         (tree, a, b)
     }
@@ -134,16 +144,36 @@ mod tests {
     #[test]
     fn m0_rejects_current_or_future_rounds() {
         let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
-        assert!(!ga.init_with(Vote::new(ProcessId::new(0), Round::new(4), BlockId::GENESIS)));
-        assert!(!ga.init_with(Vote::new(ProcessId::new(0), Round::new(5), BlockId::GENESIS)));
+        assert!(!ga.init_with(Vote::new(
+            ProcessId::new(0),
+            Round::new(4),
+            BlockId::GENESIS
+        )));
+        assert!(!ga.init_with(Vote::new(
+            ProcessId::new(0),
+            Round::new(5),
+            BlockId::GENESIS
+        )));
     }
 
     #[test]
     fn receive_rejects_other_rounds() {
         let mut ga = GaInstance::new(Round::new(4), Thresholds::mmr());
-        assert!(!ga.receive(Vote::new(ProcessId::new(0), Round::new(3), BlockId::GENESIS)));
-        assert!(!ga.receive(Vote::new(ProcessId::new(0), Round::new(5), BlockId::GENESIS)));
-        assert!(ga.receive(Vote::new(ProcessId::new(0), Round::new(4), BlockId::GENESIS)));
+        assert!(!ga.receive(Vote::new(
+            ProcessId::new(0),
+            Round::new(3),
+            BlockId::GENESIS
+        )));
+        assert!(!ga.receive(Vote::new(
+            ProcessId::new(0),
+            Round::new(5),
+            BlockId::GENESIS
+        )));
+        assert!(ga.receive(Vote::new(
+            ProcessId::new(0),
+            Round::new(4),
+            BlockId::GENESIS
+        )));
     }
 
     #[test]

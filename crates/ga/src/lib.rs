@@ -63,8 +63,8 @@ pub use thresholds::Thresholds;
 
 use st_blocktree::BlockTree;
 use st_messages::LatestVotes;
+use st_types::FastMap;
 use st_types::{BlockId, Grade};
-use std::collections::HashMap;
 
 /// Tallies a set of latest votes over the block tree and grades every
 /// supported log (Figure 2 / Figure 3 receive phase).
@@ -83,7 +83,7 @@ pub fn tally(tree: &BlockTree, votes: &LatestVotes, thresholds: Thresholds) -> G
     }
 
     // Count voters per distinct tip (votes are one-per-sender already).
-    let mut tip_support: HashMap<BlockId, usize> = HashMap::new();
+    let mut tip_support: FastMap<BlockId, usize> = FastMap::default();
     for (_, _, tip) in votes.iter() {
         if tree.contains(tip) {
             *tip_support.entry(tip).or_insert(0) += 1;
@@ -93,7 +93,7 @@ pub fn tally(tree: &BlockTree, votes: &LatestVotes, thresholds: Thresholds) -> G
     // Support of a block = number of senders whose voted tip extends it.
     // Accumulate tip counts up every ancestor chain. Chains share suffixes,
     // so cache accumulated blocks to stay near-linear in distinct blocks.
-    let mut support: HashMap<BlockId, usize> = HashMap::new();
+    let mut support: FastMap<BlockId, usize> = FastMap::default();
     for (&tip, &count) in &tip_support {
         for block in tree.chain(tip) {
             *support.entry(block).or_insert(0) += count;
@@ -123,13 +123,23 @@ mod tests {
     fn forked_tree() -> (BlockTree, BlockId, BlockId, BlockId) {
         let mut tree = BlockTree::new();
         let a1 = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(0),
+                vec![],
+            ))
             .unwrap();
         let a2 = tree
             .insert(Block::build(a1, View::new(2), ProcessId::new(0), vec![]))
             .unwrap();
         let b1 = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(1),
+                vec![],
+            ))
             .unwrap();
         (tree, a1, a2, b1)
     }
@@ -234,7 +244,11 @@ mod tests {
             store.insert(Vote::new(ProcessId::new(i), Round::new(1), a1));
         }
         for i in 4..6 {
-            store.insert(Vote::new(ProcessId::new(i), Round::new(1), BlockId::new(0xdead)));
+            store.insert(Vote::new(
+                ProcessId::new(i),
+                Round::new(1),
+                BlockId::new(0xdead),
+            ));
         }
         let out = tally(&tree, &window_of(&store, 1), Thresholds::mmr());
         assert_eq!(out.participation(), 6);

@@ -2,7 +2,6 @@
 
 use st_blocktree::BlockTree;
 use st_types::{BlockId, Grade};
-use std::collections::HashMap;
 
 /// The output of a graded-agreement tally: a set of logs (identified by
 /// tip), each with a grade, plus the perceived participation `m`.
@@ -17,7 +16,6 @@ pub struct GaOutput {
     /// reproducible iteration.
     outputs: Vec<(BlockId, Grade, u64)>,
     participation: usize,
-    by_block: HashMap<BlockId, Grade>,
 }
 
 impl GaOutput {
@@ -26,7 +24,6 @@ impl GaOutput {
         GaOutput {
             outputs: Vec::new(),
             participation: 0,
-            by_block: HashMap::new(),
         }
     }
 
@@ -41,11 +38,9 @@ impl GaOutput {
             .map(|(b, g)| (b, g, tree.height(b).unwrap_or(0)))
             .collect();
         enriched.sort_by_key(|&(b, _, _)| b.as_u64());
-        let by_block = enriched.iter().map(|&(b, g, _)| (b, g)).collect();
         GaOutput {
             outputs: enriched,
             participation,
-            by_block,
         }
     }
 
@@ -59,9 +54,14 @@ impl GaOutput {
         self.outputs.is_empty()
     }
 
-    /// The grade of a specific log, if it was output.
+    /// The grade of a specific log, if it was output. Binary search over
+    /// the id-sorted outputs — grade lookups are rare (tests, monitors),
+    /// so the hot path no longer materialises a per-tally lookup map.
     pub fn grade_of(&self, block: BlockId) -> Option<Grade> {
-        self.by_block.get(&block).copied()
+        self.outputs
+            .binary_search_by_key(&block.as_u64(), |&(b, _, _)| b.as_u64())
+            .ok()
+            .map(|i| self.outputs[i].1)
     }
 
     /// Iterates `(block, grade)` pairs, sorted by block id.
@@ -153,7 +153,11 @@ mod tests {
     fn longest_selection_prefers_height() {
         let (tree, ids) = chain_tree(3);
         let out = GaOutput::new(
-            vec![(ids[1], Grade::One), (ids[2], Grade::One), (ids[3], Grade::Zero)],
+            vec![
+                (ids[1], Grade::One),
+                (ids[2], Grade::One),
+                (ids[3], Grade::Zero),
+            ],
             6,
             &tree,
         );
@@ -167,7 +171,11 @@ mod tests {
     fn maximal_outputs_on_chain_is_tip() {
         let (tree, ids) = chain_tree(3);
         let out = GaOutput::new(
-            vec![(ids[1], Grade::One), (ids[2], Grade::Zero), (ids[3], Grade::Zero)],
+            vec![
+                (ids[1], Grade::One),
+                (ids[2], Grade::Zero),
+                (ids[3], Grade::Zero),
+            ],
             6,
             &tree,
         );
@@ -178,13 +186,27 @@ mod tests {
     fn maximal_outputs_on_fork() {
         let mut tree = BlockTree::new();
         let a = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(0),
+                vec![],
+            ))
             .unwrap();
         let b = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(1),
+                vec![],
+            ))
             .unwrap();
         let out = GaOutput::new(
-            vec![(a, Grade::Zero), (b, Grade::Zero), (BlockId::GENESIS, Grade::One)],
+            vec![
+                (a, Grade::Zero),
+                (b, Grade::Zero),
+                (BlockId::GENESIS, Grade::One),
+            ],
             9,
             &tree,
         );

@@ -15,8 +15,8 @@
 
 use crate::{GaOutput, Thresholds};
 use st_blocktree::BlockTree;
+use st_types::FastMap;
 use st_types::{BlockId, Grade, ProcessId};
-use std::collections::HashMap;
 
 /// Maintains, for every block, the number of counted votes whose tip
 /// extends it (its *support*), under per-sender vote replacement.
@@ -40,8 +40,8 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SupportIndex {
-    support: HashMap<BlockId, usize>,
-    current: HashMap<ProcessId, BlockId>,
+    support: FastMap<BlockId, usize>,
+    current: FastMap<ProcessId, BlockId>,
 }
 
 impl SupportIndex {
@@ -149,7 +149,12 @@ mod tests {
         let mut tree = BlockTree::new();
         let mut ids = vec![BlockId::GENESIS];
         for i in 0..len {
-            let b = Block::build(*ids.last().unwrap(), View::new(i as u64 + 1), ProcessId::new(0), vec![]);
+            let b = Block::build(
+                *ids.last().unwrap(),
+                View::new(i as u64 + 1),
+                ProcessId::new(0),
+                vec![],
+            );
             ids.push(tree.insert(b).unwrap());
         }
         (tree, ids)
@@ -174,10 +179,20 @@ mod tests {
         let trunk = Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]);
         let trunk_id = tree.insert(trunk).unwrap();
         let left = tree
-            .insert(Block::build(trunk_id, View::new(2), ProcessId::new(1), vec![]))
+            .insert(Block::build(
+                trunk_id,
+                View::new(2),
+                ProcessId::new(1),
+                vec![],
+            ))
             .unwrap();
         let right = tree
-            .insert(Block::build(trunk_id, View::new(2), ProcessId::new(2), vec![]))
+            .insert(Block::build(
+                trunk_id,
+                View::new(2),
+                ProcessId::new(2),
+                vec![],
+            ))
             .unwrap();
         let mut idx = SupportIndex::new();
         idx.set_vote(&tree, ProcessId::new(0), left);

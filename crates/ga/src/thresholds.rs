@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn from_params() {
-        let p = st_types::Params::builder(10).failure_ratio(0.25).build().unwrap();
+        let p = st_types::Params::builder(10)
+            .failure_ratio(0.25)
+            .build()
+            .unwrap();
         let t = Thresholds::from(p);
         assert!((t.beta() - 0.25).abs() < 1e-12);
     }

@@ -118,7 +118,9 @@ fn check_lemma1(ex: &Execution) -> Result<(), TestCaseError> {
             // Integrity: some honest process input an extension of the
             // output log.
             prop_assert!(
-                ex.honest_inputs.iter().any(|&(_, t)| tree.is_ancestor(block, t)),
+                ex.honest_inputs
+                    .iter()
+                    .any(|&(_, t)| tree.is_ancestor(block, t)),
                 "integrity: receiver {} output {:?} ({:?}) unsupported by honest inputs",
                 i,
                 block,
@@ -207,13 +209,28 @@ proptest! {
 fn clique_validity_deterministic_scenario() {
     let mut tree = BlockTree::new();
     let lambda = tree
-        .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+        .insert(Block::build(
+            BlockId::GENESIS,
+            View::new(1),
+            ProcessId::new(0),
+            vec![],
+        ))
         .unwrap();
     let ext = tree
-        .insert(Block::build(lambda, View::new(2), ProcessId::new(1), vec![]))
+        .insert(Block::build(
+            lambda,
+            View::new(2),
+            ProcessId::new(1),
+            vec![],
+        ))
         .unwrap();
     let rival = tree
-        .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(9), vec![]))
+        .insert(Block::build(
+            BlockId::GENESIS,
+            View::new(1),
+            ProcessId::new(9),
+            vec![],
+        ))
         .unwrap();
 
     // H′ = {p0..p6}: p0..p3 voted fresh (round 5) extensions of Λ; p4..p6
@@ -234,7 +251,11 @@ fn clique_validity_deterministic_scenario() {
     let votes = store.latest_in_window(Round::new(1), Round::new(5));
     assert_eq!(votes.participation(), 10);
     let out = tally(&tree, &votes, Thresholds::mmr());
-    assert_eq!(out.grade_of(lambda), Some(Grade::One), "clique validity violated");
+    assert_eq!(
+        out.grade_of(lambda),
+        Some(Grade::One),
+        "clique validity violated"
+    );
     // The rival, with 3 of 10 votes, must not reach grade 1 (3 ≤ 2·10/3)
     // and in fact not even appear: 3 of 10 is not > 10/3? 3 < 3.33 → no.
     assert_eq!(out.grade_of(rival), None);

@@ -33,9 +33,9 @@ struct NodeState {
 /// hop). Asleep nodes neither push nor receive — but *relays keep
 /// pushing*, which is exactly footnote 2's retention property: once a
 /// message has left its origin, the origin's sleep does not stop
-/// dissemination. A node that wakes receives anything its peers still
-/// frontier **or** on the next injection sweep (peers re-push to newly
-/// awake neighbours — modelled by re-frontier-ing on wake).
+/// dissemination. A node that wakes is caught up by its peers: on
+/// [`GossipEngine::wake`], every awake peer re-pushes its retained
+/// messages toward the woken node (see `wake` for details).
 #[derive(Clone, Debug)]
 pub struct GossipEngine {
     topology: Topology,
@@ -78,14 +78,40 @@ impl GossipEngine {
         self.nodes[p.index()].asleep = true;
     }
 
-    /// Wakes a node; everything it has seen re-enters its frontier so its
-    /// neighbourhood converges again (and it will receive from peers on
-    /// subsequent hops).
+    /// Wakes a node. Two things happen, both modelling footnote 2's
+    /// retention property:
+    ///
+    /// * everything the node has seen re-enters its own frontier, so its
+    ///   neighbourhood converges again on anything it alone holds;
+    /// * every **awake peer re-pushes its retained messages toward the
+    ///   woken node** — a node that slept through a dissemination receives
+    ///   it from its relays on wake, without any other node having to
+    ///   cycle through sleep/wake itself. Messages the woken node adopts
+    ///   here enter its frontier and propagate onward on the next hop.
     pub fn wake(&mut self, p: ProcessId) {
-        let node = &mut self.nodes[p.index()];
-        if node.asleep {
-            node.asleep = false;
-            node.frontier = node.seen.iter().copied().collect();
+        if !self.nodes[p.index()].asleep {
+            return;
+        }
+        self.nodes[p.index()].asleep = false;
+        self.nodes[p.index()].frontier = self.nodes[p.index()].seen.iter().copied().collect();
+        // Peer re-push: each awake peer sends its whole seen-cache to the
+        // woken node (counted as transmissions — retention isn't free).
+        let peers: Vec<usize> = self
+            .topology
+            .peers_of(p)
+            .iter()
+            .map(|q| q.index())
+            .filter(|&q| !self.nodes[q].asleep)
+            .collect();
+        for q in peers {
+            let pushed: Vec<MessageId> = self.nodes[q].seen.iter().copied().collect();
+            self.transmissions += pushed.len();
+            let node = &mut self.nodes[p.index()];
+            for msg in pushed {
+                if node.seen.insert(msg) {
+                    node.frontier.push(msg);
+                }
+            }
         }
     }
 
@@ -188,23 +214,25 @@ mod tests {
         let msg = g.inject(ProcessId::new(0), 1);
         g.run_to_quiescence();
         assert!(!g.has_seen(ProcessId::new(7), msg));
-        // Wake: peers' re-frontier mechanism replays the message.
-        for p in 0..30 {
-            g.wake(ProcessId::new(p)); // no-op for awake nodes
-        }
-        // Re-frontier the awake world so the waker's neighbourhood pushes
-        // again (wake() only refills the woken node's own frontier; its
-        // peers push on the next injection or re-frontier — model that by
-        // waking a peer too).
-        g.run_to_quiescence();
-        // The woken node's own frontier was empty (it had seen nothing),
-        // so it must receive from a peer that re-pushes. Force one peer
-        // re-push by sleeping+waking it.
-        let peer = g.topology.peers_of(ProcessId::new(7))[0];
-        g.sleep(peer);
-        g.wake(peer);
-        g.run_to_quiescence();
+        // Wake: the woken node's peers re-push their retained messages
+        // toward it (footnote-2 retention) — no other node has to be
+        // slept and re-woken for the replay to happen.
+        g.wake(ProcessId::new(7));
         assert!(g.has_seen(ProcessId::new(7), msg));
+        // And everyone still converges.
+        g.run_to_quiescence();
+        assert_eq!(g.coverage(msg), 1.0);
+    }
+
+    #[test]
+    fn wake_is_noop_for_awake_nodes() {
+        let mut g = engine(20, 4);
+        let msg = g.inject(ProcessId::new(0), 1);
+        g.run_to_quiescence();
+        let tx_before = g.transmissions();
+        g.wake(ProcessId::new(3)); // already awake: no re-push storm
+        assert_eq!(g.transmissions(), tx_before);
+        assert_eq!(g.coverage(msg), 1.0);
     }
 
     #[test]
@@ -214,7 +242,11 @@ mod tests {
         g.run_to_quiescence();
         // Each node pushes each message to each peer at most once per
         // adoption: ≤ n · degree total.
-        assert!(g.transmissions() <= 40 * 6, "{} transmissions", g.transmissions());
+        assert!(
+            g.transmissions() <= 40 * 6,
+            "{} transmissions",
+            g.transmissions()
+        );
     }
 
     #[test]

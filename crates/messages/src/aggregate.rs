@@ -72,10 +72,14 @@ impl AggregatedVote {
         if !envelope.verify(directory) {
             return false;
         }
-        match self.signers.binary_search_by_key(&vote.sender(), |&(s, _)| s) {
+        match self
+            .signers
+            .binary_search_by_key(&vote.sender(), |&(s, _)| s)
+        {
             Ok(_) => false, // already aggregated
             Err(pos) => {
-                self.signers.insert(pos, (vote.sender(), *envelope.signature()));
+                self.signers
+                    .insert(pos, (vote.sender(), *envelope.signature()));
                 true
             }
         }
@@ -183,7 +187,11 @@ mod tests {
         let kp = Keypair::derive(ProcessId::new(sender), seed);
         Envelope::sign(
             &kp,
-            Payload::Vote(Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip))),
+            Payload::Vote(Vote::new(
+                ProcessId::new(sender),
+                Round::new(round),
+                BlockId::new(tip),
+            )),
         )
     }
 

@@ -119,16 +119,34 @@ impl fmt::Debug for Envelope {
 #[derive(Clone, Debug)]
 pub struct KeyDirectory {
     keys: Vec<PublicKey>,
+    fingerprint: u64,
 }
 
 impl KeyDirectory {
     /// Builds the directory for a system of `n` processes under a seed,
     /// matching [`Keypair::derive`].
     pub fn derive(n: usize, system_seed: u64) -> KeyDirectory {
-        let keys = ProcessId::all(n)
+        let keys: Vec<PublicKey> = ProcessId::all(n)
             .map(|p| Keypair::derive(p, system_seed).public())
             .collect();
-        KeyDirectory { keys }
+        // A cheap, collision-resistant-enough identity for the *process
+        // set* this directory describes. The shared-envelope verification
+        // cache is keyed on it so a cached verdict is never reused across
+        // directories (e.g. two simulated systems with different seeds).
+        // Forced odd so a fingerprint is never zero and shifted encodings
+        // of it stay nonzero.
+        let fingerprint = st_crypto::Hasher64::with_domain("st/keydir")
+            .chain_u64(system_seed)
+            .chain_u64(n as u64)
+            .finish()
+            | 1;
+        KeyDirectory { keys, fingerprint }
+    }
+
+    /// The directory's identity: equal for directories describing the same
+    /// process set, distinct (w.h.p.) otherwise. Never zero.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The number of registered processes.

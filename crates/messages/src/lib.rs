@@ -44,11 +44,13 @@
 mod aggregate;
 mod envelope;
 mod propose_store;
+mod shared;
 mod types;
 mod vote_store;
 
 pub use aggregate::{AggregatedVote, VoteAggregator};
 pub use envelope::{Envelope, KeyDirectory, Payload};
 pub use propose_store::ProposeStore;
+pub use shared::SharedEnvelope;
 pub use types::{Propose, Vote};
 pub use vote_store::{InsertOutcome, LatestVotes, VoteStore};

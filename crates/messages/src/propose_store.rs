@@ -3,8 +3,9 @@
 use crate::envelope::KeyDirectory;
 use crate::Propose;
 use st_crypto::Vrf;
+use st_types::FastMap;
 use st_types::{ProcessId, View};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Stores the proposals received for each view and selects the leader's
 /// proposal: the one with the **largest valid VRF(v)** (Algorithm 1,
@@ -15,9 +16,19 @@ use std::collections::HashMap;
 /// filter (the "not conflicting with `L_{v−1}`" check) and breaks VRF ties
 /// deterministically so that all honest processes with the same message set
 /// choose the same proposal.
+///
+/// Proposals are bucketed per `(view, sender)`: the duplicate check on
+/// insert only scans the sender's own (almost always singleton) bucket
+/// instead of every proposal in the view — with `n` proposers per view
+/// the per-view insert cost across a process set drops from `O(n³)` full
+/// `Propose` comparisons to `O(n²)` bucket lookups, which is what lets
+/// simulations scale to four-digit `n`.
 #[derive(Clone, Debug, Default)]
 pub struct ProposeStore {
-    by_view: HashMap<View, Vec<Propose>>,
+    /// view → sender → that sender's proposals (insertion order).
+    /// `BTreeMap` gives deterministic sender-order iteration, so
+    /// selection is reproducible across processes and runs.
+    by_view: FastMap<View, BTreeMap<ProcessId, Vec<Propose>>>,
 }
 
 impl ProposeStore {
@@ -41,17 +52,53 @@ impl ProposeStore {
         ) {
             return false;
         }
-        let entry = self.by_view.entry(proposal.view()).or_default();
-        if entry.contains(&proposal) {
+        let bucket = self
+            .by_view
+            .entry(proposal.view())
+            .or_default()
+            .entry(proposal.sender())
+            .or_default();
+        if bucket.contains(&proposal) {
             return false;
         }
-        entry.push(proposal);
+        bucket.push(proposal);
         true
     }
 
-    /// All proposals recorded for `view`.
-    pub fn proposals_for(&self, view: View) -> &[Propose] {
-        self.by_view.get(&view).map(Vec::as_slice).unwrap_or(&[])
+    /// [`ProposeStore::insert`] with the *pre-fast-path* duplicate check:
+    /// a linear scan over **every** proposal recorded for the view (the
+    /// seed implementation) instead of the sender's own bucket.
+    /// Semantically identical — a duplicate can only live in its own
+    /// sender's bucket, since equality implies equal senders — but costed
+    /// like the original `O(view size)` scan. Exists solely so the naive
+    /// benchmarking baseline (`SimConfig::naive_delivery` in `st-sim`)
+    /// reproduces the pre-refactor hot path faithfully.
+    pub fn insert_full_scan(&mut self, proposal: Propose, directory: &KeyDirectory) -> bool {
+        let Some(pk) = directory.key_of(proposal.sender()) else {
+            return false;
+        };
+        if !Vrf::verify(
+            pk,
+            proposal.view().as_u64(),
+            proposal.vrf_value(),
+            proposal.vrf_proof(),
+        ) {
+            return false;
+        }
+        let senders = self.by_view.entry(proposal.view()).or_default();
+        if senders.values().flatten().any(|q| q == &proposal) {
+            return false;
+        }
+        senders.entry(proposal.sender()).or_default().push(proposal);
+        true
+    }
+
+    /// All proposals recorded for `view`, in (sender, insertion) order.
+    pub fn proposals_for(&self, view: View) -> Vec<&Propose> {
+        self.by_view
+            .get(&view)
+            .map(|senders| senders.values().flatten().collect())
+            .unwrap_or_default()
     }
 
     /// Selects the proposal for `view` with the largest valid VRF among
@@ -66,8 +113,10 @@ impl ProposeStore {
     where
         F: FnMut(&Propose) -> bool,
     {
-        self.proposals_for(view)
-            .iter()
+        self.by_view
+            .get(&view)?
+            .values()
+            .flatten()
             .filter(|p| admissible(p))
             .max_by_key(|p| (p.vrf_value(), p.tip().as_u64()))
     }
@@ -85,14 +134,10 @@ impl ProposeStore {
 
     /// The distinct proposers recorded for `view`.
     pub fn proposers_for(&self, view: View) -> Vec<ProcessId> {
-        let mut out: Vec<ProcessId> = self
-            .proposals_for(view)
-            .iter()
-            .map(|p| p.sender())
-            .collect();
-        out.sort();
-        out.dedup();
-        out
+        self.by_view
+            .get(&view)
+            .map(|senders| senders.keys().copied().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -143,7 +188,14 @@ mod tests {
         let mut s = ProposeStore::new();
         let (value, proof) = kps[0].vrf_eval(2); // VRF for the wrong view
         let block = Block::build(BlockId::GENESIS, View::new(1), kps[0].owner(), vec![]);
-        let p = Propose::new(kps[0].owner(), Round::ZERO, View::new(1), block, value, proof);
+        let p = Propose::new(
+            kps[0].owner(),
+            Round::ZERO,
+            View::new(1),
+            block,
+            value,
+            proof,
+        );
         assert!(!s.insert(p, &dir));
         assert!(s.proposals_for(View::new(1)).is_empty());
     }

@@ -7,8 +7,9 @@
 //! Figure 3).
 
 use crate::Vote;
+use st_types::FastMap;
 use st_types::{BlockId, ProcessId, Round};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// What happened when a vote was inserted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +43,7 @@ enum RoundRecord {
 pub struct VoteStore {
     /// sender → (round → record). `BTreeMap` gives cheap
     /// latest-within-window lookups via `range(..).next_back()`.
-    by_sender: HashMap<ProcessId, BTreeMap<Round, RoundRecord>>,
+    by_sender: FastMap<ProcessId, BTreeMap<Round, RoundRecord>>,
     /// Total count of distinct (sender, round, tip) votes recorded.
     distinct_votes: usize,
 }
@@ -75,7 +76,9 @@ impl VoteStore {
             }
             Some(RoundRecord::Single(tip)) if *tip == vote.tip() => InsertOutcome::Duplicate,
             Some(rec @ RoundRecord::Single(_)) => {
-                let RoundRecord::Single(first) = *rec else { unreachable!() };
+                let RoundRecord::Single(first) = *rec else {
+                    unreachable!()
+                };
                 *rec = RoundRecord::Equivocated(first, vote.tip());
                 self.distinct_votes += 1;
                 InsertOutcome::Equivocation
@@ -108,24 +111,67 @@ impl VoteStore {
     /// discarded", Section 3.3) — it contributes neither a vote nor to the
     /// perceived participation count.
     pub fn latest_in_window(&self, lo: Round, hi: Round) -> LatestVotes {
-        let mut votes = Vec::new();
+        let mut out = LatestVotes { votes: Vec::new() };
+        self.latest_in_window_into(lo, hi, &mut out);
+        out
+    }
+
+    /// [`VoteStore::latest_in_window`] into a caller-owned buffer, reusing
+    /// its allocation. The tally runs once per process per round, so the
+    /// hot loop keeps one scratch [`LatestVotes`] alive instead of
+    /// allocating (and dropping) an `n`-entry vector every round.
+    pub fn latest_in_window_into(&self, lo: Round, hi: Round, out: &mut LatestVotes) {
+        out.votes.clear();
         for (&sender, rounds) in &self.by_sender {
             if let Some((&round, rec)) = rounds.range(lo..=hi).next_back() {
                 match rec {
-                    RoundRecord::Single(tip) => votes.push((sender, round, *tip)),
+                    RoundRecord::Single(tip) => out.votes.push((sender, round, *tip)),
                     RoundRecord::Equivocated(_, _) => { /* discarded */ }
                 }
             }
         }
         // Deterministic order for reproducibility of downstream iteration.
-        votes.sort_by_key(|&(s, _, _)| s);
-        LatestVotes { votes }
+        out.votes.sort_by_key(|&(s, _, _)| s);
     }
 
     /// Drops all votes from rounds strictly below `lo` (they can never
     /// again fall inside an expiration window once `r − η ≥ lo`). Keeps
     /// memory proportional to `n · η`.
+    ///
+    /// Called once per round from the protocol's send phase, so the cost
+    /// must scale with what is *actually removed* (usually one round's
+    /// worth per sender, often nothing), not with what is retained:
+    /// entries are popped from the front of each sender's round map only
+    /// while they are expired. The previous `split_off`-based
+    /// implementation rebuilt every sender's whole map every round — an
+    /// `O(n · η)` allocation wall per process per round; it survives as
+    /// [`VoteStore::prune_below_presplit`] for the naive benchmarking
+    /// baseline.
     pub fn prune_below(&mut self, lo: Round) {
+        let mut any_emptied = false;
+        for rounds in self.by_sender.values_mut() {
+            while let Some(entry) = rounds.first_entry() {
+                if *entry.key() >= lo {
+                    break;
+                }
+                self.distinct_votes -= match entry.get() {
+                    RoundRecord::Single(_) => 1,
+                    RoundRecord::Equivocated(_, _) => 2,
+                };
+                entry.remove();
+            }
+            any_emptied |= rounds.is_empty();
+        }
+        if any_emptied {
+            self.by_sender.retain(|_, rounds| !rounds.is_empty());
+        }
+    }
+
+    /// The seed implementation of [`VoteStore::prune_below`]: rebuilds
+    /// every sender's round map via `split_off` whether or not anything is
+    /// expired. Identical observable behaviour, pre-refactor cost model —
+    /// used only by the naive benchmarking baseline.
+    pub fn prune_below_presplit(&mut self, lo: Round) {
         for rounds in self.by_sender.values_mut() {
             let keep = rounds.split_off(&lo);
             for rec in rounds.values() {
@@ -148,7 +194,7 @@ impl VoteStore {
 /// The result of a latest-in-window query: at most one vote per sender,
 /// equivocators excluded. This is the set `M_i^r` the graded-agreement
 /// tally runs over.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatestVotes {
     /// `(sender, round the vote was cast in, tip voted for)`, sorted by
     /// sender.
@@ -156,6 +202,12 @@ pub struct LatestVotes {
 }
 
 impl LatestVotes {
+    /// An empty vote set — the starting value for a reusable scratch
+    /// buffer passed to [`VoteStore::latest_in_window_into`].
+    pub fn empty() -> LatestVotes {
+        LatestVotes::default()
+    }
+
     /// The perceived participation `m = |M_i^r|`: the number of distinct
     /// processes contributing a (non-equivocating) latest vote.
     pub fn participation(&self) -> usize {
@@ -265,15 +317,18 @@ mod tests {
         let mut s = VoteStore::new();
         s.insert(v(1, 3, 30));
         assert_eq!(
-            s.latest_in_window(Round::new(3), Round::new(3)).participation(),
+            s.latest_in_window(Round::new(3), Round::new(3))
+                .participation(),
             1
         );
         assert_eq!(
-            s.latest_in_window(Round::new(4), Round::new(9)).participation(),
+            s.latest_in_window(Round::new(4), Round::new(9))
+                .participation(),
             0
         );
         assert_eq!(
-            s.latest_in_window(Round::new(0), Round::new(2)).participation(),
+            s.latest_in_window(Round::new(0), Round::new(2))
+                .participation(),
             0
         );
     }

@@ -28,7 +28,14 @@ fn propose_roundtrip_preserves_block_body() {
         vec![TxId::new(1), TxId::new(2)],
     );
     let (value, proof) = kp.vrf_eval(2);
-    let prop = Propose::new(kp.owner(), Round::new(2), View::new(2), block.clone(), value, proof);
+    let prop = Propose::new(
+        kp.owner(),
+        Round::new(2),
+        View::new(2),
+        block.clone(),
+        value,
+        proof,
+    );
     let json = serde_json::to_string(&prop).unwrap();
     let back: Propose = serde_json::from_str(&json).unwrap();
     assert_eq!(prop, back);
@@ -45,7 +52,10 @@ fn envelope_roundtrip_still_verifies() {
     let json = serde_json::to_string(&env).unwrap();
     let back: Envelope = serde_json::from_str(&json).unwrap();
     assert_eq!(env, back);
-    assert!(back.verify(&directory), "signature must survive serialization");
+    assert!(
+        back.verify(&directory),
+        "signature must survive serialization"
+    );
 }
 
 #[test]
@@ -58,6 +68,9 @@ fn tampered_envelope_fails_verification_after_roundtrip() {
     // Flip the voted tip inside the serialized payload.
     json = json.replace("7", "8");
     if let Ok(tampered) = serde_json::from_str::<Envelope>(&json) {
-        assert!(!tampered.verify(&directory), "tampering must break the signature");
+        assert!(
+            !tampered.verify(&directory),
+            "tampering must break the signature"
+        );
     }
 }

@@ -172,7 +172,12 @@ impl Adversary for EquivocatingVoter {
         if !self.planted {
             // Plant two conflicting blocks off genesis, shipped to all so
             // every tree can interpret the equivocating votes.
-            let a = Block::build(BlockId::GENESIS, View::new(1), leader, vec![TxId::new(u64::MAX)]);
+            let a = Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                leader,
+                vec![TxId::new(u64::MAX)],
+            );
             let b = Block::build(
                 BlockId::GENESIS,
                 View::new(1),
@@ -301,7 +306,13 @@ impl ReplayDriver {
     }
 
     /// Re-delivers every pool message older than `round − lag` to every
-    /// process. Call once per round with the cumulative message pool.
+    /// process. Call once per round with the retained message pool
+    /// ([`crate::Network::pool`]). Progress is tracked by each message's
+    /// **global** [`crate::network::SentMessage::index`], so the driver
+    /// keeps working when the network compacts its fully-delivered prefix
+    /// away (messages dropped by compaction were, by definition,
+    /// delivered to everyone already — exactly what a replay would no-op
+    /// against).
     pub fn replay_into(
         &mut self,
         pool: &[crate::network::SentMessage],
@@ -309,12 +320,17 @@ impl ReplayDriver {
         procs: &mut [st_core::TobProcess],
     ) {
         let cutoff = round.saturating_sub(self.lag);
-        while self.replayed_upto < pool.len() && pool[self.replayed_upto].round < cutoff {
-            let env = pool[self.replayed_upto].envelope.clone();
-            for p in procs.iter_mut() {
-                p.on_receive(env.clone());
+        for msg in pool {
+            if msg.index < self.replayed_upto {
+                continue;
             }
-            self.replayed_upto += 1;
+            if msg.round >= cutoff {
+                break; // pool is round-sorted: nothing older follows
+            }
+            for p in procs.iter_mut() {
+                p.on_receive_shared(&msg.envelope);
+            }
+            self.replayed_upto = msg.index + 1;
         }
     }
 }
@@ -421,7 +437,12 @@ impl Adversary for WithholdingLeader {
         let mut out = Vec::new();
         for (i, &byz) in ctx.corrupted.iter().enumerate() {
             let kp = &ctx.keypairs[i];
-            let block = Block::build(tip, next_view, byz, vec![TxId::new(0xB10C + byz.as_u32() as u64)]);
+            let block = Block::build(
+                tip,
+                next_view,
+                byz,
+                vec![TxId::new(0xB10C + byz.as_u32() as u64)],
+            );
             let (vrf_value, vrf_proof) = kp.vrf_eval(next_view.as_u64());
             let prop = Propose::new(byz, ctx.round, next_view, block, vrf_value, vrf_proof);
             out.push(TargetedMessage {
@@ -593,9 +614,18 @@ mod tests {
 
     #[test]
     fn partition_halves_by_parity() {
-        assert!(PartitionAttacker::same_half(ProcessId::new(0), ProcessId::new(2)));
-        assert!(PartitionAttacker::same_half(ProcessId::new(1), ProcessId::new(3)));
-        assert!(!PartitionAttacker::same_half(ProcessId::new(0), ProcessId::new(1)));
+        assert!(PartitionAttacker::same_half(
+            ProcessId::new(0),
+            ProcessId::new(2)
+        ));
+        assert!(PartitionAttacker::same_half(
+            ProcessId::new(1),
+            ProcessId::new(3)
+        ));
+        assert!(!PartitionAttacker::same_half(
+            ProcessId::new(0),
+            ProcessId::new(1)
+        ));
     }
 
     #[test]

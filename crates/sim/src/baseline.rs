@@ -118,7 +118,11 @@ mod tests {
         // span misses the 2n/3 quorum.
         let schedule = Schedule::mass_sleep(10, 20, 0.6, 6, 14);
         let report = StaticQuorumBft::new(10).run(&schedule);
-        assert!(report.longest_stall() >= 4, "stall {} views", report.longest_stall());
+        assert!(
+            report.longest_stall() >= 4,
+            "stall {} views",
+            report.longest_stall()
+        );
         // It recovers after the incident.
         assert!(report
             .decided_views

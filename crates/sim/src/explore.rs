@@ -219,7 +219,10 @@ impl CoupledStrategy {
 
     /// The pattern for the `offset`-th asynchronous round.
     pub fn pattern(&self, offset: usize) -> RoundPattern {
-        self.patterns.get(offset).copied().unwrap_or(RoundPattern::All)
+        self.patterns
+            .get(offset)
+            .copied()
+            .unwrap_or(RoundPattern::All)
     }
 }
 
@@ -271,7 +274,9 @@ pub fn exhaustive_check_coupled(
     for index in 0..total {
         let strategy = CoupledStrategy::decode(index, window.pi());
         let sim = Simulation::new(
-            SimConfig::new(params, 1).horizon(horizon).async_window(window),
+            SimConfig::new(params, 1)
+                .horizon(horizon)
+                .async_window(window),
             Schedule::full(params.n(), horizon),
             Box::new(CoupledAdversary {
                 strategy,
@@ -314,7 +319,9 @@ fn classify(outcome: &crate::SimReport) -> Verdict {
 fn run_strategy(params: Params, window: AsyncWindow, horizon: u64, index: u64) -> Verdict {
     let strategy = Strategy::decode(index, params.n(), window.pi());
     let sim = Simulation::new(
-        SimConfig::new(params, 1).horizon(horizon).async_window(window),
+        SimConfig::new(params, 1)
+            .horizon(horizon)
+            .async_window(window),
         Schedule::full(params.n(), horizon),
         Box::new(ScriptedAdversary {
             strategy,

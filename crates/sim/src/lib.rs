@@ -51,11 +51,11 @@
 pub mod adversary;
 pub mod baseline;
 pub mod explore;
-pub mod scenario;
 mod metrics;
 mod monitor;
 mod network;
 mod runner;
+pub mod scenario;
 mod schedule;
 
 pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};

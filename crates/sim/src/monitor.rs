@@ -156,11 +156,18 @@ impl SimReport {
 ///
 /// Rather than comparing every new decision against all previous ones
 /// (quadratic), the monitor maintains the set of *maximal* decided tips:
-/// a new decision only needs compatibility checks against those.
+/// a new decision only needs compatibility checks against those. The
+/// frontier keeps conflicting branches side by side, so entries are
+/// pairwise incomparable (no entry is an ancestor of another).
 #[derive(Clone, Debug, Default)]
 pub(crate) struct SafetyMonitor {
     /// Maximal decided tips with a witness decision each.
     frontier: Vec<(BlockId, ProcessId, DecisionEvent)>,
+    /// Conflicting `(process, tip)` pairs already recorded, order-
+    /// normalised, mapped to their entry in `violations` — the same pair
+    /// of conflicting logs is reported once, not once per re-decision of
+    /// either side.
+    recorded: std::collections::HashMap<(u32, u64, u32, u64), usize>,
     pub(crate) violations: Vec<SafetyViolation>,
 }
 
@@ -169,21 +176,51 @@ impl SafetyMonitor {
         SafetyMonitor::default()
     }
 
-    /// Records a decision, checking it against the frontier.
+    /// Records a decision, checking it against the **whole** frontier.
+    ///
+    /// Every frontier entry is examined before anything is concluded: with
+    /// a forked frontier, a new tip can simultaneously extend one branch
+    /// and conflict with another, so returning early on the first
+    /// "already covered" entry would make the violation count depend on
+    /// frontier insertion order.
     pub(crate) fn observe(&mut self, tree: &BlockTree, who: ProcessId, event: DecisionEvent) {
         let tip = event.tip;
         let mut superseded = Vec::new();
+        let mut covered = false;
         for (i, (frontier_tip, fp, fe)) in self.frontier.iter().enumerate() {
             if tree.is_ancestor(*frontier_tip, tip) {
                 superseded.push(i);
             } else if tree.is_ancestor(tip, *frontier_tip) {
-                // Already covered by a longer decided log: compatible.
-                return;
+                // Covered by a longer decided log on this branch — but
+                // keep scanning: other branches may still conflict.
+                covered = true;
             } else {
-                self.violations.push(SafetyViolation {
+                let key = Self::pair_key((*fp, fe.tip), (who, tip));
+                let occurrence = SafetyViolation {
                     first: (*fp, *fe),
                     second: (who, event),
-                });
+                };
+                match self.recorded.get(&key) {
+                    None => {
+                        self.recorded.insert(key, self.violations.len());
+                        self.violations.push(occurrence);
+                    }
+                    Some(&i) => {
+                        // Same pair, later re-decisions: keep the witness
+                        // whose *earlier* decision is latest. Downstream
+                        // classification (post-window vs in-window, see
+                        // `SimReport::post_window_violations`) looks at
+                        // the witness rounds, so a pair that re-conflicts
+                        // entirely after the asynchronous window must not
+                        // hide behind its first, in-window occurrence.
+                        let stored = &self.violations[i];
+                        let stored_min = stored.first.1.round.min(stored.second.1.round);
+                        let new_min = occurrence.first.1.round.min(occurrence.second.1.round);
+                        if new_min > stored_min {
+                            self.violations[i] = occurrence;
+                        }
+                    }
+                }
                 // Keep both in the frontier so later decisions are judged
                 // against both branches.
             }
@@ -191,7 +228,18 @@ impl SafetyMonitor {
         for &i in superseded.iter().rev() {
             self.frontier.remove(i);
         }
-        self.frontier.push((tip, who, event));
+        if !covered {
+            self.frontier.push((tip, who, event));
+        }
+    }
+
+    /// Order-normalised identity of a conflicting pair: `(p, tip)` on
+    /// both sides, smaller side first, so A-vs-B and B-vs-A dedup to one.
+    fn pair_key(a: (ProcessId, BlockId), b: (ProcessId, BlockId)) -> (u32, u64, u32, u64) {
+        let a = (a.0.as_u32(), a.1.as_u64());
+        let b = (b.0.as_u32(), b.1.as_u64());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (lo.0, lo.1, hi.0, hi.1)
     }
 }
 
@@ -244,13 +292,23 @@ mod tests {
     fn mk_tree() -> (BlockTree, BlockId, BlockId, BlockId) {
         let mut tree = BlockTree::new();
         let a = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(0),
+                vec![],
+            ))
             .unwrap();
         let a2 = tree
             .insert(Block::build(a, View::new(2), ProcessId::new(0), vec![]))
             .unwrap();
         let b = tree
-            .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(1), vec![]))
+            .insert(Block::build(
+                BlockId::GENESIS,
+                View::new(1),
+                ProcessId::new(1),
+                vec![],
+            ))
             .unwrap();
         (tree, a, a2, b)
     }
@@ -284,11 +342,80 @@ mod tests {
     }
 
     #[test]
+    fn forked_frontier_conflicts_found_regardless_of_insertion_order() {
+        // Frontier forked into a2 and b. A new decision for `a` (a prefix
+        // of a2, conflicting with b) must be checked against the WHOLE
+        // frontier: depending on insertion order the old code early-
+        // returned on the covering entry and missed the conflict with the
+        // other branch.
+        let (tree, a, a2, b) = mk_tree();
+        let mut order1 = SafetyMonitor::new();
+        order1.observe(&tree, ProcessId::new(0), ev(3, a2));
+        order1.observe(&tree, ProcessId::new(1), ev(3, b)); // fork: 1 violation
+        order1.observe(&tree, ProcessId::new(2), ev(5, a)); // covered by a2, conflicts b
+
+        let mut order2 = SafetyMonitor::new();
+        order2.observe(&tree, ProcessId::new(1), ev(3, b));
+        order2.observe(&tree, ProcessId::new(0), ev(3, a2));
+        order2.observe(&tree, ProcessId::new(2), ev(5, a));
+
+        assert_eq!(
+            order1.violations.len(),
+            order2.violations.len(),
+            "violation count depends on frontier insertion order"
+        );
+        assert_eq!(order1.violations.len(), 2); // (a2,b) and (a,b)
+                                                // The covered tip did not displace the longer branch tip.
+        assert!(order1.frontier.iter().any(|(t, _, _)| *t == a2));
+        assert!(order1.frontier.iter().all(|(t, _, _)| *t != a));
+    }
+
+    #[test]
+    fn repeated_conflicting_pair_recorded_once() {
+        let (tree, a, _, b) = mk_tree();
+        let mut m = SafetyMonitor::new();
+        m.observe(&tree, ProcessId::new(0), ev(3, a));
+        m.observe(&tree, ProcessId::new(1), ev(3, b));
+        // The same processes re-decide the same conflicting tips on later
+        // rounds (steady-state re-decision): no new violation entries.
+        m.observe(&tree, ProcessId::new(0), ev(5, a));
+        m.observe(&tree, ProcessId::new(1), ev(5, b));
+        m.observe(&tree, ProcessId::new(1), ev(7, b));
+        assert_eq!(m.violations.len(), 1, "same pair re-recorded");
+        // A *different* process deciding one side is a new witness pair.
+        m.observe(&tree, ProcessId::new(2), ev(7, a));
+        assert_eq!(m.violations.len(), 2);
+    }
+
+    #[test]
+    fn dedup_upgrades_witness_to_latest_recurrence() {
+        // A pair that first conflicts early (say, inside an asynchronous
+        // window) and keeps re-conflicting later must expose the *latest*
+        // occurrence: `SimReport::post_window_violations` classifies by
+        // witness rounds, so keeping only the first occurrence would
+        // reclassify a genuine post-window violation as an in-window
+        // orphaning.
+        let (tree, a, _, b) = mk_tree();
+        let mut m = SafetyMonitor::new();
+        m.observe(&tree, ProcessId::new(0), ev(5, a)); // in-window
+        m.observe(&tree, ProcessId::new(1), ev(5, b)); // conflict @ (5,5)
+        m.observe(&tree, ProcessId::new(0), ev(9, a)); // post-window re-decisions
+        m.observe(&tree, ProcessId::new(1), ev(9, b));
+        assert_eq!(m.violations.len(), 1);
+        let v = &m.violations[0];
+        assert_eq!(
+            v.first.1.round.min(v.second.1.round),
+            Round::new(9),
+            "witness not upgraded to the post-window recurrence"
+        );
+    }
+
+    #[test]
     fn resilience_monitor_separates_pre_and_post() {
         let (tree, a, a2, b) = mk_tree();
         let mut m = ResilienceMonitor::new(Round::new(4));
         m.observe(&tree, ProcessId::new(0), ev(3, a)); // in D_ra
-        // Post-window extension of a: fine.
+                                                       // Post-window extension of a: fine.
         m.observe(&tree, ProcessId::new(1), ev(7, a2));
         assert!(m.violations.is_empty());
         // Post-window conflicting decision: flagged.

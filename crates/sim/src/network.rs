@@ -13,9 +13,9 @@
 //! * Byzantine senders may target messages at subsets of processes
 //!   (equivocation is sending different targeted messages).
 
-use st_messages::Envelope;
+use st_messages::SharedEnvelope;
+use st_types::FastSet;
 use st_types::{ProcessId, Round};
-use std::collections::HashSet;
 
 /// Who a message is addressed to. Honest multicasts are [`Recipients::All`];
 /// Byzantine processes may target subsets.
@@ -38,9 +38,14 @@ impl Recipients {
 }
 
 /// A message in the global pool.
+///
+/// The envelope is a [`SharedEnvelope`]: the pool owns one allocation per
+/// multicast and every delivery hands out a reference-count bump, never a
+/// deep clone — the fast path the simulation's round loop relies on.
 #[derive(Clone, Debug)]
 pub struct SentMessage {
-    /// Position in the pool (global, monotone).
+    /// Position in the pool (global, monotone — stable across
+    /// [`Network::compact`]).
     pub index: usize,
     /// The round the message was sent in.
     pub round: Round,
@@ -48,23 +53,39 @@ pub struct SentMessage {
     pub sender: ProcessId,
     /// Addressing.
     pub recipients: Recipients,
-    /// The signed message.
-    pub envelope: Envelope,
+    /// The signed message (shared, verify-once).
+    pub envelope: SharedEnvelope,
 }
 
 /// Per-process delivery state: everything below `cursor` has been
 /// delivered (or was not addressed to us); `extras` holds indices at or
 /// beyond the cursor delivered early during asynchrony.
+///
+/// Invariant: every member of `extras` is `≥ cursor` — `deliver_sync`
+/// consumes extras as the cursor passes them and `deliver_async` only
+/// inserts indices at or beyond the cursor. [`Network::compact`] relies
+/// on this to treat `min(cursor)` as the fully-delivered prefix.
 #[derive(Clone, Debug, Default)]
 struct DeliveryState {
     cursor: usize,
-    extras: HashSet<usize>,
+    extras: FastSet<usize>,
 }
 
 /// The simulated network.
+///
+/// Pool indices handed out (via [`SentMessage::index`] and the adversary's
+/// `deliver` hook) are **global**: they keep identifying the same message
+/// after [`Network::compact`] drops the fully-delivered prefix from
+/// memory.
 #[derive(Clone, Debug)]
 pub struct Network {
+    /// Retained messages: global indices `base ..= base + pool.len() - 1`.
     pool: Vec<SentMessage>,
+    /// Global index of `pool[0]`; messages below it were compacted away.
+    base: usize,
+    /// Round of the most recent send — persisted separately from the pool
+    /// so the round-monotonicity guard survives compaction emptying it.
+    last_sent_round: Option<Round>,
     delivery: Vec<DeliveryState>,
 }
 
@@ -73,13 +94,15 @@ impl Network {
     pub fn new(n: usize) -> Network {
         Network {
             pool: Vec::new(),
+            base: 0,
+            last_sent_round: None,
             delivery: (0..n).map(|_| DeliveryState::default()).collect(),
         }
     }
 
-    /// Total messages ever sent.
+    /// Total messages ever sent (including compacted ones).
     pub fn messages_sent(&self) -> usize {
-        self.pool.len()
+        self.base + self.pool.len()
     }
 
     /// Appends a message to the pool (send phase). Messages must be
@@ -89,40 +112,71 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `round` is lower than the last appended round.
-    pub fn send(&mut self, round: Round, sender: ProcessId, recipients: Recipients, envelope: Envelope) {
-        if let Some(last) = self.pool.last() {
-            assert!(
-                round >= last.round,
-                "messages must be appended in round order"
-            );
+    pub fn send(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        recipients: Recipients,
+        envelope: impl Into<SharedEnvelope>,
+    ) {
+        if let Some(last) = self.last_sent_round {
+            assert!(round >= last, "messages must be appended in round order");
         }
-        let index = self.pool.len();
+        self.last_sent_round = Some(round);
+        let index = self.messages_sent();
         self.pool.push(SentMessage {
             index,
             round,
             sender,
             recipients,
-            envelope,
+            envelope: envelope.into(),
         });
     }
 
     /// Synchronous receive for `p` at the end of round `r`: returns every
     /// not-yet-delivered message addressed to `p` sent in rounds `≤ r`,
-    /// in pool order, and marks them delivered.
-    pub fn deliver_sync(&mut self, p: ProcessId, r: Round) -> Vec<Envelope> {
-        let state = &mut self.delivery[p.index()];
+    /// in pool order, and marks them delivered. Each returned envelope is
+    /// a shared handle into the pool — no payload is copied.
+    pub fn deliver_sync(&mut self, p: ProcessId, r: Round) -> Vec<SharedEnvelope> {
         let mut out = Vec::new();
-        let mut idx = state.cursor;
-        while idx < self.pool.len() && self.pool[idx].round <= r {
-            if !state.extras.remove(&idx) && self.pool[idx].recipients.includes(p) {
-                out.push(self.pool[idx].envelope.clone());
+        self.deliver_sync_with(p, r, |env| out.push(env.clone()));
+        out
+    }
+
+    /// Zero-copy variant of [`Network::deliver_sync`]: invokes `deliver`
+    /// on a borrowed handle for every delivered message instead of
+    /// collecting refcount bumps into a vector. This is the round loop's
+    /// hot path — per delivered message it costs one round comparison,
+    /// one recipients check and the callback; no allocation, no atomics.
+    /// Returns the number of messages delivered.
+    pub fn deliver_sync_with<F>(&mut self, p: ProcessId, r: Round, mut deliver: F) -> usize
+    where
+        F: FnMut(&SharedEnvelope),
+    {
+        let state = &mut self.delivery[p.index()];
+        let start = state.cursor.max(self.base) - self.base;
+        // `extras` is empty except for processes that received early
+        // deliveries during an asynchronous window — skip the per-message
+        // set probe on the (overwhelmingly common) synchronous path.
+        let mut extras_left = state.extras.len();
+        let mut taken = 0usize;
+        let mut delivered = 0usize;
+        for msg in &self.pool[start..] {
+            if msg.round > r {
+                break;
             }
-            idx += 1;
+            taken += 1;
+            if extras_left > 0 && state.extras.remove(&msg.index) {
+                extras_left -= 1;
+            } else if msg.recipients.includes(p) {
+                delivered += 1;
+                deliver(&msg.envelope);
+            }
         }
-        state.cursor = idx;
+        state.cursor = self.base + start + taken;
         // Extras below the new cursor are consumed above; any remaining
         // extras reference indices ≥ cursor (sent later than r): keep.
-        out
+        delivered
     }
 
     /// The messages *available* for adversarial delivery to `p` at the end
@@ -130,7 +184,7 @@ impl Network {
     /// `≤ r`, not yet delivered.
     pub fn available_for(&self, p: ProcessId, r: Round) -> Vec<&SentMessage> {
         let state = &self.delivery[p.index()];
-        self.pool[state.cursor..]
+        self.pool[state.cursor.max(self.base) - self.base..]
             .iter()
             .take_while(|m| m.round <= r)
             .filter(|m| m.recipients.includes(p) && !state.extras.contains(&m.index))
@@ -141,17 +195,22 @@ impl Network {
     /// delivered to `p` and returns their envelopes in pool order. Indices
     /// not actually available to `p` are ignored — the adversary cannot
     /// deliver a message twice, to a non-addressee, or from the future.
-    pub fn deliver_async(&mut self, p: ProcessId, r: Round, chosen: &[usize]) -> Vec<Envelope> {
+    pub fn deliver_async(
+        &mut self,
+        p: ProcessId,
+        r: Round,
+        chosen: &[usize],
+    ) -> Vec<SharedEnvelope> {
         let mut sorted: Vec<usize> = chosen.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         let state = &mut self.delivery[p.index()];
         let mut out = Vec::new();
         for idx in sorted {
-            if idx < state.cursor || idx >= self.pool.len() {
+            if idx < state.cursor.max(self.base) || idx >= self.base + self.pool.len() {
                 continue;
             }
-            let msg = &self.pool[idx];
+            let msg = &self.pool[idx - self.base];
             if msg.round > r || !msg.recipients.includes(p) || state.extras.contains(&idx) {
                 continue;
             }
@@ -161,7 +220,49 @@ impl Network {
         out
     }
 
-    /// Read-only view of the pool (adversary knowledge, diagnostics).
+    /// Drops from memory the prefix of the pool that **every** process has
+    /// passed: messages below `min(cursor)` can never again be returned by
+    /// [`Network::deliver_sync`], [`Network::available_for`] or
+    /// [`Network::deliver_async`] (extras are always at or beyond their
+    /// own cursor, so none can reference the dropped prefix). Returns the
+    /// number of messages dropped.
+    ///
+    /// Global indices remain valid: `messages_sent()` and
+    /// [`SentMessage::index`] are unaffected; only [`Network::pool`]
+    /// shrinks (from the front).
+    pub fn compact(&mut self) -> usize {
+        let Some(safe) = self
+            .delivery
+            .iter()
+            .map(|s| {
+                s.extras
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(usize::MAX)
+                    .min(s.cursor)
+            })
+            .min()
+        else {
+            return 0;
+        };
+        if safe <= self.base {
+            return 0;
+        }
+        let k = (safe - self.base).min(self.pool.len());
+        self.pool.drain(..k);
+        self.base += k;
+        k
+    }
+
+    /// Global index of the first message still retained in memory
+    /// (everything below it was [`Network::compact`]ed away).
+    pub fn pool_base(&self) -> usize {
+        self.base
+    }
+
+    /// Read-only view of the retained pool (adversary knowledge,
+    /// diagnostics): messages with global indices `pool_base()..`.
     pub fn pool(&self) -> &[SentMessage] {
         &self.pool
     }
@@ -171,7 +272,7 @@ impl Network {
 mod tests {
     use super::*;
     use st_crypto::Keypair;
-    use st_messages::{Payload, Vote};
+    use st_messages::{Envelope, Payload, Vote};
     use st_types::BlockId;
 
     fn env(sender: u32, round: u64, tip: u64) -> Envelope {
@@ -189,8 +290,18 @@ mod tests {
     #[test]
     fn sync_delivery_gets_everything_once() {
         let mut net = Network::new(2);
-        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 5));
-        net.send(Round::new(1), ProcessId::new(1), Recipients::All, env(1, 1, 6));
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 1, 5),
+        );
+        net.send(
+            Round::new(1),
+            ProcessId::new(1),
+            Recipients::All,
+            env(1, 1, 6),
+        );
         let p0 = ProcessId::new(0);
         let got = net.deliver_sync(p0, Round::new(1));
         assert_eq!(got.len(), 2);
@@ -201,8 +312,18 @@ mod tests {
     #[test]
     fn sync_delivery_respects_round_bound() {
         let mut net = Network::new(1);
-        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 5));
-        net.send(Round::new(3), ProcessId::new(0), Recipients::All, env(0, 3, 6));
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 1, 5),
+        );
+        net.send(
+            Round::new(3),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 3, 6),
+        );
         let p = ProcessId::new(0);
         assert_eq!(net.deliver_sync(p, Round::new(2)).len(), 1);
         assert_eq!(net.deliver_sync(p, Round::new(3)).len(), 1);
@@ -214,7 +335,12 @@ mod tests {
         // receives everything on its first receive.
         let mut net = Network::new(2);
         for r in 1..=3u64 {
-            net.send(Round::new(r), ProcessId::new(0), Recipients::All, env(0, r, r));
+            net.send(
+                Round::new(r),
+                ProcessId::new(0),
+                Recipients::All,
+                env(0, r, r),
+            );
         }
         assert_eq!(net.deliver_sync(ProcessId::new(1), Round::new(3)).len(), 3);
     }
@@ -229,7 +355,9 @@ mod tests {
             env(0, 1, 5),
         );
         assert_eq!(net.deliver_sync(ProcessId::new(1), Round::new(1)).len(), 1);
-        assert!(net.deliver_sync(ProcessId::new(2), Round::new(1)).is_empty());
+        assert!(net
+            .deliver_sync(ProcessId::new(2), Round::new(1))
+            .is_empty());
     }
 
     #[test]
@@ -237,7 +365,12 @@ mod tests {
         let mut net = Network::new(2);
         for r in 1..=1u64 {
             for s in 0..2u32 {
-                net.send(Round::new(r), ProcessId::new(s), Recipients::All, env(s, r, s as u64));
+                net.send(
+                    Round::new(r),
+                    ProcessId::new(s),
+                    Recipients::All,
+                    env(s, r, s as u64),
+                );
             }
         }
         let p = ProcessId::new(0);
@@ -275,9 +408,41 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "round order")]
+    fn out_of_order_send_panics_even_after_compaction_empties_pool() {
+        let mut net = Network::new(1);
+        net.send(
+            Round::new(5),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 5, 1),
+        );
+        let _ = net.deliver_sync(ProcessId::new(0), Round::new(5));
+        assert_eq!(net.compact(), 1);
+        assert!(net.pool().is_empty());
+        // The monotonicity guard must survive the pool being drained.
+        net.send(
+            Round::new(3),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 3, 1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "round order")]
     fn out_of_order_send_panics() {
         let mut net = Network::new(1);
-        net.send(Round::new(2), ProcessId::new(0), Recipients::All, env(0, 2, 1));
-        net.send(Round::new(1), ProcessId::new(0), Recipients::All, env(0, 1, 1));
+        net.send(
+            Round::new(2),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 2, 1),
+        );
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 1, 1),
+        );
     }
 }

@@ -8,9 +8,9 @@ use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
 use st_core::{TobConfig, TobProcess};
 use st_crypto::Keypair;
-use st_messages::Payload;
+use st_messages::{Payload, SharedEnvelope};
+use st_types::FastSet;
 use st_types::{Params, ProcessId, Round, TxId};
-use std::collections::HashSet;
 
 /// An asynchronous window `[start, start + len − 1]` during which message
 /// delivery is adversarial. In the paper's notation the window is
@@ -40,7 +40,9 @@ impl AsyncWindow {
 
     /// The last synchronous round before the window (`ra`).
     pub fn ra(&self) -> Round {
-        self.start.prev().expect("start > 0 enforced at construction")
+        self.start
+            .prev()
+            .expect("start > 0 enforced at construction")
     }
 
     /// The first asynchronous round (`ra + 1`).
@@ -72,6 +74,7 @@ pub struct SimConfig {
     horizon: u64,
     async_window: Option<AsyncWindow>,
     txs_every: Option<u64>,
+    naive_delivery: bool,
 }
 
 impl SimConfig {
@@ -85,6 +88,7 @@ impl SimConfig {
             horizon: 40,
             async_window: None,
             txs_every: None,
+            naive_delivery: false,
         }
     }
 
@@ -110,6 +114,19 @@ impl SimConfig {
         self
     }
 
+    /// Forces the pre-fast-path delivery behaviour: every receiver gets a
+    /// **deep clone** of each envelope and re-verifies its signature from
+    /// scratch, and the message pool is never compacted. Semantically
+    /// identical to the shared-envelope fast path (the
+    /// determinism-equivalence suite asserts byte-identical reports); it
+    /// exists so benches can measure the fast path against a faithful
+    /// naive baseline *in the same run*.
+    #[must_use]
+    pub fn naive_delivery(mut self) -> SimConfig {
+        self.naive_delivery = true;
+        self
+    }
+
     /// The protocol parameters.
     pub fn params(&self) -> &Params {
         &self.params
@@ -130,11 +147,25 @@ pub struct Simulation {
     global_tree: BlockTree,
     safety: SafetyMonitor,
     resilience: Option<ResilienceMonitor>,
+    /// Per-process cursor into `TobProcess::decisions()`: everything below
+    /// it has been *drained* (observed while honest, or skipped while
+    /// Byzantine — the cursor advances either way, so a process that
+    /// recovers from corruption never replays its Byzantine-era decisions
+    /// into the monitors as honest ones).
     decisions_seen: Vec<usize>,
+    /// Per-process count of decisions actually *observed* (made while the
+    /// process was well-behaved). This is what reports count.
+    decisions_observed: Vec<usize>,
+    /// Cached Byzantine keypair set: `(corrupted processes, their
+    /// keypairs)`. Corruption sets change at most a handful of times per
+    /// run (growing adversary / corruption windows), so the per-round
+    /// keypair clones are hoisted into this cache and rebuilt only when
+    /// the set itself changes — not twice per asynchronous round.
+    byz_cache: (Vec<ProcessId>, Vec<Keypair>),
     txs: Vec<TxRecord>,
     /// Cached set of txs in each process's decided log (refreshed when the
     /// decided tip changes).
-    decided_txs: Vec<(st_types::BlockId, HashSet<TxId>)>,
+    decided_txs: Vec<(st_types::BlockId, FastSet<TxId>)>,
     tx_counter: u64,
     first_decision_after_async: Option<Round>,
     deciding_rounds: usize,
@@ -159,7 +190,11 @@ impl Simulation {
         );
         let tob_config = TobConfig::new(config.params, config.seed);
         let procs: Vec<TobProcess> = ProcessId::all(n)
-            .map(|p| TobProcess::new(p, tob_config.clone()))
+            .map(|p| {
+                let mut proc = TobProcess::new(p, tob_config.clone());
+                proc.set_naive_receive(config.naive_delivery);
+                proc
+            })
             .collect();
         let keypairs: Vec<Keypair> = ProcessId::all(n)
             .map(|p| Keypair::derive(p, config.seed))
@@ -177,8 +212,10 @@ impl Simulation {
             safety: SafetyMonitor::new(),
             resilience,
             decisions_seen: vec![0; n],
+            decisions_observed: vec![0; n],
+            byz_cache: (Vec::new(), Vec::new()),
             txs: Vec::new(),
-            decided_txs: vec![(st_types::BlockId::GENESIS, HashSet::new()); n],
+            decided_txs: vec![(st_types::BlockId::GENESIS, FastSet::default()); n],
             tx_counter: 0,
             first_decision_after_async: None,
             deciding_rounds: 0,
@@ -201,10 +238,33 @@ impl Simulation {
             .unwrap_or(false)
     }
 
+    /// Rebuilds the Byzantine keypair cache iff the corrupted set changed.
+    fn refresh_byz_cache(&mut self, corrupted: &[ProcessId]) {
+        if self.byz_cache.0 != corrupted {
+            self.byz_cache.0 = corrupted.to_vec();
+            self.byz_cache.1 = corrupted
+                .iter()
+                .map(|p| self.keypairs[p.index()].clone())
+                .collect();
+        }
+    }
+
+    /// Delivers one shared envelope to process `p`. In naive mode the
+    /// envelope is deep-cloned and re-wrapped so the receiver re-verifies
+    /// it from scratch — the faithful pre-fast-path cost model.
+    fn deliver_to(procs: &mut [TobProcess], naive: bool, p: ProcessId, env: &SharedEnvelope) {
+        if naive {
+            let fresh = SharedEnvelope::new(env.envelope().clone());
+            procs[p.index()].on_receive_shared(&fresh);
+        } else {
+            procs[p.index()].on_receive_shared(env);
+        }
+    }
+
     fn step_round(&mut self, round: Round) {
         let is_async = self.is_async(round);
         let messages_before = self.network.messages_sent();
-        let decisions_before: usize = self.decisions_seen.iter().sum();
+        let decisions_before: usize = self.decisions_observed.iter().sum();
 
         // ------ transaction workload: a fresh transaction reaches every
         // honest awake process's mempool (modelling transaction gossip,
@@ -229,35 +289,49 @@ impl Simulation {
 
         // ------ send phase: honest processes ------
         let honest = self.schedule.honest_awake(round);
-        let mut honest_out = Vec::new();
         for &p in &honest {
             let envs = self.procs[p.index()].step_send(round);
-            honest_out.push((p, envs));
-        }
-        for (p, envs) in &honest_out {
             for env in envs {
                 if let Payload::Propose(prop) = env.payload() {
                     // Keep the global tree complete (monitor/adversary view).
                     let mut buf = st_core::BlockBuffer::new();
                     buf.insert(&mut self.global_tree, prop.block().clone());
                 }
-                self.network
-                    .send(round, *p, Recipients::All, env.clone());
+                // Moves the envelope into one shared pool allocation; the
+                // process already recorded its own multicast locally.
+                self.network.send(round, p, Recipients::All, env);
+            }
+        }
+
+        // ------ send phase: corrupted machines ------
+        // A corrupted process's *machine* keeps executing the honest code
+        // (Byzantine processes never sleep; the adversary controls the
+        // wire, not the silicon): its output is discarded — the adversary
+        // speaks for it via `Adversary::send` below — but its internal
+        // state keeps advancing, so a process whose corruption ends
+        // (windowed corruption, churn experiments) resumes from live
+        // state. Discarded proposals still enter the global tree: the
+        // full-knowledge adversary and the monitors know every block ever
+        // built, including ones only a corrupted machine has seen.
+        let corrupted = self.schedule.byzantine(round);
+        for &p in &corrupted {
+            let envs = self.procs[p.index()].step_send(round);
+            for env in envs {
+                if let Payload::Propose(prop) = env.payload() {
+                    let mut buf = st_core::BlockBuffer::new();
+                    buf.insert(&mut self.global_tree, prop.block().clone());
+                }
             }
         }
 
         // ------ send phase: adversary ------
-        let corrupted = self.schedule.byzantine(round);
+        self.refresh_byz_cache(&corrupted);
         let byz_msgs = {
-            let byz_keypairs: Vec<Keypair> = corrupted
-                .iter()
-                .map(|p| self.keypairs[p.index()].clone())
-                .collect();
             let ctx = AdversaryCtx {
                 round,
                 is_async,
                 corrupted: &corrupted,
-                keypairs: &byz_keypairs,
+                keypairs: &self.byz_cache.1,
                 processes: &self.procs,
                 schedule: &self.schedule,
                 global_tree: &self.global_tree,
@@ -277,7 +351,8 @@ impl Simulation {
                 let mut buf = st_core::BlockBuffer::new();
                 buf.insert(&mut self.global_tree, prop.block().clone());
             }
-            self.network.send(round, sender, msg.recipients, msg.envelope);
+            self.network
+                .send(round, sender, msg.recipients, msg.envelope);
         }
 
         // ------ decision monitoring (decisions happen in step_send) ------
@@ -286,6 +361,7 @@ impl Simulation {
         // ------ receive phase: processes awake at the END of this round,
         // i.e. at the beginning of round + 1 ------
         let next = round.next();
+        let naive = self.config.naive_delivery;
         let receivers: Vec<ProcessId> = ProcessId::all(self.schedule.n())
             .filter(|&p| self.schedule.is_awake(p, next) && !self.schedule.is_byzantine(p, next))
             .collect();
@@ -294,15 +370,11 @@ impl Simulation {
             // then apply (mutable phase).
             let mut plan: Vec<(ProcessId, Vec<usize>)> = Vec::new();
             {
-                let byz_keypairs: Vec<Keypair> = corrupted
-                    .iter()
-                    .map(|p| self.keypairs[p.index()].clone())
-                    .collect();
                 let ctx = AdversaryCtx {
                     round,
                     is_async,
                     corrupted: &corrupted,
-                    keypairs: &byz_keypairs,
+                    keypairs: &self.byz_cache.1,
                     processes: &self.procs,
                     schedule: &self.schedule,
                     global_tree: &self.global_tree,
@@ -316,15 +388,33 @@ impl Simulation {
             }
             for (p, chosen) in plan {
                 for env in self.network.deliver_async(p, round, &chosen) {
-                    self.procs[p.index()].on_receive(env);
+                    Self::deliver_to(&mut self.procs, naive, p, &env);
                 }
             }
         } else {
+            let procs = &mut self.procs;
             for &p in &receivers {
-                for env in self.network.deliver_sync(p, round) {
-                    self.procs[p.index()].on_receive(env);
-                }
+                self.network
+                    .deliver_sync_with(p, round, |env| Self::deliver_to(procs, naive, p, env));
             }
+        }
+        // Corrupted machines receive everything regardless of the round's
+        // synchrony — the full-knowledge adversary already sees the whole
+        // pool, so feeding its machines the complete traffic models that
+        // knowledge (and keeps their delivery cursors advancing, which is
+        // what lets the pool compact under static corruption).
+        {
+            let procs = &mut self.procs;
+            for &p in &self.schedule.byzantine(next) {
+                self.network
+                    .deliver_sync_with(p, round, |env| Self::deliver_to(procs, naive, p, env));
+            }
+        }
+
+        // ------ pool compaction: drop messages every cursor has passed.
+        // Skipped in naive mode (the pre-refactor pool never shrank). ------
+        if !naive {
+            self.network.compact();
         }
 
         // ------ transaction inclusion bookkeeping ------
@@ -353,7 +443,7 @@ impl Simulation {
             byzantine: self.schedule.byzantine(round).len(),
             is_async,
             messages_sent: self.network.messages_sent() - messages_before,
-            decisions: self.decisions_seen.iter().sum::<usize>() - decisions_before,
+            decisions: self.decisions_observed.iter().sum::<usize>() - decisions_before,
             max_decided_height: all_max,
             min_decided_height: heights.iter().copied().min().unwrap_or(0),
         });
@@ -364,15 +454,21 @@ impl Simulation {
         let mut any = false;
         for p in ProcessId::all(self.schedule.n()) {
             // Corrupted processes' "decisions" don't count for safety —
-            // the definitions quantify over well-behaved processes.
+            // the definitions quantify over well-behaved processes. The
+            // cursor still advances past them: a process corrupted at
+            // round r and honest again at r′ must not have its
+            // Byzantine-era events replayed into the monitors as honest
+            // decisions the moment it recovers.
             if self.schedule.is_byzantine(p, round) {
+                self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
                 continue;
             }
-            let events: Vec<_> = self.procs[p.index()].decisions()[self.decisions_seen[p.index()]..]
-                .to_vec();
+            let events: Vec<_> =
+                self.procs[p.index()].decisions()[self.decisions_seen[p.index()]..].to_vec();
             self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
             for event in events {
                 any = true;
+                self.decisions_observed[p.index()] += 1;
                 self.safety.observe(&self.global_tree, p, event);
                 if let Some(res) = &mut self.resilience {
                     res.observe(&self.global_tree, p, event);
@@ -399,19 +495,19 @@ impl Simulation {
             let proc = &self.procs[p.index()];
             let tip = proc.decided_tip();
             if self.decided_txs[p.index()].0 != tip {
-                let set: HashSet<TxId> = proc.tree().log_transactions(tip).into_iter().collect();
+                let set: FastSet<TxId> = proc.tree().log_transactions(tip).into_iter().collect();
                 self.decided_txs[p.index()] = (tip, set);
             }
         }
-        let awake_next: Vec<ProcessId> = self
-            .schedule
-            .honest_awake(next)
-            .into_iter()
-            .collect();
+        let awake_next: Vec<ProcessId> = self.schedule.honest_awake(next).into_iter().collect();
         if awake_next.is_empty() {
             return;
         }
-        for rec in self.txs.iter_mut().filter(|t| t.included_everywhere.is_none()) {
+        for rec in self
+            .txs
+            .iter_mut()
+            .filter(|t| t.included_everywhere.is_none())
+        {
             let everywhere = awake_next
                 .iter()
                 .all(|p| self.decided_txs[p.index()].1.contains(&rec.tx));
@@ -422,22 +518,26 @@ impl Simulation {
     }
 
     fn finish(self) -> SimReport {
-        let final_decided_height = self
-            .procs
-            .iter()
-            .map(|p| p.tree().height(p.decided_tip()).unwrap_or(0))
+        // Only well-behaved processes vouch for the final height — a
+        // process still Byzantine at the horizon reports whatever the
+        // adversary's tree says, and must not inflate the result (the
+        // timeline's `all_max` applies the same filter per round).
+        let horizon = Round::new(self.config.horizon);
+        let final_decided_height = ProcessId::all(self.schedule.n())
+            .filter(|&p| !self.schedule.is_byzantine(p, horizon))
+            .map(|p| {
+                let proc = &self.procs[p.index()];
+                proc.tree().height(proc.decided_tip()).unwrap_or(0)
+            })
             .max()
             .unwrap_or(0);
         SimReport {
             adversary: self.adversary.name().to_string(),
             rounds_run: self.config.horizon,
-            decisions_total: self.decisions_seen.iter().sum(),
-            per_process_decisions: self.decisions_seen,
+            decisions_total: self.decisions_observed.iter().sum(),
+            per_process_decisions: self.decisions_observed,
             safety_violations: self.safety.violations,
-            resilience_violations: self
-                .resilience
-                .map(|r| r.violations)
-                .unwrap_or_default(),
+            resilience_violations: self.resilience.map(|r| r.violations).unwrap_or_default(),
             txs: self.txs,
             final_decided_height,
             messages_sent: self.network.messages_sent(),
@@ -469,7 +569,11 @@ mod tests {
         assert!(report.is_safe());
         assert!(report.decisions_total > 0);
         assert!(report.final_decided_height > 0);
-        assert!(report.tx_inclusion_rate() > 0.7, "rate {}", report.tx_inclusion_rate());
+        assert!(
+            report.tx_inclusion_rate() > 0.7,
+            "rate {}",
+            report.tx_inclusion_rate()
+        );
     }
 
     #[test]
@@ -485,7 +589,11 @@ mod tests {
         assert!(report.is_safe());
         // Decisions continue during the incident: far more deciding rounds
         // than just before/after.
-        assert!(report.deciding_rounds > 15, "{} deciding rounds", report.deciding_rounds);
+        assert!(
+            report.deciding_rounds > 15,
+            "{} deciding rounds",
+            report.deciding_rounds
+        );
     }
 
     #[test]
@@ -614,6 +722,82 @@ mod tests {
     }
 
     #[test]
+    fn recovered_process_does_not_replay_byzantine_era_decisions() {
+        // p3 is corrupted for rounds 8..=19 and honest again from 20. Its
+        // machine keeps running while corrupted (it receives everything
+        // and keeps deciding internally), but those Byzantine-era events
+        // must be *skipped*, not replayed into the monitors as honest
+        // decisions the moment it recovers: the decision cursor advances
+        // during corruption.
+        let n = 6;
+        let horizon = 40;
+        let p3 = ProcessId::new(3);
+        let schedule =
+            Schedule::full(n, horizon).with_corrupted_window(p3, Round::new(8), Round::new(20));
+        let report = Simulation::new(
+            SimConfig::new(params(n, 2), 13).horizon(horizon),
+            schedule,
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe());
+        // An always-honest peer observed decisions throughout; p3's
+        // observed count must be smaller by roughly the corrupted views
+        // (≈ 6 views in rounds 8..=19). With the pre-fix behaviour the
+        // backlog flushes at recovery and the counts come out equal.
+        let honest_peer = report.per_process_decisions[0];
+        let recovered = report.per_process_decisions[3];
+        assert!(
+            recovered + 4 <= honest_peer,
+            "Byzantine-era decisions were replayed as honest: p3 observed {recovered}, p0 {honest_peer}"
+        );
+        // After recovery it decides again (the machine stayed live).
+        assert!(recovered > 0, "recovered process never decided");
+    }
+
+    #[test]
+    fn final_height_only_counts_processes_honest_at_horizon() {
+        // Everyone is corrupted exactly at the horizon round: no
+        // well-behaved process vouches for a final height, so the report
+        // must say 0 — the adversary's trees don't get to inflate it —
+        // even though plenty of honest decisions happened earlier.
+        let n = 6;
+        let horizon = 30;
+        let mut schedule = Schedule::full(n, horizon);
+        for p in 0..n as u32 {
+            schedule = schedule.with_corrupted_window(
+                ProcessId::new(p),
+                Round::new(horizon),
+                Round::new(horizon + 1),
+            );
+        }
+        let report = Simulation::new(
+            SimConfig::new(params(n, 2), 7).horizon(horizon),
+            schedule,
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(
+            report.decisions_total > 0,
+            "no honest decisions before the horizon"
+        );
+        assert_eq!(
+            report.final_decided_height, 0,
+            "Byzantine-at-horizon trees inflated the final height"
+        );
+        // The per-round timeline (which applies the same filter) agrees:
+        // honest heights were nonzero while honesty lasted.
+        assert!(
+            report
+                .timeline
+                .at(Round::new(horizon - 1))
+                .unwrap()
+                .max_decided_height
+                > 0
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "schedule covers")]
     fn mismatched_schedule_panics() {
         let _ = Simulation::new(
@@ -635,7 +819,7 @@ mod tests {
         .run();
         let t = &report.timeline;
         assert_eq!(t.len(), 21); // rounds 0..=20
-        // Participation drop is visible.
+                                 // Participation drop is visible.
         assert_eq!(t.at(Round::new(3)).unwrap().honest_awake, 8);
         assert_eq!(t.at(Round::new(5)).unwrap().honest_awake, 4);
         // Async flags line up with the window.

@@ -83,9 +83,7 @@ impl Scenario {
             Scenario::PartitionAttackVanilla => {
                 "4-round delivery partition vs vanilla MMR — agreement breaks"
             }
-            Scenario::PartitionAttackExtended => {
-                "the same partition vs η=6 — Theorem 2 holds"
-            }
+            Scenario::PartitionAttackExtended => "the same partition vs η=6 — Theorem 2 holds",
             Scenario::ReorgAttackVanilla => {
                 "1 async round, f=3 Byzantine genesis-fork votes vs vanilla — D_ra reverted"
             }

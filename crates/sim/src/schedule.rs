@@ -56,8 +56,13 @@ pub struct Schedule {
     horizon: u64,
     /// Round-major awake flags for well-behaved processes.
     awake: Vec<Vec<bool>>,
-    /// `corrupt_from[p] = Some(r)` means `p ∈ B_{r'}` for all `r' ≥ r`.
+    /// `corrupt_from[p] = Some(r)` means `p ∈ B_{r'}` for all `r' ≥ r`
+    /// (until `corrupt_until[p]`, if set).
     corrupt_from: Vec<Option<u64>>,
+    /// `corrupt_until[p] = Some(r)` bounds the corruption: `p` is honest
+    /// again from round `r` on. `None` (the paper's growing-adversary
+    /// model) means corruption never ends.
+    corrupt_until: Vec<Option<u64>>,
 }
 
 impl Schedule {
@@ -68,6 +73,7 @@ impl Schedule {
             horizon,
             awake: (0..=horizon).map(|_| vec![true; n]).collect(),
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -80,12 +86,16 @@ impl Schedule {
     pub fn custom(awake: Vec<Vec<bool>>) -> Schedule {
         assert!(!awake.is_empty(), "schedule must cover at least round 0");
         let n = awake[0].len();
-        assert!(awake.iter().all(|row| row.len() == n), "ragged awake matrix");
+        assert!(
+            awake.iter().all(|row| row.len() == n),
+            "ragged awake matrix"
+        );
         Schedule {
             n,
             horizon: awake.len() as u64 - 1,
             awake,
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -135,7 +145,10 @@ impl Schedule {
             // Like min_awake, rounding is guarded: any positive fraction
             // admits at least one concurrent sleeper, else small systems
             // would silently produce zero churn.
-            let recently_awake = last_awake.iter().filter(|&&la| la + opts.drop_window >= r).count();
+            let recently_awake = last_awake
+                .iter()
+                .filter(|&&la| la + opts.drop_window >= r)
+                .count();
             let max_dropped = if dropped_frac <= 0.0 {
                 0
             } else {
@@ -182,6 +195,7 @@ impl Schedule {
             horizon,
             awake,
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -202,6 +216,7 @@ impl Schedule {
             horizon,
             awake,
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -238,6 +253,7 @@ impl Schedule {
             horizon,
             awake,
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -258,6 +274,7 @@ impl Schedule {
             horizon,
             awake,
             corrupt_from: vec![None; n],
+            corrupt_until: vec![None; n],
         }
     }
 
@@ -272,6 +289,37 @@ impl Schedule {
             Some(existing) => existing.min(from.as_u64()),
             None => from.as_u64(),
         });
+        // Unbounded corruption supersedes any previously configured
+        // recovery window — "never revoked" must win over an earlier
+        // `with_corrupted_window` call on the same process.
+        self.corrupt_until[p.index()] = None;
+        self
+    }
+
+    /// Marks `p` as corrupted for the round window `[from, until)` only:
+    /// Byzantine at `from`, honest again from `until` on. This steps
+    /// outside the paper's growing-adversary model (`B_r ⊆ B_{r+1}`) —
+    /// it exists for corruption-churn experiments, where a machine is
+    /// compromised, cleaned, and rejoins as a well-behaved process. Its
+    /// decisions made while corrupted do not count as honest decisions
+    /// anywhere (monitors skip them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` (an empty window is no corruption).
+    #[must_use]
+    pub fn with_corrupted_window(mut self, p: ProcessId, from: Round, until: Round) -> Schedule {
+        assert!(until > from, "corruption window must be non-empty");
+        let idx = p.index();
+        if let (Some(existing), None) = (self.corrupt_from[idx], self.corrupt_until[idx]) {
+            // `p` is already unboundedly corrupted: a window cannot revoke
+            // that ("never revoked" wins in either call order) — at most
+            // it moves the onset earlier.
+            self.corrupt_from[idx] = Some(existing.min(from.as_u64()));
+            return self;
+        }
+        self.corrupt_from[idx] = Some(from.as_u64());
+        self.corrupt_until[idx] = Some(until.as_u64());
         self
     }
 
@@ -282,6 +330,7 @@ impl Schedule {
         let n = self.n;
         for p in n.saturating_sub(f)..n {
             self.corrupt_from[p] = Some(0);
+            self.corrupt_until[p] = None; // static = never recovers
         }
         self
     }
@@ -306,7 +355,12 @@ impl Schedule {
     /// Whether `p` is Byzantine at round `r`.
     pub fn is_byzantine(&self, p: ProcessId, r: Round) -> bool {
         match self.corrupt_from[p.index()] {
-            Some(from) => r.as_u64() >= from,
+            Some(from) => {
+                r.as_u64() >= from
+                    && self.corrupt_until[p.index()]
+                        .map(|until| r.as_u64() < until)
+                        .unwrap_or(true)
+            }
             None => false,
         }
     }
@@ -410,6 +464,49 @@ mod tests {
     }
 
     #[test]
+    fn corruption_window_ends() {
+        let s = Schedule::full(4, 20).with_corrupted_window(
+            ProcessId::new(2),
+            Round::new(5),
+            Round::new(12),
+        );
+        assert!(!s.is_byzantine(ProcessId::new(2), Round::new(4)));
+        assert!(s.is_byzantine(ProcessId::new(2), Round::new(5)));
+        assert!(s.is_byzantine(ProcessId::new(2), Round::new(11)));
+        assert!(!s.is_byzantine(ProcessId::new(2), Round::new(12)));
+        assert!(s.honest_awake(Round::new(12)).contains(&ProcessId::new(2)));
+        // Unbounded corruption stays unbounded.
+        let s = Schedule::full(4, 20).with_corrupted(ProcessId::new(1), Round::new(5));
+        assert!(s.is_byzantine(ProcessId::new(1), Round::new(20)));
+    }
+
+    #[test]
+    fn unbounded_corruption_supersedes_window() {
+        let p = ProcessId::new(1);
+        let s = Schedule::full(4, 20)
+            .with_corrupted_window(p, Round::new(5), Round::new(10))
+            .with_corrupted(p, Round::ZERO);
+        // "Never revoked" wins: the earlier window's recovery is cleared.
+        assert!(s.is_byzantine(p, Round::new(15)));
+        let s = Schedule::full(4, 20)
+            .with_corrupted_window(p, Round::new(5), Round::new(10))
+            .with_static_byzantine(4);
+        assert!(s.is_byzantine(p, Round::new(15)));
+        // And in the other call order: a window cannot revoke unbounded
+        // corruption (it can only move the onset earlier).
+        let s = Schedule::full(4, 20)
+            .with_corrupted(p, Round::new(3))
+            .with_corrupted_window(p, Round::new(5), Round::new(10));
+        assert!(s.is_byzantine(p, Round::new(3)));
+        assert!(s.is_byzantine(p, Round::new(15)));
+        let s = Schedule::full(4, 20)
+            .with_static_byzantine(4)
+            .with_corrupted_window(p, Round::new(5), Round::new(10));
+        assert!(s.is_byzantine(p, Round::ZERO));
+        assert!(s.is_byzantine(p, Round::new(15)));
+    }
+
+    #[test]
     fn mass_sleep_window() {
         let s = Schedule::mass_sleep(10, 20, 0.6, 5, 8);
         assert_eq!(s.honest_awake(Round::new(4)).len(), 10);
@@ -428,7 +525,11 @@ mod tests {
         let b = Schedule::random_churn(20, 50, 0.2, 7, &opts);
         for r in 0..=50 {
             let round = Round::new(r);
-            assert_eq!(a.honest_awake(round), b.honest_awake(round), "nondeterministic");
+            assert_eq!(
+                a.honest_awake(round),
+                b.honest_awake(round),
+                "nondeterministic"
+            );
             assert!(a.honest_awake(round).len() >= 6, "floor violated at {r}");
         }
         // Some churn actually happened.
@@ -463,7 +564,9 @@ mod tests {
                 let recent = s.honest_awake_union(lo, hi);
                 let now = s.honest_awake(Round::new(r));
                 let dropped = recent.iter().filter(|p| !now.contains(p)).count();
-                let cap = ((recent.len() as f64) * opts.max_dropped_frac).floor().max(1.0);
+                let cap = ((recent.len() as f64) * opts.max_dropped_frac)
+                    .floor()
+                    .max(1.0);
                 assert!(
                     dropped as f64 <= cap,
                     "n={n} seed={seed} round {r}: {dropped} dropped exceeds cap {cap}"
@@ -522,10 +625,7 @@ mod tests {
         // During the incident only p0, p1 are awake, but the union over
         // [0, 5] still contains everyone.
         assert_eq!(s.honest_awake(Round::new(4)).len(), 2);
-        assert_eq!(
-            s.honest_awake_union(Round::ZERO, Round::new(5)).len(),
-            4
-        );
+        assert_eq!(s.honest_awake_union(Round::ZERO, Round::new(5)).len(), 4);
         assert_eq!(s.online_union(Round::new(3), Round::new(4)).len(), 2);
     }
 

@@ -24,7 +24,11 @@ fn equivocating_voter_is_harmless_within_budget() {
     )
     .run();
     assert!(report.is_safe());
-    assert!(report.final_decided_height > 12, "height {}", report.final_decided_height);
+    assert!(
+        report.final_decided_height > 12,
+        "height {}",
+        report.final_decided_height
+    );
     assert!(report.tx_inclusion_rate() > 0.8);
 }
 
@@ -105,7 +109,11 @@ fn reorg_with_growing_corruption_still_fails_for_small_pi() {
         Box::new(ReorgAttacker::new()),
     )
     .run();
-    assert!(report.is_asynchrony_resilient(), "{:?}", report.resilience_violations);
+    assert!(
+        report.is_asynchrony_resilient(),
+        "{:?}",
+        report.resilience_violations
+    );
     assert!(report.is_safe());
 }
 

@@ -1,0 +1,101 @@
+//! Determinism-equivalence guard for the shared-envelope fast path.
+//!
+//! The fast path changes *how much work* delivery does (one pool
+//! allocation per multicast, one signature verification per unique
+//! envelope, pool compaction) but must not change a single observable
+//! bit: for every (adversary, schedule, η, π) grid point, the run with
+//! shared delivery must produce a `SimReport` that serialises
+//! byte-identically to the naive mode (per-receiver deep clone +
+//! re-verification, no compaction) — the faithful model of the
+//! pre-refactor behaviour.
+
+use st_sim::adversary::{
+    Adversary, BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker,
+    SilentAdversary,
+};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_types::{Params, ProcessId, Round};
+
+fn params(n: usize, eta: u64) -> Params {
+    Params::builder(n).expiration(eta).build().unwrap()
+}
+
+fn adversary(name: &str) -> Box<dyn Adversary> {
+    match name {
+        "silent" => Box::new(SilentAdversary),
+        "blackout" => Box::new(BlackoutAdversary),
+        "partition" => Box::new(PartitionAttacker::new()),
+        "reorg" => Box::new(ReorgAttacker::new()),
+        "equivocator" => Box::new(EquivocatingVoter::new()),
+        other => panic!("unknown adversary {other}"),
+    }
+}
+
+fn schedule(name: &str, n: usize, horizon: u64) -> Schedule {
+    match name {
+        "full" => Schedule::full(n, horizon),
+        "mass-sleep" => Schedule::mass_sleep(n, horizon, 0.5, 6, 12),
+        "churn" => Schedule::random_churn(n, horizon, 0.05, 42, &ChurnOptions::default()),
+        "static-byz" => Schedule::full(n, horizon).with_static_byzantine(3),
+        "byz-window" => Schedule::full(n, horizon).with_corrupted_window(
+            ProcessId::new(1),
+            Round::new(6),
+            Round::new(14),
+        ),
+        other => panic!("unknown schedule {other}"),
+    }
+}
+
+/// Runs one grid point in both modes and asserts byte-identical reports.
+fn assert_equivalent(adv: &str, sched: &str, n: usize, eta: u64, pi: Option<u64>, seed: u64) {
+    let horizon = 24;
+    let mut config = SimConfig::new(params(n, eta), seed)
+        .horizon(horizon)
+        .txs_every(4);
+    if let Some(pi) = pi {
+        config = config.async_window(AsyncWindow::new(Round::new(10), pi));
+    }
+    let fast = Simulation::new(config.clone(), schedule(sched, n, horizon), adversary(adv)).run();
+    let naive = Simulation::new(
+        config.naive_delivery(),
+        schedule(sched, n, horizon),
+        adversary(adv),
+    )
+    .run();
+    let fast_json = serde_json::to_string(&fast).expect("serialise fast report");
+    let naive_json = serde_json::to_string(&naive).expect("serialise naive report");
+    assert_eq!(
+        fast_json, naive_json,
+        "fast path diverged from naive delivery for adversary={adv} schedule={sched} eta={eta} pi={pi:?} seed={seed}"
+    );
+}
+
+#[test]
+fn synchronous_grid_is_equivalent() {
+    for &(sched, eta, seed) in &[
+        ("full", 0, 1),
+        ("full", 2, 2),
+        ("full", 4, 3),
+        ("mass-sleep", 2, 4),
+        ("churn", 2, 5),
+        ("byz-window", 2, 6),
+    ] {
+        assert_equivalent("silent", sched, 10, eta, None, seed);
+    }
+}
+
+#[test]
+fn asynchronous_grid_is_equivalent() {
+    for &(adv, sched, eta, pi, seed) in &[
+        ("blackout", "full", 4, 3, 7),
+        ("partition", "full", 0, 4, 8),
+        ("partition", "full", 6, 4, 9),
+        ("reorg", "static-byz", 0, 1, 10),
+        ("reorg", "static-byz", 4, 1, 11),
+        ("equivocator", "static-byz", 2, 2, 12),
+        ("silent", "mass-sleep", 2, 3, 13),
+        ("blackout", "churn", 4, 2, 14),
+    ] {
+        assert_equivalent(adv, sched, 10, eta, Some(pi), seed);
+    }
+}

@@ -14,7 +14,11 @@ fn envelope(sender: u32, round: u64, tip: u64) -> Envelope {
     let kp = Keypair::derive(ProcessId::new(sender), 1);
     Envelope::sign(
         &kp,
-        Payload::Vote(Vote::new(ProcessId::new(sender), Round::new(round), BlockId::new(tip))),
+        Payload::Vote(Vote::new(
+            ProcessId::new(sender),
+            Round::new(round),
+            BlockId::new(tip),
+        )),
     )
 }
 
@@ -48,7 +52,7 @@ proptest! {
 
         // Delivery tally per (receiver, message index).
         let mut delivered: HashMap<(u32, u64), usize> = HashMap::new();
-        let mut tally = |p: ProcessId, envs: &[Envelope]| {
+        let mut tally = |p: ProcessId, envs: &[st_messages::SharedEnvelope]| {
             for env in envs {
                 let Payload::Vote(v) = env.payload() else { unreachable!() };
                 *delivered.entry((p.as_u32(), v.tip().as_u64())).or_insert(0) += 1;
@@ -99,6 +103,84 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Pool compaction is invisible: interleaving `compact()` anywhere in
+    /// a delivery schedule never changes what `deliver_sync` or
+    /// `available_for` return, and global indices stay valid.
+    #[test]
+    fn compaction_never_changes_delivery(
+        sends in prop::collection::vec((0u32..4, 0u8..2), 1..40),
+        async_rounds in prop::collection::vec(any::<bool>(), 8),
+        picks in prop::collection::vec(any::<u8>(), 32),
+        compact_after in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let n = 4usize;
+        let mut compacted = Network::new(n);
+        let mut reference = Network::new(n);
+        for (i, &(sender, targeting)) in sends.iter().enumerate() {
+            let round = Round::new(1 + (i as u64 * 8) / sends.len() as u64);
+            let recipients = if targeting == 0 {
+                Recipients::All
+            } else {
+                Recipients::Only(vec![ProcessId::new((sender + 1) % n as u32)])
+            };
+            for net in [&mut compacted, &mut reference] {
+                net.send(
+                    round,
+                    ProcessId::new(sender),
+                    recipients.clone(),
+                    envelope(sender, round.as_u64(), i as u64),
+                );
+            }
+        }
+
+        let mut pick_idx = 0;
+        for r in 1..=8u64 {
+            let round = Round::new(r);
+            let is_async = async_rounds[(r - 1) as usize];
+            for p in 0..n {
+                let pid = ProcessId::new(p as u32);
+                // Availability agrees (same global indices, same order).
+                let avail_c: Vec<usize> =
+                    compacted.available_for(pid, round).iter().map(|m| m.index).collect();
+                let avail_r: Vec<usize> =
+                    reference.available_for(pid, round).iter().map(|m| m.index).collect();
+                prop_assert_eq!(&avail_c, &avail_r, "available_for diverged at round {}", r);
+                if is_async {
+                    let chosen: Vec<usize> = avail_c
+                        .iter()
+                        .copied()
+                        .filter(|_| {
+                            pick_idx += 1;
+                            picks[pick_idx % picks.len()] % 2 == 0
+                        })
+                        .collect();
+                    let got_c = compacted.deliver_async(pid, round, &chosen);
+                    let got_r = reference.deliver_async(pid, round, &chosen);
+                    prop_assert_eq!(got_c, got_r, "deliver_async diverged at round {}", r);
+                } else {
+                    let got_c = compacted.deliver_sync(pid, round);
+                    let got_r = reference.deliver_sync(pid, round);
+                    prop_assert_eq!(got_c, got_r, "deliver_sync diverged at round {}", r);
+                }
+            }
+            if compact_after[(r - 1) as usize] {
+                compacted.compact();
+            }
+            prop_assert_eq!(compacted.messages_sent(), reference.messages_sent());
+        }
+        // Final sweep agrees, and a fully-delivered pool compacts away.
+        for p in 0..n {
+            let pid = ProcessId::new(p as u32);
+            prop_assert_eq!(
+                compacted.deliver_sync(pid, Round::new(9)),
+                reference.deliver_sync(pid, Round::new(9))
+            );
+        }
+        compacted.compact();
+        prop_assert_eq!(compacted.pool().len(), 0, "fully-delivered pool retained messages");
+        prop_assert_eq!(compacted.pool_base(), compacted.messages_sent());
     }
 
     /// Messages are never delivered before their send round.

@@ -41,7 +41,10 @@ impl fmt::Display for TypesError {
                  when message expiration is enabled"
             ),
             TypesError::InvalidDelta(d) => {
-                write!(f, "synchrony bound δ must be positive and finite, got {d} ms")
+                write!(
+                    f,
+                    "synchrony bound δ must be positive and finite, got {d} ms"
+                )
             }
         }
     }

@@ -287,12 +287,15 @@ mod tests {
     #[test]
     fn process_id_all_enumerates_dense_indices() {
         let ids: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(ids, vec![
-            ProcessId::new(0),
-            ProcessId::new(1),
-            ProcessId::new(2),
-            ProcessId::new(3)
-        ]);
+        assert_eq!(
+            ids,
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
     }
 
     #[test]

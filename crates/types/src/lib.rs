@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fasthash;
 mod grade;
 mod ids;
 mod params;
 mod phase;
 
 pub use error::TypesError;
+pub use fasthash::{FastMap, FastSet};
 pub use grade::Grade;
 pub use ids::{BlockId, ProcessId, Round, TxId, View};
 pub use params::{adjusted_failure_ratio, Params, ParamsBuilder, DEFAULT_FAILURE_RATIO};

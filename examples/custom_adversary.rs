@@ -17,10 +17,10 @@
 //! victim's window still contains the other processes' unexpired votes
 //! and the eclipse starves.
 
+use sleepy_tob::blocktree::Block;
 use sleepy_tob::prelude::*;
 use sleepy_tob::sim::adversary::{Adversary, AdversaryCtx, TargetedMessage};
 use sleepy_tob::sim::{Recipients, SentMessage};
-use sleepy_tob::blocktree::Block;
 
 /// Eclipses `victim` during asynchrony and feeds it alternating votes for
 /// two conflicting blocks.
@@ -31,7 +31,10 @@ struct FlipFlopEclipse {
 
 impl FlipFlopEclipse {
     fn new(victim: ProcessId) -> Self {
-        FlipFlopEclipse { victim, forks: None }
+        FlipFlopEclipse {
+            victim,
+            forks: None,
+        }
     }
 }
 
@@ -72,7 +75,11 @@ impl Adversary for FlipFlopEclipse {
         }
         let (a, b) = self.forks.as_ref().expect("planted");
         // Alternate the unanimous Byzantine vote between the two forks.
-        let target = if ctx.round.as_u64().is_multiple_of(2) { a } else { b };
+        let target = if ctx.round.as_u64().is_multiple_of(2) {
+            a
+        } else {
+            b
+        };
         for (i, &byz) in ctx.corrupted.iter().enumerate() {
             out.push(TargetedMessage {
                 envelope: Envelope::sign(

@@ -47,7 +47,10 @@ fn main() {
         OUTAGE_END
     );
 
-    for (label, eta) in [("sleepy TOB (vanilla, η=0)", 0u64), ("sleepy TOB (extended, η=4)", 4)] {
+    for (label, eta) in [
+        ("sleepy TOB (vanilla, η=0)", 0u64),
+        ("sleepy TOB (extended, η=4)", 4),
+    ] {
         let report = run_sleepy(eta, &schedule);
         println!("{label}:");
         println!("  chain height at end : {}", report.final_decided_height);

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("decision events      : {}", report.decisions_total);
     println!("final chain height   : {}", report.final_decided_height);
     println!("agreement violations : {}", report.safety_violations.len());
-    println!("D_ra conflicts       : {}", report.resilience_violations.len());
+    println!(
+        "D_ra conflicts       : {}",
+        report.resilience_violations.len()
+    );
     println!(
         "healing lag          : {} rounds after the window",
         report.healing_lag().map_or("—".into(), |l| l.to_string()),

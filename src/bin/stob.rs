@@ -144,11 +144,16 @@ fn cmd_run(args: &Args) -> ExitCode {
     println!("final chain height   : {}", report.final_decided_height);
     println!("messages sent        : {}", report.messages_sent);
     println!("agreement violations : {}", report.safety_violations.len());
-    println!("D_ra conflicts       : {}", report.resilience_violations.len());
+    println!(
+        "D_ra conflicts       : {}",
+        report.resilience_violations.len()
+    );
     if report.async_window_end.is_some() {
         println!(
             "healing lag          : {}",
-            report.healing_lag().map_or("—".into(), |l| format!("{l} rounds")),
+            report
+                .healing_lag()
+                .map_or("—".into(), |l| format!("{l} rounds")),
         );
     }
     println!(
@@ -223,14 +228,21 @@ fn cmd_check(args: &Args) -> ExitCode {
     );
     let report = check_conditions(&schedule, 1.0 / 3.0, gamma, eta, None);
     println!("schedule: n = {n}, 60 rounds, per-round sleep {sleep}, seed {seed}");
-    println!("Eq.1 (churn ≤ γ = {gamma}): {} violating rounds", report.churn_violations.len());
+    println!(
+        "Eq.1 (churn ≤ γ = {gamma}): {} violating rounds",
+        report.churn_violations.len()
+    );
     println!(
         "Eq.3 (η-sleepiness):      {} violating rounds",
         report.eta_sleepiness_violations.len()
     );
     println!(
         "verdict: synchronous-operation conditions {}",
-        if report.synchronous_conditions_hold() { "HOLD" } else { "VIOLATED" },
+        if report.synchronous_conditions_hold() {
+            "HOLD"
+        } else {
+            "VIOLATED"
+        },
     );
     if report.synchronous_conditions_hold() {
         ExitCode::SUCCESS
@@ -256,8 +268,14 @@ fn cmd_scenario(argv: &[String]) -> ExitCode {
     let report = scenario.run(7);
     let (expect_safe, expect_resilient) = scenario.expected();
     println!("{}: {}", scenario.name(), scenario.describe());
-    println!("  agreement violations : {}", report.safety_violations.len());
-    println!("  D_ra conflicts       : {}", report.resilience_violations.len());
+    println!(
+        "  agreement violations : {}",
+        report.safety_violations.len()
+    );
+    println!(
+        "  D_ra conflicts       : {}",
+        report.resilience_violations.len()
+    );
     println!("  final chain height   : {}", report.final_decided_height);
     println!(
         "  outcome              : safe={} resilient={} (expected {}/{})",
@@ -285,9 +303,18 @@ fn cmd_explore(args: &Args) -> ExitCode {
         "n = 4, η = {eta}, π = {pi}: {} strategies exhaustively executed",
         report.strategies_run
     );
-    println!("  post-window agreement violations : {}", report.violating.len());
-    println!("  D_ra violations                  : {}", report.dra_violating.len());
-    println!("  in-window orphaning strategies   : {}", report.orphaning_only.len());
+    println!(
+        "  post-window agreement violations : {}",
+        report.violating.len()
+    );
+    println!(
+        "  D_ra violations                  : {}",
+        report.dra_violating.len()
+    );
+    println!(
+        "  in-window orphaning strategies   : {}",
+        report.orphaning_only.len()
+    );
     if report.all_safe() {
         println!("  verdict: every strategy survived — Theorem 2, checked");
         ExitCode::SUCCESS
@@ -318,7 +345,9 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "explore" => cmd_explore(&args),
         other => {
-            eprintln!("unknown command {other:?} (expected run|attack|curve|check|scenario|explore)");
+            eprintln!(
+                "unknown command {other:?} (expected run|attack|curve|check|scenario|explore)"
+            );
             ExitCode::from(2)
         }
     }

@@ -61,12 +61,12 @@ fn checkpoint_joiner_rejoins_live_network() {
         // the pool are exactly what deliver_sync provides).
         for i in 0..n - 1 {
             for env in network.deliver_sync(ProcessId::new(i as u32), round) {
-                procs[i].on_receive(env);
+                procs[i].on_receive_shared(&env);
             }
         }
         if let Some(j) = joiner.as_mut() {
             for env in network.deliver_sync(ProcessId::new(5), round) {
-                j.on_receive(env);
+                j.on_receive_shared(&env);
             }
         } else {
             // While offline, p5's slot accumulates undelivered traffic;
@@ -78,7 +78,7 @@ fn checkpoint_joiner_rejoins_live_network() {
                 .pool()
                 .iter()
                 .skip(retained.len())
-                .map(|m| m.envelope.clone()),
+                .map(|m| m.envelope.envelope().clone()),
         );
         let filter = TobProcess::unexpired_filter(round, 3);
         retained.retain(|e| filter(e));
@@ -95,5 +95,8 @@ fn checkpoint_joiner_rejoins_live_network() {
     );
     let live_h = procs[0].tree().height(live_tip).unwrap() as i64;
     let join_h = joiner.tree().height(joiner.decided_tip()).unwrap() as i64;
-    assert!((live_h - join_h).abs() <= 2, "joiner at {join_h}, live at {live_h}");
+    assert!(
+        (live_h - join_h).abs() <= 2,
+        "joiner at {join_h}, live at {live_h}"
+    );
 }

@@ -44,14 +44,20 @@ fn certified_schedules_behave() {
             Box::new(EquivocatingVoter::new()),
         )
         .run();
-        assert!(sim.is_safe(), "certified schedule (seed {seed}) broke safety");
+        assert!(
+            sim.is_safe(),
+            "certified schedule (seed {seed}) broke safety"
+        );
         assert!(
             sim.final_decided_height > 15,
             "certified schedule (seed {seed}) stalled at {}",
             sim.final_decided_height
         );
     }
-    assert!(certified >= 3, "too few certified schedules to be meaningful");
+    assert!(
+        certified >= 3,
+        "too few certified schedules to be meaningful"
+    );
 }
 
 /// The analytic β̃ agrees between `st-analysis` and `st-types`, including
@@ -109,12 +115,24 @@ fn eq4_verdict_predicts_attack_outcome() {
 #[test]
 fn parameter_validation_matches_theory() {
     // γ ≥ β with expiration: Equation 2 would demand |B_r| < 0.
-    assert!(Params::builder(10).expiration(4).churn_rate(0.34).build().is_err());
+    assert!(Params::builder(10)
+        .expiration(4)
+        .churn_rate(0.34)
+        .build()
+        .is_err());
     // Without expiration the churn bound is vacuous.
-    assert!(Params::builder(10).expiration(0).churn_rate(0.34).build().is_ok());
+    assert!(Params::builder(10)
+        .expiration(0)
+        .churn_rate(0.34)
+        .build()
+        .is_ok());
     // π ≥ η is constructible (you may run outside the guarantee) but
     // flagged as not asynchrony-resilient.
-    let p = Params::builder(10).expiration(3).max_asynchrony(3).build().unwrap();
+    let p = Params::builder(10)
+        .expiration(3)
+        .max_asynchrony(3)
+        .build()
+        .unwrap();
     assert!(!p.is_asynchrony_resilient());
 }
 
@@ -127,7 +145,12 @@ fn ga_instance_matches_protocol_decision() {
 
     let mut tree = BlockTree::new();
     let block = tree
-        .insert(Block::build(BlockId::GENESIS, View::new(1), ProcessId::new(0), vec![]))
+        .insert(Block::build(
+            BlockId::GENESIS,
+            View::new(1),
+            ProcessId::new(0),
+            vec![],
+        ))
         .unwrap();
 
     // 7 fresh votes + 2 stale (M₀) votes for the block, 1 stale vote for
@@ -138,7 +161,11 @@ fn ga_instance_matches_protocol_decision() {
     }
     ga.init_with(Vote::new(ProcessId::new(7), Round::new(4), block));
     ga.init_with(Vote::new(ProcessId::new(8), Round::new(4), block));
-    ga.init_with(Vote::new(ProcessId::new(9), Round::new(3), BlockId::GENESIS));
+    ga.init_with(Vote::new(
+        ProcessId::new(9),
+        Round::new(3),
+        BlockId::GENESIS,
+    ));
     let out = ga.output(&tree);
     assert_eq!(out.participation(), 10);
     assert_eq!(out.grade_of(block), Some(Grade::One));

@@ -31,7 +31,7 @@ fn manual_run() -> Vec<TobProcess> {
         }
         for (i, p) in procs.iter_mut().enumerate() {
             for env in network.deliver_sync(ProcessId::new(i as u32), round) {
-                p.on_receive(env);
+                p.on_receive_shared(&env);
             }
         }
     }

@@ -52,7 +52,10 @@ fn four_hundred_rounds_with_churn() {
         .collect();
     assert!(!late.is_empty());
     assert!(
-        late.iter().filter(|tx| tx.included_everywhere.is_some()).count() * 10
+        late.iter()
+            .filter(|tx| tx.included_everywhere.is_some())
+            .count()
+            * 10
             >= late.len() * 8,
         "late-run inclusion degraded"
     );
@@ -77,7 +80,10 @@ fn sequential_disturbances_via_chained_runs() {
             Box::new(PartitionAttacker::new()),
         )
         .run();
-        assert!(report.is_safe(), "window at {round_start}×{pi} broke safety");
+        assert!(
+            report.is_safe(),
+            "window at {round_start}×{pi} broke safety"
+        );
         assert!(report.is_asynchrony_resilient());
         assert!(report.healing_lag().unwrap_or(99) <= 2);
     }

@@ -26,7 +26,12 @@ fn replay_has_no_effect() {
                 procs.iter_mut().map(|p| p.step_send(round)).collect();
             for (i, batch) in batches.iter().enumerate() {
                 for env in batch {
-                    network.send(round, ProcessId::new(i as u32), Recipients::All, env.clone());
+                    network.send(
+                        round,
+                        ProcessId::new(i as u32),
+                        Recipients::All,
+                        env.clone(),
+                    );
                 }
             }
             // Replay all sufficiently old traffic into everyone.
@@ -36,7 +41,7 @@ fn replay_has_no_effect() {
             }
             for i in 0..n {
                 for env in network.deliver_sync(ProcessId::new(i as u32), round) {
-                    procs[i].on_receive(env);
+                    procs[i].on_receive_shared(&env);
                 }
             }
         }
@@ -70,7 +75,10 @@ fn chain_grows_during_incident() {
     let during = t.growth_in(Round::new(20), Round::new(60));
     let before = t.growth_in(Round::new(0), Round::new(20));
     // ~1 block per view both before and during the outage.
-    assert!(during >= 15, "chain grew only {during} blocks during the incident");
+    assert!(
+        during >= 15,
+        "chain grew only {during} blocks during the incident"
+    );
     assert!(before >= 7);
     // Participation drop is visible in the series.
     assert_eq!(t.at(Round::new(30)).unwrap().honest_awake, 8);

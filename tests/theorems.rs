@@ -5,7 +5,10 @@
 use sleepy_tob::prelude::*;
 
 fn params(n: usize, eta: u64) -> Params {
-    Params::builder(n).expiration(eta).build().expect("valid parameters")
+    Params::builder(n)
+        .expiration(eta)
+        .build()
+        .expect("valid parameters")
 }
 
 /// Theorem 1: the extended protocol is a correct TOB under synchrony —
@@ -30,7 +33,10 @@ fn theorem1_safety_and_liveness_under_synchrony() {
                 "{label}/η={eta}: inclusion {}",
                 report.tx_inclusion_rate()
             );
-            assert!(report.final_decided_height > 15, "{label}/η={eta}: no progress");
+            assert!(
+                report.final_decided_height > 15,
+                "{label}/η={eta}: no progress"
+            );
         }
     }
 }
@@ -84,7 +90,10 @@ fn theorem2_bound_is_meaningful() {
         Box::new(PartitionAttacker::with_blackout(eta + 1)),
     )
     .run();
-    assert!(!report.safety_violations.is_empty(), "partition attack should succeed at π ≫ η");
+    assert!(
+        !report.safety_violations.is_empty(),
+        "partition attack should succeed at π ≫ η"
+    );
     // Reorg flavour: D_ra is reverted.
     let report = Simulation::new(
         SimConfig::new(params(12, eta), 23)
@@ -115,7 +124,9 @@ fn theorem3_healing() {
             Box::new(BlackoutAdversary),
         )
         .run();
-        let lag = report.healing_lag().expect("decisions resume after the window");
+        let lag = report
+            .healing_lag()
+            .expect("decisions resume after the window");
         assert!(lag <= 2, "healing took {lag} rounds (π={pi})");
         assert!(report.is_safe());
         // Transactions submitted after the window are included.

@@ -39,12 +39,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { text: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Identifier that is just a parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -89,7 +93,10 @@ impl Bencher {
 }
 
 fn run_one(label: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { iterations, total: Duration::ZERO };
+    let mut bencher = Bencher {
+        iterations,
+        total: Duration::ZERO,
+    };
     f(&mut bencher);
     let per_iter = if iterations > 0 {
         bencher.total / iterations as u32
@@ -125,7 +132,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 

@@ -29,13 +29,19 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// Configuration running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
     }
 }
 
@@ -76,7 +82,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seeds the generator (typically from the test name).
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next 64-bit word.
@@ -193,7 +201,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// The canonical strategy for `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 macro_rules! impl_tuple_strategy {
@@ -231,7 +241,10 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
@@ -246,7 +259,12 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64;
-        let len = self.size.lo + if span == 0 { 0 } else { rng.below(span) as usize };
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
 }
@@ -258,7 +276,10 @@ pub mod collection {
     /// Strategy generating vectors of `element` with a size drawn from
     /// `size` (an exact `usize` or a `Range<usize>`).
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -331,9 +352,7 @@ where
                 }
             }
             Err((TestCaseError::Fail(msg), inputs)) => {
-                panic!(
-                    "proptest `{name}` failed at case #{case_no}: {msg}\n    inputs: {inputs}"
-                );
+                panic!("proptest `{name}` failed at case #{case_no}: {msg}\n    inputs: {inputs}");
             }
         }
     }

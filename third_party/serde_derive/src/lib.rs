@@ -29,13 +29,17 @@ struct Item {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
 }
 
 // ---------------------------------------------------------------------------
@@ -89,14 +93,22 @@ fn parse_item(input: TokenStream) -> Item {
                 }
                 _ => Shape::Unit,
             };
-            Item { name: name.clone(), is_enum: false, variants: vec![(name, shape)] }
+            Item {
+                name: name.clone(),
+                is_enum: false,
+                variants: vec![(name, shape)],
+            }
         }
         "enum" => {
             let body = match tokens.get(i) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => panic!("serde_derive: expected enum body, found {other:?}"),
             };
-            Item { name, is_enum: true, variants: parse_variants(body) }
+            Item {
+                name,
+                is_enum: true,
+                variants: parse_variants(body),
+            }
         }
         other => panic!("serde_derive: cannot derive for `{other}` items"),
     }
@@ -114,8 +126,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => i += 1, // attr body group skipped below
-            TokenTree::Group(g)
-                if expecting_name && g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Group(g) if expecting_name && g.delimiter() == Delimiter::Bracket => {}
             TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
                 if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
                     if g.delimiter() == Delimiter::Parenthesis {
@@ -260,14 +271,25 @@ fn gen_serialize(item: &Item) -> String {
             Shape::Named(fields) => {
                 let entries: Vec<String> = fields
                     .iter()
-                    .map(|f| format!("(::std::string::String::from({}), {S}(&self.{f}))", string_lit(f)))
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({}), {S}(&self.{f}))",
+                            string_lit(f)
+                        )
+                    })
                     .collect();
-                format!("::serde::Value::Map(::std::vec::Vec::from([{}]))", entries.join(", "))
+                format!(
+                    "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                )
             }
             Shape::Tuple(1) => format!("{S}(&self.0)"),
             Shape::Tuple(n) => {
                 let items: Vec<String> = (0..*n).map(|k| format!("{S}(&self.{k})")).collect();
-                format!("::serde::Value::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+                format!(
+                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
             }
             Shape::Unit => "::serde::Value::Null".to_string(),
         }

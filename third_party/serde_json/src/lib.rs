@@ -44,7 +44,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 
 /// Parses a value from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -223,7 +226,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -249,7 +254,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
