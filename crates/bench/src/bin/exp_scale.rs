@@ -30,10 +30,11 @@
 //! while naive delivery performs ≈ `n` — one per receiver.
 //!
 //! Results are printed as a table, written as CSV next to the other
-//! experiments, and written to `BENCH_sim.json` in the working directory
-//! (the repo commits the full-grid run; CI regenerates and uploads a
-//! smoke-mode variant, marked `"smoke": true`, as a build artifact —
-//! it does not replace the committed full-grid numbers).
+//! experiments, and merged into `BENCH_sim.json` under the `"exp_scale"`
+//! key, preserving the other experiments' sections (the repo commits the
+//! full-grid run; CI regenerates and uploads a smoke-mode variant, marked
+//! `"smoke": true`, as a build artifact — it does not replace the
+//! committed full-grid numbers).
 //!
 //! Run with `cargo run --release -p st-bench --bin exp_scale [--smoke]`.
 //! `--smoke` restricts the sweep to `n = 64, horizon = 100` (plus its
@@ -41,7 +42,7 @@
 
 use serde::Serialize;
 use st_analysis::Table;
-use st_bench::{emit, f3, parallel_sweep};
+use st_bench::{emit, f3, parallel_sweep, write_bench_section};
 use st_sim::adversary::SilentAdversary;
 use st_sim::{Schedule, SimConfig, Simulation};
 use st_types::Params;
@@ -332,9 +333,8 @@ fn main() {
         comparison_cell: comparison,
         delivery,
     };
-    let json = serde_json::to_string_pretty(&bench).expect("serialise bench report");
-    match std::fs::write("BENCH_sim.json", &json) {
-        Ok(()) => println!("\n[written BENCH_sim.json]"),
+    match write_bench_section("exp_scale", &bench) {
+        Ok(()) => println!("\n[merged exp_scale into BENCH_sim.json]"),
         Err(e) => println!("\n[could not write BENCH_sim.json: {e}]"),
     }
 }

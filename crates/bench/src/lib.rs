@@ -5,8 +5,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::{Serialize, Value};
 use st_analysis::Table;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Where experiment CSVs are written (`target/experiments/`).
 pub fn output_dir() -> PathBuf {
@@ -24,6 +25,49 @@ pub fn emit(experiment_id: &str, title: &str, table: &Table) {
         Ok(()) => println!("\n[written {}]", path.display()),
         Err(e) => println!("\n[could not write {}: {e}]", path.display()),
     }
+}
+
+/// Upserts one experiment's report into `BENCH_sim.json` in the working
+/// directory, preserving every other experiment's section. The file is a
+/// top-level JSON object keyed by experiment id, so `exp_scale` and
+/// `exp_timeline` (and future benchmark families) feed one committed
+/// artifact without clobbering each other. A legacy single-report file
+/// (the pre-merge format, recognisable by its top-level `"experiment"`
+/// field) is migrated by nesting it under its own id first.
+pub fn write_bench_section(section: &str, report: &impl Serialize) -> std::io::Result<()> {
+    write_bench_section_at(Path::new("BENCH_sim.json"), section, report)
+}
+
+/// [`write_bench_section`] against an explicit path (tests and tools).
+pub fn write_bench_section_at(
+    path: &Path,
+    section: &str,
+    report: &impl Serialize,
+) -> std::io::Result<()> {
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+    {
+        Some(Value::Map(entries)) => {
+            let legacy_id = match entries.iter().find(|(k, _)| k == "experiment") {
+                Some((_, Value::Str(id))) => Some(id.clone()),
+                _ => None,
+            };
+            match legacy_id {
+                Some(id) => vec![(id, Value::Map(entries))],
+                None => entries,
+            }
+        }
+        _ => Vec::new(),
+    };
+    let value = report.to_value();
+    match entries.iter_mut().find(|(k, _)| k == section) {
+        Some((_, slot)) => *slot = value,
+        None => entries.push((section.to_string(), value)),
+    }
+    let json = serde_json::to_string_pretty(&Value::Map(entries))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json)
 }
 
 /// The seeds experiments average over. Fixed so every run of an
@@ -119,6 +163,39 @@ mod tests {
         assert_eq!(f3(1.0 / 3.0), "0.333");
         assert_eq!(opt(Some(3)), "3");
         assert_eq!(opt::<u64>(None), "—");
+    }
+
+    #[derive(serde::Serialize)]
+    struct Fake {
+        x: u64,
+    }
+
+    #[test]
+    fn bench_sections_merge_and_migrate() {
+        let dir = std::env::temp_dir().join(format!("bench-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        // Legacy single-report file → migrated under its experiment id.
+        std::fs::write(&path, r#"{"experiment": "exp_scale", "runs": [1, 2]}"#).unwrap();
+        write_bench_section_at(&path, "exp_timeline", &Fake { x: 7 }).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("exp_scale").and_then(|s| s.get("runs")).is_some());
+        assert!(v.get("exp_timeline").is_some());
+        // Re-writing a section replaces it without touching the other.
+        write_bench_section_at(&path, "exp_timeline", &Fake { x: 9 }).unwrap();
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(matches!(
+            v.get("exp_timeline").and_then(|s| s.get("x")),
+            Some(Value::U64(9))
+        ));
+        assert!(v.get("exp_scale").is_some());
+        // A missing or corrupt file starts fresh.
+        std::fs::write(&path, "not json").unwrap();
+        write_bench_section_at(&path, "exp_timeline", &Fake { x: 1 }).unwrap();
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(v.get("exp_timeline").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

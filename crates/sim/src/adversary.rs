@@ -27,6 +27,7 @@
 //!   making honest processes decide a log conflicting with their own past
 //!   decisions. One asynchronous round beats vanilla MMR.
 
+use crate::env::EnvView;
 use crate::network::{Recipients, SentMessage};
 use crate::schedule::Schedule;
 use st_blocktree::{Block, BlockTree};
@@ -50,8 +51,12 @@ pub struct TargetedMessage {
 pub struct AdversaryCtx<'a> {
     /// The current round.
     pub round: Round,
-    /// Whether the current round lies in the asynchronous window.
-    pub is_async: bool,
+    /// The environment at this round: current segment kind, offsets
+    /// within the current window, remaining window budget and partition
+    /// overlay. Replaces the bare `is_async` flag — window-relative
+    /// strategies (blackout prefixes, scripted plays) read the offsets
+    /// here and automatically re-arm on every new window.
+    pub env: EnvView,
     /// The processes corrupted at this round (`B_r`).
     pub corrupted: &'a [ProcessId],
     /// Keypairs of **corrupted** processes (index-aligned with
@@ -68,6 +73,11 @@ pub struct AdversaryCtx<'a> {
 }
 
 impl AdversaryCtx<'_> {
+    /// Whether the current round is adversary-scheduled asynchrony.
+    pub fn is_async(&self) -> bool {
+        self.env.is_async()
+    }
+
     /// The keypair of corrupted process `p`, if it is corrupted.
     pub fn keypair_of(&self, p: ProcessId) -> Option<&Keypair> {
         self.corrupted
@@ -103,6 +113,25 @@ pub trait Adversary {
     ) -> Vec<usize> {
         let _ = (ctx, receiver);
         available.iter().map(|m| m.index).collect()
+    }
+
+    /// Receive phase of a **bounded-delay** round: the delay, in rounds
+    /// from the send round, that `receiver` experiences for `msg`.
+    /// Return `None` (the default) to use the environment's
+    /// deterministic per-(message, receiver) delay
+    /// ([`crate::env::bounded_delay_of`]); `Some(d)` is clamped to the
+    /// segment's `delta` — the network enforces the deadline regardless,
+    /// so no strategy can stretch a bounded-delay segment into
+    /// unbounded asynchrony.
+    fn delay(
+        &mut self,
+        ctx: &AdversaryCtx<'_>,
+        receiver: ProcessId,
+        msg: &SentMessage,
+        delta: u64,
+    ) -> Option<u64> {
+        let _ = (ctx, receiver, msg, delta);
+        None
     }
 }
 
@@ -255,7 +284,6 @@ impl Adversary for EquivocatingVoter {
 #[derive(Clone, Debug, Default)]
 pub struct PartitionAttacker {
     blackout: u64,
-    async_start: Option<Round>,
 }
 
 impl PartitionAttacker {
@@ -266,12 +294,13 @@ impl PartitionAttacker {
     }
 
     /// Partition attack preceded by `blackout` rounds of total silence
-    /// (to expire pre-asynchrony votes; use `blackout ≥ η`).
+    /// (to expire pre-asynchrony votes; use `blackout ≥ η`). The prefix
+    /// is window-relative: it re-arms at the start of **every**
+    /// asynchronous window, so a multi-window timeline is attacked in
+    /// full each time (the offset comes from [`EnvView`], replacing a
+    /// start-round latch that only ever fired once).
     pub fn with_blackout(blackout: u64) -> PartitionAttacker {
-        PartitionAttacker {
-            blackout,
-            async_start: None,
-        }
+        PartitionAttacker { blackout }
     }
 
     fn same_half(a: ProcessId, b: ProcessId) -> bool {
@@ -474,7 +503,6 @@ impl Adversary for WithholdingLeader {
 #[derive(Clone, Debug, Default)]
 pub struct ReorgAttacker {
     blackout: u64,
-    async_start: Option<Round>,
     fork: Option<Block>,
 }
 
@@ -486,18 +514,15 @@ impl ReorgAttacker {
     }
 
     /// Attack preceded by `blackout` silent rounds (use `blackout ≥ η` to
-    /// defeat an extended protocol with `π` large enough).
+    /// defeat an extended protocol with `π` large enough). Like
+    /// [`PartitionAttacker::with_blackout`], the prefix is
+    /// window-relative and re-arms on every asynchronous window of the
+    /// timeline.
     pub fn with_blackout(blackout: u64) -> ReorgAttacker {
         ReorgAttacker {
             blackout,
-            async_start: None,
             fork: None,
         }
-    }
-
-    fn offset(&mut self, round: Round) -> u64 {
-        let start = *self.async_start.get_or_insert(round);
-        round.as_u64().saturating_sub(start.as_u64())
     }
 }
 
@@ -507,11 +532,10 @@ impl Adversary for ReorgAttacker {
     }
 
     fn send(&mut self, ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
-        if !ctx.is_async {
+        if !ctx.is_async() {
             return Vec::new();
         }
-        let offset = self.offset(ctx.round);
-        if offset < self.blackout || ctx.corrupted.is_empty() {
+        if ctx.env.offset < self.blackout || ctx.corrupted.is_empty() {
             return Vec::new();
         }
         let leader = ctx.corrupted[0];
@@ -547,8 +571,7 @@ impl Adversary for ReorgAttacker {
         _receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {
-        let offset = self.offset(ctx.round);
-        if offset < self.blackout {
+        if ctx.env.offset < self.blackout {
             return Vec::new();
         }
         // Only Byzantine traffic (the planted block and the X votes) gets
@@ -566,11 +589,8 @@ impl Adversary for PartitionAttacker {
         "partition-split-vote"
     }
 
-    fn send(&mut self, ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
+    fn send(&mut self, _ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
         // Pure delivery attack: corrupted processes (if any) stay silent.
-        if ctx.is_async && self.async_start.is_none() {
-            self.async_start = Some(ctx.round);
-        }
         Vec::new()
     }
 
@@ -580,9 +600,7 @@ impl Adversary for PartitionAttacker {
         receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {
-        let start = *self.async_start.get_or_insert(ctx.round);
-        let offset = ctx.round.as_u64().saturating_sub(start.as_u64());
-        if offset < self.blackout {
+        if ctx.env.offset < self.blackout {
             return Vec::new(); // silence: let old votes expire
         }
         // Partition: only same-half traffic gets through; messages from

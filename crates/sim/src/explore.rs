@@ -14,10 +14,11 @@
 //! enumerable: `|menu|^(n·π)` executions.
 
 use crate::adversary::{Adversary, AdversaryCtx, TargetedMessage};
+use crate::env::{SegmentKind, Timeline};
 use crate::network::SentMessage;
 use crate::runner::{AsyncWindow, SimConfig, Simulation};
 use crate::schedule::Schedule;
-use st_types::{Params, ProcessId, Round};
+use st_types::{Params, ProcessId};
 
 /// What a receiver gets in one asynchronous round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,10 +98,11 @@ impl Strategy {
 }
 
 /// An adversary that executes a fixed [`Strategy`] (pure delivery
-/// control; no Byzantine messages).
+/// control; no Byzantine messages). Pattern slots are indexed by the
+/// environment view's *global* asynchronous-round offset, so one flat
+/// script addresses every window of a multi-window timeline.
 struct ScriptedAdversary {
     strategy: Strategy,
-    window_start: Round,
 }
 
 impl Adversary for ScriptedAdversary {
@@ -118,7 +120,7 @@ impl Adversary for ScriptedAdversary {
         receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {
-        let offset = (ctx.round.as_u64() - self.window_start.as_u64()) as usize;
+        let offset = ctx.env.global_offset as usize;
         let pattern = self.strategy.pattern(offset, receiver);
         available
             .iter()
@@ -228,7 +230,6 @@ impl CoupledStrategy {
 
 struct CoupledAdversary {
     strategy: CoupledStrategy,
-    window_start: Round,
 }
 
 impl Adversary for CoupledAdversary {
@@ -246,7 +247,7 @@ impl Adversary for CoupledAdversary {
         receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {
-        let offset = (ctx.round.as_u64() - self.window_start.as_u64()) as usize;
+        let offset = ctx.env.global_offset as usize;
         let pattern = self.strategy.pattern(offset);
         available
             .iter()
@@ -259,42 +260,15 @@ impl Adversary for CoupledAdversary {
 /// Exhausts the coupled strategy space (`5^π` runs): every sequence of
 /// network-wide round patterns. Reaches windows the per-receiver mode
 /// cannot (`π = 3, 4`) at the price of coarser adversary granularity.
+/// The single-window form of [`exhaustive_check_coupled_timeline`]
+/// (`async_window` is a pure alias for the one-segment timeline).
 pub fn exhaustive_check_coupled(
     params: Params,
     window: AsyncWindow,
     horizon: u64,
 ) -> ExploreReport {
-    let total = CoupledStrategy::space_size(window.pi());
-    let mut report = ExploreReport {
-        strategies_run: total,
-        violating: Vec::new(),
-        dra_violating: Vec::new(),
-        orphaning_only: Vec::new(),
-    };
-    for index in 0..total {
-        let strategy = CoupledStrategy::decode(index, window.pi());
-        let sim = Simulation::new(
-            SimConfig::new(params, 1)
-                .horizon(horizon)
-                .async_window(window),
-            Schedule::full(params.n(), horizon),
-            Box::new(CoupledAdversary {
-                strategy,
-                window_start: window.start(),
-            }),
-        );
-        let verdict = classify(&sim.run());
-        if verdict.post_window_broken {
-            report.violating.push(index);
-        }
-        if verdict.dra_broken {
-            report.dra_violating.push(index);
-        }
-        if verdict.orphaning_only {
-            report.orphaning_only.push(index);
-        }
-    }
-    report
+    let timeline = Timeline::synchronous().asynchronous(window.start(), window.pi());
+    exhaustive_check_coupled_timeline(params, &timeline, horizon)
 }
 
 /// One strategy's verdict: post-window agreement broken, D_ra broken,
@@ -323,12 +297,75 @@ fn run_strategy(params: Params, window: AsyncWindow, horizon: u64, index: u64) -
             .horizon(horizon)
             .async_window(window),
         Schedule::full(params.n(), horizon),
-        Box::new(ScriptedAdversary {
-            strategy,
-            window_start: window.start(),
-        }),
+        Box::new(ScriptedAdversary { strategy }),
     );
     classify(&sim.run())
+}
+
+/// Total asynchronous rounds of a timeline (the coupled strategy space
+/// exponent for [`exhaustive_check_coupled_timeline`]).
+fn async_rounds_of(timeline: &Timeline) -> u64 {
+    timeline
+        .windows()
+        .iter()
+        .filter(|w| w.kind() == SegmentKind::Asynchronous)
+        .map(|w| w.len())
+        .sum()
+}
+
+/// Exhausts the coupled strategy space over an arbitrary **timeline**
+/// (`5^k` runs for `k` total asynchronous rounds across all windows):
+/// every sequence of network-wide round patterns, applied to the
+/// timeline's asynchronous rounds in order. This is how Theorem 2's
+/// *every-spell* form is checked exhaustively: with two windows the
+/// menu contains, e.g., "behave synchronously in the first window, run
+/// the partition play in the second".
+///
+/// # Panics
+///
+/// Panics if the timeline contains bounded-delay windows (their delivery
+/// is environment-driven, not scripted).
+pub fn exhaustive_check_coupled_timeline(
+    params: Params,
+    timeline: &Timeline,
+    horizon: u64,
+) -> ExploreReport {
+    assert!(
+        timeline
+            .windows()
+            .iter()
+            .all(|w| w.kind() == SegmentKind::Asynchronous),
+        "scripted exploration covers asynchronous windows only"
+    );
+    let rounds = async_rounds_of(timeline);
+    let total = CoupledStrategy::space_size(rounds);
+    let mut report = ExploreReport {
+        strategies_run: total,
+        violating: Vec::new(),
+        dra_violating: Vec::new(),
+        orphaning_only: Vec::new(),
+    };
+    for index in 0..total {
+        let strategy = CoupledStrategy::decode(index, rounds);
+        let sim = Simulation::new(
+            SimConfig::new(params, 1)
+                .horizon(horizon)
+                .timeline(timeline.clone()),
+            Schedule::full(params.n(), horizon),
+            Box::new(CoupledAdversary { strategy }),
+        );
+        let verdict = classify(&sim.run());
+        if verdict.post_window_broken {
+            report.violating.push(index);
+        }
+        if verdict.dra_broken {
+            report.dra_violating.push(index);
+        }
+        if verdict.orphaning_only {
+            report.orphaning_only.push(index);
+        }
+    }
+    report
 }
 
 /// Runs the protocol under **every** strategy in the space (in parallel
@@ -392,6 +429,7 @@ pub fn exhaustive_check(params: Params, window: AsyncWindow, horizon: u64) -> Ex
 #[cfg(test)]
 mod tests {
     use super::*;
+    use st_types::Round;
 
     #[test]
     fn strategy_codec_roundtrips_the_space() {
@@ -431,6 +469,26 @@ mod tests {
         let window = AsyncWindow::new(Round::new(10), 1);
         let report = exhaustive_check(params, window, 18);
         assert_eq!(report.strategies_run, 256);
+        assert!(
+            report.all_safe(),
+            "violating strategies: {:?} / {:?}",
+            report.violating,
+            report.dra_violating
+        );
+    }
+
+    /// Two one-round asynchronous windows, coupled sweep over both
+    /// (`5² = 25` scripts, including "behave synchronously in the first
+    /// window, attack only the second"): the extended protocol with
+    /// `η = 3` must survive every one — Theorem 2's every-spell form.
+    #[test]
+    fn coupled_timeline_sweep_covers_both_windows() {
+        let params = Params::builder(4).expiration(3).build().unwrap();
+        let timeline = Timeline::synchronous()
+            .asynchronous(Round::new(10), 1)
+            .asynchronous(Round::new(16), 1);
+        let report = exhaustive_check_coupled_timeline(params, &timeline, 24);
+        assert_eq!(report.strategies_run, 25);
         assert!(
             report.all_safe(),
             "violating strategies: {:?} / {:?}",

@@ -15,9 +15,13 @@
 //!   growing adversary) in every round, with generators for full
 //!   participation, bounded random churn, mass-sleep incidents and
 //!   oscillating participation;
+//! * [`Timeline`] — the round-indexed environment model: synchronous by
+//!   default, with any number of asynchronous and bounded-delay windows
+//!   plus partition overlays, so repeated async spells, partial synchrony
+//!   (GST) and split-brain scenarios are data, not special cases;
 //! * [`Network`] — the global message pool with per-process delivery
-//!   cursors implementing exactly the synchronous/asynchronous delivery
-//!   rules above;
+//!   cursors implementing exactly the synchronous/asynchronous/
+//!   bounded-delay delivery rules above;
 //! * [`Adversary`] — full-knowledge Byzantine strategy hook: fabricates
 //!   signed messages from corrupted processes (equivocation, targeted
 //!   sends) and controls delivery during asynchronous rounds. Includes the
@@ -50,6 +54,7 @@
 
 pub mod adversary;
 pub mod baseline;
+pub mod env;
 pub mod explore;
 mod metrics;
 mod monitor;
@@ -59,8 +64,9 @@ pub mod scenario;
 mod schedule;
 
 pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};
-pub use metrics::{RoundSample, Timeline};
-pub use monitor::{SafetyViolation, SimReport, TxRecord};
+pub use env::{bounded_delay_of, Disruption, EnvView, EnvWindow, Partition, SegmentKind, Timeline};
+pub use metrics::{RoundSample, RoundTrace};
+pub use monitor::{RecoveryRecord, SafetyViolation, SimReport, TxRecord};
 pub use network::{Network, Recipients, SentMessage};
 pub use runner::{AsyncWindow, SimConfig, Simulation};
 pub use schedule::{ChurnOptions, Schedule};

@@ -1,7 +1,7 @@
 //! Round-by-round execution time series.
 //!
 //! The scalar [`crate::SimReport`] answers "did the run satisfy the
-//! definitions"; the [`Timeline`] answers *when*: chain growth round by
+//! definitions"; the [`RoundTrace`] answers *when*: chain growth round by
 //! round, participation, message volume and decision activity. Experiment
 //! binaries use it to show, e.g., that the chain kept growing *during*
 //! the mass-sleep incident rather than merely recovering afterwards.
@@ -18,10 +18,20 @@ pub struct RoundSample {
     pub honest_awake: usize,
     /// `|B_r|` — Byzantine processes.
     pub byzantine: usize,
-    /// Whether the round was inside the asynchronous window.
+    /// Whether the round was inside an asynchronous window.
     pub is_async: bool,
+    /// The bounded-delay `Δ` if the round was inside a bounded-delay
+    /// window, `None` otherwise.
+    pub delta: Option<u64>,
+    /// Whether a partition event overlaid the round.
+    pub partitioned: bool,
     /// Messages sent during the round (honest + adversarial).
     pub messages_sent: usize,
+    /// Messages delivered to honest receivers in the round's receive
+    /// phase (excludes the corrupted machines' full-knowledge feed). 0
+    /// across a blackout; throttled during partitions and bounded-delay
+    /// segments.
+    pub messages_delivered: usize,
     /// Decision events recorded this round across all honest processes.
     pub decisions: usize,
     /// Maximum decided-log height over honest processes after the round.
@@ -32,14 +42,14 @@ pub struct RoundSample {
 
 /// The per-round history of a simulation.
 #[derive(Clone, Debug, Default, Serialize)]
-pub struct Timeline {
+pub struct RoundTrace {
     samples: Vec<RoundSample>,
 }
 
-impl Timeline {
+impl RoundTrace {
     /// An empty timeline.
-    pub fn new() -> Timeline {
-        Timeline::default()
+    pub fn new() -> RoundTrace {
+        RoundTrace::default()
     }
 
     /// Appends a sample (rounds must be pushed in order).
@@ -121,17 +131,20 @@ impl Timeline {
     /// Renders a CSV of the full series.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,honest_awake,byzantine,is_async,messages_sent,decisions,\
+            "round,honest_awake,byzantine,is_async,delta,partitioned,messages_sent,messages_delivered,decisions,\
              max_decided_height,min_decided_height\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.round,
                 s.honest_awake,
                 s.byzantine,
                 s.is_async,
+                s.delta.map(|d| d.to_string()).unwrap_or_default(),
+                s.partitioned,
                 s.messages_sent,
+                s.messages_delivered,
                 s.decisions,
                 s.max_decided_height,
                 s.min_decided_height
@@ -151,15 +164,18 @@ mod tests {
             honest_awake: 8,
             byzantine: 2,
             is_async: false,
+            delta: None,
+            partitioned: false,
             messages_sent: 10,
+            messages_delivered: 10,
             decisions,
             max_decided_height: max_h,
             min_decided_height: min_h,
         }
     }
 
-    fn timeline() -> Timeline {
-        let mut t = Timeline::new();
+    fn timeline() -> RoundTrace {
+        let mut t = RoundTrace::new();
         t.push(sample(0, 0, 0, 0));
         t.push(sample(1, 0, 0, 0));
         t.push(sample(2, 3, 1, 0));
@@ -193,7 +209,7 @@ mod tests {
     fn height_spread() {
         let t = timeline();
         assert_eq!(t.max_height_spread(), 1);
-        assert_eq!(Timeline::new().max_height_spread(), 0);
+        assert_eq!(RoundTrace::new().max_height_spread(), 0);
     }
 
     #[test]

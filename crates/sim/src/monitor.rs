@@ -47,6 +47,29 @@ impl TxRecord {
     }
 }
 
+/// Per-disruption recovery bookkeeping: one record for **every** window
+/// and partition event of the configured [`crate::Timeline`], in start
+/// order. This is the paper's "recovers after every asynchronous spell"
+/// claim made quantitative — a multi-window run must show a decision
+/// after each window, not just after the last one.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryRecord {
+    /// `"async"`, `"bounded-delay"` or `"partition"`.
+    pub kind: String,
+    /// First disrupted round.
+    pub start: Round,
+    /// Last disrupted round.
+    pub end: Round,
+    /// First decision round strictly after the window, if any.
+    pub first_decision_after: Option<Round>,
+    /// `first_decision_after − end` — the healing lag of this spell
+    /// (Definition 6's `k` per window).
+    pub recovery_rounds: Option<u64>,
+    /// Definition-5 violations against this window's `D_ra` (decisions
+    /// conflicting with the logs decided before the spell began).
+    pub violations: usize,
+}
+
 /// The outcome of a simulation run.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct SimReport {
@@ -60,8 +83,9 @@ pub struct SimReport {
     pub per_process_decisions: Vec<usize>,
     /// Conflicting decision pairs (agreement violations).
     pub safety_violations: Vec<SafetyViolation>,
-    /// Decisions conflicting with `D_ra` (Definition 5 violations).
-    /// Only populated when an asynchronous window was configured.
+    /// Decisions conflicting with some disruption window's `D_ra`
+    /// (Definition 5 violations), concatenated over the timeline's
+    /// windows in start order. Empty for fully-synchronous timelines.
     pub resilience_violations: Vec<SafetyViolation>,
     /// Transaction lifecycle records.
     pub txs: Vec<TxRecord>,
@@ -69,15 +93,19 @@ pub struct SimReport {
     pub final_decided_height: u64,
     /// Total messages that entered the network.
     pub messages_sent: usize,
-    /// Round of the first decision strictly after the asynchronous window
-    /// (healing measurement), if any window was configured.
+    /// Round of the first decision strictly after the **last** disruption
+    /// window (full-healing measurement), if any window was configured.
     pub first_decision_after_async: Option<Round>,
-    /// The last round of the asynchronous window, if one was configured.
+    /// The last round of the final disruption window, if any was
+    /// configured.
     pub async_window_end: Option<Round>,
+    /// Per-disruption recovery records, in window start order (one per
+    /// async/bounded-delay/partition window of the timeline).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Rounds in which at least one process decided.
     pub deciding_rounds: usize,
     /// Per-round time series of the execution.
-    pub timeline: crate::Timeline,
+    pub timeline: crate::RoundTrace,
 }
 
 impl SimReport {
@@ -92,9 +120,9 @@ impl SimReport {
         self.resilience_violations.is_empty()
     }
 
-    /// Healing lag `k`: rounds from the end of the asynchronous window to
-    /// the first subsequent decision (Definition 6/Theorem 3). `None` if
-    /// no window was configured or no decision followed.
+    /// Healing lag `k`: rounds from the end of the **last** disruption
+    /// window to the first subsequent decision (Definition 6/Theorem 3).
+    /// `None` if no window was configured or no decision followed.
     pub fn healing_lag(&self) -> Option<u64> {
         match (self.async_window_end, self.first_decision_after_async) {
             (Some(end), Some(first)) => Some(first.as_u64().saturating_sub(end.as_u64())),
@@ -102,29 +130,61 @@ impl SimReport {
         }
     }
 
-    /// Agreement violations in which **both** decisions were made after
-    /// the asynchronous window closed (rounds `> ra + π + 1`) — the
-    /// safety Theorem 3's proof actually establishes. Zero here with
-    /// nonzero [`SimReport::safety_violations`] means every conflict
-    /// involves an **in-window orphaning**: a decision made during the
-    /// window on evidence the rest of the network never saw, later
-    /// superseded. Definition 5 does not protect such decisions (they are
-    /// not in `D_ra`), and the reproduction treats them as a documented
-    /// model subtlety rather than a protocol failure — see EXPERIMENTS.md.
+    /// Whether a decision followed **every** disruption window — the
+    /// multi-spell form of the paper's resilience claim (vacuously true
+    /// without windows).
+    pub fn recovered_after_every_window(&self) -> bool {
+        self.recoveries
+            .iter()
+            .all(|r| r.first_decision_after.is_some())
+    }
+
+    /// The worst per-window healing lag across the run, if every window
+    /// healed.
+    pub fn max_recovery_rounds(&self) -> Option<u64> {
+        if self.recoveries.is_empty() || !self.recovered_after_every_window() {
+            return None;
+        }
+        self.recoveries
+            .iter()
+            .filter_map(|r| r.recovery_rounds)
+            .max()
+    }
+
+    /// Agreement violations in which **neither** decision is orphanable —
+    /// what safety Theorem 3's proof actually forbids. A decision is
+    /// *orphanable* when its round lies inside some disruption window or
+    /// in that window's first post-window round (`[start, end + 1]` of
+    /// any entry in [`SimReport::recoveries`]): it may have been made on
+    /// evidence the rest of the network never saw and later superseded,
+    /// which Definition 5 explicitly declines to protect (such decisions
+    /// are not in `D_ra`) — see EXPERIMENTS.md. The per-window test
+    /// matters for multi-window timelines: a conflict decided entirely in
+    /// the synchronous gap *between* two spells involves no orphanable
+    /// decision and is a genuine violation, not an orphaning. Every
+    /// disruption kind counts as an orphanable zone, including
+    /// bounded-delay windows (a `Δ`-bounded form of asynchrony — under
+    /// `η ≤ Δ`, in-spell decisions can rest on evidence whose peers'
+    /// votes are still in flight exactly as under full asynchrony);
+    /// assertions that safety holds *through* a bounded period should
+    /// check [`SimReport::is_safe`], which counts every violation
+    /// regardless of classification.
     pub fn post_window_violations(&self) -> Vec<&SafetyViolation> {
-        let Some(end) = self.async_window_end else {
-            return self.safety_violations.iter().collect();
+        let orphanable = |r: Round| {
+            self.recoveries
+                .iter()
+                .any(|w| w.start <= r && r.as_u64() <= w.end.as_u64() + 1)
         };
-        let boundary = end.as_u64() + 1;
         self.safety_violations
             .iter()
-            .filter(|v| v.first.1.round.as_u64() > boundary && v.second.1.round.as_u64() > boundary)
+            .filter(|v| !orphanable(v.first.1.round) && !orphanable(v.second.1.round))
             .collect()
     }
 
     /// Agreement violations involving at least one decision made inside
-    /// the window or in its first post-window round (the orphanable
-    /// ones). Complements [`SimReport::post_window_violations`].
+    /// some disruption window or in its first post-window round (the
+    /// orphanable ones). Complements
+    /// [`SimReport::post_window_violations`].
     pub fn in_window_orphanings(&self) -> usize {
         self.safety_violations.len() - self.post_window_violations().len()
     }
@@ -431,6 +491,42 @@ mod tests {
         m.observe(&tree, ProcessId::new(0), ev(3, a2)); // supersedes a
         assert_eq!(m.d_ra.len(), 1);
         assert_eq!(m.d_ra[0].0, a2);
+    }
+
+    #[test]
+    fn post_window_classification_is_per_window() {
+        let (_tree, a, _, b) = mk_tree();
+        let mut r = SimReport::default();
+        for (s, e) in [(10u64, 13u64), (24, 27)] {
+            r.recoveries.push(RecoveryRecord {
+                kind: "async".to_string(),
+                start: Round::new(s),
+                end: Round::new(e),
+                first_decision_after: None,
+                recovery_rounds: None,
+                violations: 0,
+            });
+        }
+        let pair = |ra: u64, rb: u64| SafetyViolation {
+            first: (ProcessId::new(0), ev(ra, a)),
+            second: (ProcessId::new(1), ev(rb, b)),
+        };
+        // Decided entirely in the synchronous gap *between* the spells: a
+        // genuine agreement violation — classifying per-window matters
+        // here (the old last-window boundary called this an orphaning).
+        r.safety_violations.push(pair(18, 20));
+        // One decision inside window 2: orphanable.
+        r.safety_violations.push(pair(26, 30));
+        // One decision in window 1's first post-window round (end + 1):
+        // still orphanable.
+        r.safety_violations.push(pair(14, 20));
+        // Entirely after the last window: genuine.
+        r.safety_violations.push(pair(30, 31));
+        assert_eq!(r.post_window_violations().len(), 2);
+        assert_eq!(r.in_window_orphanings(), 2);
+        // Without any window, every violation is genuine.
+        r.recoveries.clear();
+        assert_eq!(r.post_window_violations().len(), 4);
     }
 
     #[test]

@@ -195,6 +195,9 @@ impl Network {
     /// delivered to `p` and returns their envelopes in pool order. Indices
     /// not actually available to `p` are ignored — the adversary cannot
     /// deliver a message twice, to a non-addressee, or from the future.
+    /// Duplicate choices (within one call, across calls, or overlapping a
+    /// past synchronous delivery) are collapsed deterministically: each
+    /// chosen message is delivered at most once, in global pool order.
     pub fn deliver_async(
         &mut self,
         p: ProcessId,
@@ -217,6 +220,57 @@ impl Network {
             state.extras.insert(idx);
             out.push(msg.envelope.clone());
         }
+        out
+    }
+
+    /// Bounded-delay receive for `p` at the end of round `r` (the
+    /// [`crate::SegmentKind::BoundedDelay`] delivery path): every
+    /// not-yet-delivered message addressed to `p` whose **deadline** has
+    /// been reached (`sent round + delta ≤ r`) is delivered
+    /// unconditionally, and the per-process cursor advances past the
+    /// deadline boundary — which is what keeps [`Network::compact`]
+    /// working through long bounded-delay segments. On top of that,
+    /// `chosen` (global indices, typically the messages whose sampled
+    /// delay elapsed this round) are delivered **early** via the same
+    /// marking mechanism as [`Network::deliver_async`]: duplicates are
+    /// collapsed, and indices that are out of range, already delivered,
+    /// from the future, or not addressed to `p` are ignored, so no
+    /// message can be delivered twice and the `Δ` bound cannot be
+    /// stretched by a misbehaving delay oracle. Returns the delivered
+    /// envelopes in global pool order.
+    pub fn deliver_bounded(
+        &mut self,
+        p: ProcessId,
+        r: Round,
+        delta: u64,
+        chosen: &[usize],
+    ) -> Vec<SharedEnvelope> {
+        let state = &mut self.delivery[p.index()];
+        let start = state.cursor.max(self.base) - self.base;
+        let mut out = Vec::new();
+        // Phase 1 — forced deadline prefix: messages sent in rounds
+        // `≤ r − delta` must arrive now; the cursor advances like the
+        // synchronous path so the fully-delivered prefix keeps growing.
+        if let Some(cutoff) = r.as_u64().checked_sub(delta) {
+            let mut taken = 0usize;
+            for msg in &self.pool[start..] {
+                if msg.round.as_u64() > cutoff {
+                    break;
+                }
+                taken += 1;
+                if state.extras.remove(&msg.index) {
+                    // Delivered early in an earlier bounded/async round.
+                } else if msg.recipients.includes(p) {
+                    out.push(msg.envelope.clone());
+                }
+            }
+            state.cursor = self.base + start + taken;
+        }
+        // Phase 2 — early deliveries inside the `(r − delta, r]` band,
+        // delegated to the adversarial marking path so its hardening
+        // rules live in one place. Every phase-2 index is ≥ the advanced
+        // cursor, so the combined output stays in global pool order.
+        out.extend(self.deliver_async(p, r, chosen));
         out
     }
 
@@ -404,6 +458,126 @@ mod tests {
         let p0 = ProcessId::new(0);
         assert!(net.deliver_async(p0, Round::new(1), &[0]).is_empty()); // round 2 > 1
         assert_eq!(net.deliver_async(p0, Round::new(2), &[0, 0]).len(), 1); // dedup
+    }
+
+    #[test]
+    fn async_delivery_dedups_duplicate_choices() {
+        // The adversary hands back the same index many times, unsorted and
+        // across calls: the message is delivered exactly once.
+        let mut net = Network::new(2);
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 1, 5),
+        );
+        net.send(
+            Round::new(1),
+            ProcessId::new(1),
+            Recipients::All,
+            env(1, 1, 6),
+        );
+        let p = ProcessId::new(0);
+        // Duplicates within one call, unsorted.
+        let got = net.deliver_async(p, Round::new(1), &[1, 0, 1, 0, 0, 1]);
+        assert_eq!(got.len(), 2);
+        // The same choices across a later call: nothing is re-delivered.
+        assert!(net.deliver_async(p, Round::new(1), &[0, 1]).is_empty());
+        // Nor does the synchronous catch-up replay them.
+        assert!(net.deliver_sync(p, Round::new(2)).is_empty());
+    }
+
+    #[test]
+    fn bounded_delivery_enforces_deadline_and_early_choices() {
+        let mut net = Network::new(2);
+        for r in 1..=3u64 {
+            net.send(
+                Round::new(r),
+                ProcessId::new(0),
+                Recipients::All,
+                env(0, r, r),
+            );
+        }
+        let p = ProcessId::new(1);
+        // delta = 2 at round 2: only the round-0-deadline message (sent in
+        // round ≤ 0) would be forced — none; choose index 1 (round 2) early.
+        let got = net.deliver_bounded(p, Round::new(2), 2, &[1]);
+        assert_eq!(got.len(), 1);
+        // Round 3, delta = 2: the round-1 message's deadline (1+2) arrives
+        // — forced even though never chosen. Index 1 is not re-delivered
+        // despite being chosen again (dedup across calls), index 2 comes
+        // early by choice.
+        let got = net.deliver_bounded(p, Round::new(3), 2, &[1, 2, 2]);
+        assert_eq!(got.len(), 2);
+        // Everything has been delivered exactly once overall.
+        assert!(net.deliver_sync(p, Round::new(9)).is_empty());
+    }
+
+    #[test]
+    fn bounded_delivery_ignores_bogus_choices_and_respects_compaction() {
+        let mut net = Network::new(2);
+        net.send(
+            Round::new(1),
+            ProcessId::new(0),
+            Recipients::Only(vec![ProcessId::new(0)]),
+            env(0, 1, 1),
+        );
+        net.send(
+            Round::new(5),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 5, 2),
+        );
+        let p1 = ProcessId::new(1);
+        // Not addressed (0), out of range (99), from the future at r=4 (1).
+        assert!(net
+            .deliver_bounded(p1, Round::new(4), 9, &[0, 99])
+            .is_empty());
+        assert_eq!(net.deliver_bounded(p1, Round::new(5), 9, &[1]).len(), 1);
+        // A later zero-delta pass forces both cursors over the prefix
+        // (p1's early delivery is consumed, not repeated), after which
+        // compaction drops it while global indices keep working.
+        let p0 = ProcessId::new(0);
+        assert_eq!(net.deliver_bounded(p0, Round::new(5), 0, &[]).len(), 2);
+        assert!(net.deliver_bounded(p1, Round::new(5), 0, &[]).is_empty());
+        assert_eq!(net.compact(), 2);
+        net.send(
+            Round::new(6),
+            ProcessId::new(0),
+            Recipients::All,
+            env(0, 6, 3),
+        );
+        // Global index 2 is the fresh message; the compacted prefix stays
+        // undeliverable.
+        assert_eq!(
+            net.deliver_bounded(p1, Round::new(6), 9, &[0, 1, 2]).len(),
+            1
+        );
+        assert_eq!(net.pool_base(), 2);
+    }
+
+    #[test]
+    fn bounded_deadline_advances_cursor_for_compaction() {
+        // A pure bounded-delay run (nobody ever calls deliver_sync): the
+        // forced-deadline phase advances every cursor, so the pool still
+        // compacts once all deadlines pass.
+        let mut net = Network::new(2);
+        for r in 1..=4u64 {
+            net.send(
+                Round::new(r),
+                ProcessId::new(0),
+                Recipients::All,
+                env(0, r, r),
+            );
+        }
+        for r in 1..=6u64 {
+            for pid in 0..2u32 {
+                let _ = net.deliver_bounded(ProcessId::new(pid), Round::new(r), 2, &[]);
+            }
+        }
+        // Deadlines for rounds 1..=4 all passed by round 6.
+        assert_eq!(net.compact(), 4);
+        assert!(net.pool().is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The round-loop execution engine.
 
 use crate::adversary::{Adversary, AdversaryCtx};
-use crate::metrics::{RoundSample, Timeline};
-use crate::monitor::{ResilienceMonitor, SafetyMonitor, SimReport, TxRecord};
+use crate::env::{bounded_delay_of, Disruption, SegmentKind, Timeline};
+use crate::metrics::{RoundSample, RoundTrace};
+use crate::monitor::{RecoveryRecord, ResilienceMonitor, SafetyMonitor, SimReport, TxRecord};
 use crate::network::{Network, Recipients};
 use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
@@ -72,21 +73,21 @@ pub struct SimConfig {
     params: Params,
     seed: u64,
     horizon: u64,
-    async_window: Option<AsyncWindow>,
+    timeline: Timeline,
     txs_every: Option<u64>,
     naive_delivery: bool,
 }
 
 impl SimConfig {
     /// A run of the protocol described by `params` under `seed`, with a
-    /// default horizon of 40 rounds, no asynchronous window and no
+    /// default horizon of 40 rounds, a fully synchronous timeline and no
     /// transaction workload.
     pub fn new(params: Params, seed: u64) -> SimConfig {
         SimConfig {
             params,
             seed,
             horizon: 40,
-            async_window: None,
+            timeline: Timeline::synchronous(),
             txs_every: None,
             naive_delivery: false,
         }
@@ -99,10 +100,23 @@ impl SimConfig {
         self
     }
 
-    /// Injects an asynchronous window.
+    /// Sets the environment [`Timeline`] (asynchronous / bounded-delay
+    /// windows and partition events). Replaces any previously configured
+    /// timeline.
+    #[must_use]
+    pub fn timeline(mut self, timeline: Timeline) -> SimConfig {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Injects a single asynchronous window — a thin shim over
+    /// [`SimConfig::timeline`] that builds the one-segment timeline
+    /// `Timeline::synchronous().asynchronous(window.start(), window.pi())`.
+    /// Replaces any previously configured timeline, matching the legacy
+    /// last-call-wins behaviour.
     #[must_use]
     pub fn async_window(mut self, window: AsyncWindow) -> SimConfig {
-        self.async_window = Some(window);
+        self.timeline = Timeline::synchronous().asynchronous(window.start(), window.pi());
         self
     }
 
@@ -131,6 +145,11 @@ impl SimConfig {
     pub fn params(&self) -> &Params {
         &self.params
     }
+
+    /// The configured environment timeline.
+    pub fn env(&self) -> &Timeline {
+        &self.timeline
+    }
 }
 
 /// A single simulation: processes + schedule + network + adversary +
@@ -146,7 +165,14 @@ pub struct Simulation {
     network: Network,
     global_tree: BlockTree,
     safety: SafetyMonitor,
-    resilience: Option<ResilienceMonitor>,
+    /// One disruption per timeline window/partition (start order), with a
+    /// Definition-5 monitor and a first-post-window-decision slot each.
+    disruptions: Vec<Disruption>,
+    resilience: Vec<ResilienceMonitor>,
+    first_after: Vec<Option<Round>>,
+    /// End of the final disruption — the point after which the run must
+    /// fully heal (drives the legacy singular report fields).
+    last_disruption_end: Option<Round>,
     /// Per-process cursor into `TobProcess::decisions()`: everything below
     /// it has been *drained* (observed while honest, or skipped while
     /// Byzantine — the cursor advances either way, so a process that
@@ -169,7 +195,7 @@ pub struct Simulation {
     tx_counter: u64,
     first_decision_after_async: Option<Round>,
     deciding_rounds: usize,
-    timeline: Timeline,
+    trace: RoundTrace,
 }
 
 impl Simulation {
@@ -199,7 +225,27 @@ impl Simulation {
         let keypairs: Vec<Keypair> = ProcessId::all(n)
             .map(|p| Keypair::derive(p, config.seed))
             .collect();
-        let resilience = config.async_window.map(|w| ResilienceMonitor::new(w.ra()));
+        for part in config.timeline.partitions() {
+            for p in part.groups().iter().flatten() {
+                assert!(
+                    p.index() < n,
+                    "partition group member {p} is outside the system (n = {n})"
+                );
+            }
+        }
+        let disruptions = config.timeline.disruptions();
+        let resilience = disruptions
+            .iter()
+            .map(|d| {
+                ResilienceMonitor::new(
+                    d.start
+                        .prev()
+                        .expect("timeline windows start after round 0"),
+                )
+            })
+            .collect();
+        let first_after = vec![None; disruptions.len()];
+        let last_disruption_end = config.timeline.last_disruption_end();
         Simulation {
             config,
             tob_config,
@@ -210,7 +256,10 @@ impl Simulation {
             network: Network::new(n),
             global_tree: BlockTree::new(),
             safety: SafetyMonitor::new(),
+            disruptions,
             resilience,
+            first_after,
+            last_disruption_end,
             decisions_seen: vec![0; n],
             decisions_observed: vec![0; n],
             byz_cache: (Vec::new(), Vec::new()),
@@ -219,7 +268,7 @@ impl Simulation {
             tx_counter: 0,
             first_decision_after_async: None,
             deciding_rounds: 0,
-            timeline: Timeline::new(),
+            trace: RoundTrace::new(),
         }
     }
 
@@ -229,13 +278,6 @@ impl Simulation {
             self.step_round(Round::new(r));
         }
         self.finish()
-    }
-
-    fn is_async(&self, r: Round) -> bool {
-        self.config
-            .async_window
-            .map(|w| w.contains(r))
-            .unwrap_or(false)
     }
 
     /// Rebuilds the Byzantine keypair cache iff the corrupted set changed.
@@ -262,7 +304,8 @@ impl Simulation {
     }
 
     fn step_round(&mut self, round: Round) {
-        let is_async = self.is_async(round);
+        let env_view = self.config.timeline.view_at(round);
+        let is_async = env_view.is_async();
         let messages_before = self.network.messages_sent();
         let decisions_before: usize = self.decisions_observed.iter().sum();
 
@@ -329,7 +372,7 @@ impl Simulation {
         let byz_msgs = {
             let ctx = AdversaryCtx {
                 round,
-                is_async,
+                env: env_view,
                 corrupted: &corrupted,
                 keypairs: &self.byz_cache.1,
                 processes: &self.procs,
@@ -365,37 +408,141 @@ impl Simulation {
         let receivers: Vec<ProcessId> = ProcessId::all(self.schedule.n())
             .filter(|&p| self.schedule.is_awake(p, next) && !self.schedule.is_byzantine(p, next))
             .collect();
-        if is_async {
-            // First ask the adversary what everyone gets (immutable phase),
-            // then apply (mutable phase).
-            let mut plan: Vec<(ProcessId, Vec<usize>)> = Vec::new();
-            {
-                let ctx = AdversaryCtx {
-                    round,
-                    is_async,
-                    corrupted: &corrupted,
-                    keypairs: &self.byz_cache.1,
-                    processes: &self.procs,
-                    schedule: &self.schedule,
-                    global_tree: &self.global_tree,
-                    config: &self.tob_config,
-                };
-                for &p in &receivers {
-                    let available = self.network.available_for(p, round);
-                    let chosen = self.adversary.deliver(&ctx, p, &available);
-                    plan.push((p, chosen));
+        // Partition reachability as a dense group map (two array reads
+        // per (sender, receiver) pair). While a partition is active,
+        // delivery goes through the marking path (`deliver_async` /
+        // chosen indices) so cross-group messages stay queued — delayed,
+        // never lost — and arrive once the partition heals.
+        let part_map: Option<Vec<u32>> = self
+            .config
+            .timeline
+            .partition_at(round)
+            .map(|p| p.group_map(self.schedule.n()));
+        let mut delivered = 0usize;
+        let reachable =
+            |map: &Vec<u32>, s: ProcessId, r: ProcessId| map[s.index()] == map[r.index()];
+        match env_view.kind {
+            SegmentKind::Asynchronous => {
+                // First ask the adversary what everyone gets (immutable
+                // phase), then apply (mutable phase). An active partition
+                // constrains the adversary: it cannot deliver across the
+                // cut.
+                let mut plan: Vec<(ProcessId, Vec<usize>)> = Vec::new();
+                {
+                    let ctx = AdversaryCtx {
+                        round,
+                        env: env_view,
+                        corrupted: &corrupted,
+                        keypairs: &self.byz_cache.1,
+                        processes: &self.procs,
+                        schedule: &self.schedule,
+                        global_tree: &self.global_tree,
+                        config: &self.tob_config,
+                    };
+                    for &p in &receivers {
+                        let available = self.network.available_for(p, round);
+                        let mut chosen = self.adversary.deliver(&ctx, p, &available);
+                        if let Some(map) = &part_map {
+                            let reach: FastSet<usize> = available
+                                .iter()
+                                .filter(|m| reachable(map, m.sender, p))
+                                .map(|m| m.index)
+                                .collect();
+                            chosen.retain(|i| reach.contains(i));
+                        }
+                        plan.push((p, chosen));
+                    }
+                }
+                for (p, chosen) in plan {
+                    for env in self.network.deliver_async(p, round, &chosen) {
+                        delivered += 1;
+                        Self::deliver_to(&mut self.procs, naive, p, &env);
+                    }
                 }
             }
-            for (p, chosen) in plan {
-                for env in self.network.deliver_async(p, round, &chosen) {
-                    Self::deliver_to(&mut self.procs, naive, p, &env);
+            SegmentKind::BoundedDelay { delta } => {
+                // Every message is delivered within `delta` rounds of
+                // being sent: a message becomes *due* once its sampled
+                // delay elapses (deterministic per (message, receiver)
+                // from the run seed, or adversary-chosen within the
+                // bound), and the network enforces the deadline
+                // unconditionally.
+                let seed = self.config.seed;
+                let mut plan: Vec<(ProcessId, Vec<usize>)> = Vec::new();
+                {
+                    let ctx = AdversaryCtx {
+                        round,
+                        env: env_view,
+                        corrupted: &corrupted,
+                        keypairs: &self.byz_cache.1,
+                        processes: &self.procs,
+                        schedule: &self.schedule,
+                        global_tree: &self.global_tree,
+                        config: &self.tob_config,
+                    };
+                    for &p in &receivers {
+                        let available = self.network.available_for(p, round);
+                        let mut chosen = Vec::with_capacity(available.len());
+                        for m in &available {
+                            if let Some(map) = &part_map {
+                                if !reachable(map, m.sender, p) {
+                                    continue;
+                                }
+                            }
+                            let d = self
+                                .adversary
+                                .delay(&ctx, p, m, delta)
+                                .map(|d| d.min(delta))
+                                .unwrap_or_else(|| bounded_delay_of(seed, m.index, p, delta));
+                            if m.round.as_u64() + d <= round.as_u64() {
+                                chosen.push(m.index);
+                            }
+                        }
+                        plan.push((p, chosen));
+                    }
+                }
+                for (p, chosen) in plan {
+                    let envs = if part_map.is_some() {
+                        // The deadline must not force messages across the
+                        // cut: partition rounds use the marking path, and
+                        // the backlog arrives when the partition heals.
+                        self.network.deliver_async(p, round, &chosen)
+                    } else {
+                        self.network.deliver_bounded(p, round, delta, &chosen)
+                    };
+                    for env in envs {
+                        delivered += 1;
+                        Self::deliver_to(&mut self.procs, naive, p, &env);
+                    }
                 }
             }
-        } else {
-            let procs = &mut self.procs;
-            for &p in &receivers {
-                self.network
-                    .deliver_sync_with(p, round, |env| Self::deliver_to(procs, naive, p, env));
+            SegmentKind::Synchronous => {
+                if let Some(map) = &part_map {
+                    // Synchronous delivery restricted to same-group
+                    // traffic; cross-group messages stay queued. No
+                    // adversary context is borrowed here, so each
+                    // receiver's choice can be applied immediately.
+                    for &p in &receivers {
+                        let chosen: Vec<usize> = self
+                            .network
+                            .available_for(p, round)
+                            .iter()
+                            .filter(|m| reachable(map, m.sender, p))
+                            .map(|m| m.index)
+                            .collect();
+                        for env in self.network.deliver_async(p, round, &chosen) {
+                            delivered += 1;
+                            Self::deliver_to(&mut self.procs, naive, p, &env);
+                        }
+                    }
+                } else {
+                    let procs = &mut self.procs;
+                    for &p in &receivers {
+                        delivered += self.network.deliver_sync_with(p, round, |env| {
+                            Self::deliver_to(procs, naive, p, env)
+                        });
+                    }
+                }
             }
         }
         // Corrupted machines receive everything regardless of the round's
@@ -437,12 +584,15 @@ impl Simulation {
             })
             .max()
             .unwrap_or(0);
-        self.timeline.push(RoundSample {
+        self.trace.push(RoundSample {
             round: round.as_u64(),
             honest_awake: honest.len(),
             byzantine: self.schedule.byzantine(round).len(),
             is_async,
+            delta: env_view.delta(),
+            partitioned: env_view.partitioned,
             messages_sent: self.network.messages_sent() - messages_before,
+            messages_delivered: delivered,
             decisions: self.decisions_observed.iter().sum::<usize>() - decisions_before,
             max_decided_height: all_max,
             min_decided_height: heights.iter().copied().min().unwrap_or(0),
@@ -470,11 +620,16 @@ impl Simulation {
                 any = true;
                 self.decisions_observed[p.index()] += 1;
                 self.safety.observe(&self.global_tree, p, event);
-                if let Some(res) = &mut self.resilience {
+                for res in &mut self.resilience {
                     res.observe(&self.global_tree, p, event);
                 }
-                if let Some(w) = self.config.async_window {
-                    if event.round > w.end() && self.first_decision_after_async.is_none() {
+                for (i, d) in self.disruptions.iter().enumerate() {
+                    if event.round > d.end && self.first_after[i].is_none() {
+                        self.first_after[i] = Some(event.round);
+                    }
+                }
+                if let Some(end) = self.last_disruption_end {
+                    if event.round > end && self.first_decision_after_async.is_none() {
                         self.first_decision_after_async = Some(event.round);
                     }
                 }
@@ -531,20 +686,39 @@ impl Simulation {
             })
             .max()
             .unwrap_or(0);
+        let recoveries: Vec<RecoveryRecord> = self
+            .disruptions
+            .iter()
+            .zip(&self.resilience)
+            .zip(&self.first_after)
+            .map(|((d, mon), first)| RecoveryRecord {
+                kind: d.label.to_string(),
+                start: d.start,
+                end: d.end,
+                first_decision_after: *first,
+                recovery_rounds: first.map(|f| f.as_u64() - d.end.as_u64()),
+                violations: mon.violations.len(),
+            })
+            .collect();
         SimReport {
             adversary: self.adversary.name().to_string(),
             rounds_run: self.config.horizon,
             decisions_total: self.decisions_observed.iter().sum(),
             per_process_decisions: self.decisions_observed,
             safety_violations: self.safety.violations,
-            resilience_violations: self.resilience.map(|r| r.violations).unwrap_or_default(),
+            resilience_violations: self
+                .resilience
+                .into_iter()
+                .flat_map(|r| r.violations)
+                .collect(),
             txs: self.txs,
             final_decided_height,
             messages_sent: self.network.messages_sent(),
             first_decision_after_async: self.first_decision_after_async,
-            async_window_end: self.config.async_window.map(|w| w.end()),
+            async_window_end: self.last_disruption_end,
+            recoveries,
             deciding_rounds: self.deciding_rounds,
-            timeline: self.timeline,
+            timeline: self.trace,
         }
     }
 }
@@ -798,6 +972,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "outside the system")]
+    fn partition_member_outside_system_panics() {
+        let timeline =
+            Timeline::synchronous().partition(Round::new(5), 2, vec![vec![ProcessId::new(12)]]);
+        let _ = Simulation::new(
+            SimConfig::new(params(8, 2), 1).timeline(timeline),
+            Schedule::full(8, 40),
+            Box::new(SilentAdversary),
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "schedule covers")]
     fn mismatched_schedule_panics() {
         let _ = Simulation::new(
@@ -835,6 +1021,135 @@ mod tests {
             prev = s.max_decided_height;
         }
         assert!(t.growth_in(Round::new(0), Round::new(20)) > 5);
+    }
+
+    /// The acceptance shape of the paper's central claim: a run with
+    /// **two** asynchronous spells produces one recovery record per
+    /// spell, each showing a post-window decision, with zero safety or
+    /// Definition-5 violations under the paper's parameter regime
+    /// (`η = 6 > π = 4`).
+    #[test]
+    fn multi_window_run_yields_one_recovery_record_per_window() {
+        let n = 8;
+        let timeline = Timeline::synchronous()
+            .asynchronous(Round::new(10), 4)
+            .asynchronous(Round::new(24), 4);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 6), 5)
+                .horizon(40)
+                .timeline(timeline)
+                .txs_every(4),
+            Schedule::full(n, 40),
+            Box::new(PartitionAttacker::new()),
+        )
+        .run();
+        assert!(report.is_safe(), "{:?}", report.safety_violations);
+        assert!(report.is_asynchrony_resilient());
+        assert_eq!(report.recoveries.len(), 2);
+        for rec in &report.recoveries {
+            assert_eq!(rec.kind, "async");
+            assert_eq!(rec.violations, 0);
+            assert!(
+                rec.first_decision_after.is_some(),
+                "no recovery after window starting {:?}",
+                rec.start
+            );
+            assert!(rec.recovery_rounds.unwrap() <= 4, "slow heal: {rec:?}");
+        }
+        assert!(report.recovered_after_every_window());
+        assert!(report.max_recovery_rounds().unwrap() <= 4);
+        // The legacy singular fields describe the *last* spell.
+        assert_eq!(report.async_window_end, Some(Round::new(27)));
+        assert!(report.first_decision_after_async.unwrap() > Round::new(27));
+    }
+
+    #[test]
+    fn bounded_delay_window_preserves_safety_and_recovers() {
+        // A Δ = 2 bounded-delay spell under η = 4 > Δ: every message is
+        // at most 2 rounds late, expiration covers the gap — safe, and
+        // the spell gets its own recovery record.
+        let n = 8;
+        let timeline = Timeline::synchronous().bounded_delay(Round::new(10), 8, 2);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 4), 7)
+                .horizon(34)
+                .timeline(timeline),
+            Schedule::full(n, 34),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe(), "{:?}", report.safety_violations);
+        assert!(report.is_asynchrony_resilient());
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].kind, "bounded-delay");
+        assert!(report.recoveries[0].first_decision_after.is_some());
+        // The trace labels the bounded rounds.
+        assert_eq!(report.timeline.at(Round::new(12)).unwrap().delta, Some(2));
+        assert!(!report.timeline.at(Round::new(12)).unwrap().is_async);
+        assert_eq!(report.timeline.at(Round::new(9)).unwrap().delta, None);
+    }
+
+    #[test]
+    fn environment_partition_reproduces_the_section_1_attack() {
+        // A parity partition as a pure *environment* event — no adversary
+        // at all: vanilla MMR (η = 0) loses agreement, exactly like the
+        // PartitionAttacker, because each half perceives unanimity on its
+        // own chain.
+        let n = 8;
+        let evens: Vec<ProcessId> = ProcessId::all(n).filter(|p| p.index() % 2 == 0).collect();
+        let timeline = Timeline::synchronous().partition(Round::new(10), 4, vec![evens.clone()]);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 0), 5)
+                .horizon(22)
+                .timeline(timeline.clone()),
+            Schedule::full(n, 22),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(
+            !report.safety_violations.is_empty(),
+            "vanilla MMR survived the environment partition"
+        );
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].kind, "partition");
+        assert!(report.timeline.at(Round::new(11)).unwrap().partitioned);
+
+        // The same partition against η = 6 > 4: Theorem 2's mechanism
+        // protects agreement, and the cross-cut backlog arrives after the
+        // partition heals (messages delayed, never lost).
+        let report = Simulation::new(
+            SimConfig::new(params(n, 6), 5)
+                .horizon(28)
+                .timeline(timeline),
+            Schedule::full(n, 28),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe(), "{:?}", report.safety_violations);
+        assert!(report.is_asynchrony_resilient());
+        assert!(report.recovered_after_every_window());
+    }
+
+    #[test]
+    fn mixed_timeline_orders_recovery_records_by_start() {
+        let n = 8;
+        let evens: Vec<ProcessId> = ProcessId::all(n).filter(|p| p.index() % 2 == 0).collect();
+        let timeline = Timeline::synchronous()
+            .bounded_delay(Round::new(24), 4, 2)
+            .asynchronous(Round::new(10), 3)
+            .partition(Round::new(17), 3, vec![evens]);
+        let report = Simulation::new(
+            SimConfig::new(params(n, 6), 11)
+                .horizon(40)
+                .timeline(timeline),
+            Schedule::full(n, 40),
+            Box::new(SilentAdversary),
+        )
+        .run();
+        assert!(report.is_safe());
+        let kinds: Vec<&str> = report.recoveries.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["async", "partition", "bounded-delay"]);
+        assert!(report.recovered_after_every_window());
     }
 
     #[test]

@@ -16,10 +16,46 @@
 use crate::adversary::{
     Adversary, BlackoutAdversary, PartitionAttacker, ReorgAttacker, SilentAdversary,
 };
+use crate::env::Timeline;
 use crate::monitor::SimReport;
-use crate::runner::{AsyncWindow, SimConfig, Simulation};
+use crate::runner::{SimConfig, Simulation};
 use crate::schedule::Schedule;
 use st_types::{Params, Round};
+
+/// Timeline preset: `k` asynchronous spells of `pi` rounds each,
+/// separated by `spacing` synchronous rounds (which also precede the
+/// first spell). The paper's resilience claim quantifies over *every*
+/// spell — this is the canonical multi-window shape the claim is
+/// exercised against.
+///
+/// # Panics
+///
+/// Panics if `pi == 0`, `spacing == 0` or `k == 0`.
+pub fn alternating(pi: u64, spacing: u64, k: usize) -> Timeline {
+    assert!(pi > 0 && spacing > 0 && k > 0, "degenerate alternation");
+    let mut t = Timeline::synchronous();
+    let mut start = spacing;
+    for _ in 0..k {
+        t = t.asynchronous(Round::new(start), pi);
+        start += pi + spacing;
+    }
+    t
+}
+
+/// Timeline preset: partial synchrony with a global stabilisation time —
+/// bounded-delay delivery (`Δ = delta`) from round 1 up to and including
+/// round `gst_round − 1`, fully synchronous from `gst_round` on.
+///
+/// # Panics
+///
+/// Panics if `gst_round < 2`.
+pub fn gst(delta: u64, gst_round: Round) -> Timeline {
+    assert!(
+        gst_round.as_u64() >= 2,
+        "GST must leave at least one pre-GST round"
+    );
+    Timeline::synchronous().bounded_delay(Round::new(1), gst_round.as_u64() - 1, delta)
+}
 
 /// A named set-piece configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,11 +79,19 @@ pub enum Scenario {
     /// A 3-round total blackout under the extended protocol: safe, heals
     /// in one view.
     BlackoutExtended,
+    /// Two 4-round partition spells separated by synchrony, against
+    /// `η = 6` ([`alternating`]): the protocol recovers after **every**
+    /// spell — the paper's resilience claim in its multi-window form.
+    AlternatingAsynchrony,
+    /// Partial synchrony ([`gst`]): bounded-delay delivery (`Δ = 2`)
+    /// until GST at round 21, synchronous after — safe throughout, fully
+    /// healed after GST.
+    PartialSynchrony,
 }
 
 impl Scenario {
     /// All scenarios, for enumeration in CLIs and docs.
-    pub const ALL: [Scenario; 7] = [
+    pub const ALL: [Scenario; 9] = [
         Scenario::Healthy,
         Scenario::EthereumIncident,
         Scenario::PartitionAttackVanilla,
@@ -55,6 +99,8 @@ impl Scenario {
         Scenario::ReorgAttackVanilla,
         Scenario::ReorgAttackExtended,
         Scenario::BlackoutExtended,
+        Scenario::AlternatingAsynchrony,
+        Scenario::PartialSynchrony,
     ];
 
     /// The scenario's CLI name.
@@ -67,6 +113,8 @@ impl Scenario {
             Scenario::ReorgAttackVanilla => "reorg-vanilla",
             Scenario::ReorgAttackExtended => "reorg-extended",
             Scenario::BlackoutExtended => "blackout-extended",
+            Scenario::AlternatingAsynchrony => "alternating-async",
+            Scenario::PartialSynchrony => "partial-synchrony",
         }
     }
 
@@ -89,6 +137,10 @@ impl Scenario {
             }
             Scenario::ReorgAttackExtended => "the same reorg vs η=4 — D_ra protected",
             Scenario::BlackoutExtended => "3-round total blackout vs η=5 — safe, heals in one view",
+            Scenario::AlternatingAsynchrony => {
+                "two 4-round partition spells vs η=6 — recovers after every spell"
+            }
+            Scenario::PartialSynchrony => "bounded-delay Δ=2 until GST at round 21 vs η=4 — safe",
         }
     }
 
@@ -100,7 +152,9 @@ impl Scenario {
             | Scenario::EthereumIncident
             | Scenario::PartitionAttackExtended
             | Scenario::ReorgAttackExtended
-            | Scenario::BlackoutExtended => (true, true),
+            | Scenario::BlackoutExtended
+            | Scenario::AlternatingAsynchrony
+            | Scenario::PartialSynchrony => (true, true),
             Scenario::PartitionAttackVanilla => (false, true), // forward divergence only
             Scenario::ReorgAttackVanilla => (false, false),
         }
@@ -108,11 +162,11 @@ impl Scenario {
 
     /// Builds and runs the scenario under `seed`.
     pub fn run(&self, seed: u64) -> SimReport {
-        let (params, schedule, adversary, window, horizon): (
+        let (params, schedule, adversary, timeline, horizon): (
             Params,
             Schedule,
             Box<dyn Adversary>,
-            Option<AsyncWindow>,
+            Option<Timeline>,
             u64,
         ) = match self {
             Scenario::Healthy => (
@@ -133,41 +187,55 @@ impl Scenario {
                 Params::builder(10).expiration(0).build().expect("valid"),
                 Schedule::full(10, 30),
                 Box::new(PartitionAttacker::new()),
-                Some(AsyncWindow::new(Round::new(12), 4)),
+                Some(Timeline::synchronous().asynchronous(Round::new(12), 4)),
                 30,
             ),
             Scenario::PartitionAttackExtended => (
                 Params::builder(10).expiration(6).build().expect("valid"),
                 Schedule::full(10, 30),
                 Box::new(PartitionAttacker::new()),
-                Some(AsyncWindow::new(Round::new(12), 4)),
+                Some(Timeline::synchronous().asynchronous(Round::new(12), 4)),
                 30,
             ),
             Scenario::ReorgAttackVanilla => (
                 Params::builder(10).expiration(0).build().expect("valid"),
                 Schedule::full(10, 26).with_static_byzantine(3),
                 Box::new(ReorgAttacker::new()),
-                Some(AsyncWindow::new(Round::new(12), 1)),
+                Some(Timeline::synchronous().asynchronous(Round::new(12), 1)),
                 26,
             ),
             Scenario::ReorgAttackExtended => (
                 Params::builder(10).expiration(4).build().expect("valid"),
                 Schedule::full(10, 26).with_static_byzantine(3),
                 Box::new(ReorgAttacker::new()),
-                Some(AsyncWindow::new(Round::new(12), 1)),
+                Some(Timeline::synchronous().asynchronous(Round::new(12), 1)),
                 26,
             ),
             Scenario::BlackoutExtended => (
                 Params::builder(10).expiration(5).build().expect("valid"),
                 Schedule::full(10, 32),
                 Box::new(BlackoutAdversary),
-                Some(AsyncWindow::new(Round::new(12), 3)),
+                Some(Timeline::synchronous().asynchronous(Round::new(12), 3)),
                 32,
+            ),
+            Scenario::AlternatingAsynchrony => (
+                Params::builder(10).expiration(6).build().expect("valid"),
+                Schedule::full(10, 44),
+                Box::new(PartitionAttacker::new()),
+                Some(alternating(4, 11, 2)),
+                44,
+            ),
+            Scenario::PartialSynchrony => (
+                Params::builder(10).expiration(4).build().expect("valid"),
+                Schedule::full(10, 40),
+                Box::new(SilentAdversary),
+                Some(gst(2, Round::new(21))),
+                40,
             ),
         };
         let mut config = SimConfig::new(params, seed).horizon(horizon).txs_every(4);
-        if let Some(w) = window {
-            config = config.async_window(w);
+        if let Some(t) = timeline {
+            config = config.timeline(t);
         }
         Simulation::new(config, schedule, adversary).run()
     }
@@ -199,6 +267,43 @@ mod tests {
                 s.name()
             );
         }
+    }
+
+    #[test]
+    fn alternating_scenario_recovers_after_every_spell() {
+        let report = Scenario::AlternatingAsynchrony.run(7);
+        assert_eq!(report.recoveries.len(), 2);
+        assert!(report.recovered_after_every_window());
+        for rec in &report.recoveries {
+            assert_eq!(rec.violations, 0);
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_scenario_heals_after_gst() {
+        let report = Scenario::PartialSynchrony.run(7);
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].kind, "bounded-delay");
+        assert_eq!(report.recoveries[0].end, Round::new(20));
+        assert!(report.recovered_after_every_window());
+    }
+
+    #[test]
+    fn preset_shapes() {
+        let t = alternating(4, 11, 2);
+        assert_eq!(t.windows().len(), 2);
+        assert_eq!(t.windows()[0].start(), Round::new(11));
+        assert_eq!(t.windows()[0].end(), Round::new(14));
+        assert_eq!(t.windows()[1].start(), Round::new(26));
+        let t = gst(2, Round::new(21));
+        assert_eq!(t.windows().len(), 1);
+        assert_eq!(t.windows()[0].start(), Round::new(1));
+        assert_eq!(t.windows()[0].end(), Round::new(20));
+        assert_eq!(
+            t.kind_at(Round::new(10)),
+            crate::SegmentKind::BoundedDelay { delta: 2 }
+        );
+        assert_eq!(t.kind_at(Round::new(21)), crate::SegmentKind::Synchronous);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use st_sim::adversary::{
     BlackoutAdversary, EquivocatingVoter, JunkVoter, PartitionAttacker, ReorgAttacker,
     SilentAdversary, WithholdingLeader,
 };
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation, Timeline};
 use st_types::{Params, ProcessId, Round};
 
 fn params(n: usize, eta: u64) -> Params {
@@ -117,9 +117,8 @@ fn reorg_with_growing_corruption_still_fails_for_small_pi() {
     assert!(report.is_safe());
 }
 
-/// Back-to-back asynchronous windows are not in the model (single window),
-/// but a blackout window immediately followed by heavy churn is: safety
-/// must survive the combination.
+/// A blackout window immediately followed by heavy churn: safety must
+/// survive the combination.
 #[test]
 fn blackout_then_mass_sleep_is_safe() {
     let n = 12;
@@ -158,6 +157,113 @@ fn partition_attacker_powerless_under_synchrony() {
     .run();
     assert!(report.is_safe());
     assert!(report.tx_inclusion_rate() > 0.8);
+}
+
+/// Regression for the one-shot `async_start` latch the attackers used to
+/// carry: with two asynchronous windows, the blackout prefix must re-arm
+/// at the start of the **second** window. Under the latched behaviour the
+/// second window skipped its blackout (the offset kept counting from
+/// window 1), so the partition play ran from the window's first round and
+/// the halves kept deciding; with the window-relative offset the first
+/// `b` rounds of each window deliver nothing and decisions stall.
+#[test]
+fn partition_blackout_rearms_on_second_window() {
+    let n = 8;
+    let b = 3u64;
+    let (w1, w2) = (Round::new(10), Round::new(26));
+    let timeline = Timeline::synchronous()
+        .asynchronous(w1, b + 4)
+        .asynchronous(w2, b + 4);
+    let report = Simulation::new(
+        SimConfig::new(params(n, 0), 5)
+            .horizon(40)
+            .timeline(timeline),
+        Schedule::full(n, 40),
+        Box::new(PartitionAttacker::with_blackout(b)),
+    )
+    .run();
+    // The attack lands in window 1 (sanity: the strategy works at all).
+    assert!(!report.safety_violations.is_empty());
+    // Blackout re-armed: the receive phases of the first `b` rounds of
+    // window 2 deliver *nothing* — under the latched bug the offset kept
+    // counting from window 1, so same-half partition traffic flowed from
+    // the window's first round.
+    for r in w2.as_u64()..w2.as_u64() + b {
+        assert_eq!(
+            report
+                .timeline
+                .at(Round::new(r))
+                .unwrap()
+                .messages_delivered,
+            0,
+            "second blackout did not re-arm (round {r} delivered messages)"
+        );
+    }
+    // And the second attack actually fires after its blackout: partition
+    // delivery resumes, and the halves fork again into a fresh
+    // conflicting pair decided after the blackout.
+    assert!(
+        report
+            .timeline
+            .at(Round::new(w2.as_u64() + b))
+            .unwrap()
+            .messages_delivered
+            > 0,
+        "partition play never resumed in window 2"
+    );
+    assert!(
+        report.safety_violations.iter().any(|v| {
+            v.first.1.round > Round::new(w2.as_u64() + b)
+                && v.second.1.round > Round::new(w2.as_u64() + b)
+        }),
+        "second partition play never fired: {:?}",
+        report.safety_violations
+    );
+}
+
+/// The same re-arm regression for [`ReorgAttacker`]: its blackout prefix
+/// (and thus the vote-expiry setup the attack depends on) must replay in
+/// every window.
+#[test]
+fn reorg_blackout_rearms_on_second_window() {
+    let n = 10;
+    let b = 2u64;
+    let (w1, w2) = (Round::new(10), Round::new(24));
+    let timeline = Timeline::synchronous()
+        .asynchronous(w1, b + 2)
+        .asynchronous(w2, b + 2);
+    let report = Simulation::new(
+        SimConfig::new(params(n, 0), 5)
+            .horizon(36)
+            .timeline(timeline),
+        Schedule::full(n, 36).with_static_byzantine(3),
+        Box::new(ReorgAttacker::with_blackout(b)),
+    )
+    .run();
+    // Sanity: the reorg lands (vanilla MMR, f = 3 ≥ 3).
+    assert!(!report.resilience_violations.is_empty());
+    // Window 2's first `b` rounds are a real blackout again: nothing is
+    // delivered to honest receivers until the prefix elapses.
+    for r in w2.as_u64()..w2.as_u64() + b {
+        assert_eq!(
+            report
+                .timeline
+                .at(Round::new(r))
+                .unwrap()
+                .messages_delivered,
+            0,
+            "second blackout did not re-arm (round {r} delivered messages)"
+        );
+    }
+    assert!(
+        report
+            .timeline
+            .at(Round::new(w2.as_u64() + b))
+            .unwrap()
+            .messages_delivered
+            > 0,
+        "reorg delivery never resumed in window 2"
+    );
 }
 
 /// Determinism extends to adversarial runs: same seed, same attack, same

@@ -13,7 +13,7 @@ use st_sim::adversary::{
     Adversary, BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker,
     SilentAdversary,
 };
-use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation, Timeline};
 use st_types::{Params, ProcessId, Round};
 
 fn params(n: usize, eta: u64) -> Params {
@@ -97,5 +97,104 @@ fn asynchronous_grid_is_equivalent() {
         ("blackout", "churn", 4, 2, 14),
     ] {
         assert_equivalent(adv, sched, 10, eta, Some(pi), seed);
+    }
+}
+
+/// A timeline grid point in both modes: fast vs naive must stay
+/// byte-identical through multi-window asynchrony, bounded-delay
+/// segments (whose forced-deadline cursor advance interacts with
+/// compaction — exactly what naive mode never does) and partitions.
+fn assert_equivalent_timeline(adv: &str, sched: &str, n: usize, eta: u64, t: &Timeline, seed: u64) {
+    let horizon = 34;
+    let config = SimConfig::new(params(n, eta), seed)
+        .horizon(horizon)
+        .txs_every(4)
+        .timeline(t.clone());
+    let fast = Simulation::new(config.clone(), schedule(sched, n, horizon), adversary(adv)).run();
+    let naive = Simulation::new(
+        config.naive_delivery(),
+        schedule(sched, n, horizon),
+        adversary(adv),
+    )
+    .run();
+    let fast_json = serde_json::to_string(&fast).expect("serialise fast report");
+    let naive_json = serde_json::to_string(&naive).expect("serialise naive report");
+    assert_eq!(
+        fast_json, naive_json,
+        "fast path diverged from naive delivery for adversary={adv} schedule={sched} eta={eta} timeline={t:?} seed={seed}"
+    );
+}
+
+#[test]
+fn timeline_grid_is_equivalent() {
+    let evens: Vec<ProcessId> = ProcessId::all(10).filter(|p| p.index() % 2 == 0).collect();
+    let multi_async = Timeline::synchronous()
+        .asynchronous(Round::new(10), 3)
+        .asynchronous(Round::new(20), 3);
+    let bounded = Timeline::synchronous().bounded_delay(Round::new(8), 12, 2);
+    let gst_like = Timeline::synchronous().bounded_delay(Round::new(1), 16, 3);
+    let partition = Timeline::synchronous().partition(Round::new(12), 4, vec![evens.clone()]);
+    let mixed = Timeline::synchronous()
+        .asynchronous(Round::new(10), 2)
+        .bounded_delay(Round::new(18), 4, 1)
+        .partition(Round::new(26), 3, vec![evens]);
+    for (adv, sched, eta, t, seed) in [
+        ("partition", "full", 6, &multi_async, 21),
+        ("blackout", "full", 4, &multi_async, 22),
+        ("silent", "full", 4, &bounded, 23),
+        ("silent", "churn", 4, &gst_like, 24),
+        ("silent", "full", 6, &partition, 25),
+        ("reorg", "static-byz", 4, &mixed, 26),
+        ("silent", "mass-sleep", 2, &mixed, 27),
+    ] {
+        assert_equivalent_timeline(adv, sched, 10, eta, t, seed);
+    }
+}
+
+/// The `async_window(w)` shim must stay a *pure* alias for the
+/// one-segment timeline: both spellings produce byte-identical reports.
+#[test]
+fn single_async_segment_timeline_matches_legacy_async_window() {
+    for &(adv, eta, pi, seed) in &[
+        ("partition", 0u64, 4u64, 31u64),
+        ("partition", 6, 4, 32),
+        ("blackout", 4, 3, 33),
+    ] {
+        let horizon = 26;
+        let legacy = SimConfig::new(params(10, eta), seed)
+            .horizon(horizon)
+            .txs_every(4)
+            .async_window(AsyncWindow::new(Round::new(10), pi));
+        let timeline = SimConfig::new(params(10, eta), seed)
+            .horizon(horizon)
+            .txs_every(4)
+            .timeline(Timeline::synchronous().asynchronous(Round::new(10), pi));
+        let a = Simulation::new(legacy, schedule("full", 10, horizon), adversary(adv)).run();
+        let b = Simulation::new(timeline, schedule("full", 10, horizon), adversary(adv)).run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "async_window shim diverged from explicit timeline (adv={adv} eta={eta} pi={pi})"
+        );
+    }
+}
+
+/// An explicitly all-synchronous timeline is the same run as the seed's
+/// window-less configuration.
+#[test]
+fn all_synchronous_timeline_matches_seed_sync_run() {
+    for sched in ["full", "mass-sleep", "churn", "byz-window"] {
+        let horizon = 24;
+        let seed_cfg = SimConfig::new(params(10, 2), 41)
+            .horizon(horizon)
+            .txs_every(4);
+        let explicit = seed_cfg.clone().timeline(Timeline::synchronous());
+        let a = Simulation::new(seed_cfg, schedule(sched, 10, horizon), adversary("silent")).run();
+        let b = Simulation::new(explicit, schedule(sched, 10, horizon), adversary("silent")).run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "explicit synchronous timeline diverged from the default ({sched})"
+        );
     }
 }

@@ -44,7 +44,7 @@ impl Adversary for FlipFlopEclipse {
     }
 
     fn send(&mut self, ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
-        if !ctx.is_async || ctx.corrupted.is_empty() {
+        if !ctx.is_async() || ctx.corrupted.is_empty() {
             return Vec::new();
         }
         let leader = ctx.corrupted[0];

@@ -49,6 +49,22 @@
 //! )
 //! .run();
 //! assert!(report.is_safe());
+//!
+//! // The paper's claim is recovery after *every* spell: a two-spell
+//! // timeline yields one recovery record per window.
+//! let report = Simulation::new(
+//!     SimConfig::new(params, 42).horizon(40).timeline(
+//!         Timeline::synchronous()
+//!             .asynchronous(Round::new(10), 2)
+//!             .asynchronous(Round::new(24), 2),
+//!     ),
+//!     Schedule::full(10, 40),
+//!     Box::new(PartitionAttacker::new()),
+//! )
+//! .run();
+//! assert!(report.is_safe());
+//! assert_eq!(report.recoveries.len(), 2);
+//! assert!(report.recovered_after_every_window());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -76,6 +92,9 @@ pub mod prelude {
         BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker, SilentAdversary,
     };
     pub use st_sim::baseline::StaticQuorumBft;
-    pub use st_sim::{AsyncWindow, Schedule, SimConfig, SimReport, Simulation};
+    pub use st_sim::{
+        AsyncWindow, RecoveryRecord, Schedule, SegmentKind, SimConfig, SimReport, Simulation,
+        Timeline,
+    };
     pub use st_types::{BlockId, Grade, Params, ProcessId, Round, RoundKind, TxId, View};
 }
