@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use st_core::{TobConfig, TobProcess};
 use st_sim::adversary::PartitionAttacker;
-use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, ProcessId, Round};
 
 fn bench_full_scenario(c: &mut Criterion) {
@@ -33,14 +33,16 @@ fn bench_full_scenario(c: &mut Criterion) {
                     ..Default::default()
                 },
             );
-            let report = Simulation::new(
+            let report = SimBuilder::from_config(
                 SimConfig::new(params, 7)
                     .horizon(40)
                     .async_window(AsyncWindow::new(Round::new(14), 3))
                     .txs_every(4),
-                schedule,
-                Box::new(PartitionAttacker::new()),
             )
+            .schedule(schedule)
+            .adversary(PartitionAttacker::new())
+            .build()
+            .expect("valid simulation")
             .run();
             assert!(report.is_safe());
             report.final_decided_height

@@ -3,17 +3,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_sim::adversary::SilentAdversary;
-use st_sim::{Schedule, SimConfig, Simulation};
+use st_sim::{Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 
 fn run(n: usize, eta: u64, horizon: u64) -> u64 {
     let params = Params::builder(n).expiration(eta).build().unwrap();
-    let report = Simulation::new(
-        SimConfig::new(params, 42).horizon(horizon),
-        Schedule::full(n, horizon),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params, 42).horizon(horizon))
+        .schedule(Schedule::full(n, horizon))
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     report.final_decided_height
 }
 

@@ -17,7 +17,7 @@
 use st_analysis::Table;
 use st_bench::{emit, seeds};
 use st_sim::adversary::{Adversary, PartitionAttacker, ReorgAttacker};
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 const N: usize = 12;
@@ -39,13 +39,13 @@ fn run_case(eta: u64, attack: &str, seed: u64) -> st_sim::SimReport {
     };
     let schedule = Schedule::full(N, HORIZON).with_static_byzantine(byz);
     let params = Params::builder(N).expiration(eta).build().expect("valid");
-    Simulation::new(
+    SimBuilder::from_config(
         SimConfig::new(params, seed)
             .horizon(HORIZON)
             .async_window(window),
-        schedule,
-        adversary,
     )
+    .schedule(schedule)
+    .adversary_boxed(adversary)
     .run()
 }
 
@@ -68,7 +68,7 @@ fn main() {
                 let report = run_case(eta, attack, seed);
                 agreement += report.safety_violations.len();
                 dra += report.resilience_violations.len();
-                if report.first_decision_after_async.is_some() {
+                if report.recovered_after_every_window() && !report.recoveries.is_empty() {
                     heals += 1;
                 }
             }

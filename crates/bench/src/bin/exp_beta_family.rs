@@ -18,7 +18,7 @@
 use st_analysis::{beta_tilde, Table};
 use st_bench::{emit, f3, seeds};
 use st_sim::adversary::{JunkVoter, ReorgAttacker};
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 const N: usize = 24;
@@ -31,12 +31,12 @@ fn run_sync(beta: f64, f: usize, seed: u64) -> st_sim::SimReport {
         .expiration(ETA)
         .build()
         .expect("valid");
-    Simulation::new(
-        SimConfig::new(params, seed).horizon(HORIZON).txs_every(4),
-        Schedule::full(N, HORIZON).with_static_byzantine(f),
-        Box::new(JunkVoter::new()),
-    )
-    .run()
+    SimBuilder::from_config(SimConfig::new(params, seed).horizon(HORIZON).txs_every(4))
+        .schedule(Schedule::full(N, HORIZON).with_static_byzantine(f))
+        .adversary(JunkVoter::new())
+        .build()
+        .expect("valid simulation")
+        .run()
 }
 
 fn run_async(beta: f64, f: usize, seed: u64) -> st_sim::SimReport {
@@ -45,13 +45,15 @@ fn run_async(beta: f64, f: usize, seed: u64) -> st_sim::SimReport {
         .expiration(ETA)
         .build()
         .expect("valid");
-    Simulation::new(
+    SimBuilder::from_config(
         SimConfig::new(params, seed)
             .horizon(HORIZON)
             .async_window(AsyncWindow::new(Round::new(14), 2)),
-        Schedule::full(N, HORIZON).with_static_byzantine(f),
-        Box::new(ReorgAttacker::new()),
     )
+    .schedule(Schedule::full(N, HORIZON).with_static_byzantine(f))
+    .adversary(ReorgAttacker::new())
+    .build()
+    .expect("valid simulation")
     .run()
 }
 

@@ -17,7 +17,7 @@
 use st_analysis::{check_conditions, mean, Table};
 use st_bench::{emit, f3, seeds};
 use st_sim::adversary::{JunkVoter, ReorgAttacker};
-use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, ProcessId, Round};
 
 const N: usize = 20;
@@ -63,12 +63,12 @@ fn main() {
                 .churn_rate(GAMMA)
                 .build()
                 .expect("valid");
-            let report = Simulation::new(
-                SimConfig::new(params, seed).horizon(HORIZON),
-                schedule,
-                Box::new(JunkVoter::new()),
-            )
-            .run();
+            let report = SimBuilder::from_config(SimConfig::new(params, seed).horizon(HORIZON))
+                .schedule(schedule)
+                .adversary(JunkVoter::new())
+                .build()
+                .expect("valid simulation")
+                .run();
             // New-block decisions are what churn starves: stale unexpired
             // votes inflate m while supporting only old prefixes.
             growth.push(report.final_decided_height as f64);
@@ -110,13 +110,15 @@ fn main() {
             let conditions = check_conditions(&schedule, 1.0 / 3.0, 0.0, ETA, Some(window));
             eq4_ok &= conditions.eq4_violations.is_empty();
             let params = Params::builder(N).expiration(ETA).build().expect("valid");
-            let report = Simulation::new(
+            let report = SimBuilder::from_config(
                 SimConfig::new(params, seed)
                     .horizon(HORIZON)
                     .async_window(window),
-                schedule,
-                Box::new(ReorgAttacker::new()),
             )
+            .schedule(schedule)
+            .adversary(ReorgAttacker::new())
+            .build()
+            .expect("valid simulation")
             .run();
             dra += report.resilience_violations.len();
             agreement += report.safety_violations.len();

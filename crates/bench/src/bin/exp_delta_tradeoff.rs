@@ -24,7 +24,7 @@
 use st_analysis::{mean, Table};
 use st_bench::{emit, f3, opt, seeds};
 use st_sim::adversary::BlackoutAdversary;
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 const N: usize = 12;
@@ -53,12 +53,12 @@ fn run(delta_ms: f64, eta: u64, t_ms: f64, seed: u64) -> Outcome {
     if pi > 0 {
         config = config.async_window(AsyncWindow::new(Round::new(16), pi));
     }
-    let report = Simulation::new(
-        config,
-        Schedule::full(N, horizon),
-        Box::new(BlackoutAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(config)
+        .schedule(Schedule::full(N, horizon))
+        .adversary(BlackoutAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     let wall_secs = (horizon as f64 * round_ms) / 1000.0;
     Outcome {
         // Chain growth (final decided height) per second is the honest

@@ -16,7 +16,7 @@ use st_analysis::Table;
 use st_bench::{emit, seeds};
 use st_sim::adversary::SilentAdversary;
 use st_sim::baseline::StaticQuorumBft;
-use st_sim::{Schedule, SimConfig, Simulation};
+use st_sim::{Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 
 fn sleepy_decisions_during(
@@ -28,12 +28,12 @@ fn sleepy_decisions_during(
     n: usize,
 ) -> (usize, usize, bool) {
     let params = Params::builder(n).expiration(eta).build().expect("valid");
-    let report = Simulation::new(
-        SimConfig::new(params, seed).horizon(schedule.horizon()),
-        schedule.clone(),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params, seed).horizon(schedule.horizon()))
+        .schedule(schedule.clone())
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     // Count decided views (height growth) inside vs outside the incident
     // via tx-free chain-height proxy: use deciding rounds inside window.
     // SimReport does not expose per-round decisions, so re-run is avoided

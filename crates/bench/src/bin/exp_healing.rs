@@ -11,7 +11,7 @@
 use st_analysis::{mean, Table};
 use st_bench::{emit, f3, opt, seeds};
 use st_sim::adversary::{Adversary, BlackoutAdversary, PartitionAttacker, ReorgAttacker};
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 const N: usize = 12;
@@ -51,17 +51,17 @@ fn main() {
                     .max_asynchrony(pi)
                     .build()
                     .expect("valid");
-                let report = Simulation::new(
+                let report = SimBuilder::from_config(
                     SimConfig::new(params, seed)
                         .horizon(horizon)
                         .async_window(AsyncWindow::new(Round::new(START), pi))
                         .txs_every(4),
-                    schedule,
-                    adv,
                 )
+                .schedule(schedule)
+                .adversary_boxed(adv)
                 .run();
                 violations += report.safety_violations.len() + report.resilience_violations.len();
-                if let Some(lag) = report.healing_lag() {
+                if let Some(lag) = report.max_recovery_rounds() {
                     lags.push(lag as f64);
                 }
                 // Liveness after healing: txs submitted after the window.

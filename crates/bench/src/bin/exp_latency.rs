@@ -18,7 +18,7 @@
 use st_analysis::{mean, percentile, Table};
 use st_bench::{emit, f3, opt, seeds};
 use st_sim::adversary::WithholdingLeader;
-use st_sim::{Schedule, SimConfig, Simulation};
+use st_sim::{Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 
 const N: usize = 16;
@@ -42,12 +42,13 @@ fn main() {
         for &seed in &seed_list {
             let schedule = Schedule::full(N, HORIZON).with_static_byzantine(f);
             let params = Params::builder(N).expiration(2).build().expect("valid");
-            let report = Simulation::new(
-                SimConfig::new(params, seed).horizon(HORIZON).txs_every(6),
-                schedule,
-                Box::new(WithholdingLeader::new()),
-            )
-            .run();
+            let report =
+                SimBuilder::from_config(SimConfig::new(params, seed).horizon(HORIZON).txs_every(6))
+                    .schedule(schedule)
+                    .adversary(WithholdingLeader::new())
+                    .build()
+                    .expect("valid simulation")
+                    .run();
             violations += report.safety_violations.len();
             // A view "advances" when the decided chain grows by a block;
             // a stalled view re-decides the old log. Chain growth per view

@@ -15,7 +15,7 @@
 use st_analysis::Table;
 use st_bench::{emit, seeds};
 use st_sim::adversary::{Adversary, PartitionAttacker, ReorgAttacker};
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 const N: usize = 12;
@@ -36,13 +36,13 @@ fn violations(eta: u64, pi: u64, reorg: bool, seed: u64) -> (usize, usize) {
     let byz = if reorg { 3 } else { 0 };
     let schedule = Schedule::full(N, START + pi + 16).with_static_byzantine(byz);
     let params = Params::builder(N).expiration(eta).build().expect("valid");
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params, seed)
             .horizon(START + pi + 16)
             .async_window(AsyncWindow::new(Round::new(START), pi)),
-        schedule,
-        attack_for(pi, eta, reorg),
     )
+    .schedule(schedule)
+    .adversary_boxed(attack_for(pi, eta, reorg))
     .run();
     (
         report.safety_violations.len(),
@@ -64,7 +64,7 @@ fn main() {
         .iter()
         .flat_map(|&eta| (1..=eta + 8).map(move |pi| (eta, pi)))
         .collect();
-    let results = st_bench::parallel_sweep(cells, |&(eta, pi)| {
+    let results = st_sim::Sweep::over(cells).run(|&(eta, pi), _seed| {
         let mut reorg_tot = (0usize, 0usize);
         let mut part_tot = (0usize, 0usize);
         for &seed in &seed_list {

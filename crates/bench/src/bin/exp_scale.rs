@@ -42,9 +42,9 @@
 
 use serde::Serialize;
 use st_analysis::Table;
-use st_bench::{emit, f3, parallel_sweep, write_bench_section};
+use st_bench::{emit, f3, write_bench_section};
 use st_sim::adversary::SilentAdversary;
-use st_sim::{Schedule, SimConfig, Simulation};
+use st_sim::{Schedule, SimBuilder, SimConfig, Sweep};
 use st_types::Params;
 use std::time::Instant;
 
@@ -104,11 +104,11 @@ fn measure(n: usize, horizon: u64, naive: bool) -> Measurement {
     if naive {
         config = config.naive_delivery();
     }
-    let sim = Simulation::new(
-        config,
-        Schedule::full(n, horizon),
-        Box::new(SilentAdversary),
-    );
+    let sim = SimBuilder::from_config(config)
+        .schedule(Schedule::full(n, horizon))
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid scale cell");
     st_crypto::reset_verification_count();
     let start = Instant::now();
     let report = sim.run();
@@ -242,19 +242,16 @@ fn main() {
         )
     };
 
-    // The verification counter is process-global, so cells run one at a
-    // time even though `parallel_sweep` is the harness — a `1`-wide
-    // stripe per job keeps each measurement's counter window exclusive.
-    // (Wall-clock per cell is what's reported; the sweep exists so larger
-    // grids can opt back into parallelism when the counter column is not
-    // needed.)
-    let mut runs: Vec<Measurement> = Vec::new();
-    for &(n, horizon) in &grid {
-        let mut cell = parallel_sweep(vec![(n, horizon)], |&(n, horizon)| {
-            measure(n, horizon, false)
-        });
-        runs.append(&mut cell);
-    }
+    // The verification counter is process-global and every cell reports
+    // wall-clock, so the sweep runs `sequential()`: each measurement's
+    // counter window stays exclusive and timings don't contend. The grid
+    // itself, per-cell execution and row order all come from the same
+    // `Sweep` driver the library experiments use. Seeds are fixed inside
+    // `measure` (the committed-grid semantics), so the derived per-cell
+    // seed is ignored.
+    let mut runs: Vec<Measurement> = Sweep::over(grid.clone())
+        .sequential()
+        .run(|&(n, horizon), _seed| measure(n, horizon, false));
     // Naive comparison, same process, same build, same seed.
     let naive = measure(comparison.0, comparison.1, true);
     let fast_cmp = runs

@@ -13,7 +13,7 @@ use st_sim::adversary::{
     Adversary, BlackoutAdversary, EquivocatingVoter, JunkVoter, PartitionAttacker, ReorgAttacker,
     SilentAdversary, WithholdingLeader,
 };
-use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimBuilder, SimConfig};
 use st_types::{Params, Round};
 
 struct Case {
@@ -104,7 +104,10 @@ fn run_case(case: &Case) -> Result<(), String> {
     if let Some(pi) = case.pi {
         config = config.async_window(AsyncWindow::new(Round::new(14), pi));
     }
-    let report = Simulation::new(config, schedule, adversary_named(case.adversary)).run();
+    let report = SimBuilder::from_config(config)
+        .schedule(schedule)
+        .adversary_boxed(adversary_named(case.adversary))
+        .run();
 
     // Invariants. Guaranteed properties must hold in *every* in-model
     // configuration: D_ra protection and post-window agreement. Full

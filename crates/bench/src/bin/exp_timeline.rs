@@ -35,7 +35,7 @@ use st_analysis::Table;
 use st_bench::{emit, f3, opt, write_bench_section};
 use st_sim::adversary::{Adversary, BlackoutAdversary, PartitionAttacker, SilentAdversary};
 use st_sim::scenario::{alternating, gst};
-use st_sim::{Schedule, SimConfig, Simulation, Timeline};
+use st_sim::{Schedule, SimBuilder, SimConfig, Sweep, Timeline};
 use st_types::{Params, Round};
 use std::time::Instant;
 
@@ -113,7 +113,11 @@ fn measure(spec: &Spec, n: usize, horizon: u64) -> Cell {
         .horizon(horizon)
         .txs_every(8)
         .timeline(spec.timeline.clone());
-    let sim = Simulation::new(config, Schedule::full(n, horizon), (spec.adversary)());
+    let sim = SimBuilder::from_config(config)
+        .schedule(Schedule::full(n, horizon))
+        .adversary_boxed((spec.adversary)())
+        .build()
+        .expect("valid timeline cell");
     let start = Instant::now();
     let report = sim.run();
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
@@ -154,12 +158,15 @@ fn main() {
         (vec![64, 256], 60)
     };
 
-    let mut cells = Vec::new();
-    for &n in &sizes {
-        for spec in specs(horizon) {
-            cells.push(measure(&spec, n, horizon));
-        }
-    }
+    // The committed grid as a `Sweep`: n × scenario-spec, run
+    // sequentially so per-cell wall-clock stays honest on small machines.
+    // Seeds are fixed inside `measure` (committed-grid semantics), so the
+    // derived per-cell seed is ignored.
+    let all_specs = specs(horizon);
+    let spec_idx: Vec<usize> = (0..all_specs.len()).collect();
+    let cells: Vec<Cell> = Sweep::grid(sizes.clone(), spec_idx)
+        .sequential()
+        .run(|&(n, si), _seed| measure(&all_specs[si], n, horizon));
 
     let mut table = Table::new(vec![
         "scenario",

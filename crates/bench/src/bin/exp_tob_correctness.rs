@@ -12,7 +12,7 @@
 use st_analysis::{mean, Table};
 use st_bench::{emit, f3, opt, seeds};
 use st_sim::adversary::JunkVoter;
-use st_sim::{ChurnOptions, Schedule, SimConfig, Simulation};
+use st_sim::{ChurnOptions, Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 
 const N: usize = 16;
@@ -65,11 +65,13 @@ fn main() {
                     .churn_rate(if eta > 0 { 0.2 } else { 0.0 })
                     .build()
                     .expect("valid");
-                let report = Simulation::new(
+                let report = SimBuilder::from_config(
                     SimConfig::new(params, seed).horizon(HORIZON).txs_every(4),
-                    schedule,
-                    Box::new(JunkVoter::new()),
                 )
+                .schedule(schedule)
+                .adversary(JunkVoter::new())
+                .build()
+                .expect("valid simulation")
                 .run();
                 violations += report.safety_violations.len();
                 decisions += report.decisions_total;

@@ -30,7 +30,7 @@
 use st_analysis::{beta_tilde_two_thirds, Table};
 use st_bench::{emit, f3, seeds};
 use st_sim::adversary::JunkVoter;
-use st_sim::{Schedule, SimConfig, Simulation};
+use st_sim::{Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 
 const N: usize = 30;
@@ -51,12 +51,12 @@ fn healthy(f: usize, gamma: f64, seed_list: &[u64]) -> bool {
             .churn_rate(gamma.min(0.32))
             .build()
             .expect("valid parameters");
-        let report = Simulation::new(
-            SimConfig::new(params, seed).horizon(HORIZON),
-            schedule,
-            Box::new(JunkVoter::new()),
-        )
-        .run();
+        let report = SimBuilder::from_config(SimConfig::new(params, seed).horizon(HORIZON))
+            .schedule(schedule)
+            .adversary(JunkVoter::new())
+            .build()
+            .expect("valid simulation")
+            .run();
         // Progress: the decided chain must actually grow. Healthy runs
         // decide ≈ one block per view (≈ HORIZON/2 blocks); junk votes
         // inflating perceived participation past the threshold starve
@@ -143,12 +143,13 @@ fn main() {
                 .churn_rate(gamma.min(0.32))
                 .build()
                 .expect("valid parameters");
-            let report = Simulation::new(
-                SimConfig::new(params, seed).horizon(HORIZON).txs_every(4),
-                schedule,
-                Box::new(JunkVoter::new()),
-            )
-            .run();
+            let report =
+                SimBuilder::from_config(SimConfig::new(params, seed).horizon(HORIZON).txs_every(4))
+                    .schedule(schedule)
+                    .adversary(JunkVoter::new())
+                    .build()
+                    .expect("valid simulation")
+                    .run();
             if let Some(l) = report.mean_tx_latency() {
                 lats.push(l);
             }

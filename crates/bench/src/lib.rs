@@ -86,65 +86,6 @@ pub fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "—".to_string())
 }
 
-/// Runs `job` over every item of `inputs` across scoped threads (one per
-/// core, striped) and returns outputs in input order. Experiment sweeps are
-/// embarrassingly parallel and deterministic per item, so parallel execution
-/// cannot change any result — only wall-clock.
-pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(inputs.len().max(1));
-    let out_slots: Vec<parking_lot_free::Slot<O>> = (0..inputs.len())
-        .map(|_| parking_lot_free::Slot::new())
-        .collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let inputs = &inputs;
-            let job = &job;
-            let out_slots = &out_slots;
-            scope.spawn(move || {
-                let mut i = w;
-                while i < inputs.len() {
-                    out_slots[i].set(job(&inputs[i]));
-                    i += workers;
-                }
-            });
-        }
-    });
-    out_slots.into_iter().map(|s| s.take()).collect()
-}
-
-/// Tiny once-cell slot used by [`parallel_sweep`] (avoids pulling in a
-/// sync primitive for a write-once, read-after-join pattern).
-mod parking_lot_free {
-    use std::sync::Mutex;
-
-    pub struct Slot<T>(Mutex<Option<T>>);
-
-    impl<T> Slot<T> {
-        pub fn new() -> Slot<T> {
-            Slot(Mutex::new(None))
-        }
-
-        pub fn set(&self, value: T) {
-            *self.0.lock().expect("slot poisoned") = Some(value);
-        }
-
-        pub fn take(self) -> T {
-            self.0
-                .into_inner()
-                .expect("slot poisoned")
-                .expect("slot never filled")
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,15 +137,5 @@ mod tests {
         let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert!(v.get("exp_timeline").is_some());
         std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn parallel_sweep_preserves_order() {
-        let inputs: Vec<u64> = (0..50).collect();
-        let out = parallel_sweep(inputs.clone(), |&x| x * x);
-        assert_eq!(out, inputs.iter().map(|&x| x * x).collect::<Vec<_>>());
-        // Degenerate cases.
-        assert!(parallel_sweep(Vec::<u64>::new(), |&x| x).is_empty());
-        assert_eq!(parallel_sweep(vec![7u64], |&x| x + 1), vec![8]);
     }
 }

@@ -1,0 +1,285 @@
+//! The fluent simulation builder.
+//!
+//! [`SimBuilder`] replaces the positional
+//! `Simulation::new(config, schedule, Box<dyn Adversary>)` constructor:
+//! parameters, horizon, environment timeline, schedule, a *typed*
+//! adversary (no mandatory `Box`) and any number of user
+//! [`Observer`](crate::Observer)s are assembled in one chain, and
+//! [`SimBuilder::build`] validates the whole configuration with a proper
+//! error path instead of panicking:
+//!
+//! ```
+//! use st_sim::{adversary::PartitionAttacker, SimBuilder, Timeline};
+//! use st_types::{Params, Round};
+//!
+//! let params = Params::builder(10).expiration(6).build()?;
+//! let report = SimBuilder::new(params, 42)
+//!     .horizon(30)
+//!     .timeline(Timeline::synchronous().asynchronous(Round::new(12), 4))
+//!     .txs_every(4)
+//!     .adversary(PartitionAttacker::new())
+//!     .build()?
+//!     .run();
+//! assert!(report.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The schedule defaults to full participation over the configured
+//! horizon; the adversary defaults to
+//! [`SilentAdversary`](crate::adversary::SilentAdversary).
+
+use crate::adversary::Adversary;
+use crate::adversary::SilentAdversary;
+use crate::env::Timeline;
+use crate::monitor::SimReport;
+use crate::observer::Observer;
+use crate::runner::{AsyncWindow, SimConfig, Simulation};
+use crate::schedule::Schedule;
+use st_types::{Params, ProcessId};
+
+/// Why a [`SimBuilder::build`] was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The schedule covers a different number of processes than the
+    /// protocol parameters specify.
+    ScheduleMismatch {
+        /// `params.n()`.
+        expected: usize,
+        /// `schedule.n()`.
+        got: usize,
+    },
+    /// A partition group of the configured timeline names a process
+    /// outside the system.
+    PartitionMemberOutOfRange {
+        /// The out-of-range member.
+        member: ProcessId,
+        /// The system size.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ScheduleMismatch { expected, got } => write!(
+                f,
+                "schedule covers {got} processes but params specify {expected}"
+            ),
+            BuildError::PartitionMemberOutOfRange { member, n } => write!(
+                f,
+                "partition group member {member} is outside the system (n = {n})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent builder for a [`Simulation`]. See the [module docs](self) for
+/// an end-to-end example.
+pub struct SimBuilder {
+    config: SimConfig,
+    schedule: Option<Schedule>,
+    adversary: Box<dyn Adversary>,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl SimBuilder {
+    /// Starts a builder for a run of the protocol described by `params`
+    /// under `seed` (defaults as in [`SimConfig::new`]: 40-round horizon,
+    /// fully synchronous timeline, no transaction workload, full
+    /// participation, silent adversary).
+    pub fn new(params: Params, seed: u64) -> SimBuilder {
+        SimBuilder::from_config(SimConfig::new(params, seed))
+    }
+
+    /// Starts a builder from an already-assembled [`SimConfig`] (the
+    /// migration path from the legacy constructor).
+    pub fn from_config(config: SimConfig) -> SimBuilder {
+        SimBuilder {
+            config,
+            schedule: None,
+            adversary: Box::new(SilentAdversary),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the number of rounds to execute (rounds `0..=horizon`).
+    #[must_use]
+    pub fn horizon(mut self, rounds: u64) -> SimBuilder {
+        self.config = self.config.horizon(rounds);
+        self
+    }
+
+    /// Sets the environment [`Timeline`] (see [`SimConfig::timeline`]).
+    #[must_use]
+    pub fn timeline(mut self, timeline: Timeline) -> SimBuilder {
+        self.config = self.config.timeline(timeline);
+        self
+    }
+
+    /// Injects a single asynchronous window (see
+    /// [`SimConfig::async_window`]).
+    #[must_use]
+    pub fn async_window(mut self, window: AsyncWindow) -> SimBuilder {
+        self.config = self.config.async_window(window);
+        self
+    }
+
+    /// Submits one fresh transaction every `k` rounds (see
+    /// [`SimConfig::txs_every`]).
+    #[must_use]
+    pub fn txs_every(mut self, k: u64) -> SimBuilder {
+        self.config = self.config.txs_every(k);
+        self
+    }
+
+    /// Forces the pre-fast-path delivery cost model (see
+    /// [`SimConfig::naive_delivery`]).
+    #[must_use]
+    pub fn naive_delivery(mut self) -> SimBuilder {
+        self.config = self.config.naive_delivery();
+        self
+    }
+
+    /// Sets the participation/corruption [`Schedule`]. Defaults to
+    /// [`Schedule::full`] over the configured horizon.
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> SimBuilder {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the adversary — typed, no `Box` required.
+    #[must_use]
+    pub fn adversary(mut self, adversary: impl Adversary + 'static) -> SimBuilder {
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Sets an adversary chosen at runtime (already boxed). Prefer
+    /// [`SimBuilder::adversary`] when the strategy type is known
+    /// statically.
+    #[must_use]
+    pub fn adversary_boxed(mut self, adversary: Box<dyn Adversary>) -> SimBuilder {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Registers a user [`Observer`]. Observers run after the built-in
+    /// monitors, in registration order, and see every [`crate::SimEvent`]
+    /// of the run.
+    #[must_use]
+    pub fn observer(mut self, observer: impl Observer + 'static) -> SimBuilder {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Registers an observer chosen at runtime (already boxed).
+    #[must_use]
+    pub fn observer_boxed(mut self, observer: Box<dyn Observer>) -> SimBuilder {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Validates the configuration and builds the [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ScheduleMismatch`] if the schedule's process count
+    /// differs from `params.n()`;
+    /// [`BuildError::PartitionMemberOutOfRange`] if a timeline partition
+    /// group names a process outside the system.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let schedule = self.schedule.unwrap_or_else(|| {
+            Schedule::full(self.config.params().n(), self.config.horizon_rounds())
+        });
+        Simulation::assemble(self.config, schedule, self.adversary, self.observers)
+    }
+
+    /// Builds and runs to completion in one call — a convenience for
+    /// tests, examples and experiment binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (the [`BuildError`] message);
+    /// library code that wants to handle configuration errors should call
+    /// [`SimBuilder::build`] instead.
+    pub fn run(self) -> SimReport {
+        self.build().unwrap_or_else(|e| panic!("{e}")).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_types::Round;
+
+    fn params(n: usize, eta: u64) -> Params {
+        Params::builder(n).expiration(eta).build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_run_green() {
+        let report = SimBuilder::new(params(8, 2), 1).horizon(20).run();
+        assert!(report.is_safe());
+        assert!(report.decisions_total > 0);
+    }
+
+    #[test]
+    fn schedule_mismatch_is_an_error_not_a_panic() {
+        let err = SimBuilder::new(params(4, 0), 1)
+            .horizon(10)
+            .schedule(Schedule::full(5, 10))
+            .build()
+            .err()
+            .expect("mismatched schedule accepted");
+        assert_eq!(
+            err,
+            BuildError::ScheduleMismatch {
+                expected: 4,
+                got: 5
+            }
+        );
+        assert!(err.to_string().contains("schedule covers 5"));
+    }
+
+    #[test]
+    fn partition_member_out_of_range_is_an_error_not_a_panic() {
+        let timeline =
+            Timeline::synchronous().partition(Round::new(5), 2, vec![vec![ProcessId::new(12)]]);
+        let err = SimBuilder::new(params(8, 2), 1)
+            .timeline(timeline)
+            .build()
+            .err()
+            .expect("out-of-range partition member accepted");
+        assert_eq!(
+            err,
+            BuildError::PartitionMemberOutOfRange {
+                member: ProcessId::new(12),
+                n: 8
+            }
+        );
+        assert!(err.to_string().contains("outside the system (n = 8)"));
+    }
+
+    #[test]
+    fn legacy_shim_still_panics_with_the_historic_messages() {
+        // The deprecated positional constructor keeps its panic-based
+        // contract for old callers; new code gets the Result path above.
+        #[allow(deprecated)]
+        let attempt = std::panic::catch_unwind(|| {
+            let _ = Simulation::new(
+                SimConfig::new(params(4, 0), 1),
+                Schedule::full(5, 10),
+                Box::new(SilentAdversary),
+            );
+        });
+        let payload = attempt.expect_err("legacy shim accepted a bad schedule");
+        let msg = payload
+            .downcast::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("schedule covers 5 processes but params specify 4"));
+    }
+}

@@ -14,10 +14,12 @@
 //! enumerable: `|menu|^(n·π)` executions.
 
 use crate::adversary::{Adversary, AdversaryCtx, TargetedMessage};
+use crate::builder::SimBuilder;
 use crate::env::{SegmentKind, Timeline};
 use crate::network::SentMessage;
-use crate::runner::{AsyncWindow, SimConfig, Simulation};
+use crate::runner::{AsyncWindow, SimConfig};
 use crate::schedule::Schedule;
+use crate::sweep::Sweep;
 use st_types::{Params, ProcessId};
 
 /// What a receiver gets in one asynchronous round.
@@ -292,14 +294,15 @@ fn classify(outcome: &crate::SimReport) -> Verdict {
 /// Runs one scripted strategy.
 fn run_strategy(params: Params, window: AsyncWindow, horizon: u64, index: u64) -> Verdict {
     let strategy = Strategy::decode(index, params.n(), window.pi());
-    let sim = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params, 1)
             .horizon(horizon)
             .async_window(window),
-        Schedule::full(params.n(), horizon),
-        Box::new(ScriptedAdversary { strategy }),
-    );
-    classify(&sim.run())
+    )
+    .schedule(Schedule::full(params.n(), horizon))
+    .adversary(ScriptedAdversary { strategy })
+    .run();
+    classify(&report)
 }
 
 /// Total asynchronous rounds of a timeline (the coupled strategy space
@@ -339,22 +342,32 @@ pub fn exhaustive_check_coupled_timeline(
     );
     let rounds = async_rounds_of(timeline);
     let total = CoupledStrategy::space_size(rounds);
+    let verdicts = Sweep::over(0..total).run(|&index, _seed| {
+        let strategy = CoupledStrategy::decode(index, rounds);
+        let report = SimBuilder::from_config(
+            SimConfig::new(params, 1)
+                .horizon(horizon)
+                .timeline(timeline.clone()),
+        )
+        .schedule(Schedule::full(params.n(), horizon))
+        .adversary(CoupledAdversary { strategy })
+        .run();
+        classify(&report)
+    });
+    collect_verdicts(total, &verdicts)
+}
+
+/// Folds per-strategy verdicts (in strategy order) into an
+/// [`ExploreReport`].
+fn collect_verdicts(total: u64, verdicts: &[Verdict]) -> ExploreReport {
     let mut report = ExploreReport {
         strategies_run: total,
         violating: Vec::new(),
         dra_violating: Vec::new(),
         orphaning_only: Vec::new(),
     };
-    for index in 0..total {
-        let strategy = CoupledStrategy::decode(index, rounds);
-        let sim = Simulation::new(
-            SimConfig::new(params, 1)
-                .horizon(horizon)
-                .timeline(timeline.clone()),
-            Schedule::full(params.n(), horizon),
-            Box::new(CoupledAdversary { strategy }),
-        );
-        let verdict = classify(&sim.run());
+    for (index, verdict) in verdicts.iter().enumerate() {
+        let index = index as u64;
         if verdict.post_window_broken {
             report.violating.push(index);
         }
@@ -368,62 +381,17 @@ pub fn exhaustive_check_coupled_timeline(
     report
 }
 
-/// Runs the protocol under **every** strategy in the space (in parallel
-/// across available cores) and reports the violating ones.
+/// Runs the protocol under **every** strategy in the space (a parallel
+/// [`Sweep`] over the strategy indices — deterministic per index, so
+/// parallelism only changes wall-clock) and reports the violating ones.
 ///
 /// Cost is `|menu|^(n·π)` simulations — keep `n ≤ 4` and `π ≤ 2`
 /// (`4^8 = 65 536` runs) unless you have time to spare.
 pub fn exhaustive_check(params: Params, window: AsyncWindow, horizon: u64) -> ExploreReport {
     let total = Strategy::space_size(params.n(), window.pi());
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(total.max(1) as usize);
-    let mut partials: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut violating = Vec::new();
-                    let mut dra = Vec::new();
-                    let mut orphaning = Vec::new();
-                    let mut index = w as u64;
-                    while index < total {
-                        let verdict = run_strategy(params, window, horizon, index);
-                        if verdict.post_window_broken {
-                            violating.push(index);
-                        }
-                        if verdict.dra_broken {
-                            dra.push(index);
-                        }
-                        if verdict.orphaning_only {
-                            orphaning.push(index);
-                        }
-                        index += workers as u64;
-                    }
-                    (violating, dra, orphaning)
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("exploration worker panicked"));
-        }
-    });
-    let mut report = ExploreReport {
-        strategies_run: total,
-        violating: Vec::new(),
-        dra_violating: Vec::new(),
-        orphaning_only: Vec::new(),
-    };
-    for (v, d, o) in partials {
-        report.violating.extend(v);
-        report.dra_violating.extend(d);
-        report.orphaning_only.extend(o);
-    }
-    report.violating.sort_unstable();
-    report.dra_violating.sort_unstable();
-    report.orphaning_only.sort_unstable();
-    report
+    let verdicts =
+        Sweep::over(0..total).run(|&index, _seed| run_strategy(params, window, horizon, index));
+    collect_verdicts(total, &verdicts)
 }
 
 #[cfg(test)]

@@ -26,24 +26,37 @@
 //!   signed messages from corrupted processes (equivocation, targeted
 //!   sends) and controls delivery during asynchronous rounds. Includes the
 //!   paper's split-vote safety attack (Section 1) among several strategies;
+//! * [`SimBuilder`] — the fluent driving API: schedule, timeline, typed
+//!   adversary and user observers in one chain, with a proper error path;
 //! * [`Simulation`] — the round loop driving [`st_core::TobProcess`]
-//!   instances through the schedule, network and adversary, with monitors
-//!   attached;
+//!   instances through the schedule, network and adversary — steppable
+//!   ([`Simulation::step`] / [`Simulation::run_until`] /
+//!   [`Simulation::finish`]) with mid-run inspection and intervention;
+//! * [`Observer`] + [`SimEvent`] — the execution narrated as an event
+//!   stream; the built-in monitors ride the same trait user probes do,
+//!   and the report is assembled from the observer pipeline;
+//! * [`Sweep`] — cartesian config grids with deterministic per-cell
+//!   seeds, run across worker threads in input order;
 //! * [`SimReport`] — decisions, safety/resilience violations (Definitions
-//!   2 and 5), transaction-liveness statistics, healing measurements;
+//!   2 and 5), transaction-liveness statistics, per-window recovery
+//!   records;
 //! * [`baseline::StaticQuorumBft`] — a classic fixed-quorum BFT protocol
 //!   used to demonstrate what *dynamic availability* buys (experiment B1).
 //!
 //! # Example: a synchronous run with churn
 //!
 //! ```
-//! use st_sim::{Schedule, SimConfig, Simulation, adversary::SilentAdversary};
+//! use st_sim::{Schedule, SimBuilder, adversary::SilentAdversary};
 //! use st_types::Params;
 //!
 //! let params = Params::builder(10).expiration(2).churn_rate(0.05).build()?;
-//! let schedule = Schedule::random_churn(10, 40, 0.02, 99, &Default::default());
-//! let config = SimConfig::new(params, 123).horizon(40).txs_every(4);
-//! let report = Simulation::new(config, schedule, Box::new(SilentAdversary)).run();
+//! let report = SimBuilder::new(params, 123)
+//!     .horizon(40)
+//!     .txs_every(4)
+//!     .schedule(Schedule::random_churn(10, 40, 0.02, 99, &Default::default()))
+//!     .adversary(SilentAdversary)
+//!     .build()?
+//!     .run();
 //! assert!(report.safety_violations.is_empty());
 //! assert!(report.decisions_total > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -54,19 +67,25 @@
 
 pub mod adversary;
 pub mod baseline;
+mod builder;
 pub mod env;
 pub mod explore;
 mod metrics;
 mod monitor;
 mod network;
+mod observer;
 mod runner;
 pub mod scenario;
 mod schedule;
+mod sweep;
 
 pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};
+pub use builder::{BuildError, SimBuilder};
 pub use env::{bounded_delay_of, Disruption, EnvView, EnvWindow, Partition, SegmentKind, Timeline};
 pub use metrics::{RoundSample, RoundTrace};
 pub use monitor::{RecoveryRecord, SafetyViolation, SimReport, TxRecord};
 pub use network::{Network, Recipients, SentMessage};
+pub use observer::{ObsCtx, Observer, SimEvent, ViolationKind};
 pub use runner::{AsyncWindow, SimConfig, Simulation};
 pub use schedule::{ChurnOptions, Schedule};
+pub use sweep::{Sweep, SweepReports};

@@ -94,10 +94,26 @@ pub struct SimReport {
     /// Total messages that entered the network.
     pub messages_sent: usize,
     /// Round of the first decision strictly after the **last** disruption
-    /// window (full-healing measurement), if any window was configured.
+    /// window, if any window was configured.
+    ///
+    /// **Deprecated:** this singular field describes only the final spell
+    /// of a multi-window timeline. Read the per-window
+    /// [`SimReport::recoveries`] records (each carries its own
+    /// `first_decision_after`) instead.
+    #[deprecated(
+        since = "0.5.0",
+        note = "read the per-window `recoveries` records (each has `first_decision_after`)"
+    )]
     pub first_decision_after_async: Option<Round>,
     /// The last round of the final disruption window, if any was
     /// configured.
+    ///
+    /// **Deprecated:** singular last-spell view; the per-window
+    /// [`SimReport::recoveries`] records carry each window's `end`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "read the per-window `recoveries` records (each has `end`)"
+    )]
     pub async_window_end: Option<Round>,
     /// Per-disruption recovery records, in window start order (one per
     /// async/bounded-delay/partition window of the timeline).
@@ -123,7 +139,16 @@ impl SimReport {
     /// Healing lag `k`: rounds from the end of the **last** disruption
     /// window to the first subsequent decision (Definition 6/Theorem 3).
     /// `None` if no window was configured or no decision followed.
+    ///
+    /// **Deprecated:** the singular lag describes only the final spell.
+    /// Use [`SimReport::max_recovery_rounds`] (worst spell) or the
+    /// per-window `recovery_rounds` in [`SimReport::recoveries`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `max_recovery_rounds()` or the per-window `recovery_rounds` in `recoveries`"
+    )]
     pub fn healing_lag(&self) -> Option<u64> {
+        #[allow(deprecated)]
         match (self.async_window_end, self.first_decision_after_async) {
             (Some(end), Some(first)) => Some(first.as_u64().saturating_sub(end.as_u64())),
             _ => None,
@@ -530,6 +555,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the legacy singular surface is exercised on purpose
     fn report_helpers() {
         let mut r = SimReport::default();
         assert!(r.is_safe());

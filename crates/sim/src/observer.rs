@@ -1,0 +1,587 @@
+//! Pluggable execution observers and the simulation event stream.
+//!
+//! The paper's definitions are all statements about what an execution
+//! *observes* — which decisions happened, when, and whether they conflict.
+//! This module makes observation a first-class, composable surface: the
+//! round loop narrates its execution as a stream of [`SimEvent`]s, and
+//! every consumer of that stream — the safety monitor (Definition 2), the
+//! per-window resilience monitors (Definition 5), the transaction-liveness
+//! ledger, the per-round [`crate::RoundTrace`], and any user-registered
+//! probe — is an [`Observer`].
+//!
+//! The [`crate::SimReport`] is *assembled from the observers* at
+//! [`crate::Simulation::finish`]: each built-in observer contributes the
+//! report fields it owns, so custom observers ride the exact pipeline the
+//! paper's monitors use. Registration happens on
+//! [`crate::SimBuilder::observer`]; built-in observers always run first,
+//! in a fixed order, which is what keeps observer-assembled reports
+//! byte-identical to the pre-observer runner (the determinism-equivalence
+//! suite asserts this).
+//!
+//! # Event ordering within one round
+//!
+//! 1. [`SimEvent::RoundStart`], then one [`SimEvent::WindowEnter`] per
+//!    disruption whose window opens this round;
+//! 2. [`SimEvent::TxSubmitted`] for the round's workload (if any);
+//! 3. [`SimEvent::CorruptionChange`] if `B_r` differs from the previous
+//!    round's corrupted set;
+//! 4. one [`SimEvent::DecisionObserved`] per decision event drained from
+//!    a well-behaved process, followed by the [`SimEvent::Violation`]s
+//!    those decisions triggered (via [`Observer::drain_emitted`]);
+//! 5. [`SimEvent::EnvelopeDelivered`] per honest delivery — only
+//!    generated when some registered observer returns `true` from
+//!    [`Observer::wants_delivery_events`], so the fast path pays nothing
+//!    by default;
+//! 6. one [`SimEvent::WindowExit`] per disruption whose window closed
+//!    this round, then [`SimEvent::RoundEnd`].
+
+use crate::env::{Disruption, EnvView, Timeline};
+use crate::metrics::{RoundSample, RoundTrace};
+use crate::monitor::{
+    RecoveryRecord, ResilienceMonitor, SafetyMonitor, SafetyViolation, SimReport, TxRecord,
+};
+use crate::runner::SimConfig;
+use crate::schedule::Schedule;
+use st_blocktree::BlockTree;
+use st_core::{DecisionEvent, TobProcess};
+use st_types::{BlockId, FastSet, ProcessId, Round, TxId};
+
+/// Read-only view of the execution handed to every observer hook: the
+/// full-knowledge vantage point the paper's monitors have (every process's
+/// state, the schedule, a tree absorbing every block ever proposed).
+pub struct ObsCtx<'a> {
+    /// The round being executed (for [`Observer::finish`]: the last
+    /// executed round).
+    pub round: Round,
+    /// The environment at this round (segment kind, window offsets,
+    /// partition overlay).
+    pub env: EnvView,
+    /// Every process's state, read-only.
+    pub processes: &'a [TobProcess],
+    /// The participation/corruption schedule.
+    pub schedule: &'a Schedule,
+    /// A tree absorbing every block ever proposed (monitor knowledge).
+    pub global_tree: &'a BlockTree,
+    /// The run's configuration.
+    pub config: &'a SimConfig,
+    /// Cumulative messages sent to the network so far.
+    pub messages_sent: usize,
+}
+
+/// Which monitor flagged a [`SimEvent::Violation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An agreement violation (Definition 2): two well-behaved decisions
+    /// on conflicting logs.
+    Safety,
+    /// A Definition-5 violation against disruption window `window` (index
+    /// into [`Timeline::disruptions`]): a post-`ra` decision conflicting
+    /// with that window's `D_ra`.
+    Resilience {
+        /// Index of the disruption whose `D_ra` was contradicted.
+        window: usize,
+    },
+}
+
+/// One narrated step of the execution. See the module docs for the
+/// within-round ordering.
+#[derive(Clone, Debug)]
+pub enum SimEvent {
+    /// A round is about to execute.
+    RoundStart {
+        /// The round.
+        round: Round,
+    },
+    /// The workload submitted a fresh transaction to every honest awake
+    /// process's mempool.
+    TxSubmitted {
+        /// The transaction.
+        tx: TxId,
+        /// The submission round.
+        round: Round,
+    },
+    /// The corrupted set `B_r` changed relative to the previous round.
+    CorruptionChange {
+        /// The round at which the new set took effect.
+        round: Round,
+        /// The new corrupted set (empty when everyone healed).
+        corrupted: Vec<ProcessId>,
+    },
+    /// A disruption window (async / bounded-delay / partition) opened.
+    WindowEnter {
+        /// Index into [`Timeline::disruptions`].
+        index: usize,
+        /// The disruption's extent and label.
+        disruption: Disruption,
+    },
+    /// A disruption window closed (fired at the end of its last round).
+    WindowExit {
+        /// Index into [`Timeline::disruptions`].
+        index: usize,
+        /// The disruption's extent and label.
+        disruption: Disruption,
+    },
+    /// A well-behaved process produced a decision event.
+    DecisionObserved {
+        /// The deciding process.
+        process: ProcessId,
+        /// The decision.
+        decision: DecisionEvent,
+    },
+    /// An envelope reached an honest receiver (generated only when some
+    /// observer opted in via [`Observer::wants_delivery_events`]; the
+    /// corrupted machines' full-knowledge feed is not reported).
+    EnvelopeDelivered {
+        /// The receiving process.
+        receiver: ProcessId,
+        /// The original sender.
+        sender: ProcessId,
+    },
+    /// A monitor flagged a violation of one of the paper's definitions.
+    Violation {
+        /// Which monitor (and, for resilience, which window).
+        kind: ViolationKind,
+        /// The conflicting decision pair.
+        violation: SafetyViolation,
+    },
+    /// A round finished executing (after delivery, compaction and
+    /// bookkeeping).
+    RoundEnd {
+        /// The round.
+        round: Round,
+        /// Envelopes delivered to honest receivers this round.
+        delivered: usize,
+    },
+}
+
+/// A pluggable execution observer.
+///
+/// Every hook is optional (default no-op); [`Observer::on_event`] is the
+/// uniform entry point and by default dispatches to the per-event hooks,
+/// so implementors can override either granularity. Observers run in
+/// registration order — built-ins first — and see every event of the run.
+///
+/// Observers that *detect* things (the built-in monitors) can publish
+/// events of their own by buffering them and returning them from
+/// [`Observer::drain_emitted`]; the round loop forwards drained events to
+/// every observer after each decision wave.
+pub trait Observer {
+    /// Human-readable observer name (diagnostics).
+    fn name(&self) -> &str {
+        "observer"
+    }
+
+    /// Opt-in for per-envelope [`SimEvent::EnvelopeDelivered`] events.
+    /// The default `false` keeps the zero-copy delivery fast path free of
+    /// per-envelope event construction; return `true` only if the
+    /// observer actually consumes deliveries (checked once at build).
+    fn wants_delivery_events(&self) -> bool {
+        false
+    }
+
+    /// Uniform event entry point; the default dispatches to the
+    /// fine-grained hooks below.
+    fn on_event(&mut self, ctx: &ObsCtx<'_>, event: &SimEvent) {
+        match event {
+            SimEvent::RoundStart { round } => self.on_round_start(ctx, *round),
+            SimEvent::TxSubmitted { tx, round } => self.on_tx_submitted(ctx, *tx, *round),
+            SimEvent::CorruptionChange { round, corrupted } => {
+                self.on_corruption_change(ctx, *round, corrupted)
+            }
+            SimEvent::WindowEnter { index, disruption } => {
+                self.on_window_enter(ctx, *index, disruption)
+            }
+            SimEvent::WindowExit { index, disruption } => {
+                self.on_window_exit(ctx, *index, disruption)
+            }
+            SimEvent::DecisionObserved { process, decision } => {
+                self.on_decision(ctx, *process, *decision)
+            }
+            SimEvent::EnvelopeDelivered { receiver, sender } => {
+                self.on_delivery(ctx, *receiver, *sender)
+            }
+            SimEvent::Violation { kind, violation } => self.on_violation(ctx, *kind, violation),
+            SimEvent::RoundEnd { round, delivered } => self.on_round_end(ctx, *round, *delivered),
+        }
+    }
+
+    /// A round is about to execute.
+    fn on_round_start(&mut self, ctx: &ObsCtx<'_>, round: Round) {
+        let _ = (ctx, round);
+    }
+
+    /// The workload submitted a transaction.
+    fn on_tx_submitted(&mut self, ctx: &ObsCtx<'_>, tx: TxId, round: Round) {
+        let _ = (ctx, tx, round);
+    }
+
+    /// The corrupted set changed.
+    fn on_corruption_change(&mut self, ctx: &ObsCtx<'_>, round: Round, corrupted: &[ProcessId]) {
+        let _ = (ctx, round, corrupted);
+    }
+
+    /// A disruption window opened.
+    fn on_window_enter(&mut self, ctx: &ObsCtx<'_>, index: usize, disruption: &Disruption) {
+        let _ = (ctx, index, disruption);
+    }
+
+    /// A disruption window closed.
+    fn on_window_exit(&mut self, ctx: &ObsCtx<'_>, index: usize, disruption: &Disruption) {
+        let _ = (ctx, index, disruption);
+    }
+
+    /// A well-behaved process decided.
+    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+        let _ = (ctx, process, decision);
+    }
+
+    /// An envelope reached an honest receiver (only with
+    /// [`Observer::wants_delivery_events`]).
+    fn on_delivery(&mut self, ctx: &ObsCtx<'_>, receiver: ProcessId, sender: ProcessId) {
+        let _ = (ctx, receiver, sender);
+    }
+
+    /// A monitor flagged a violation.
+    fn on_violation(&mut self, ctx: &ObsCtx<'_>, kind: ViolationKind, violation: &SafetyViolation) {
+        let _ = (ctx, kind, violation);
+    }
+
+    /// A round finished executing.
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, delivered: usize) {
+        let _ = (ctx, round, delivered);
+    }
+
+    /// Events this observer wants to publish to the other observers,
+    /// drained by the round loop after each decision wave. Handlers must
+    /// not emit in response to drained events without a termination
+    /// condition (the loop pumps until quiescence).
+    fn drain_emitted(&mut self) -> Vec<SimEvent> {
+        Vec::new()
+    }
+
+    /// Contribute this observer's findings to the final report. Built-in
+    /// observers fill the [`SimReport`] fields they own; user observers
+    /// typically keep their conclusions internal (the report's shape is
+    /// fixed), but may post-process fields already filled by the
+    /// built-ins, which always run first.
+    fn finish(&mut self, ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        let _ = (ctx, report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in observers — the paper's monitors, re-expressed on the trait.
+// ---------------------------------------------------------------------------
+
+/// Definition 2 (agreement), as an observer. Owns
+/// [`SimReport::safety_violations`].
+pub(crate) struct SafetyObserver {
+    monitor: SafetyMonitor,
+    emitted: Vec<SimEvent>,
+}
+
+impl SafetyObserver {
+    pub(crate) fn new() -> SafetyObserver {
+        SafetyObserver {
+            monitor: SafetyMonitor::new(),
+            emitted: Vec::new(),
+        }
+    }
+}
+
+impl Observer for SafetyObserver {
+    fn name(&self) -> &str {
+        "safety-monitor"
+    }
+
+    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+        let before = self.monitor.violations.len();
+        self.monitor.observe(ctx.global_tree, process, decision);
+        // New conflicting pairs become events; witness upgrades of pairs
+        // already reported do not re-fire.
+        for v in &self.monitor.violations[before..] {
+            self.emitted.push(SimEvent::Violation {
+                kind: ViolationKind::Safety,
+                violation: v.clone(),
+            });
+        }
+    }
+
+    fn drain_emitted(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        report.safety_violations = std::mem::take(&mut self.monitor.violations);
+    }
+}
+
+/// Definition 5 + per-window recovery bookkeeping, as an observer. Owns
+/// [`SimReport::resilience_violations`], [`SimReport::recoveries`] and the
+/// legacy singular healing fields.
+pub(crate) struct ResilienceObserver {
+    disruptions: Vec<Disruption>,
+    monitors: Vec<ResilienceMonitor>,
+    first_after: Vec<Option<Round>>,
+    last_disruption_end: Option<Round>,
+    first_decision_after_last: Option<Round>,
+    emitted: Vec<SimEvent>,
+}
+
+impl ResilienceObserver {
+    pub(crate) fn new(timeline: &Timeline) -> ResilienceObserver {
+        let disruptions = timeline.disruptions();
+        let monitors = disruptions
+            .iter()
+            .map(|d| {
+                ResilienceMonitor::new(
+                    d.start
+                        .prev()
+                        .expect("timeline windows start after round 0"),
+                )
+            })
+            .collect();
+        let first_after = vec![None; disruptions.len()];
+        ResilienceObserver {
+            last_disruption_end: timeline.last_disruption_end(),
+            monitors,
+            first_after,
+            disruptions,
+            first_decision_after_last: None,
+            emitted: Vec::new(),
+        }
+    }
+}
+
+impl Observer for ResilienceObserver {
+    fn name(&self) -> &str {
+        "resilience-monitor"
+    }
+
+    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+        for (i, mon) in self.monitors.iter_mut().enumerate() {
+            let before = mon.violations.len();
+            mon.observe(ctx.global_tree, process, decision);
+            for v in &mon.violations[before..] {
+                self.emitted.push(SimEvent::Violation {
+                    kind: ViolationKind::Resilience { window: i },
+                    violation: v.clone(),
+                });
+            }
+        }
+        for (i, d) in self.disruptions.iter().enumerate() {
+            if decision.round > d.end && self.first_after[i].is_none() {
+                self.first_after[i] = Some(decision.round);
+            }
+        }
+        if let Some(end) = self.last_disruption_end {
+            if decision.round > end && self.first_decision_after_last.is_none() {
+                self.first_decision_after_last = Some(decision.round);
+            }
+        }
+    }
+
+    fn drain_emitted(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        report.recoveries = self
+            .disruptions
+            .iter()
+            .zip(&self.monitors)
+            .zip(&self.first_after)
+            .map(|((d, mon), first)| RecoveryRecord {
+                kind: d.label.to_string(),
+                start: d.start,
+                end: d.end,
+                first_decision_after: *first,
+                recovery_rounds: first.map(|f| f.as_u64() - d.end.as_u64()),
+                violations: mon.violations.len(),
+            })
+            .collect();
+        report.resilience_violations = self
+            .monitors
+            .iter_mut()
+            .flat_map(|m| std::mem::take(&mut m.violations))
+            .collect();
+        #[allow(deprecated)]
+        {
+            report.first_decision_after_async = self.first_decision_after_last;
+            report.async_window_end = self.last_disruption_end;
+        }
+    }
+}
+
+/// Transaction-liveness ledger (Definition 2's liveness, quantified), as
+/// an observer. Owns [`SimReport::txs`].
+pub(crate) struct TxLedger {
+    txs: Vec<TxRecord>,
+    /// Cached set of txs in each process's decided log (refreshed when
+    /// the decided tip changes).
+    decided_txs: Vec<(BlockId, FastSet<TxId>)>,
+}
+
+impl TxLedger {
+    pub(crate) fn new(n: usize) -> TxLedger {
+        TxLedger {
+            txs: Vec::new(),
+            decided_txs: vec![(BlockId::GENESIS, FastSet::default()); n],
+        }
+    }
+}
+
+impl Observer for TxLedger {
+    fn name(&self) -> &str {
+        "tx-ledger"
+    }
+
+    fn on_tx_submitted(&mut self, _ctx: &ObsCtx<'_>, tx: TxId, round: Round) {
+        self.txs.push(TxRecord {
+            tx,
+            submitted: round,
+            included_everywhere: None,
+        });
+    }
+
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, _delivered: usize) {
+        if self.txs.is_empty() {
+            return;
+        }
+        let next = round.next();
+        for p in ProcessId::all(ctx.schedule.n()) {
+            let proc = &ctx.processes[p.index()];
+            let tip = proc.decided_tip();
+            if self.decided_txs[p.index()].0 != tip {
+                let set: FastSet<TxId> = proc.tree().log_transactions(tip).into_iter().collect();
+                self.decided_txs[p.index()] = (tip, set);
+            }
+        }
+        let awake_next: Vec<ProcessId> = ctx.schedule.honest_awake(next).into_iter().collect();
+        if awake_next.is_empty() {
+            return;
+        }
+        for rec in self
+            .txs
+            .iter_mut()
+            .filter(|t| t.included_everywhere.is_none())
+        {
+            let everywhere = awake_next
+                .iter()
+                .all(|p| self.decided_txs[p.index()].1.contains(&rec.tx));
+            if everywhere {
+                rec.included_everywhere = Some(next);
+            }
+        }
+    }
+
+    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        report.txs = std::mem::take(&mut self.txs);
+    }
+}
+
+/// Decision accounting, as an observer. Owns
+/// [`SimReport::decisions_total`], [`SimReport::per_process_decisions`]
+/// and [`SimReport::deciding_rounds`].
+pub(crate) struct DecisionLedger {
+    observed: Vec<usize>,
+    deciding_rounds: usize,
+    any_this_round: bool,
+}
+
+impl DecisionLedger {
+    pub(crate) fn new(n: usize) -> DecisionLedger {
+        DecisionLedger {
+            observed: vec![0; n],
+            deciding_rounds: 0,
+            any_this_round: false,
+        }
+    }
+}
+
+impl Observer for DecisionLedger {
+    fn name(&self) -> &str {
+        "decision-ledger"
+    }
+
+    fn on_decision(&mut self, _ctx: &ObsCtx<'_>, process: ProcessId, _decision: DecisionEvent) {
+        self.observed[process.index()] += 1;
+        self.any_this_round = true;
+    }
+
+    fn on_round_end(&mut self, _ctx: &ObsCtx<'_>, _round: Round, _delivered: usize) {
+        if self.any_this_round {
+            self.deciding_rounds += 1;
+            self.any_this_round = false;
+        }
+    }
+
+    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        report.decisions_total = self.observed.iter().sum();
+        report.per_process_decisions = std::mem::take(&mut self.observed);
+        report.deciding_rounds = self.deciding_rounds;
+    }
+}
+
+/// Per-round time series, as an observer. Owns [`SimReport::timeline`].
+pub(crate) struct TraceObserver {
+    trace: RoundTrace,
+    messages_at_round_start: usize,
+    decisions_this_round: usize,
+}
+
+impl TraceObserver {
+    pub(crate) fn new() -> TraceObserver {
+        TraceObserver {
+            trace: RoundTrace::new(),
+            messages_at_round_start: 0,
+            decisions_this_round: 0,
+        }
+    }
+}
+
+impl Observer for TraceObserver {
+    fn name(&self) -> &str {
+        "round-trace"
+    }
+
+    fn on_round_start(&mut self, ctx: &ObsCtx<'_>, _round: Round) {
+        self.messages_at_round_start = ctx.messages_sent;
+        self.decisions_this_round = 0;
+    }
+
+    fn on_decision(&mut self, _ctx: &ObsCtx<'_>, _process: ProcessId, _decision: DecisionEvent) {
+        self.decisions_this_round += 1;
+    }
+
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, delivered: usize) {
+        let honest = ctx.schedule.honest_awake(round);
+        let height = |p: ProcessId| {
+            let proc = &ctx.processes[p.index()];
+            proc.tree().height(proc.decided_tip()).unwrap_or(0)
+        };
+        let heights: Vec<u64> = honest.iter().map(|&p| height(p)).collect();
+        let all_max = ProcessId::all(ctx.schedule.n())
+            .filter(|&p| !ctx.schedule.is_byzantine(p, round))
+            .map(height)
+            .max()
+            .unwrap_or(0);
+        self.trace.push(RoundSample {
+            round: round.as_u64(),
+            honest_awake: honest.len(),
+            byzantine: ctx.schedule.byzantine(round).len(),
+            is_async: ctx.env.is_async(),
+            delta: ctx.env.delta(),
+            partitioned: ctx.env.partitioned,
+            messages_sent: ctx.messages_sent - self.messages_at_round_start,
+            messages_delivered: delivered,
+            decisions: self.decisions_this_round,
+            max_decided_height: all_max,
+            min_decided_height: heights.iter().copied().min().unwrap_or(0),
+        });
+    }
+
+    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+        report.timeline = std::mem::take(&mut self.trace);
+    }
+}

@@ -1,10 +1,28 @@
 //! The round-loop execution engine.
+//!
+//! [`Simulation`] drives [`st_core::TobProcess`] instances through the
+//! schedule, network, environment timeline and adversary. Execution is
+//! **steppable** — [`Simulation::step`] runs one round,
+//! [`Simulation::run_until`] runs to a round, [`Simulation::finish`]
+//! assembles the [`SimReport`] from the registered
+//! [`Observer`](crate::Observer)s, and [`Simulation::run`] is the
+//! one-shot composition of the three. Between steps the driving code can
+//! inspect processes and mutate the schedule (mid-run interventions),
+//! which is what grid-scale experiments and scenario probes build on.
+//!
+//! Construct with [`crate::SimBuilder`]; the positional
+//! [`Simulation::new`] constructor is a deprecated shim kept for old
+//! callers.
 
 use crate::adversary::{Adversary, AdversaryCtx};
-use crate::env::{bounded_delay_of, Disruption, SegmentKind, Timeline};
-use crate::metrics::{RoundSample, RoundTrace};
-use crate::monitor::{RecoveryRecord, ResilienceMonitor, SafetyMonitor, SimReport, TxRecord};
+use crate::builder::BuildError;
+use crate::env::{bounded_delay_of, Disruption, EnvView, SegmentKind, Timeline};
+use crate::monitor::SimReport;
 use crate::network::{Network, Recipients};
+use crate::observer::{
+    DecisionLedger, ObsCtx, Observer, ResilienceObserver, SafetyObserver, SimEvent, TraceObserver,
+    TxLedger,
+};
 use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
 use st_core::{TobConfig, TobProcess};
@@ -150,11 +168,23 @@ impl SimConfig {
     pub fn env(&self) -> &Timeline {
         &self.timeline
     }
+
+    /// The configured horizon (the run executes rounds `0..=horizon`).
+    pub fn horizon_rounds(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 /// A single simulation: processes + schedule + network + adversary +
-/// monitors. Construct with [`Simulation::new`], execute with
-/// [`Simulation::run`].
+/// observers. Construct with [`crate::SimBuilder`]; execute with
+/// [`Simulation::run`], or drive it round by round with
+/// [`Simulation::step`] / [`Simulation::run_until`] and close with
+/// [`Simulation::finish`].
 pub struct Simulation {
     config: SimConfig,
     tob_config: TobConfig,
@@ -164,56 +194,117 @@ pub struct Simulation {
     keypairs: Vec<Keypair>,
     network: Network,
     global_tree: BlockTree,
-    safety: SafetyMonitor,
-    /// One disruption per timeline window/partition (start order), with a
-    /// Definition-5 monitor and a first-post-window-decision slot each.
+    /// The observer pipeline: the built-in monitors (safety, per-window
+    /// resilience, tx ledger, decision ledger, round trace) in fixed
+    /// order, then user observers in registration order. The final
+    /// [`SimReport`] is assembled from these at [`Simulation::finish`].
+    observers: Vec<Box<dyn Observer>>,
+    /// Whether any registered observer opted into per-envelope
+    /// [`SimEvent::EnvelopeDelivered`] events (checked once at build so
+    /// the zero-copy delivery path stays event-free by default).
+    wants_deliveries: bool,
+    /// One disruption per timeline window/partition (start order) —
+    /// drives the `WindowEnter`/`WindowExit` events.
     disruptions: Vec<Disruption>,
-    resilience: Vec<ResilienceMonitor>,
-    first_after: Vec<Option<Round>>,
-    /// End of the final disruption — the point after which the run must
-    /// fully heal (drives the legacy singular report fields).
-    last_disruption_end: Option<Round>,
     /// Per-process cursor into `TobProcess::decisions()`: everything below
     /// it has been *drained* (observed while honest, or skipped while
     /// Byzantine — the cursor advances either way, so a process that
     /// recovers from corruption never replays its Byzantine-era decisions
     /// into the monitors as honest ones).
     decisions_seen: Vec<usize>,
-    /// Per-process count of decisions actually *observed* (made while the
-    /// process was well-behaved). This is what reports count.
-    decisions_observed: Vec<usize>,
     /// Cached Byzantine keypair set: `(corrupted processes, their
     /// keypairs)`. Corruption sets change at most a handful of times per
     /// run (growing adversary / corruption windows), so the per-round
     /// keypair clones are hoisted into this cache and rebuilt only when
     /// the set itself changes — not twice per asynchronous round.
     byz_cache: (Vec<ProcessId>, Vec<Keypair>),
-    txs: Vec<TxRecord>,
-    /// Cached set of txs in each process's decided log (refreshed when the
-    /// decided tip changes).
-    decided_txs: Vec<(st_types::BlockId, FastSet<TxId>)>,
     tx_counter: u64,
-    first_decision_after_async: Option<Round>,
-    deciding_rounds: usize,
-    trace: RoundTrace,
+    /// The next round to execute (`step` cursor); the run is complete
+    /// once it passes the horizon.
+    next: u64,
+}
+
+/// Dispatches one event to every observer, in order.
+fn dispatch(observers: &mut [Box<dyn Observer>], ctx: &ObsCtx<'_>, event: &SimEvent) {
+    for o in observers.iter_mut() {
+        o.on_event(ctx, event);
+    }
+}
+
+/// Forwards observer-emitted events (violations, mostly) to every
+/// observer until the pipeline is quiescent.
+fn pump_emitted(observers: &mut [Box<dyn Observer>], ctx: &ObsCtx<'_>) {
+    loop {
+        let mut pending = Vec::new();
+        for o in observers.iter_mut() {
+            pending.append(&mut o.drain_emitted());
+        }
+        if pending.is_empty() {
+            return;
+        }
+        for event in &pending {
+            dispatch(observers, ctx, event);
+        }
+    }
+}
+
+/// Builds the observer read-context for the current round. A macro rather
+/// than a method so the borrow stays scoped to the named fields (the
+/// observer pipeline is borrowed mutably at the same time).
+macro_rules! obs_ctx {
+    ($sim:expr, $round:expr, $env:expr) => {
+        ObsCtx {
+            round: $round,
+            env: $env,
+            processes: &$sim.procs,
+            schedule: &$sim.schedule,
+            global_tree: &$sim.global_tree,
+            config: &$sim.config,
+            messages_sent: $sim.network.messages_sent(),
+        }
+    };
 }
 
 impl Simulation {
-    /// Builds a simulation.
+    /// Builds a simulation (legacy positional constructor).
     ///
     /// # Panics
     ///
     /// Panics if the schedule's process count differs from
-    /// `config.params().n()`.
+    /// `config.params().n()` or a timeline partition group names a
+    /// process outside the system. [`crate::SimBuilder::build`] reports
+    /// both conditions as [`BuildError`]s instead.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use SimBuilder: SimBuilder::from_config(config).schedule(schedule).adversary(adversary).build()"
+    )]
     pub fn new(config: SimConfig, schedule: Schedule, adversary: Box<dyn Adversary>) -> Simulation {
+        match Simulation::assemble(config, schedule, adversary, Vec::new()) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validates and assembles a simulation (the [`crate::SimBuilder`]
+    /// back end).
+    pub(crate) fn assemble(
+        config: SimConfig,
+        schedule: Schedule,
+        adversary: Box<dyn Adversary>,
+        user_observers: Vec<Box<dyn Observer>>,
+    ) -> Result<Simulation, BuildError> {
         let n = config.params.n();
-        assert_eq!(
-            schedule.n(),
-            n,
-            "schedule covers {} processes but params specify {}",
-            schedule.n(),
-            n
-        );
+        if schedule.n() != n {
+            return Err(BuildError::ScheduleMismatch {
+                expected: n,
+                got: schedule.n(),
+            });
+        }
+        for part in config.timeline.partitions() {
+            if let Some(&p) = part.groups().iter().flatten().find(|p| p.index() >= n) {
+                return Err(BuildError::PartitionMemberOutOfRange { member: p, n });
+            }
+        }
         let tob_config = TobConfig::new(config.params, config.seed);
         let procs: Vec<TobProcess> = ProcessId::all(n)
             .map(|p| {
@@ -225,28 +316,17 @@ impl Simulation {
         let keypairs: Vec<Keypair> = ProcessId::all(n)
             .map(|p| Keypair::derive(p, config.seed))
             .collect();
-        for part in config.timeline.partitions() {
-            for p in part.groups().iter().flatten() {
-                assert!(
-                    p.index() < n,
-                    "partition group member {p} is outside the system (n = {n})"
-                );
-            }
-        }
         let disruptions = config.timeline.disruptions();
-        let resilience = disruptions
-            .iter()
-            .map(|d| {
-                ResilienceMonitor::new(
-                    d.start
-                        .prev()
-                        .expect("timeline windows start after round 0"),
-                )
-            })
-            .collect();
-        let first_after = vec![None; disruptions.len()];
-        let last_disruption_end = config.timeline.last_disruption_end();
-        Simulation {
+        let mut observers: Vec<Box<dyn Observer>> = vec![
+            Box::new(SafetyObserver::new()),
+            Box::new(ResilienceObserver::new(&config.timeline)),
+            Box::new(TxLedger::new(n)),
+            Box::new(DecisionLedger::new(n)),
+            Box::new(TraceObserver::new()),
+        ];
+        observers.extend(user_observers);
+        let wants_deliveries = observers.iter().any(|o| o.wants_delivery_events());
+        Ok(Simulation {
             config,
             tob_config,
             schedule,
@@ -255,29 +335,82 @@ impl Simulation {
             keypairs,
             network: Network::new(n),
             global_tree: BlockTree::new(),
-            safety: SafetyMonitor::new(),
+            observers,
+            wants_deliveries,
             disruptions,
-            resilience,
-            first_after,
-            last_disruption_end,
             decisions_seen: vec![0; n],
-            decisions_observed: vec![0; n],
             byz_cache: (Vec::new(), Vec::new()),
-            txs: Vec::new(),
-            decided_txs: vec![(st_types::BlockId::GENESIS, FastSet::default()); n],
             tx_counter: 0,
-            first_decision_after_async: None,
-            deciding_rounds: 0,
-            trace: RoundTrace::new(),
+            next: 0,
+        })
+    }
+
+    /// Executes rounds `0..=horizon` and produces the report — the
+    /// one-shot composition of [`Simulation::step`] and
+    /// [`Simulation::finish`].
+    pub fn run(mut self) -> SimReport {
+        while self.step().is_some() {}
+        self.finish()
+    }
+
+    /// Executes the next round and returns it, or `None` once every round
+    /// up to the horizon has run.
+    pub fn step(&mut self) -> Option<Round> {
+        if self.next > self.config.horizon {
+            return None;
+        }
+        let round = Round::new(self.next);
+        self.step_round(round);
+        self.next += 1;
+        Some(round)
+    }
+
+    /// Executes rounds up to **and including** `round` (clamped to the
+    /// horizon). A no-op if execution has already passed it.
+    pub fn run_until(&mut self, round: Round) {
+        while self.next <= self.config.horizon && self.next <= round.as_u64() {
+            self.step();
         }
     }
 
-    /// Executes rounds `0..=horizon` and produces the report.
-    pub fn run(mut self) -> SimReport {
-        for r in 0..=self.config.horizon {
-            self.step_round(Round::new(r));
-        }
-        self.finish()
+    /// The next round [`Simulation::step`] would execute, or `None` once
+    /// the run is complete.
+    pub fn next_round(&self) -> Option<Round> {
+        (self.next <= self.config.horizon).then(|| Round::new(self.next))
+    }
+
+    /// Whether every round up to the horizon has executed.
+    pub fn is_done(&self) -> bool {
+        self.next > self.config.horizon
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The participation/corruption schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Mutable access to the schedule **between steps** — mid-run
+    /// interventions (flipping participation, corrupting a process from
+    /// the next round on) are first-class: pause with
+    /// [`Simulation::run_until`], mutate, continue stepping. The
+    /// replacement schedule must cover the same `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic itself, but later steps panic if the schedule is
+    /// swapped for one covering a different process count.
+    pub fn schedule_mut(&mut self) -> &mut Schedule {
+        &mut self.schedule
+    }
+
+    /// Read-only view of every process's state (mid-run inspection).
+    pub fn processes(&self) -> &[TobProcess] {
+        &self.procs
     }
 
     /// Rebuilds the Byzantine keypair cache iff the corrupted set changed.
@@ -305,9 +438,24 @@ impl Simulation {
 
     fn step_round(&mut self, round: Round) {
         let env_view = self.config.timeline.view_at(round);
-        let is_async = env_view.is_async();
-        let messages_before = self.network.messages_sent();
-        let decisions_before: usize = self.decisions_observed.iter().sum();
+
+        // ------ narration: round start + windows opening this round ------
+        {
+            let ctx = obs_ctx!(self, round, env_view);
+            dispatch(&mut self.observers, &ctx, &SimEvent::RoundStart { round });
+            for (index, d) in self.disruptions.iter().enumerate() {
+                if d.start == round {
+                    dispatch(
+                        &mut self.observers,
+                        &ctx,
+                        &SimEvent::WindowEnter {
+                            index,
+                            disruption: *d,
+                        },
+                    );
+                }
+            }
+        }
 
         // ------ transaction workload: a fresh transaction reaches every
         // honest awake process's mempool (modelling transaction gossip,
@@ -321,11 +469,12 @@ impl Simulation {
                     for &target in &targets {
                         self.procs[target.index()].submit_tx(tx);
                     }
-                    self.txs.push(TxRecord {
-                        tx,
-                        submitted: round,
-                        included_everywhere: None,
-                    });
+                    let ctx = obs_ctx!(self, round, env_view);
+                    dispatch(
+                        &mut self.observers,
+                        &ctx,
+                        &SimEvent::TxSubmitted { tx, round },
+                    );
                 }
             }
         }
@@ -368,7 +517,18 @@ impl Simulation {
         }
 
         // ------ send phase: adversary ------
-        self.refresh_byz_cache(&corrupted);
+        if self.byz_cache.0 != corrupted {
+            self.refresh_byz_cache(&corrupted);
+            let ctx = obs_ctx!(self, round, env_view);
+            dispatch(
+                &mut self.observers,
+                &ctx,
+                &SimEvent::CorruptionChange {
+                    round,
+                    corrupted: corrupted.clone(),
+                },
+            );
+        }
         let byz_msgs = {
             let ctx = AdversaryCtx {
                 round,
@@ -457,6 +617,7 @@ impl Simulation {
                     for env in self.network.deliver_async(p, round, &chosen) {
                         delivered += 1;
                         Self::deliver_to(&mut self.procs, naive, p, &env);
+                        self.note_delivery(round, env_view, p, &env);
                     }
                 }
             }
@@ -513,6 +674,7 @@ impl Simulation {
                     for env in envs {
                         delivered += 1;
                         Self::deliver_to(&mut self.procs, naive, p, &env);
+                        self.note_delivery(round, env_view, p, &env);
                     }
                 }
             }
@@ -533,6 +695,17 @@ impl Simulation {
                         for env in self.network.deliver_async(p, round, &chosen) {
                             delivered += 1;
                             Self::deliver_to(&mut self.procs, naive, p, &env);
+                            self.note_delivery(round, env_view, p, &env);
+                        }
+                    }
+                } else if self.wants_deliveries {
+                    // Event-generating sync path: materialise the batch so
+                    // each delivery can be narrated between mutations.
+                    for &p in &receivers {
+                        for env in self.network.deliver_sync(p, round) {
+                            delivered += 1;
+                            Self::deliver_to(&mut self.procs, naive, p, &env);
+                            self.note_delivery(round, env_view, p, &env);
                         }
                     }
                 } else {
@@ -564,44 +737,59 @@ impl Simulation {
             self.network.compact();
         }
 
-        // ------ transaction inclusion bookkeeping ------
-        self.update_tx_inclusion(round);
-
-        // ------ timeline sample ------
-        let honest = self.schedule.honest_awake(round);
-        let heights: Vec<u64> = honest
-            .iter()
-            .map(|p| {
-                let proc = &self.procs[p.index()];
-                proc.tree().height(proc.decided_tip()).unwrap_or(0)
-            })
-            .collect();
-        let all_max = ProcessId::all(self.schedule.n())
-            .filter(|&p| !self.schedule.is_byzantine(p, round))
-            .map(|p| {
-                let proc = &self.procs[p.index()];
-                proc.tree().height(proc.decided_tip()).unwrap_or(0)
-            })
-            .max()
-            .unwrap_or(0);
-        self.trace.push(RoundSample {
-            round: round.as_u64(),
-            honest_awake: honest.len(),
-            byzantine: self.schedule.byzantine(round).len(),
-            is_async,
-            delta: env_view.delta(),
-            partitioned: env_view.partitioned,
-            messages_sent: self.network.messages_sent() - messages_before,
-            messages_delivered: delivered,
-            decisions: self.decisions_observed.iter().sum::<usize>() - decisions_before,
-            max_decided_height: all_max,
-            min_decided_height: heights.iter().copied().min().unwrap_or(0),
-        });
+        // ------ narration: windows closing this round + round end (the
+        // tx ledger's inclusion bookkeeping and the round trace's sample
+        // both hang off `RoundEnd`, in observer order) ------
+        {
+            let ctx = obs_ctx!(self, round, env_view);
+            for (index, d) in self.disruptions.iter().enumerate() {
+                if d.end == round {
+                    dispatch(
+                        &mut self.observers,
+                        &ctx,
+                        &SimEvent::WindowExit {
+                            index,
+                            disruption: *d,
+                        },
+                    );
+                }
+            }
+            dispatch(
+                &mut self.observers,
+                &ctx,
+                &SimEvent::RoundEnd { round, delivered },
+            );
+        }
     }
 
-    /// Drains new decision events from every process into the monitors.
+    /// Narrates one honest delivery, when some observer asked for
+    /// per-envelope events ([`Observer::wants_delivery_events`]).
+    fn note_delivery(
+        &mut self,
+        round: Round,
+        env: EnvView,
+        receiver: ProcessId,
+        envelope: &SharedEnvelope,
+    ) {
+        if !self.wants_deliveries {
+            return;
+        }
+        let ctx = obs_ctx!(self, round, env);
+        dispatch(
+            &mut self.observers,
+            &ctx,
+            &SimEvent::EnvelopeDelivered {
+                receiver,
+                sender: envelope.payload().sender(),
+            },
+        );
+    }
+
+    /// Drains new decision events from every process into the observer
+    /// pipeline, then forwards whatever the monitors emitted (violation
+    /// events) to every observer.
     fn observe_decisions(&mut self, round: Round) {
-        let mut any = false;
+        let env = self.config.timeline.view_at(round);
         for p in ProcessId::all(self.schedule.n()) {
             // Corrupted processes' "decisions" don't count for safety —
             // the definitions quantify over well-behaved processes. The
@@ -617,109 +805,57 @@ impl Simulation {
                 self.procs[p.index()].decisions()[self.decisions_seen[p.index()]..].to_vec();
             self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
             for event in events {
-                any = true;
-                self.decisions_observed[p.index()] += 1;
-                self.safety.observe(&self.global_tree, p, event);
-                for res in &mut self.resilience {
-                    res.observe(&self.global_tree, p, event);
-                }
-                for (i, d) in self.disruptions.iter().enumerate() {
-                    if event.round > d.end && self.first_after[i].is_none() {
-                        self.first_after[i] = Some(event.round);
-                    }
-                }
-                if let Some(end) = self.last_disruption_end {
-                    if event.round > end && self.first_decision_after_async.is_none() {
-                        self.first_decision_after_async = Some(event.round);
-                    }
-                }
+                let ctx = obs_ctx!(self, round, env);
+                dispatch(
+                    &mut self.observers,
+                    &ctx,
+                    &SimEvent::DecisionObserved {
+                        process: p,
+                        decision: event,
+                    },
+                );
             }
         }
-        if any {
-            self.deciding_rounds += 1;
-        }
+        let ctx = obs_ctx!(self, round, env);
+        pump_emitted(&mut self.observers, &ctx);
     }
 
-    /// Refreshes decided-tx caches and marks txs included everywhere.
-    fn update_tx_inclusion(&mut self, round: Round) {
-        if self.txs.is_empty() {
-            return;
-        }
-        let next = round.next();
-        for p in ProcessId::all(self.schedule.n()) {
-            let proc = &self.procs[p.index()];
-            let tip = proc.decided_tip();
-            if self.decided_txs[p.index()].0 != tip {
-                let set: FastSet<TxId> = proc.tree().log_transactions(tip).into_iter().collect();
-                self.decided_txs[p.index()] = (tip, set);
-            }
-        }
-        let awake_next: Vec<ProcessId> = self.schedule.honest_awake(next).into_iter().collect();
-        if awake_next.is_empty() {
-            return;
-        }
-        for rec in self
-            .txs
-            .iter_mut()
-            .filter(|t| t.included_everywhere.is_none())
-        {
-            let everywhere = awake_next
-                .iter()
-                .all(|p| self.decided_txs[p.index()].1.contains(&rec.tx));
-            if everywhere {
-                rec.included_everywhere = Some(next);
-            }
-        }
-    }
-
-    fn finish(self) -> SimReport {
+    /// Assembles the report from the observer pipeline. Callable after
+    /// any number of steps: a full run reports exactly what
+    /// [`Simulation::run`] would; an early finish reports the rounds
+    /// executed so far. `rounds_run` is the last executed round, so it
+    /// is 0 both when only round 0 ran and when nothing ran at all —
+    /// the two are distinguished by `timeline.is_empty()` (no rounds
+    /// executed ⇒ no samples, and every end-state field reads the
+    /// initial state).
+    pub fn finish(mut self) -> SimReport {
         // Only well-behaved processes vouch for the final height — a
-        // process still Byzantine at the horizon reports whatever the
-        // adversary's tree says, and must not inflate the result (the
-        // timeline's `all_max` applies the same filter per round).
-        let horizon = Round::new(self.config.horizon);
+        // process still Byzantine at the last executed round reports
+        // whatever the adversary's tree says, and must not inflate the
+        // result (the trace's `max_decided_height` applies the same
+        // filter per round).
+        let last = Round::new(self.next.saturating_sub(1));
         let final_decided_height = ProcessId::all(self.schedule.n())
-            .filter(|&p| !self.schedule.is_byzantine(p, horizon))
+            .filter(|&p| !self.schedule.is_byzantine(p, last))
             .map(|p| {
                 let proc = &self.procs[p.index()];
                 proc.tree().height(proc.decided_tip()).unwrap_or(0)
             })
             .max()
             .unwrap_or(0);
-        let recoveries: Vec<RecoveryRecord> = self
-            .disruptions
-            .iter()
-            .zip(&self.resilience)
-            .zip(&self.first_after)
-            .map(|((d, mon), first)| RecoveryRecord {
-                kind: d.label.to_string(),
-                start: d.start,
-                end: d.end,
-                first_decision_after: *first,
-                recovery_rounds: first.map(|f| f.as_u64() - d.end.as_u64()),
-                violations: mon.violations.len(),
-            })
-            .collect();
-        SimReport {
+        let mut report = SimReport {
             adversary: self.adversary.name().to_string(),
-            rounds_run: self.config.horizon,
-            decisions_total: self.decisions_observed.iter().sum(),
-            per_process_decisions: self.decisions_observed,
-            safety_violations: self.safety.violations,
-            resilience_violations: self
-                .resilience
-                .into_iter()
-                .flat_map(|r| r.violations)
-                .collect(),
-            txs: self.txs,
+            rounds_run: last.as_u64(),
             final_decided_height,
             messages_sent: self.network.messages_sent(),
-            first_decision_after_async: self.first_decision_after_async,
-            async_window_end: self.last_disruption_end,
-            recoveries,
-            deciding_rounds: self.deciding_rounds,
-            timeline: self.trace,
+            ..SimReport::default()
+        };
+        let env = self.config.timeline.view_at(last);
+        let ctx = obs_ctx!(self, last, env);
+        for o in self.observers.iter_mut() {
+            o.finish(&ctx, &mut report);
         }
+        report
     }
 }
 
@@ -727,6 +863,20 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::adversary::{BlackoutAdversary, PartitionAttacker, SilentAdversary};
+    use crate::builder::SimBuilder;
+
+    /// Test shorthand for the builder chain the whole suite uses.
+    fn sim(
+        config: SimConfig,
+        schedule: Schedule,
+        adversary: impl Adversary + 'static,
+    ) -> Simulation {
+        SimBuilder::from_config(config)
+            .schedule(schedule)
+            .adversary(adversary)
+            .build()
+            .expect("valid test simulation")
+    }
 
     fn params(n: usize, eta: u64) -> Params {
         Params::builder(n).expiration(eta).build().unwrap()
@@ -734,10 +884,10 @@ mod tests {
 
     #[test]
     fn synchronous_full_participation_is_safe_and_live() {
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(8, 2), 1).horizon(30).txs_every(4),
             Schedule::full(8, 30),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe());
@@ -754,10 +904,10 @@ mod tests {
     fn mass_sleep_keeps_protocol_alive() {
         // 60% of processes sleep for rounds 10..=20 — the protocol keeps
         // deciding (dynamic availability).
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(10, 0), 3).horizon(40),
             Schedule::mass_sleep(10, 40, 0.6, 10, 20),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe());
@@ -776,12 +926,12 @@ mod tests {
         // the two halves diverge and decide conflicting logs (the
         // Section-1 attack).
         let n = 8;
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 0), 5)
                 .horizon(22)
                 .async_window(AsyncWindow::new(Round::new(10), 4)),
             Schedule::full(n, 22),
-            Box::new(PartitionAttacker::new()),
+            PartitionAttacker::new(),
         )
         .run();
         assert!(
@@ -798,12 +948,12 @@ mod tests {
     fn partition_attack_fails_against_expiration() {
         // Same attack, η = 6 > π = 4: Theorem 2 says safety holds.
         let n = 8;
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 6), 5)
                 .horizon(28)
                 .async_window(AsyncWindow::new(Round::new(10), 4)),
             Schedule::full(n, 28),
-            Box::new(PartitionAttacker::new()),
+            PartitionAttacker::new(),
         )
         .run();
         assert!(
@@ -813,7 +963,7 @@ mod tests {
         );
         assert!(report.is_asynchrony_resilient());
         // And it heals: decisions resume after the window.
-        assert!(report.first_decision_after_async.is_some());
+        assert!(report.recovered_after_every_window());
     }
 
     #[test]
@@ -823,12 +973,12 @@ mod tests {
         // the extended protocol with η ≤ π loses agreement.
         let n = 8;
         let eta = 3;
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, eta), 5)
                 .horizon(34)
                 .async_window(AsyncWindow::new(Round::new(10), eta + 8)),
             Schedule::full(n, 34),
-            Box::new(PartitionAttacker::with_blackout(eta + 1)),
+            PartitionAttacker::with_blackout(eta + 1),
         )
         .run();
         assert!(
@@ -844,12 +994,12 @@ mod tests {
         // decisions — the strict Definition 5 violation.
         let n = 10;
         let schedule = Schedule::full(n, 20).with_static_byzantine(3);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 0), 5)
                 .horizon(20)
                 .async_window(AsyncWindow::new(Round::new(10), 1)),
             schedule,
-            Box::new(crate::adversary::ReorgAttacker::new()),
+            crate::adversary::ReorgAttacker::new(),
         )
         .run();
         assert!(
@@ -862,12 +1012,12 @@ mod tests {
     fn reorg_attack_fails_against_expiration() {
         let n = 10;
         let schedule = Schedule::full(n, 24).with_static_byzantine(3);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 4), 5)
                 .horizon(24)
                 .async_window(AsyncWindow::new(Round::new(10), 1)),
             schedule,
-            Box::new(crate::adversary::ReorgAttacker::new()),
+            crate::adversary::ReorgAttacker::new(),
         )
         .run();
         assert!(report.is_safe());
@@ -881,17 +1031,17 @@ mod tests {
     #[test]
     fn blackout_preserves_safety_and_heals() {
         let n = 6;
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 4), 9)
                 .horizon(30)
                 .async_window(AsyncWindow::new(Round::new(9), 3)),
             Schedule::full(n, 30),
-            Box::new(BlackoutAdversary),
+            BlackoutAdversary,
         )
         .run();
         assert!(report.is_safe());
         assert!(report.is_asynchrony_resilient());
-        let lag = report.healing_lag().expect("decisions resume");
+        let lag = report.max_recovery_rounds().expect("decisions resume");
         assert!(lag <= 4, "healing took {lag} rounds");
     }
 
@@ -908,10 +1058,10 @@ mod tests {
         let p3 = ProcessId::new(3);
         let schedule =
             Schedule::full(n, horizon).with_corrupted_window(p3, Round::new(8), Round::new(20));
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 2), 13).horizon(horizon),
             schedule,
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe());
@@ -945,10 +1095,10 @@ mod tests {
                 Round::new(horizon + 1),
             );
         }
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 2), 7).horizon(horizon),
             schedule,
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(
@@ -971,11 +1121,16 @@ mod tests {
         );
     }
 
+    // The legacy positional constructor keeps its panic contract; the
+    // builder reports the same conditions as `BuildError`s (see the
+    // builder's own tests for the error path).
+
     #[test]
     #[should_panic(expected = "outside the system")]
-    fn partition_member_outside_system_panics() {
+    fn legacy_shim_panics_on_partition_member_outside_system() {
         let timeline =
             Timeline::synchronous().partition(Round::new(5), 2, vec![vec![ProcessId::new(12)]]);
+        #[allow(deprecated)]
         let _ = Simulation::new(
             SimConfig::new(params(8, 2), 1).timeline(timeline),
             Schedule::full(8, 40),
@@ -985,7 +1140,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "schedule covers")]
-    fn mismatched_schedule_panics() {
+    fn legacy_shim_panics_on_mismatched_schedule() {
+        #[allow(deprecated)]
         let _ = Simulation::new(
             SimConfig::new(params(4, 0), 1),
             Schedule::full(5, 10),
@@ -995,12 +1151,12 @@ mod tests {
 
     #[test]
     fn timeline_tracks_execution() {
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(8, 2), 1)
                 .horizon(20)
                 .async_window(AsyncWindow::new(Round::new(10), 2)),
             Schedule::mass_sleep(8, 20, 0.5, 4, 8),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         let t = &report.timeline;
@@ -1034,13 +1190,13 @@ mod tests {
         let timeline = Timeline::synchronous()
             .asynchronous(Round::new(10), 4)
             .asynchronous(Round::new(24), 4);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 6), 5)
                 .horizon(40)
                 .timeline(timeline)
                 .txs_every(4),
             Schedule::full(n, 40),
-            Box::new(PartitionAttacker::new()),
+            PartitionAttacker::new(),
         )
         .run();
         assert!(report.is_safe(), "{:?}", report.safety_violations);
@@ -1058,9 +1214,13 @@ mod tests {
         }
         assert!(report.recovered_after_every_window());
         assert!(report.max_recovery_rounds().unwrap() <= 4);
-        // The legacy singular fields describe the *last* spell.
-        assert_eq!(report.async_window_end, Some(Round::new(27)));
-        assert!(report.first_decision_after_async.unwrap() > Round::new(27));
+        // The deprecated legacy singular fields keep describing the
+        // *last* spell for old readers.
+        #[allow(deprecated)]
+        {
+            assert_eq!(report.async_window_end, Some(Round::new(27)));
+            assert!(report.first_decision_after_async.unwrap() > Round::new(27));
+        }
     }
 
     #[test]
@@ -1070,12 +1230,12 @@ mod tests {
         // the spell gets its own recovery record.
         let n = 8;
         let timeline = Timeline::synchronous().bounded_delay(Round::new(10), 8, 2);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 4), 7)
                 .horizon(34)
                 .timeline(timeline),
             Schedule::full(n, 34),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe(), "{:?}", report.safety_violations);
@@ -1098,12 +1258,12 @@ mod tests {
         let n = 8;
         let evens: Vec<ProcessId> = ProcessId::all(n).filter(|p| p.index() % 2 == 0).collect();
         let timeline = Timeline::synchronous().partition(Round::new(10), 4, vec![evens.clone()]);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 0), 5)
                 .horizon(22)
                 .timeline(timeline.clone()),
             Schedule::full(n, 22),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(
@@ -1117,12 +1277,12 @@ mod tests {
         // The same partition against η = 6 > 4: Theorem 2's mechanism
         // protects agreement, and the cross-cut backlog arrives after the
         // partition heals (messages delayed, never lost).
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 6), 5)
                 .horizon(28)
                 .timeline(timeline),
             Schedule::full(n, 28),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe(), "{:?}", report.safety_violations);
@@ -1138,12 +1298,12 @@ mod tests {
             .bounded_delay(Round::new(24), 4, 2)
             .asynchronous(Round::new(10), 3)
             .partition(Round::new(17), 3, vec![evens]);
-        let report = Simulation::new(
+        let report = sim(
             SimConfig::new(params(n, 6), 11)
                 .horizon(40)
                 .timeline(timeline),
             Schedule::full(n, 40),
-            Box::new(SilentAdversary),
+            SilentAdversary,
         )
         .run();
         assert!(report.is_safe());

@@ -16,9 +16,10 @@
 use crate::adversary::{
     Adversary, BlackoutAdversary, PartitionAttacker, ReorgAttacker, SilentAdversary,
 };
+use crate::builder::SimBuilder;
 use crate::env::Timeline;
 use crate::monitor::SimReport;
-use crate::runner::{SimConfig, Simulation};
+use crate::runner::SimConfig;
 use crate::schedule::Schedule;
 use st_types::{Params, Round};
 
@@ -160,8 +161,20 @@ impl Scenario {
         }
     }
 
-    /// Builds and runs the scenario under `seed`.
-    pub fn run(&self, seed: u64) -> SimReport {
+    /// The scenario as a pre-loaded [`SimBuilder`] — the one-line entry
+    /// point that still composes: chain further builder calls (extra
+    /// observers, a different horizon) before building.
+    ///
+    /// ```
+    /// use st_sim::scenario::Scenario;
+    /// let report = Scenario::PartitionAttackExtended
+    ///     .builder(42)
+    ///     .build()
+    ///     .expect("scenario presets are valid")
+    ///     .run();
+    /// assert!(report.is_safe());
+    /// ```
+    pub fn builder(&self, seed: u64) -> SimBuilder {
         let (params, schedule, adversary, timeline, horizon): (
             Params,
             Schedule,
@@ -237,7 +250,18 @@ impl Scenario {
         if let Some(t) = timeline {
             config = config.timeline(t);
         }
-        Simulation::new(config, schedule, adversary).run()
+        SimBuilder::from_config(config)
+            .schedule(schedule)
+            .adversary_boxed(adversary)
+    }
+
+    /// Builds and runs the scenario under `seed` (shorthand for
+    /// [`Scenario::builder`]` + build + run`).
+    pub fn run(&self, seed: u64) -> SimReport {
+        self.builder(seed)
+            .build()
+            .expect("scenario presets are valid")
+            .run()
     }
 }
 

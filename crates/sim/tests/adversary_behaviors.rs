@@ -5,7 +5,7 @@ use st_sim::adversary::{
     BlackoutAdversary, EquivocatingVoter, JunkVoter, PartitionAttacker, ReorgAttacker,
     SilentAdversary, WithholdingLeader,
 };
-use st_sim::{AsyncWindow, Schedule, SimConfig, Simulation, Timeline};
+use st_sim::{AsyncWindow, Schedule, SimBuilder, SimConfig, Timeline};
 use st_types::{Params, ProcessId, Round};
 
 fn params(n: usize, eta: u64) -> Params {
@@ -17,12 +17,10 @@ fn params(n: usize, eta: u64) -> Params {
 #[test]
 fn equivocating_voter_is_harmless_within_budget() {
     let n = 12;
-    let report = Simulation::new(
-        SimConfig::new(params(n, 4), 3).horizon(40).txs_every(4),
-        Schedule::full(n, 40).with_static_byzantine(3),
-        Box::new(EquivocatingVoter::new()),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(n, 4), 3).horizon(40).txs_every(4))
+        .schedule(Schedule::full(n, 40).with_static_byzantine(3))
+        .adversary(EquivocatingVoter::new())
+        .run();
     assert!(report.is_safe());
     assert!(
         report.final_decided_height > 12,
@@ -37,18 +35,14 @@ fn equivocating_voter_is_harmless_within_budget() {
 #[test]
 fn junk_voter_within_budget_no_effect() {
     let n = 12;
-    let clean = Simulation::new(
-        SimConfig::new(params(n, 2), 9).horizon(40),
-        Schedule::full(n, 40).with_static_byzantine(3),
-        Box::new(SilentAdversary),
-    )
-    .run();
-    let junk = Simulation::new(
-        SimConfig::new(params(n, 2), 9).horizon(40),
-        Schedule::full(n, 40).with_static_byzantine(3),
-        Box::new(JunkVoter::new()),
-    )
-    .run();
+    let clean = SimBuilder::from_config(SimConfig::new(params(n, 2), 9).horizon(40))
+        .schedule(Schedule::full(n, 40).with_static_byzantine(3))
+        .adversary(SilentAdversary)
+        .run();
+    let junk = SimBuilder::from_config(SimConfig::new(params(n, 2), 9).horizon(40))
+        .schedule(Schedule::full(n, 40).with_static_byzantine(3))
+        .adversary(JunkVoter::new())
+        .run();
     assert!(junk.is_safe());
     assert_eq!(
         clean.final_decided_height, junk.final_decided_height,
@@ -61,12 +55,10 @@ fn junk_voter_within_budget_no_effect() {
 #[test]
 fn withholding_leader_is_liveness_only() {
     let n = 12;
-    let report = Simulation::new(
-        SimConfig::new(params(n, 2), 11).horizon(60).txs_every(4),
-        Schedule::full(n, 60).with_static_byzantine(4),
-        Box::new(WithholdingLeader::new()),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(n, 2), 11).horizon(60).txs_every(4))
+        .schedule(Schedule::full(n, 60).with_static_byzantine(4))
+        .adversary(WithholdingLeader::new())
+        .run();
     assert!(report.is_safe());
     assert!(report.tx_inclusion_rate() > 0.8);
 }
@@ -81,12 +73,10 @@ fn growing_adversary_within_budget_is_safe() {
         .with_corrupted(ProcessId::new(9), Round::new(10))
         .with_corrupted(ProcessId::new(10), Round::new(20))
         .with_corrupted(ProcessId::new(11), Round::new(30));
-    let report = Simulation::new(
-        SimConfig::new(params(n, 4), 13).horizon(50).txs_every(4),
-        schedule,
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(n, 4), 13).horizon(50).txs_every(4))
+        .schedule(schedule)
+        .adversary(SilentAdversary)
+        .run();
     assert!(report.is_safe());
     assert!(report.final_decided_height > 15);
 }
@@ -101,13 +91,13 @@ fn reorg_with_growing_corruption_still_fails_for_small_pi() {
         // A fourth process falls at the window edge; Eq. 4 still holds
         // (12 of 16 survivors > 2/3).
         .with_corrupted(ProcessId::new(12), Round::new(14));
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(n, 5), 3)
             .horizon(44)
             .async_window(AsyncWindow::new(Round::new(14), 2)),
-        schedule,
-        Box::new(ReorgAttacker::new()),
     )
+    .schedule(schedule)
+    .adversary(ReorgAttacker::new())
     .run();
     assert!(
         report.is_asynchrony_resilient(),
@@ -130,14 +120,14 @@ fn blackout_then_mass_sleep_is_safe() {
         }
     }
     let schedule = Schedule::custom(awake);
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(n, 5), 21)
             .horizon(50)
             .async_window(AsyncWindow::new(Round::new(12), 3))
             .txs_every(5),
-        schedule,
-        Box::new(BlackoutAdversary),
     )
+    .schedule(schedule)
+    .adversary(BlackoutAdversary)
     .run();
     assert!(report.is_safe());
     assert!(report.is_asynchrony_resilient());
@@ -149,12 +139,10 @@ fn blackout_then_mass_sleep_is_safe() {
 #[test]
 fn partition_attacker_powerless_under_synchrony() {
     let n = 8;
-    let report = Simulation::new(
-        SimConfig::new(params(n, 0), 5).horizon(30).txs_every(4),
-        Schedule::full(n, 30),
-        Box::new(PartitionAttacker::new()),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(n, 0), 5).horizon(30).txs_every(4))
+        .schedule(Schedule::full(n, 30))
+        .adversary(PartitionAttacker::new())
+        .run();
     assert!(report.is_safe());
     assert!(report.tx_inclusion_rate() > 0.8);
 }
@@ -174,13 +162,13 @@ fn partition_blackout_rearms_on_second_window() {
     let timeline = Timeline::synchronous()
         .asynchronous(w1, b + 4)
         .asynchronous(w2, b + 4);
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(n, 0), 5)
             .horizon(40)
             .timeline(timeline),
-        Schedule::full(n, 40),
-        Box::new(PartitionAttacker::with_blackout(b)),
     )
+    .schedule(Schedule::full(n, 40))
+    .adversary(PartitionAttacker::with_blackout(b))
     .run();
     // The attack lands in window 1 (sanity: the strategy works at all).
     assert!(!report.safety_violations.is_empty());
@@ -232,13 +220,13 @@ fn reorg_blackout_rearms_on_second_window() {
     let timeline = Timeline::synchronous()
         .asynchronous(w1, b + 2)
         .asynchronous(w2, b + 2);
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(n, 0), 5)
             .horizon(36)
             .timeline(timeline),
-        Schedule::full(n, 36).with_static_byzantine(3),
-        Box::new(ReorgAttacker::with_blackout(b)),
     )
+    .schedule(Schedule::full(n, 36).with_static_byzantine(3))
+    .adversary(ReorgAttacker::with_blackout(b))
     .run();
     // Sanity: the reorg lands (vanilla MMR, f = 3 ≥ 3).
     assert!(!report.resilience_violations.is_empty());
@@ -271,13 +259,13 @@ fn reorg_blackout_rearms_on_second_window() {
 #[test]
 fn adversarial_runs_are_deterministic() {
     let run = || {
-        Simulation::new(
+        SimBuilder::from_config(
             SimConfig::new(params(10, 0), 77)
                 .horizon(26)
                 .async_window(AsyncWindow::new(Round::new(10), 4)),
-            Schedule::full(10, 26),
-            Box::new(PartitionAttacker::new()),
         )
+        .schedule(Schedule::full(10, 26))
+        .adversary(PartitionAttacker::new())
         .run()
     };
     let a = run();

@@ -13,7 +13,7 @@ use st_sim::adversary::{
     Adversary, BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker,
     SilentAdversary,
 };
-use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimConfig, Simulation, Timeline};
+use st_sim::{AsyncWindow, ChurnOptions, Schedule, SimBuilder, SimConfig, Simulation, Timeline};
 use st_types::{Params, ProcessId, Round};
 
 fn params(n: usize, eta: u64) -> Params {
@@ -55,13 +55,14 @@ fn assert_equivalent(adv: &str, sched: &str, n: usize, eta: u64, pi: Option<u64>
     if let Some(pi) = pi {
         config = config.async_window(AsyncWindow::new(Round::new(10), pi));
     }
-    let fast = Simulation::new(config.clone(), schedule(sched, n, horizon), adversary(adv)).run();
-    let naive = Simulation::new(
-        config.naive_delivery(),
-        schedule(sched, n, horizon),
-        adversary(adv),
-    )
-    .run();
+    let fast = SimBuilder::from_config(config.clone())
+        .schedule(schedule(sched, n, horizon))
+        .adversary_boxed(adversary(adv))
+        .run();
+    let naive = SimBuilder::from_config(config.naive_delivery())
+        .schedule(schedule(sched, n, horizon))
+        .adversary_boxed(adversary(adv))
+        .run();
     let fast_json = serde_json::to_string(&fast).expect("serialise fast report");
     let naive_json = serde_json::to_string(&naive).expect("serialise naive report");
     assert_eq!(
@@ -110,13 +111,14 @@ fn assert_equivalent_timeline(adv: &str, sched: &str, n: usize, eta: u64, t: &Ti
         .horizon(horizon)
         .txs_every(4)
         .timeline(t.clone());
-    let fast = Simulation::new(config.clone(), schedule(sched, n, horizon), adversary(adv)).run();
-    let naive = Simulation::new(
-        config.naive_delivery(),
-        schedule(sched, n, horizon),
-        adversary(adv),
-    )
-    .run();
+    let fast = SimBuilder::from_config(config.clone())
+        .schedule(schedule(sched, n, horizon))
+        .adversary_boxed(adversary(adv))
+        .run();
+    let naive = SimBuilder::from_config(config.naive_delivery())
+        .schedule(schedule(sched, n, horizon))
+        .adversary_boxed(adversary(adv))
+        .run();
     let fast_json = serde_json::to_string(&fast).expect("serialise fast report");
     let naive_json = serde_json::to_string(&naive).expect("serialise naive report");
     assert_eq!(
@@ -169,8 +171,14 @@ fn single_async_segment_timeline_matches_legacy_async_window() {
             .horizon(horizon)
             .txs_every(4)
             .timeline(Timeline::synchronous().asynchronous(Round::new(10), pi));
-        let a = Simulation::new(legacy, schedule("full", 10, horizon), adversary(adv)).run();
-        let b = Simulation::new(timeline, schedule("full", 10, horizon), adversary(adv)).run();
+        let a = SimBuilder::from_config(legacy)
+            .schedule(schedule("full", 10, horizon))
+            .adversary_boxed(adversary(adv))
+            .run();
+        let b = SimBuilder::from_config(timeline)
+            .schedule(schedule("full", 10, horizon))
+            .adversary_boxed(adversary(adv))
+            .run();
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap(),
@@ -189,12 +197,153 @@ fn all_synchronous_timeline_matches_seed_sync_run() {
             .horizon(horizon)
             .txs_every(4);
         let explicit = seed_cfg.clone().timeline(Timeline::synchronous());
-        let a = Simulation::new(seed_cfg, schedule(sched, 10, horizon), adversary("silent")).run();
-        let b = Simulation::new(explicit, schedule(sched, 10, horizon), adversary("silent")).run();
+        let a = SimBuilder::from_config(seed_cfg)
+            .schedule(schedule(sched, 10, horizon))
+            .adversary_boxed(adversary("silent"))
+            .run();
+        let b = SimBuilder::from_config(explicit)
+            .schedule(schedule(sched, 10, horizon))
+            .adversary_boxed(adversary("silent"))
+            .run();
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap(),
             "explicit synchronous timeline diverged from the default ({sched})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// API-redesign guards: the event-driven runner must not change a byte.
+// ---------------------------------------------------------------------------
+
+/// A user observer that counts everything it sees (including per-envelope
+/// delivery events, which force the runner off the closure-based delivery
+/// fast path and onto the event-generating one).
+#[derive(Default)]
+struct CountingProbe {
+    events: usize,
+    deliveries: usize,
+}
+
+impl st_sim::Observer for CountingProbe {
+    fn name(&self) -> &str {
+        "counting-probe"
+    }
+
+    fn wants_delivery_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, _ctx: &st_sim::ObsCtx<'_>, event: &st_sim::SimEvent) {
+        self.events += 1;
+        if matches!(event, st_sim::SimEvent::EnvelopeDelivered { .. }) {
+            self.deliveries += 1;
+        }
+    }
+}
+
+/// The grid the new-API guards run over: a representative slice of the
+/// (adversary × schedule × η × timeline) space.
+fn guard_grid() -> Vec<(&'static str, &'static str, u64, Option<Timeline>, u64)> {
+    let multi = Timeline::synchronous()
+        .asynchronous(Round::new(10), 3)
+        .asynchronous(Round::new(20), 3);
+    let bounded = Timeline::synchronous().bounded_delay(Round::new(8), 8, 2);
+    vec![
+        ("silent", "full", 2, None, 51),
+        ("silent", "churn", 2, None, 52),
+        ("partition", "full", 0, Some(multi.clone()), 53),
+        ("partition", "full", 6, Some(multi), 54),
+        ("blackout", "mass-sleep", 4, Some(bounded.clone()), 55),
+        ("reorg", "static-byz", 4, Some(bounded), 56),
+        ("equivocator", "byz-window", 2, None, 57),
+    ]
+}
+
+fn guard_config(eta: u64, t: &Option<Timeline>, seed: u64) -> SimConfig {
+    let mut config = SimConfig::new(params(10, eta), seed)
+        .horizon(28)
+        .txs_every(4);
+    if let Some(t) = t {
+        config = config.timeline(t.clone());
+    }
+    config
+}
+
+/// **Step-vs-run equivalence**: driving the simulation with an arbitrary
+/// mix of `step()` / `run_until()` calls, then `finish()`, must produce a
+/// report byte-identical to the one-shot `run()`.
+#[test]
+fn stepped_run_is_byte_identical_to_one_shot_run() {
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        let config = guard_config(eta, &t, seed);
+        let one_shot = SimBuilder::from_config(config.clone())
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        let mut stepped = SimBuilder::from_config(config)
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .build()
+            .expect("valid sim");
+        stepped.step();
+        stepped.run_until(Round::new(9));
+        stepped.step();
+        stepped.run_until(Round::new(7)); // no-op: already past
+        stepped.run_until(Round::new(21));
+        while stepped.step().is_some() {}
+        assert!(stepped.is_done());
+        let stepped = stepped.finish();
+        assert_eq!(
+            serde_json::to_string(&one_shot).unwrap(),
+            serde_json::to_string(&stepped).unwrap(),
+            "step()/run_until() diverged from run() for adversary={adv} schedule={sched} eta={eta}"
+        );
+    }
+}
+
+/// **Observer-vs-seed equivalence**: registering a user observer — even
+/// one that opts into per-envelope delivery events, forcing the
+/// event-generating delivery path — must not change a single report byte
+/// relative to the observer-less run (the seed behaviour).
+#[test]
+fn user_observers_do_not_change_the_report() {
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        let config = guard_config(eta, &t, seed);
+        let bare = SimBuilder::from_config(config.clone())
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        let observed = SimBuilder::from_config(config)
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .observer(CountingProbe::default())
+            .run();
+        assert_eq!(
+            serde_json::to_string(&bare).unwrap(),
+            serde_json::to_string(&observed).unwrap(),
+            "a passive user observer changed the report for adversary={adv} schedule={sched} eta={eta}"
+        );
+    }
+}
+
+/// **Builder-vs-legacy-shim equivalence**: the deprecated positional
+/// constructor and the builder assemble the same simulation.
+#[test]
+fn builder_matches_legacy_constructor() {
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        let config = guard_config(eta, &t, seed);
+        #[allow(deprecated)]
+        let legacy = Simulation::new(config.clone(), schedule(sched, 10, 28), adversary(adv)).run();
+        let built = SimBuilder::from_config(config)
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&built).unwrap(),
+            "SimBuilder diverged from Simulation::new for adversary={adv} schedule={sched} eta={eta}"
         );
     }
 }

@@ -17,10 +17,11 @@
 //! victim's window still contains the other processes' unexpired votes
 //! and the eclipse starves.
 
+// The prelude carries the whole driving surface — including the
+// `Adversary` trait, its context and message types — so a custom
+// strategy needs no `sleepy_tob::sim::...` deep paths.
 use sleepy_tob::blocktree::Block;
 use sleepy_tob::prelude::*;
-use sleepy_tob::sim::adversary::{Adversary, AdversaryCtx, TargetedMessage};
-use sleepy_tob::sim::{Recipients, SentMessage};
 
 /// Eclipses `victim` during asynchrony and feeds it alternating votes for
 /// two conflicting blocks.
@@ -58,14 +59,7 @@ impl Adversary for FlipFlopEclipse {
             let b = Block::build(BlockId::GENESIS, view, leader, vec![TxId::new(1_000_002)]);
             let (value, proof) = kp_leader.vrf_eval(view.as_u64());
             for block in [&a, &b] {
-                let prop = sleepy_tob::messages::Propose::new(
-                    leader,
-                    ctx.round,
-                    view,
-                    block.clone(),
-                    value,
-                    proof,
-                );
+                let prop = Propose::new(leader, ctx.round, view, block.clone(), value, proof);
                 out.push(TargetedMessage {
                     envelope: Envelope::sign(kp_leader, Payload::Propose(prop)),
                     recipients: Recipients::Only(vec![self.victim]),
@@ -122,13 +116,15 @@ fn run(eta: u64) -> SimReport {
     let horizon = 40;
     let schedule = Schedule::full(n, horizon).with_static_byzantine(3);
     let params = Params::builder(n).expiration(eta).build().expect("valid");
-    Simulation::new(
+    SimBuilder::from_config(
         SimConfig::new(params, 99)
             .horizon(horizon)
             .async_window(AsyncWindow::new(Round::new(14), 3)),
-        schedule,
-        Box::new(FlipFlopEclipse::new(ProcessId::new(0))),
     )
+    .schedule(schedule)
+    .adversary(FlipFlopEclipse::new(ProcessId::new(0)))
+    .build()
+    .expect("valid simulation")
     .run()
 }
 

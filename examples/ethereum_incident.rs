@@ -28,12 +28,12 @@ fn run_sleepy(eta: u64, schedule: &Schedule) -> SimReport {
         .churn_rate(0.0)
         .build()
         .expect("valid parameters");
-    Simulation::new(
-        SimConfig::new(params, 0xE7B).horizon(HORIZON).txs_every(4),
-        schedule.clone(),
-        Box::new(SilentAdversary),
-    )
-    .run()
+    SimBuilder::from_config(SimConfig::new(params, 0xE7B).horizon(HORIZON).txs_every(4))
+        .schedule(schedule.clone())
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run()
 }
 
 fn main() {

@@ -76,21 +76,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         conditions.eq4_violations.is_empty() && conditions.eq5_holds,
     );
 
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params, 7)
             .horizon(horizon)
             .async_window(window)
             .txs_every(4),
-        schedule,
-        Box::new(BlackoutAdversary), // worst blip: nothing is delivered
     )
+    .schedule(schedule)
+    .adversary(BlackoutAdversary) // worst blip: nothing is delivered
     .run();
     println!(
         "simulated blip: safe = {}, resilient = {}, healed after {} rounds, \
          tx inclusion {:.0}%",
         report.is_safe(),
         report.is_asynchrony_resilient(),
-        report.healing_lag().map_or("—".into(), |l| l.to_string()),
+        report
+            .max_recovery_rounds()
+            .map_or("—".into(), |l| l.to_string()),
         report.tx_inclusion_rate() * 100.0,
     );
 

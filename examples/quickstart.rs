@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .async_window(AsyncWindow::new(Round::new(10), 3))
         .txs_every(4);
     let schedule = Schedule::full(10, horizon);
-    let report = Simulation::new(config, schedule, Box::new(PartitionAttacker::new())).run();
+    let report = SimBuilder::from_config(config)
+        .schedule(schedule)
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation")
+        .run();
 
     // 3. Inspect the outcome.
     println!("\n--- outcome ---");
@@ -53,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "healing lag          : {} rounds after the window",
-        report.healing_lag().map_or("—".into(), |l| l.to_string()),
+        report
+            .max_recovery_rounds()
+            .map_or("—".into(), |l| l.to_string()),
     );
     println!(
         "tx inclusion         : {:.0}% (mean latency {} rounds)",

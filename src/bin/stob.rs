@@ -137,7 +137,10 @@ fn cmd_run(args: &Args) -> ExitCode {
         config = config.async_window(AsyncWindow::new(Round::new(at), pi));
     }
 
-    let report = Simulation::new(config, schedule, adversary).run();
+    let report = SimBuilder::from_config(config)
+        .schedule(schedule)
+        .adversary_boxed(adversary)
+        .run();
     println!("adversary            : {}", report.adversary);
     println!("rounds               : 0..={}", report.rounds_run);
     println!("decision events      : {}", report.decisions_total);
@@ -148,11 +151,11 @@ fn cmd_run(args: &Args) -> ExitCode {
         "D_ra conflicts       : {}",
         report.resilience_violations.len()
     );
-    if report.async_window_end.is_some() {
+    if !report.recoveries.is_empty() {
         println!(
-            "healing lag          : {}",
+            "worst healing lag    : {}",
             report
-                .healing_lag()
+                .max_recovery_rounds()
                 .map_or("—".into(), |l| format!("{l} rounds")),
         );
     }
@@ -178,13 +181,15 @@ fn cmd_attack(args: &Args) -> ExitCode {
         let n = 12;
         let horizon = 32;
         let params = Params::builder(n).expiration(eta).build().expect("valid");
-        let report = Simulation::new(
+        let report = SimBuilder::from_config(
             SimConfig::new(params, 5)
                 .horizon(horizon)
                 .async_window(AsyncWindow::new(Round::new(12), 4)),
-            Schedule::full(n, horizon),
-            Box::new(PartitionAttacker::new()),
         )
+        .schedule(Schedule::full(n, horizon))
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation")
         .run();
         println!(
             "η = {eta:<2} → agreement violations: {:<4} (π = 4 {} η)",

@@ -39,32 +39,39 @@
 //!     .build()?;
 //! assert!(params.is_asynchrony_resilient());
 //!
-//! // Run it through a 2-round network partition: safety holds.
-//! let report = Simulation::new(
-//!     SimConfig::new(params, 42)
-//!         .horizon(30)
-//!         .async_window(AsyncWindow::new(Round::new(10), 2)),
-//!     Schedule::full(10, 30),
-//!     Box::new(PartitionAttacker::new()),
-//! )
-//! .run();
+//! // Run it through a 2-round network partition: safety holds. The
+//! // builder chain is the driving API — schedule defaults to full
+//! // participation, the adversary is typed (no Box).
+//! let report = SimBuilder::new(params, 42)
+//!     .horizon(30)
+//!     .async_window(AsyncWindow::new(Round::new(10), 2))
+//!     .adversary(PartitionAttacker::new())
+//!     .build()?
+//!     .run();
 //! assert!(report.is_safe());
 //!
 //! // The paper's claim is recovery after *every* spell: a two-spell
 //! // timeline yields one recovery record per window.
-//! let report = Simulation::new(
-//!     SimConfig::new(params, 42).horizon(40).timeline(
+//! let report = SimBuilder::new(params, 42)
+//!     .horizon(40)
+//!     .timeline(
 //!         Timeline::synchronous()
 //!             .asynchronous(Round::new(10), 2)
 //!             .asynchronous(Round::new(24), 2),
-//!     ),
-//!     Schedule::full(10, 40),
-//!     Box::new(PartitionAttacker::new()),
-//! )
-//! .run();
+//!     )
+//!     .adversary(PartitionAttacker::new())
+//!     .build()?
+//!     .run();
 //! assert!(report.is_safe());
 //! assert_eq!(report.recoveries.len(), 2);
 //! assert!(report.recovered_after_every_window());
+//!
+//! // Execution is steppable: pause mid-run, inspect, intervene, resume.
+//! let mut sim = SimBuilder::new(params, 42).horizon(20).build()?;
+//! sim.run_until(Round::new(10));
+//! assert_eq!(sim.next_round(), Some(Round::new(11)));
+//! let report = sim.finish(); // or keep stepping to the horizon
+//! assert!(report.is_safe());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -82,6 +89,17 @@ pub use st_sim as sim;
 pub use st_types as types;
 
 /// One-stop imports for the common API surface.
+///
+/// Everything a simulation driver touches is here: the
+/// [`SimBuilder`](st_sim::SimBuilder) chain (schedule, timeline, typed
+/// adversary, observers), the stepping surface on
+/// [`Simulation`](st_sim::Simulation), the
+/// [`Observer`](st_sim::Observer)/[`SimEvent`](st_sim::SimEvent) hooks,
+/// the [`Sweep`](st_sim::Sweep) grid driver, the
+/// [`Scenario`](st_sim::scenario::Scenario) presets, and the report /
+/// trace types they produce — plus the
+/// [`Adversary`](st_sim::Adversary) trait itself with its context and
+/// message types, so a custom strategy compiles from the prelude alone.
 pub mod prelude {
     pub use st_analysis::{beta_tilde, beta_tilde_two_thirds, check_conditions};
     pub use st_blocktree::{Block, BlockTree};
@@ -92,9 +110,12 @@ pub mod prelude {
         BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker, SilentAdversary,
     };
     pub use st_sim::baseline::StaticQuorumBft;
+    pub use st_sim::scenario::{alternating, gst, Scenario};
     pub use st_sim::{
-        AsyncWindow, RecoveryRecord, Schedule, SegmentKind, SimConfig, SimReport, Simulation,
-        Timeline,
+        Adversary, AdversaryCtx, AsyncWindow, BuildError, EnvView, ObsCtx, Observer, Recipients,
+        RecoveryRecord, RoundSample, RoundTrace, SafetyViolation, Schedule, SegmentKind,
+        SentMessage, SimBuilder, SimConfig, SimEvent, SimReport, Simulation, Sweep, SweepReports,
+        TargetedMessage, Timeline, TxRecord, ViolationKind,
     };
     pub use st_types::{BlockId, Grade, Params, ProcessId, Round, RoundKind, TxId, View};
 }

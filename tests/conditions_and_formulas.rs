@@ -38,12 +38,13 @@ fn certified_schedules_behave() {
             .churn_rate(gamma)
             .build()
             .unwrap();
-        let sim = Simulation::new(
-            SimConfig::new(params, seed).horizon(horizon).txs_every(5),
-            schedule,
-            Box::new(EquivocatingVoter::new()),
-        )
-        .run();
+        let sim =
+            SimBuilder::from_config(SimConfig::new(params, seed).horizon(horizon).txs_every(5))
+                .schedule(schedule)
+                .adversary(EquivocatingVoter::new())
+                .build()
+                .expect("valid simulation")
+                .run();
         assert!(
             sim.is_safe(),
             "certified schedule (seed {seed}) broke safety"
@@ -96,12 +97,13 @@ fn eq4_verdict_predicts_attack_outcome() {
             "checker verdict unexpected for {extra_corruptions} corruptions"
         );
         let params = Params::builder(n).expiration(eta).build().unwrap();
-        let report = Simulation::new(
-            SimConfig::new(params, 3).horizon(50).async_window(window),
-            schedule,
-            Box::new(ReorgAttacker::new()),
-        )
-        .run();
+        let report =
+            SimBuilder::from_config(SimConfig::new(params, 3).horizon(50).async_window(window))
+                .schedule(schedule)
+                .adversary(ReorgAttacker::new())
+                .build()
+                .expect("valid simulation")
+                .run();
         assert_eq!(
             report.resilience_violations.is_empty(),
             should_hold,

@@ -40,12 +40,12 @@ fn manual_run() -> Vec<TobProcess> {
 
 #[test]
 fn engine_matches_manual_driver() {
-    let report = Simulation::new(
-        SimConfig::new(params(), SEED).horizon(HORIZON),
-        Schedule::full(N, HORIZON),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(), SEED).horizon(HORIZON))
+        .schedule(Schedule::full(N, HORIZON))
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     let manual = manual_run();
 
     // Same decision count per process, same final decided height.
@@ -82,12 +82,12 @@ fn engine_matches_manual_driver() {
 
 #[test]
 fn engine_message_count_matches_manual() {
-    let report = Simulation::new(
-        SimConfig::new(params(), SEED).horizon(HORIZON),
-        Schedule::full(N, HORIZON),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(), SEED).horizon(HORIZON))
+        .schedule(Schedule::full(N, HORIZON))
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     // Manual count: every process sends 1 proposal at round 0; 1 vote per
     // odd round; 1 vote + 1 proposal per even round ≥ 2.
     let mut expected = N; // round 0

@@ -27,12 +27,12 @@ fn four_hundred_rounds_with_churn() {
         },
     )
     .with_static_byzantine(2);
-    let report = Simulation::new(
-        SimConfig::new(params, 4).horizon(horizon).txs_every(6),
-        schedule,
-        Box::new(EquivocatingVoter::new()),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params, 4).horizon(horizon).txs_every(6))
+        .schedule(schedule)
+        .adversary(EquivocatingVoter::new())
+        .build()
+        .expect("valid simulation")
+        .run();
 
     assert!(report.is_safe());
     // Linear chain growth: ≈ 1 block per view throughout, not just early.
@@ -71,20 +71,22 @@ fn sequential_disturbances_via_chained_runs() {
     for (round_start, pi) in [(12u64, 2u64), (18, 3), (20, 1)] {
         let horizon = round_start + pi + 16;
         let params = Params::builder(n).expiration(eta).build().unwrap();
-        let report = Simulation::new(
+        let report = SimBuilder::from_config(
             SimConfig::new(params, round_start ^ pi) // distinct seeds
                 .horizon(horizon)
                 .async_window(AsyncWindow::new(Round::new(round_start), pi))
                 .txs_every(4),
-            Schedule::full(n, horizon),
-            Box::new(PartitionAttacker::new()),
         )
+        .schedule(Schedule::full(n, horizon))
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation")
         .run();
         assert!(
             report.is_safe(),
             "window at {round_start}×{pi} broke safety"
         );
         assert!(report.is_asynchrony_resilient());
-        assert!(report.healing_lag().unwrap_or(99) <= 2);
+        assert!(report.max_recovery_rounds().unwrap_or(99) <= 2);
     }
 }

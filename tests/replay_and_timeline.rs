@@ -65,12 +65,12 @@ fn chain_grows_during_incident() {
     let n = 20;
     let horizon = 80u64;
     let params = Params::builder(n).build().unwrap();
-    let report = Simulation::new(
-        SimConfig::new(params, 3).horizon(horizon),
-        Schedule::mass_sleep(n, horizon, 0.6, 20, 60),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params, 3).horizon(horizon))
+        .schedule(Schedule::mass_sleep(n, horizon, 0.6, 20, 60))
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     let t = &report.timeline;
     let during = t.growth_in(Round::new(20), Round::new(60));
     let before = t.growth_in(Round::new(0), Round::new(20));
@@ -93,13 +93,15 @@ fn timeline_divergence_indicator() {
         let n = 8;
         let horizon = 28u64;
         let params = Params::builder(n).expiration(eta).build().unwrap();
-        Simulation::new(
+        SimBuilder::from_config(
             SimConfig::new(params, 5)
                 .horizon(horizon)
                 .async_window(AsyncWindow::new(Round::new(10), 4)),
-            Schedule::full(n, horizon),
-            Box::new(PartitionAttacker::new()),
         )
+        .schedule(Schedule::full(n, horizon))
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation")
         .run()
     };
     let vanilla = run(0);

@@ -21,11 +21,13 @@ fn theorem1_safety_and_liveness_under_synchrony() {
         ("oscillating", Schedule::oscillating(12, 50, 0.7, 10)),
     ] {
         for eta in [0u64, 4] {
-            let report = Simulation::new(
+            let report = SimBuilder::from_config(
                 SimConfig::new(params(12, eta), 31).horizon(50).txs_every(5),
-                schedule.clone(),
-                Box::new(SilentAdversary),
             )
+            .schedule(schedule.clone())
+            .adversary(SilentAdversary)
+            .build()
+            .expect("valid simulation")
             .run();
             assert!(report.is_safe(), "{label}/η={eta}: agreement broken");
             assert!(
@@ -58,13 +60,13 @@ fn theorem2_resilience_for_pi_less_than_eta() {
             let name = adversary.name();
             let horizon = 20 + pi + 14;
             let schedule = Schedule::full(12, horizon).with_static_byzantine(byz);
-            let report = Simulation::new(
+            let report = SimBuilder::from_config(
                 SimConfig::new(params(12, eta), 17)
                     .horizon(horizon)
                     .async_window(AsyncWindow::new(Round::new(14), pi)),
-                schedule,
-                adversary,
             )
+            .schedule(schedule)
+            .adversary_boxed(adversary)
             .run();
             assert!(
                 report.is_safe() && report.is_asynchrony_resilient(),
@@ -82,26 +84,30 @@ fn theorem2_bound_is_meaningful() {
     let pi = eta + 8;
     let horizon = 14 + pi + 16;
     // Partition flavour: agreement breaks.
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(12, eta), 23)
             .horizon(horizon)
             .async_window(AsyncWindow::new(Round::new(14), pi)),
-        Schedule::full(12, horizon),
-        Box::new(PartitionAttacker::with_blackout(eta + 1)),
     )
+    .schedule(Schedule::full(12, horizon))
+    .adversary(PartitionAttacker::with_blackout(eta + 1))
+    .build()
+    .expect("valid simulation")
     .run();
     assert!(
         !report.safety_violations.is_empty(),
         "partition attack should succeed at π ≫ η"
     );
     // Reorg flavour: D_ra is reverted.
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(12, eta), 23)
             .horizon(horizon)
             .async_window(AsyncWindow::new(Round::new(14), pi)),
-        Schedule::full(12, horizon).with_static_byzantine(3),
-        Box::new(ReorgAttacker::with_blackout(eta + 1)),
     )
+    .schedule(Schedule::full(12, horizon).with_static_byzantine(3))
+    .adversary(ReorgAttacker::with_blackout(eta + 1))
+    .build()
+    .expect("valid simulation")
     .run();
     assert!(
         !report.resilience_violations.is_empty(),
@@ -115,17 +121,19 @@ fn theorem2_bound_is_meaningful() {
 fn theorem3_healing() {
     for pi in [1u64, 2, 3] {
         let horizon = 16 + pi + 20;
-        let report = Simulation::new(
+        let report = SimBuilder::from_config(
             SimConfig::new(params(10, 4), 5)
                 .horizon(horizon)
                 .async_window(AsyncWindow::new(Round::new(16), pi))
                 .txs_every(4),
-            Schedule::full(10, horizon),
-            Box::new(BlackoutAdversary),
         )
+        .schedule(Schedule::full(10, horizon))
+        .adversary(BlackoutAdversary)
+        .build()
+        .expect("valid simulation")
         .run();
         let lag = report
-            .healing_lag()
+            .max_recovery_rounds()
             .expect("decisions resume after the window");
         assert!(lag <= 2, "healing took {lag} rounds (π={pi})");
         assert!(report.is_safe());
@@ -150,13 +158,15 @@ fn theorem3_healing() {
 #[test]
 fn vanilla_mmr_breaks_in_one_async_round() {
     let horizon = 30;
-    let report = Simulation::new(
+    let report = SimBuilder::from_config(
         SimConfig::new(params(10, 0), 5)
             .horizon(horizon)
             .async_window(AsyncWindow::new(Round::new(12), 1)),
-        Schedule::full(10, horizon).with_static_byzantine(3),
-        Box::new(ReorgAttacker::new()),
     )
+    .schedule(Schedule::full(10, horizon).with_static_byzantine(3))
+    .adversary(ReorgAttacker::new())
+    .build()
+    .expect("valid simulation")
     .run();
     assert!(!report.resilience_violations.is_empty());
 }
@@ -168,12 +178,12 @@ fn dynamic_availability_at_99_percent_offline() {
     let n = 100;
     let horizon = 60u64;
     let schedule = Schedule::mass_sleep(n, horizon, 0.99, 16, 44);
-    let report = Simulation::new(
-        SimConfig::new(params(n, 0), 9).horizon(horizon),
-        schedule.clone(),
-        Box::new(SilentAdversary),
-    )
-    .run();
+    let report = SimBuilder::from_config(SimConfig::new(params(n, 0), 9).horizon(horizon))
+        .schedule(schedule.clone())
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation")
+        .run();
     assert!(report.is_safe());
     assert!(
         report.final_decided_height > 20,
@@ -190,12 +200,12 @@ fn dynamic_availability_at_99_percent_offline() {
 #[test]
 fn extended_matches_vanilla_under_synchrony() {
     let run = |eta: u64| {
-        Simulation::new(
-            SimConfig::new(params(8, eta), 77).horizon(40).txs_every(4),
-            Schedule::full(8, 40),
-            Box::new(SilentAdversary),
-        )
-        .run()
+        SimBuilder::from_config(SimConfig::new(params(8, eta), 77).horizon(40).txs_every(4))
+            .schedule(Schedule::full(8, 40))
+            .adversary(SilentAdversary)
+            .build()
+            .expect("valid simulation")
+            .run()
     };
     let vanilla = run(0);
     let extended = run(6);
@@ -212,14 +222,16 @@ fn extended_matches_vanilla_under_synchrony() {
 #[test]
 fn determinism_across_runs() {
     let run = || {
-        Simulation::new(
+        SimBuilder::from_config(
             SimConfig::new(params(10, 4), 1234)
                 .horizon(36)
                 .async_window(AsyncWindow::new(Round::new(10), 3))
                 .txs_every(3),
-            Schedule::oscillating(10, 36, 0.6, 8),
-            Box::new(PartitionAttacker::new()),
         )
+        .schedule(Schedule::oscillating(10, 36, 0.6, 8))
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation")
         .run()
     };
     let a = run();
