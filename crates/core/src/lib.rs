@@ -28,6 +28,14 @@
 //! same protocol code testable under lock-step simulation, adversarial
 //! delivery, and property-based exploration.
 //!
+//! That driving surface is itself a trait: [`Protocol`] (see the
+//! [`protocol`] module) captures construction, tx submission, receive,
+//! send, and the decision/ledger views, so simulators generic over it can
+//! drive *any* implementor. [`TobProcess`] is the canonical one;
+//! [`QuorumProcess`] is the classic fixed-quorum BFT baseline the paper
+//! compares against, runnable under the same harness for head-to-head
+//! experiments.
+//!
 //! # Example: three processes, one synchronous view cycle
 //!
 //! ```
@@ -63,9 +71,13 @@ mod checkpoint;
 mod config;
 mod decision;
 mod process;
+pub mod protocol;
+mod quorum;
 
 pub use buffer::BlockBuffer;
 pub use checkpoint::Checkpoint;
 pub use config::TobConfig;
 pub use decision::DecisionEvent;
 pub use process::TobProcess;
+pub use protocol::Protocol;
+pub use quorum::QuorumProcess;

@@ -1,0 +1,449 @@
+//! A classic fixed-quorum BFT baseline, as a message-passing
+//! [`Protocol`] implementor.
+//!
+//! The introduction motivates dynamic availability with the observation
+//! that "traditional BFT protocols (synchronous or partially synchronous)
+//! get stuck when participation drops below their fixed (usually 1/2 or
+//! 2/3) quorum threshold". [`QuorumProcess`] is that comparator, runnable
+//! under the *same* simulator — network pool, participation schedules,
+//! environment timeline, adversarial delivery — as the sleepy protocol,
+//! so experiment B1 and the head-to-head sweeps compare executions, not
+//! an execution against a formula.
+//!
+//! The protocol is deliberately simple, honest-only (the comparison is
+//! about availability, not attack resistance), and mirrors the sleepy
+//! protocol's two-rounds-per-view cadence so decision counts are
+//! directly comparable:
+//!
+//! * **first round of view `v`** (`r = 2v − 1`): every awake process
+//!   multicasts a proposal extending its decided chain;
+//! * **second round of view `v`** (`r = 2v`): every awake process votes
+//!   for the admissible view-`v` proposal with the largest VRF (the same
+//!   leader rule the sleepy protocol uses);
+//! * a view **decides** once some process counts votes for one proposal
+//!   from **strictly more than `2n/3` of all `n` processes** — the
+//!   static quorum, counted against fixed membership rather than
+//!   perceived participation. Votes are never expired: a quorum observed
+//!   late (woken process replaying its backlog) still decides.
+//!
+//! Under full participation and synchrony every view decides (at the
+//! first send step after its vote round). When more than a third of the
+//! processes sleep through a view's vote round, that view can never
+//! reach quorum and is **permanently stalled** — the protocol only
+//! resumes deciding with the first view whose vote round sees enough
+//! participation again. The closed-form schedule walk in st-sim's
+//! `baseline` module predicts exactly which views decide and which
+//! stall on honest synchronous schedules; a regression test holds this
+//! implementation to that prediction.
+
+use crate::{BlockBuffer, DecisionEvent, Protocol, TobConfig};
+use st_blocktree::{Block, BlockTree};
+use st_crypto::Keypair;
+use st_messages::{Envelope, Payload, Propose, ProposeStore, SharedEnvelope, Vote};
+use st_types::{BlockId, FastSet, ProcessId, Round, RoundKind, TxId, View};
+use std::collections::BTreeMap;
+
+/// A well-behaved process running the fixed-quorum baseline. See the
+/// [module docs](self) for the protocol.
+#[derive(Clone, Debug)]
+pub struct QuorumProcess {
+    id: ProcessId,
+    config: TobConfig,
+    keypair: Keypair,
+    tree: BlockTree,
+    buffer: BlockBuffer,
+    proposes: ProposeStore,
+    /// Per-view ballots: `votes[view][voter] = tip` (first vote per voter
+    /// wins; honest processes vote once per view). A `BTreeMap` so the
+    /// quorum scan visits views in deterministic ascending order.
+    votes: BTreeMap<View, BTreeMap<ProcessId, BlockId>>,
+    /// Views already decided by this process (their ballots are pruned).
+    decided_views: FastSet<u64>,
+    decisions: Vec<DecisionEvent>,
+    decided_tip: BlockId,
+    mempool: Vec<TxId>,
+    naive_receive: bool,
+}
+
+impl QuorumProcess {
+    /// Creates the process `id` under the shared `config`.
+    pub fn new(id: ProcessId, config: TobConfig) -> QuorumProcess {
+        let keypair = Keypair::derive(id, config.seed());
+        QuorumProcess {
+            id,
+            config,
+            keypair,
+            tree: BlockTree::new(),
+            buffer: BlockBuffer::new(),
+            proposes: ProposeStore::new(),
+            votes: BTreeMap::new(),
+            decided_views: FastSet::default(),
+            decisions: Vec::new(),
+            decided_tip: BlockId::GENESIS,
+            mempool: Vec::new(),
+            naive_receive: false,
+        }
+    }
+
+    /// The static quorum rule: decisions need votes from strictly more
+    /// than `2n/3` of all `n` fixed members.
+    pub fn quorum_exceeded(n: usize, votes: usize) -> bool {
+        3 * votes > 2 * n
+    }
+
+    /// Scans pending ballots for completed quorums and decides them.
+    /// Only views whose vote round is strictly before `round` are
+    /// eligible — a view's own votes are in flight during its vote
+    /// round, so the earliest decision is at the next send step, exactly
+    /// one round after the analytical baseline's "decision round".
+    fn integrate(&mut self, round: Round) {
+        let n = self.config.params().n();
+        let mut newly_decided = Vec::new();
+        for (&view, ballots) in &self.votes {
+            if self.decided_views.contains(&view.as_u64()) {
+                continue;
+            }
+            match view.second_round() {
+                Some(r) if r < round => {}
+                _ => continue,
+            }
+            // Count ballots per tip; at most one tip can exceed the
+            // quorum (each voter is counted once per view).
+            let mut counts: BTreeMap<BlockId, usize> = BTreeMap::new();
+            for &tip in ballots.values() {
+                *counts.entry(tip).or_default() += 1;
+            }
+            let Some((&tip, _)) = counts
+                .iter()
+                .find(|&(_, &count)| Self::quorum_exceeded(n, count))
+            else {
+                continue;
+            };
+            // The decided block must be locally known and extend the
+            // decided chain (a late quorum for a view older than the
+            // decided tip is already subsumed by a descendant decision).
+            if !self.tree.contains(tip) || !self.tree.is_ancestor(self.decided_tip, tip) {
+                continue;
+            }
+            newly_decided.push((view, tip));
+        }
+        for (view, tip) in newly_decided {
+            self.decided_views.insert(view.as_u64());
+            self.votes.remove(&view);
+            self.decisions.push(DecisionEvent { round, view, tip });
+            self.decided_tip = tip;
+        }
+    }
+
+    /// Transactions to include in the next proposal: pending mempool
+    /// entries not already on the chain being extended.
+    fn payload_for(&self, parent_tip: BlockId) -> Vec<TxId> {
+        if self.mempool.is_empty() {
+            return Vec::new();
+        }
+        let onchain: FastSet<TxId> = self.tree.log_transactions(parent_tip).into_iter().collect();
+        self.mempool
+            .iter()
+            .copied()
+            .filter(|tx| !onchain.contains(tx))
+            .collect()
+    }
+
+    /// First round of view `v`: propose a block extending the decided
+    /// chain.
+    fn propose(&mut self, round: Round, view: View) -> Vec<Envelope> {
+        let block = Block::build(
+            self.decided_tip,
+            view,
+            self.id,
+            self.payload_for(self.decided_tip),
+        );
+        let (vrf_value, vrf_proof) = self.keypair.vrf_eval(view.as_u64());
+        let proposal = Propose::new(self.id, round, view, block.clone(), vrf_value, vrf_proof);
+        // A process hears its own multicast: record locally right away.
+        self.buffer.insert(&mut self.tree, block);
+        self.store_proposal(proposal.clone());
+        vec![Envelope::sign(&self.keypair, Payload::Propose(proposal))]
+    }
+
+    /// Second round of view `v`: vote for the admissible proposal with
+    /// the largest VRF, or stay silent when none qualifies (the stall).
+    fn vote(&mut self, round: Round, view: View) -> Vec<Envelope> {
+        let tip = self
+            .proposes
+            .select_leader_proposal(view, |p| {
+                self.tree.contains(p.tip()) && self.tree.is_ancestor(self.decided_tip, p.tip())
+            })
+            .map(|p| p.tip());
+        let Some(tip) = tip else {
+            return Vec::new();
+        };
+        let vote = Vote::new(self.id, round, tip);
+        self.record_vote(&vote);
+        vec![Envelope::sign(&self.keypair, Payload::Vote(vote))]
+    }
+
+    fn record_vote(&mut self, vote: &Vote) {
+        // Ballots are keyed by the round tag's view; a vote whose round
+        // is not a view's second round is protocol-invalid and dropped.
+        let RoundKind::ViewSecond(view) = RoundKind::of(vote.round()) else {
+            return;
+        };
+        if self.decided_views.contains(&view.as_u64()) {
+            return;
+        }
+        self.votes
+            .entry(view)
+            .or_default()
+            .entry(vote.sender())
+            .or_insert(vote.tip());
+    }
+
+    fn store_proposal(&mut self, proposal: Propose) {
+        if self.naive_receive {
+            self.proposes
+                .insert_full_scan(proposal, self.config.directory());
+        } else {
+            self.proposes.insert(proposal, self.config.directory());
+        }
+    }
+
+    /// Drops proposal state for past views (ballots for undecided views
+    /// are kept — a late quorum must still be able to complete).
+    fn prune(&mut self, round: Round) {
+        let view = RoundKind::of(round).view();
+        if view.as_u64() > 1 {
+            self.proposes.prune_below(View::new(view.as_u64() - 1));
+        }
+    }
+}
+
+impl Protocol for QuorumProcess {
+    fn protocol_name() -> &'static str {
+        "static-quorum"
+    }
+
+    fn new(id: ProcessId, config: TobConfig) -> Self {
+        QuorumProcess::new(id, config)
+    }
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn submit_tx(&mut self, tx: TxId) {
+        if !self.mempool.contains(&tx) {
+            self.mempool.push(tx);
+        }
+    }
+
+    fn on_receive_shared(&mut self, envelope: &SharedEnvelope) {
+        if !envelope.verify_cached(self.config.directory()) {
+            return;
+        }
+        match envelope.payload() {
+            Payload::Vote(vote) => {
+                let vote = *vote;
+                self.record_vote(&vote);
+            }
+            Payload::Propose(proposal) => {
+                let proposal = proposal.clone();
+                self.buffer.insert(&mut self.tree, proposal.block().clone());
+                self.store_proposal(proposal);
+            }
+        }
+    }
+
+    fn step_send(&mut self, round: Round) -> Vec<Envelope> {
+        // Complete any quorums whose votes have arrived (including a
+        // backlog replayed on wake-up) before acting in this round.
+        self.integrate(round);
+        let out = match RoundKind::of(round) {
+            // Round 0 is a bootstrap idle round: view 1's proposals go
+            // out in round 1, keeping view/round arithmetic aligned with
+            // the sleepy protocol's cadence.
+            RoundKind::Bootstrap => Vec::new(),
+            RoundKind::ViewFirst(view) => self.propose(round, view),
+            RoundKind::ViewSecond(view) => self.vote(round, view),
+        };
+        self.prune(round);
+        out
+    }
+
+    fn decisions(&self) -> &[DecisionEvent] {
+        &self.decisions
+    }
+
+    fn decided_tip(&self) -> BlockId {
+        self.decided_tip
+    }
+
+    fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    fn set_naive_receive(&mut self, naive: bool) {
+        self.naive_receive = naive;
+    }
+
+    fn install_blocks(&mut self, blocks: &[Block]) {
+        for block in blocks {
+            self.buffer.insert(&mut self.tree, block.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_types::Params;
+
+    fn config(n: usize, seed: u64) -> TobConfig {
+        TobConfig::new(Params::builder(n).build().unwrap(), seed)
+    }
+
+    /// Lock-step synchronous driver over an awake-set-per-round schedule.
+    fn run_partial(
+        n: usize,
+        rounds: u64,
+        seed: u64,
+        awake: impl Fn(u64, usize) -> bool,
+    ) -> Vec<QuorumProcess> {
+        let cfg = config(n, seed);
+        let mut procs: Vec<QuorumProcess> = (0..n as u32)
+            .map(|i| QuorumProcess::new(ProcessId::new(i), cfg.clone()))
+            .collect();
+        let mut queued: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        for r in 0..=rounds {
+            let round = Round::new(r);
+            let mut batches: Vec<Envelope> = Vec::new();
+            for (i, p) in procs.iter_mut().enumerate() {
+                if awake(r, i) {
+                    batches.extend(p.step_send(round));
+                }
+            }
+            // Receive phase: processes awake at r + 1 get this round's
+            // traffic plus their queued backlog; sleepers queue.
+            for (i, p) in procs.iter_mut().enumerate() {
+                if awake(r + 1, i) {
+                    for env in queued[i].drain(..) {
+                        p.on_receive(env);
+                    }
+                    for env in &batches {
+                        p.on_receive(env.clone());
+                    }
+                } else {
+                    queued[i].extend(batches.iter().cloned());
+                }
+            }
+        }
+        procs
+    }
+
+    #[test]
+    fn full_participation_decides_every_view() {
+        let n = 9;
+        let rounds = 20;
+        let procs = run_partial(n, rounds, 3, |_, _| true);
+        // Views 1..=9 vote at rounds 2..=18 and decide at rounds 3..=19;
+        // view 10's votes (round 20) are only integrated at round 21,
+        // past the horizon.
+        for p in &procs {
+            let views: Vec<u64> = p.decisions().iter().map(|d| d.view.as_u64()).collect();
+            assert_eq!(views, (1..=9).collect::<Vec<u64>>(), "{:?}", p.id);
+            // Decided exactly one round after the analytical decision
+            // round 2v.
+            for d in p.decisions() {
+                assert_eq!(d.round.as_u64(), 2 * d.view.as_u64() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn over_one_third_sleeping_stalls_every_affected_view() {
+        let n = 9;
+        // 4 of 9 sleep (> n/3) through rounds 6..=14: views whose vote
+        // round lands in the window can never reach the 2n/3 quorum.
+        let procs = run_partial(n, 24, 5, |r, i| !((6..=14).contains(&r) && i < 4));
+        let decided: FastSet<u64> = procs
+            .iter()
+            .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+            .collect();
+        for v in 3..=7u64 {
+            assert!(!decided.contains(&v), "stalled view {v} decided");
+        }
+        // It recovers: views after the window decide again.
+        assert!(decided.contains(&8));
+        // And everything stays on one chain.
+        let tree = procs[0].tree();
+        for p in &procs {
+            assert!(tree.compatible(p.decided_tip(), procs[0].decided_tip()));
+        }
+    }
+
+    #[test]
+    fn waking_process_decides_backlogged_views() {
+        let n = 6;
+        // p5 sleeps through rounds 4..=9 while the rest keep the quorum
+        // (5 of 6 > 2n/3): the awake processes decide views 2..=4; p5
+        // replays the backlog on wake and decides them at its first step.
+        let procs = run_partial(n, 16, 7, |r, i| !((4..=9).contains(&r) && i == 5));
+        let woken = &procs[5];
+        let views: Vec<u64> = woken.decisions().iter().map(|d| d.view.as_u64()).collect();
+        assert!(views.contains(&2) && views.contains(&3), "{views:?}");
+        assert!(procs[0]
+            .tree()
+            .compatible(woken.decided_tip(), procs[0].decided_tip()));
+    }
+
+    #[test]
+    fn quorum_rule_is_strictly_greater_than_two_thirds() {
+        assert!(!QuorumProcess::quorum_exceeded(9, 6)); // 6 = 2·9/3 exactly
+        assert!(QuorumProcess::quorum_exceeded(9, 7));
+        assert!(!QuorumProcess::quorum_exceeded(3, 2));
+        assert!(QuorumProcess::quorum_exceeded(3, 3));
+    }
+
+    #[test]
+    fn submitted_transactions_reach_the_decided_log() {
+        let cfg = config(4, 11);
+        let mut procs: Vec<QuorumProcess> = (0..4u32)
+            .map(|i| QuorumProcess::new(ProcessId::new(i), cfg.clone()))
+            .collect();
+        let tx = TxId::new(777);
+        for p in procs.iter_mut() {
+            Protocol::submit_tx(p, tx);
+        }
+        for r in 0..=12u64 {
+            let round = Round::new(r);
+            let batches: Vec<Vec<Envelope>> =
+                procs.iter_mut().map(|p| p.step_send(round)).collect();
+            for batch in &batches {
+                for env in batch {
+                    for p in procs.iter_mut() {
+                        p.on_receive(env.clone());
+                    }
+                }
+            }
+        }
+        // Every proposal carries the tx (the simulator's workload floods
+        // every honest mempool), so the first decided view includes it.
+        for p in &procs {
+            assert!(
+                p.tree().log_contains_tx(p.decided_tip(), tx),
+                "tx missing from {:?}'s decided log",
+                p.id
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_signature_is_discarded() {
+        let cfg = config(3, 1);
+        let mut p = QuorumProcess::new(ProcessId::new(0), cfg);
+        let alien = Keypair::derive(ProcessId::new(1), 999);
+        let vote = Vote::new(ProcessId::new(1), Round::new(2), BlockId::GENESIS);
+        Protocol::on_receive(&mut p, Envelope::sign(&alien, Payload::Vote(vote)));
+        assert!(p.votes.is_empty());
+    }
+}

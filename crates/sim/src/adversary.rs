@@ -31,7 +31,7 @@ use crate::env::EnvView;
 use crate::network::{Recipients, SentMessage};
 use crate::schedule::Schedule;
 use st_blocktree::{Block, BlockTree};
-use st_core::{TobConfig, TobProcess};
+use st_core::{Protocol, TobConfig, TobProcess};
 use st_crypto::Keypair;
 use st_messages::{Envelope, Payload, Propose, Vote};
 use st_types::{BlockId, ProcessId, Round, TxId, View};
@@ -48,7 +48,11 @@ pub struct TargetedMessage {
 /// Everything the adversary can see when acting: full knowledge of the
 /// execution (Section 2.3's adversary controls corrupted processes and,
 /// during asynchrony, message delivery).
-pub struct AdversaryCtx<'a> {
+///
+/// Generic over the [`Protocol`] under attack; the default is the
+/// sleepy protocol's [`TobProcess`], so existing strategies read (and
+/// are written) exactly as before.
+pub struct AdversaryCtx<'a, P: Protocol = TobProcess> {
     /// The current round.
     pub round: Round,
     /// The environment at this round: current segment kind, offsets
@@ -63,7 +67,7 @@ pub struct AdversaryCtx<'a> {
     /// `corrupted`): the only keys the adversary may sign with.
     pub keypairs: &'a [Keypair],
     /// Read-only view of every process's state (full knowledge).
-    pub processes: &'a [TobProcess],
+    pub processes: &'a [P],
     /// The participation schedule.
     pub schedule: &'a Schedule,
     /// A tree absorbing every block ever proposed (global knowledge).
@@ -72,7 +76,7 @@ pub struct AdversaryCtx<'a> {
     pub config: &'a TobConfig,
 }
 
-impl AdversaryCtx<'_> {
+impl<P: Protocol> AdversaryCtx<'_, P> {
     /// Whether the current round is adversary-scheduled asynchrony.
     pub fn is_async(&self) -> bool {
         self.env.is_async()
@@ -90,13 +94,20 @@ impl AdversaryCtx<'_> {
 /// A Byzantine strategy. Both hooks are optional: the default sends
 /// nothing and (during asynchrony) delivers everything — i.e. a purely
 /// passive adversary.
-pub trait Adversary {
+///
+/// Generic over the [`Protocol`] under attack, defaulted to
+/// [`TobProcess`]: `impl Adversary for MyStrategy` still targets the
+/// sleepy protocol, while protocol-agnostic strategies (pure delivery
+/// control, like [`SilentAdversary`] / [`BlackoutAdversary`] /
+/// [`PartitionAttacker`]) implement `Adversary<P>` for every `P` and can
+/// attack any protocol the runner drives.
+pub trait Adversary<P: Protocol = TobProcess> {
     /// Human-readable strategy name (reports and logs).
     fn name(&self) -> &'static str;
 
     /// Send phase of round `ctx.round`: messages the corrupted processes
     /// multicast or target.
-    fn send(&mut self, ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
+    fn send(&mut self, ctx: &AdversaryCtx<'_, P>) -> Vec<TargetedMessage> {
         let _ = ctx;
         Vec::new()
     }
@@ -107,7 +118,7 @@ pub trait Adversary {
     /// everything, i.e. the asynchronous round behaves synchronously.
     fn deliver(
         &mut self,
-        ctx: &AdversaryCtx<'_>,
+        ctx: &AdversaryCtx<'_, P>,
         receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {
@@ -125,7 +136,7 @@ pub trait Adversary {
     /// unbounded asynchrony.
     fn delay(
         &mut self,
-        ctx: &AdversaryCtx<'_>,
+        ctx: &AdversaryCtx<'_, P>,
         receiver: ProcessId,
         msg: &SentMessage,
         delta: u64,
@@ -140,7 +151,7 @@ pub trait Adversary {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SilentAdversary;
 
-impl Adversary for SilentAdversary {
+impl<P: Protocol> Adversary<P> for SilentAdversary {
     fn name(&self) -> &'static str {
         "silent"
     }
@@ -152,14 +163,14 @@ impl Adversary for SilentAdversary {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BlackoutAdversary;
 
-impl Adversary for BlackoutAdversary {
+impl<P: Protocol> Adversary<P> for BlackoutAdversary {
     fn name(&self) -> &'static str {
         "blackout"
     }
 
     fn deliver(
         &mut self,
-        _ctx: &AdversaryCtx<'_>,
+        _ctx: &AdversaryCtx<'_, P>,
         _receiver: ProcessId,
         _available: &[&SentMessage],
     ) -> Vec<usize> {
@@ -584,19 +595,19 @@ impl Adversary for ReorgAttacker {
     }
 }
 
-impl Adversary for PartitionAttacker {
+impl<P: Protocol> Adversary<P> for PartitionAttacker {
     fn name(&self) -> &'static str {
         "partition-split-vote"
     }
 
-    fn send(&mut self, _ctx: &AdversaryCtx<'_>) -> Vec<TargetedMessage> {
+    fn send(&mut self, _ctx: &AdversaryCtx<'_, P>) -> Vec<TargetedMessage> {
         // Pure delivery attack: corrupted processes (if any) stay silent.
         Vec::new()
     }
 
     fn deliver(
         &mut self,
-        ctx: &AdversaryCtx<'_>,
+        ctx: &AdversaryCtx<'_, P>,
         receiver: ProcessId,
         available: &[&SentMessage],
     ) -> Vec<usize> {

@@ -1,18 +1,25 @@
-//! A classic fixed-quorum BFT baseline.
+//! The **closed-form** fixed-quorum baseline: a schedule walk, no
+//! messages.
 //!
 //! The introduction motivates dynamic availability with the observation
 //! that "traditional BFT protocols (synchronous or partially synchronous)
 //! get stuck when participation drops below their fixed (usually 1/2 or
-//! 2/3) quorum threshold". This module provides that comparator for
-//! experiment B1: a deliberately simple two-round-per-view protocol whose
-//! decision rule requires votes from more than `2n/3` of **all** `n`
-//! processes — the static quorum — rather than of the perceived
-//! participation.
+//! 2/3) quorum threshold". The *simulated* form of that comparator is
+//! [`st_core::QuorumProcess`] — a real message-passing [`Protocol`]
+//! implementor driven by the same runner, schedules and timelines as the
+//! sleepy protocol (experiments B1/B2). This module keeps the original
+//! analytical walk: per view, count the honest awake processes at the
+//! decision round and compare against `> 2n/3` of **all** `n`.
 //!
-//! Under full participation it decides every view; when more than a third
-//! of the processes sleep, it stalls until they return, while the sleepy
-//! protocol keeps deciding. The baseline is honest-only (the comparison is
-//! about availability, not attack resistance).
+//! On honest synchronous schedules the two must agree exactly — the walk
+//! is the *cross-check* for the simulation (see
+//! `crates/sim/tests/quorum_protocol.rs` and the assertion inside
+//! `exp_dynamic_availability`): every analytically decided view must be
+//! decided by some simulated process (the simulation integrates a view's
+//! votes one round later, at round `2v + 1`), and no analytically
+//! stalled view may ever decide.
+//!
+//! [`Protocol`]: st_core::Protocol
 
 use crate::schedule::Schedule;
 use st_types::View;
@@ -68,8 +75,10 @@ impl StaticQuorumBft {
     }
 
     /// The quorum size: decisions need strictly more than `2n/3` votes.
+    /// Delegates to the message-passing implementation's rule so the
+    /// walk and the simulation can never drift apart on the threshold.
     pub fn quorum_exceeded(&self, votes: usize) -> bool {
-        (votes as f64) > 2.0 * (self.n as f64) / 3.0
+        st_core::QuorumProcess::quorum_exceeded(self.n, votes)
     }
 
     /// Runs the baseline over `schedule` for views whose decision rounds

@@ -35,6 +35,7 @@ use crate::monitor::SimReport;
 use crate::observer::Observer;
 use crate::runner::{AsyncWindow, SimConfig, Simulation};
 use crate::schedule::Schedule;
+use st_core::{Protocol, TobProcess};
 use st_types::{Params, ProcessId};
 
 /// Why a [`SimBuilder::build`] was rejected.
@@ -78,18 +79,26 @@ impl std::error::Error for BuildError {}
 
 /// Fluent builder for a [`Simulation`]. See the [module docs](self) for
 /// an end-to-end example.
-pub struct SimBuilder {
+///
+/// Generic over the [`Protocol`] to drive, defaulted to [`TobProcess`]:
+/// [`SimBuilder::new`] / [`SimBuilder::from_config`] build the sleepy
+/// protocol exactly as before, while
+/// `SimBuilder::<QuorumProcess>::for_protocol(params, seed)` (or any
+/// other implementor) gets the same chain, validation and observer
+/// pipeline for a different protocol.
+pub struct SimBuilder<P: Protocol = TobProcess> {
     config: SimConfig,
     schedule: Option<Schedule>,
-    adversary: Box<dyn Adversary>,
-    observers: Vec<Box<dyn Observer>>,
+    adversary: Box<dyn Adversary<P>>,
+    observers: Vec<Box<dyn Observer<P>>>,
 }
 
 impl SimBuilder {
-    /// Starts a builder for a run of the protocol described by `params`
-    /// under `seed` (defaults as in [`SimConfig::new`]: 40-round horizon,
-    /// fully synchronous timeline, no transaction workload, full
-    /// participation, silent adversary).
+    /// Starts a builder for a run of the (sleepy) protocol described by
+    /// `params` under `seed` (defaults as in [`SimConfig::new`]: 40-round
+    /// horizon, fully synchronous timeline, no transaction workload, full
+    /// participation, silent adversary). For a different protocol, start
+    /// from [`SimBuilder::for_protocol`].
     pub fn new(params: Params, seed: u64) -> SimBuilder {
         SimBuilder::from_config(SimConfig::new(params, seed))
     }
@@ -97,6 +106,34 @@ impl SimBuilder {
     /// Starts a builder from an already-assembled [`SimConfig`] (the
     /// migration path from the legacy constructor).
     pub fn from_config(config: SimConfig) -> SimBuilder {
+        SimBuilder::for_protocol_config(config)
+    }
+}
+
+impl<P: Protocol> SimBuilder<P> {
+    /// Starts a builder for a run of protocol `P` — the generic form of
+    /// [`SimBuilder::new`]. Name the protocol explicitly:
+    ///
+    /// ```
+    /// use st_core::QuorumProcess;
+    /// use st_sim::SimBuilder;
+    /// use st_types::Params;
+    ///
+    /// let params = Params::builder(9).build()?;
+    /// let report = SimBuilder::<QuorumProcess>::for_protocol(params, 7)
+    ///     .horizon(20)
+    ///     .build()?
+    ///     .run();
+    /// assert!(report.is_safe());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn for_protocol(params: Params, seed: u64) -> SimBuilder<P> {
+        SimBuilder::for_protocol_config(SimConfig::new(params, seed))
+    }
+
+    /// Starts a builder for protocol `P` from an already-assembled
+    /// [`SimConfig`] — the generic form of [`SimBuilder::from_config`].
+    pub fn for_protocol_config(config: SimConfig) -> SimBuilder<P> {
         SimBuilder {
             config,
             schedule: None,
@@ -107,14 +144,14 @@ impl SimBuilder {
 
     /// Sets the number of rounds to execute (rounds `0..=horizon`).
     #[must_use]
-    pub fn horizon(mut self, rounds: u64) -> SimBuilder {
+    pub fn horizon(mut self, rounds: u64) -> SimBuilder<P> {
         self.config = self.config.horizon(rounds);
         self
     }
 
     /// Sets the environment [`Timeline`] (see [`SimConfig::timeline`]).
     #[must_use]
-    pub fn timeline(mut self, timeline: Timeline) -> SimBuilder {
+    pub fn timeline(mut self, timeline: Timeline) -> SimBuilder<P> {
         self.config = self.config.timeline(timeline);
         self
     }
@@ -122,7 +159,7 @@ impl SimBuilder {
     /// Injects a single asynchronous window (see
     /// [`SimConfig::async_window`]).
     #[must_use]
-    pub fn async_window(mut self, window: AsyncWindow) -> SimBuilder {
+    pub fn async_window(mut self, window: AsyncWindow) -> SimBuilder<P> {
         self.config = self.config.async_window(window);
         self
     }
@@ -130,7 +167,7 @@ impl SimBuilder {
     /// Submits one fresh transaction every `k` rounds (see
     /// [`SimConfig::txs_every`]).
     #[must_use]
-    pub fn txs_every(mut self, k: u64) -> SimBuilder {
+    pub fn txs_every(mut self, k: u64) -> SimBuilder<P> {
         self.config = self.config.txs_every(k);
         self
     }
@@ -138,7 +175,7 @@ impl SimBuilder {
     /// Forces the pre-fast-path delivery cost model (see
     /// [`SimConfig::naive_delivery`]).
     #[must_use]
-    pub fn naive_delivery(mut self) -> SimBuilder {
+    pub fn naive_delivery(mut self) -> SimBuilder<P> {
         self.config = self.config.naive_delivery();
         self
     }
@@ -146,14 +183,14 @@ impl SimBuilder {
     /// Sets the participation/corruption [`Schedule`]. Defaults to
     /// [`Schedule::full`] over the configured horizon.
     #[must_use]
-    pub fn schedule(mut self, schedule: Schedule) -> SimBuilder {
+    pub fn schedule(mut self, schedule: Schedule) -> SimBuilder<P> {
         self.schedule = Some(schedule);
         self
     }
 
     /// Sets the adversary — typed, no `Box` required.
     #[must_use]
-    pub fn adversary(mut self, adversary: impl Adversary + 'static) -> SimBuilder {
+    pub fn adversary(mut self, adversary: impl Adversary<P> + 'static) -> SimBuilder<P> {
         self.adversary = Box::new(adversary);
         self
     }
@@ -162,7 +199,7 @@ impl SimBuilder {
     /// [`SimBuilder::adversary`] when the strategy type is known
     /// statically.
     #[must_use]
-    pub fn adversary_boxed(mut self, adversary: Box<dyn Adversary>) -> SimBuilder {
+    pub fn adversary_boxed(mut self, adversary: Box<dyn Adversary<P>>) -> SimBuilder<P> {
         self.adversary = adversary;
         self
     }
@@ -171,14 +208,14 @@ impl SimBuilder {
     /// monitors, in registration order, and see every [`crate::SimEvent`]
     /// of the run.
     #[must_use]
-    pub fn observer(mut self, observer: impl Observer + 'static) -> SimBuilder {
+    pub fn observer(mut self, observer: impl Observer<P> + 'static) -> SimBuilder<P> {
         self.observers.push(Box::new(observer));
         self
     }
 
     /// Registers an observer chosen at runtime (already boxed).
     #[must_use]
-    pub fn observer_boxed(mut self, observer: Box<dyn Observer>) -> SimBuilder {
+    pub fn observer_boxed(mut self, observer: Box<dyn Observer<P>>) -> SimBuilder<P> {
         self.observers.push(observer);
         self
     }
@@ -191,7 +228,7 @@ impl SimBuilder {
     /// differs from `params.n()`;
     /// [`BuildError::PartitionMemberOutOfRange`] if a timeline partition
     /// group names a process outside the system.
-    pub fn build(self) -> Result<Simulation, BuildError> {
+    pub fn build(self) -> Result<Simulation<P>, BuildError> {
         let schedule = self.schedule.unwrap_or_else(|| {
             Schedule::full(self.config.params().n(), self.config.horizon_rounds())
         });

@@ -28,8 +28,10 @@
 //!   paper's split-vote safety attack (Section 1) among several strategies;
 //! * [`SimBuilder`] — the fluent driving API: schedule, timeline, typed
 //!   adversary and user observers in one chain, with a proper error path;
-//! * [`Simulation`] — the round loop driving [`st_core::TobProcess`]
-//!   instances through the schedule, network and adversary — steppable
+//! * [`Simulation`] — the round loop, generic over the
+//!   [`st_core::Protocol`] it drives (defaulted to
+//!   [`st_core::TobProcess`]; `SimBuilder::<QuorumProcess>::for_protocol`
+//!   runs the fixed-quorum baseline under the same harness) — steppable
 //!   ([`Simulation::step`] / [`Simulation::run_until`] /
 //!   [`Simulation::finish`]) with mid-run inspection and intervention;
 //! * [`Observer`] + [`SimEvent`] — the execution narrated as an event
@@ -37,11 +39,15 @@
 //!   and the report is assembled from the observer pipeline;
 //! * [`Sweep`] — cartesian config grids with deterministic per-cell
 //!   seeds, run across worker threads in input order;
+//!   [`Sweep::compare`] runs the same cells and seeds through two
+//!   protocols for head-to-head grids;
 //! * [`SimReport`] — decisions, safety/resilience violations (Definitions
 //!   2 and 5), transaction-liveness statistics, per-window recovery
 //!   records;
-//! * [`baseline::StaticQuorumBft`] — a classic fixed-quorum BFT protocol
-//!   used to demonstrate what *dynamic availability* buys (experiment B1).
+//! * [`baseline::StaticQuorumBft`] — the closed-form schedule walk that
+//!   cross-checks the message-passing [`st_core::QuorumProcess`]
+//!   baseline used to demonstrate what *dynamic availability* buys
+//!   (experiments B1/B2).
 //!
 //! # Example: a synchronous run with churn
 //!
@@ -88,4 +94,8 @@ pub use network::{Network, Recipients, SentMessage};
 pub use observer::{ObsCtx, Observer, SimEvent, ViolationKind};
 pub use runner::{AsyncWindow, SimConfig, Simulation};
 pub use schedule::{ChurnOptions, Schedule};
-pub use sweep::{Sweep, SweepReports};
+pub use sweep::{Sweep, SweepComparison, SweepReports};
+
+// The protocol abstraction the whole stack is generic over, re-exported
+// so simulation drivers need only this crate in scope.
+pub use st_core::{Protocol, QuorumProcess};

@@ -43,13 +43,16 @@ use crate::monitor::{
 use crate::runner::SimConfig;
 use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
-use st_core::{DecisionEvent, TobProcess};
+use st_core::{DecisionEvent, Protocol, TobProcess};
 use st_types::{BlockId, FastSet, ProcessId, Round, TxId};
 
 /// Read-only view of the execution handed to every observer hook: the
 /// full-knowledge vantage point the paper's monitors have (every process's
 /// state, the schedule, a tree absorbing every block ever proposed).
-pub struct ObsCtx<'a> {
+///
+/// Generic over the [`Protocol`] being observed, defaulted to
+/// [`TobProcess`] so sleepy-protocol probes read exactly as before.
+pub struct ObsCtx<'a, P: Protocol = TobProcess> {
     /// The round being executed (for [`Observer::finish`]: the last
     /// executed round).
     pub round: Round,
@@ -57,7 +60,7 @@ pub struct ObsCtx<'a> {
     /// partition overlay).
     pub env: EnvView,
     /// Every process's state, read-only.
-    pub processes: &'a [TobProcess],
+    pub processes: &'a [P],
     /// The participation/corruption schedule.
     pub schedule: &'a Schedule,
     /// A tree absorbing every block ever proposed (monitor knowledge).
@@ -165,7 +168,7 @@ pub enum SimEvent {
 /// events of their own by buffering them and returning them from
 /// [`Observer::drain_emitted`]; the round loop forwards drained events to
 /// every observer after each decision wave.
-pub trait Observer {
+pub trait Observer<P: Protocol = TobProcess> {
     /// Human-readable observer name (diagnostics).
     fn name(&self) -> &str {
         "observer"
@@ -181,7 +184,7 @@ pub trait Observer {
 
     /// Uniform event entry point; the default dispatches to the
     /// fine-grained hooks below.
-    fn on_event(&mut self, ctx: &ObsCtx<'_>, event: &SimEvent) {
+    fn on_event(&mut self, ctx: &ObsCtx<'_, P>, event: &SimEvent) {
         match event {
             SimEvent::RoundStart { round } => self.on_round_start(ctx, *round),
             SimEvent::TxSubmitted { tx, round } => self.on_tx_submitted(ctx, *tx, *round),
@@ -206,48 +209,53 @@ pub trait Observer {
     }
 
     /// A round is about to execute.
-    fn on_round_start(&mut self, ctx: &ObsCtx<'_>, round: Round) {
+    fn on_round_start(&mut self, ctx: &ObsCtx<'_, P>, round: Round) {
         let _ = (ctx, round);
     }
 
     /// The workload submitted a transaction.
-    fn on_tx_submitted(&mut self, ctx: &ObsCtx<'_>, tx: TxId, round: Round) {
+    fn on_tx_submitted(&mut self, ctx: &ObsCtx<'_, P>, tx: TxId, round: Round) {
         let _ = (ctx, tx, round);
     }
 
     /// The corrupted set changed.
-    fn on_corruption_change(&mut self, ctx: &ObsCtx<'_>, round: Round, corrupted: &[ProcessId]) {
+    fn on_corruption_change(&mut self, ctx: &ObsCtx<'_, P>, round: Round, corrupted: &[ProcessId]) {
         let _ = (ctx, round, corrupted);
     }
 
     /// A disruption window opened.
-    fn on_window_enter(&mut self, ctx: &ObsCtx<'_>, index: usize, disruption: &Disruption) {
+    fn on_window_enter(&mut self, ctx: &ObsCtx<'_, P>, index: usize, disruption: &Disruption) {
         let _ = (ctx, index, disruption);
     }
 
     /// A disruption window closed.
-    fn on_window_exit(&mut self, ctx: &ObsCtx<'_>, index: usize, disruption: &Disruption) {
+    fn on_window_exit(&mut self, ctx: &ObsCtx<'_, P>, index: usize, disruption: &Disruption) {
         let _ = (ctx, index, disruption);
     }
 
     /// A well-behaved process decided.
-    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+    fn on_decision(&mut self, ctx: &ObsCtx<'_, P>, process: ProcessId, decision: DecisionEvent) {
         let _ = (ctx, process, decision);
     }
 
     /// An envelope reached an honest receiver (only with
     /// [`Observer::wants_delivery_events`]).
-    fn on_delivery(&mut self, ctx: &ObsCtx<'_>, receiver: ProcessId, sender: ProcessId) {
+    fn on_delivery(&mut self, ctx: &ObsCtx<'_, P>, receiver: ProcessId, sender: ProcessId) {
         let _ = (ctx, receiver, sender);
     }
 
     /// A monitor flagged a violation.
-    fn on_violation(&mut self, ctx: &ObsCtx<'_>, kind: ViolationKind, violation: &SafetyViolation) {
+    fn on_violation(
+        &mut self,
+        ctx: &ObsCtx<'_, P>,
+        kind: ViolationKind,
+        violation: &SafetyViolation,
+    ) {
         let _ = (ctx, kind, violation);
     }
 
     /// A round finished executing.
-    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, delivered: usize) {
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_, P>, round: Round, delivered: usize) {
         let _ = (ctx, round, delivered);
     }
 
@@ -264,7 +272,7 @@ pub trait Observer {
     /// typically keep their conclusions internal (the report's shape is
     /// fixed), but may post-process fields already filled by the
     /// built-ins, which always run first.
-    fn finish(&mut self, ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         let _ = (ctx, report);
     }
 }
@@ -289,12 +297,12 @@ impl SafetyObserver {
     }
 }
 
-impl Observer for SafetyObserver {
+impl<P: Protocol> Observer<P> for SafetyObserver {
     fn name(&self) -> &str {
         "safety-monitor"
     }
 
-    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+    fn on_decision(&mut self, ctx: &ObsCtx<'_, P>, process: ProcessId, decision: DecisionEvent) {
         let before = self.monitor.violations.len();
         self.monitor.observe(ctx.global_tree, process, decision);
         // New conflicting pairs become events; witness upgrades of pairs
@@ -311,7 +319,7 @@ impl Observer for SafetyObserver {
         std::mem::take(&mut self.emitted)
     }
 
-    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.safety_violations = std::mem::take(&mut self.monitor.violations);
     }
 }
@@ -353,12 +361,12 @@ impl ResilienceObserver {
     }
 }
 
-impl Observer for ResilienceObserver {
+impl<P: Protocol> Observer<P> for ResilienceObserver {
     fn name(&self) -> &str {
         "resilience-monitor"
     }
 
-    fn on_decision(&mut self, ctx: &ObsCtx<'_>, process: ProcessId, decision: DecisionEvent) {
+    fn on_decision(&mut self, ctx: &ObsCtx<'_, P>, process: ProcessId, decision: DecisionEvent) {
         for (i, mon) in self.monitors.iter_mut().enumerate() {
             let before = mon.violations.len();
             mon.observe(ctx.global_tree, process, decision);
@@ -385,7 +393,7 @@ impl Observer for ResilienceObserver {
         std::mem::take(&mut self.emitted)
     }
 
-    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.recoveries = self
             .disruptions
             .iter()
@@ -431,12 +439,12 @@ impl TxLedger {
     }
 }
 
-impl Observer for TxLedger {
+impl<P: Protocol> Observer<P> for TxLedger {
     fn name(&self) -> &str {
         "tx-ledger"
     }
 
-    fn on_tx_submitted(&mut self, _ctx: &ObsCtx<'_>, tx: TxId, round: Round) {
+    fn on_tx_submitted(&mut self, _ctx: &ObsCtx<'_, P>, tx: TxId, round: Round) {
         self.txs.push(TxRecord {
             tx,
             submitted: round,
@@ -444,7 +452,7 @@ impl Observer for TxLedger {
         });
     }
 
-    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, _delivered: usize) {
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_, P>, round: Round, _delivered: usize) {
         if self.txs.is_empty() {
             return;
         }
@@ -475,7 +483,7 @@ impl Observer for TxLedger {
         }
     }
 
-    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.txs = std::mem::take(&mut self.txs);
     }
 }
@@ -499,24 +507,24 @@ impl DecisionLedger {
     }
 }
 
-impl Observer for DecisionLedger {
+impl<P: Protocol> Observer<P> for DecisionLedger {
     fn name(&self) -> &str {
         "decision-ledger"
     }
 
-    fn on_decision(&mut self, _ctx: &ObsCtx<'_>, process: ProcessId, _decision: DecisionEvent) {
+    fn on_decision(&mut self, _ctx: &ObsCtx<'_, P>, process: ProcessId, _decision: DecisionEvent) {
         self.observed[process.index()] += 1;
         self.any_this_round = true;
     }
 
-    fn on_round_end(&mut self, _ctx: &ObsCtx<'_>, _round: Round, _delivered: usize) {
+    fn on_round_end(&mut self, _ctx: &ObsCtx<'_, P>, _round: Round, _delivered: usize) {
         if self.any_this_round {
             self.deciding_rounds += 1;
             self.any_this_round = false;
         }
     }
 
-    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.decisions_total = self.observed.iter().sum();
         report.per_process_decisions = std::mem::take(&mut self.observed);
         report.deciding_rounds = self.deciding_rounds;
@@ -540,21 +548,21 @@ impl TraceObserver {
     }
 }
 
-impl Observer for TraceObserver {
+impl<P: Protocol> Observer<P> for TraceObserver {
     fn name(&self) -> &str {
         "round-trace"
     }
 
-    fn on_round_start(&mut self, ctx: &ObsCtx<'_>, _round: Round) {
+    fn on_round_start(&mut self, ctx: &ObsCtx<'_, P>, _round: Round) {
         self.messages_at_round_start = ctx.messages_sent;
         self.decisions_this_round = 0;
     }
 
-    fn on_decision(&mut self, _ctx: &ObsCtx<'_>, _process: ProcessId, _decision: DecisionEvent) {
+    fn on_decision(&mut self, _ctx: &ObsCtx<'_, P>, _process: ProcessId, _decision: DecisionEvent) {
         self.decisions_this_round += 1;
     }
 
-    fn on_round_end(&mut self, ctx: &ObsCtx<'_>, round: Round, delivered: usize) {
+    fn on_round_end(&mut self, ctx: &ObsCtx<'_, P>, round: Round, delivered: usize) {
         let honest = ctx.schedule.honest_awake(round);
         let height = |p: ProcessId| {
             let proc = &ctx.processes[p.index()];
@@ -581,7 +589,7 @@ impl Observer for TraceObserver {
         });
     }
 
-    fn finish(&mut self, _ctx: &ObsCtx<'_>, report: &mut SimReport) {
+    fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.timeline = std::mem::take(&mut self.trace);
     }
 }

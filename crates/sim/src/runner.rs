@@ -25,7 +25,7 @@ use crate::observer::{
 };
 use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
-use st_core::{TobConfig, TobProcess};
+use st_core::{Protocol, TobConfig, TobProcess};
 use st_crypto::Keypair;
 use st_messages::{Payload, SharedEnvelope};
 use st_types::FastSet;
@@ -185,12 +185,19 @@ impl SimConfig {
 /// [`Simulation::run`], or drive it round by round with
 /// [`Simulation::step`] / [`Simulation::run_until`] and close with
 /// [`Simulation::finish`].
-pub struct Simulation {
+///
+/// Generic over the [`Protocol`] being driven, defaulted to the sleepy
+/// protocol's [`TobProcess`] — `Simulation` without a parameter is the
+/// exact type every pre-existing caller names. The round loop touches
+/// processes only through the [`Protocol`] surface, so any implementor
+/// (e.g. [`st_core::QuorumProcess`]) runs under the same schedules,
+/// network pool, environment timeline and adversarial delivery.
+pub struct Simulation<P: Protocol = TobProcess> {
     config: SimConfig,
     tob_config: TobConfig,
     schedule: Schedule,
-    adversary: Box<dyn Adversary>,
-    procs: Vec<TobProcess>,
+    adversary: Box<dyn Adversary<P>>,
+    procs: Vec<P>,
     keypairs: Vec<Keypair>,
     network: Network,
     global_tree: BlockTree,
@@ -198,7 +205,7 @@ pub struct Simulation {
     /// resilience, tx ledger, decision ledger, round trace) in fixed
     /// order, then user observers in registration order. The final
     /// [`SimReport`] is assembled from these at [`Simulation::finish`].
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer<P>>>,
     /// Whether any registered observer opted into per-envelope
     /// [`SimEvent::EnvelopeDelivered`] events (checked once at build so
     /// the zero-copy delivery path stays event-free by default).
@@ -225,7 +232,11 @@ pub struct Simulation {
 }
 
 /// Dispatches one event to every observer, in order.
-fn dispatch(observers: &mut [Box<dyn Observer>], ctx: &ObsCtx<'_>, event: &SimEvent) {
+fn dispatch<P: Protocol>(
+    observers: &mut [Box<dyn Observer<P>>],
+    ctx: &ObsCtx<'_, P>,
+    event: &SimEvent,
+) {
     for o in observers.iter_mut() {
         o.on_event(ctx, event);
     }
@@ -233,7 +244,7 @@ fn dispatch(observers: &mut [Box<dyn Observer>], ctx: &ObsCtx<'_>, event: &SimEv
 
 /// Forwards observer-emitted events (violations, mostly) to every
 /// observer until the pipeline is quiescent.
-fn pump_emitted(observers: &mut [Box<dyn Observer>], ctx: &ObsCtx<'_>) {
+fn pump_emitted<P: Protocol>(observers: &mut [Box<dyn Observer<P>>], ctx: &ObsCtx<'_, P>) {
     loop {
         let mut pending = Vec::new();
         for o in observers.iter_mut() {
@@ -266,7 +277,9 @@ macro_rules! obs_ctx {
 }
 
 impl Simulation {
-    /// Builds a simulation (legacy positional constructor).
+    /// Builds a simulation (legacy positional constructor). Pinned to
+    /// the default [`TobProcess`] protocol — exactly the surface it had
+    /// before the runner went generic.
     ///
     /// # Panics
     ///
@@ -284,15 +297,17 @@ impl Simulation {
             Err(e) => panic!("{e}"),
         }
     }
+}
 
+impl<P: Protocol> Simulation<P> {
     /// Validates and assembles a simulation (the [`crate::SimBuilder`]
     /// back end).
     pub(crate) fn assemble(
         config: SimConfig,
         schedule: Schedule,
-        adversary: Box<dyn Adversary>,
-        user_observers: Vec<Box<dyn Observer>>,
-    ) -> Result<Simulation, BuildError> {
+        adversary: Box<dyn Adversary<P>>,
+        user_observers: Vec<Box<dyn Observer<P>>>,
+    ) -> Result<Simulation<P>, BuildError> {
         let n = config.params.n();
         if schedule.n() != n {
             return Err(BuildError::ScheduleMismatch {
@@ -306,9 +321,9 @@ impl Simulation {
             }
         }
         let tob_config = TobConfig::new(config.params, config.seed);
-        let procs: Vec<TobProcess> = ProcessId::all(n)
+        let procs: Vec<P> = ProcessId::all(n)
             .map(|p| {
-                let mut proc = TobProcess::new(p, tob_config.clone());
+                let mut proc = P::new(p, tob_config.clone());
                 proc.set_naive_receive(config.naive_delivery);
                 proc
             })
@@ -317,7 +332,7 @@ impl Simulation {
             .map(|p| Keypair::derive(p, config.seed))
             .collect();
         let disruptions = config.timeline.disruptions();
-        let mut observers: Vec<Box<dyn Observer>> = vec![
+        let mut observers: Vec<Box<dyn Observer<P>>> = vec![
             Box::new(SafetyObserver::new()),
             Box::new(ResilienceObserver::new(&config.timeline)),
             Box::new(TxLedger::new(n)),
@@ -409,7 +424,7 @@ impl Simulation {
     }
 
     /// Read-only view of every process's state (mid-run inspection).
-    pub fn processes(&self) -> &[TobProcess] {
+    pub fn processes(&self) -> &[P] {
         &self.procs
     }
 
@@ -427,7 +442,7 @@ impl Simulation {
     /// Delivers one shared envelope to process `p`. In naive mode the
     /// envelope is deep-cloned and re-wrapped so the receiver re-verifies
     /// it from scratch — the faithful pre-fast-path cost model.
-    fn deliver_to(procs: &mut [TobProcess], naive: bool, p: ProcessId, env: &SharedEnvelope) {
+    fn deliver_to(procs: &mut [P], naive: bool, p: ProcessId, env: &SharedEnvelope) {
         if naive {
             let fresh = SharedEnvelope::new(env.envelope().clone());
             procs[p.index()].on_receive_shared(&fresh);

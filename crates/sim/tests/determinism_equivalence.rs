@@ -328,6 +328,41 @@ fn user_observers_do_not_change_the_report() {
     }
 }
 
+/// **Generic-runner equivalence**: `Simulation` / `SimBuilder` are now
+/// generic over the protocol with `TobProcess` as the default. Naming
+/// the protocol explicitly (`SimBuilder::<TobProcess>::for_protocol`,
+/// the path every non-default protocol takes through the runner) must
+/// be byte-identical to the defaulted alias every pre-existing caller
+/// uses — i.e. the genericization added no observable behaviour. Runs
+/// over the full (adversary × schedule × η × timeline) guard grid, in
+/// both delivery modes.
+#[test]
+fn explicit_protocol_parameterisation_matches_defaulted_alias() {
+    use st_core::TobProcess;
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        for naive in [false, true] {
+            let mut config = guard_config(eta, &t, seed);
+            if naive {
+                config = config.naive_delivery();
+            }
+            let defaulted = SimBuilder::from_config(config.clone())
+                .schedule(schedule(sched, 10, 28))
+                .adversary_boxed(adversary(adv))
+                .run();
+            let explicit = SimBuilder::<TobProcess>::for_protocol_config(config)
+                .schedule(schedule(sched, 10, 28))
+                .adversary_boxed(adversary(adv))
+                .run();
+            assert_eq!(
+                serde_json::to_string(&defaulted).unwrap(),
+                serde_json::to_string(&explicit).unwrap(),
+                "generic runner diverged from the defaulted alias for \
+                 adversary={adv} schedule={sched} eta={eta} naive={naive}"
+            );
+        }
+    }
+}
+
 /// **Builder-vs-legacy-shim equivalence**: the deprecated positional
 /// constructor and the builder assemble the same simulation.
 #[test]

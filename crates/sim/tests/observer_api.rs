@@ -234,3 +234,78 @@ fn early_finish_reports_partial_run() {
     assert_eq!(report.decisions_total, 0);
     assert_eq!(report.messages_sent, 0);
 }
+
+/// The observer pipeline is protocol-generic: a probe written against
+/// `Observer<QuorumProcess>` rides the same event stream — and can read
+/// quorum-process state out of `ObsCtx.processes` — while the built-in
+/// monitors assemble the usual report.
+#[test]
+fn observers_ride_the_generic_runner() {
+    use st_sim::{Protocol, QuorumProcess};
+
+    #[derive(Default)]
+    struct QuorumProbe {
+        decisions: usize,
+        max_seen_height: u64,
+    }
+
+    impl Observer<QuorumProcess> for QuorumProbe {
+        fn name(&self) -> &str {
+            "quorum-probe"
+        }
+
+        fn on_event(&mut self, ctx: &ObsCtx<'_, QuorumProcess>, event: &SimEvent) {
+            if let SimEvent::DecisionObserved { .. } = event {
+                self.decisions += 1;
+            }
+            if let SimEvent::RoundEnd { .. } = event {
+                // Typed access to the driven protocol's state.
+                let tallest = ctx
+                    .processes
+                    .iter()
+                    .filter_map(|p| p.tree().height(p.decided_tip()))
+                    .max()
+                    .unwrap_or(0);
+                self.max_seen_height = self.max_seen_height.max(tallest);
+            }
+        }
+    }
+
+    // Observers are moved into the pipeline; report state through the
+    // assembled SimReport plus a shared cell for the probe's own tally.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let tally: Rc<RefCell<(usize, u64)>> = Rc::default();
+
+    struct Sharing {
+        inner: QuorumProbe,
+        out: Rc<RefCell<(usize, u64)>>,
+    }
+    impl Observer<QuorumProcess> for Sharing {
+        fn on_event(&mut self, ctx: &ObsCtx<'_, QuorumProcess>, event: &SimEvent) {
+            self.inner.on_event(ctx, event);
+            *self.out.borrow_mut() = (self.inner.decisions, self.inner.max_seen_height);
+        }
+    }
+
+    let n = 9;
+    let horizon = 20;
+    let report = SimBuilder::<QuorumProcess>::for_protocol(Params::builder(n).build().unwrap(), 5)
+        .horizon(horizon)
+        .txs_every(4)
+        .observer(Sharing {
+            inner: QuorumProbe::default(),
+            out: Rc::clone(&tally),
+        })
+        .build()
+        .expect("valid quorum sim")
+        .run();
+
+    let (decisions, height) = *tally.borrow();
+    // Full participation: views 1..=9 decide on all 9 processes.
+    assert_eq!(decisions, 81);
+    assert_eq!(report.decisions_total, 81);
+    assert_eq!(height, 9);
+    assert_eq!(report.final_decided_height, 9);
+    assert!(report.is_safe());
+}

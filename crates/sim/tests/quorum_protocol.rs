@@ -1,0 +1,206 @@
+//! The in-simulator fixed-quorum baseline, held to its spec.
+//!
+//! Two kinds of guard:
+//!
+//! * **Analytical cross-check** — the closed-form schedule walk
+//!   (`st_sim::baseline::StaticQuorumBft`) predicts, per view, whether
+//!   the static quorum is met on an honest synchronous schedule. The
+//!   message-passing [`QuorumProcess`] must decide exactly the predicted
+//!   views and stall exactly the predicted ones.
+//! * **Property tests** — the module-doc claims, executed: under full
+//!   participation every view decides; when more than a third of the
+//!   processes sleep, no affected view ever does.
+
+use proptest::prelude::*;
+use st_sim::adversary::{PartitionAttacker, SilentAdversary};
+use st_sim::baseline::StaticQuorumBft;
+use st_sim::{Protocol, QuorumProcess, Schedule, SimBuilder, Timeline};
+use st_types::{Params, Round};
+use std::collections::BTreeSet;
+
+/// Runs the in-simulator baseline over `schedule` and returns the set of
+/// decided views (union over processes — under synchrony every awake
+/// process decides the same views, sleepers catch up from the backlog).
+fn simulated_decided_views(schedule: &Schedule, n: usize, seed: u64) -> BTreeSet<u64> {
+    let params = Params::builder(n).build().expect("valid params");
+    let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, seed)
+        .horizon(schedule.horizon())
+        .schedule(schedule.clone())
+        .adversary(SilentAdversary)
+        .build()
+        .expect("valid simulation");
+    while sim.step().is_some() {}
+    sim.processes()
+        .iter()
+        .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+        .collect()
+}
+
+/// Views the simulation could have decided by the horizon: a view's
+/// votes (cast in round `2v`) are integrated at the next send step, so
+/// the decision round is `2v + 1`.
+fn decidable_by_horizon(view: u64, horizon: u64) -> bool {
+    2 * view < horizon
+}
+
+/// The cross-check: simulated decided/stalled views must match the
+/// analytical `BaselineReport` on honest synchronous schedules, up to
+/// the one-round decision lag at the horizon.
+fn assert_matches_analytical(schedule: &Schedule, n: usize, seed: u64) {
+    let analytical = StaticQuorumBft::new(n).run(schedule);
+    let simulated = simulated_decided_views(schedule, n, seed);
+    for v in &analytical.decided_views {
+        if decidable_by_horizon(v.as_u64(), schedule.horizon()) {
+            assert!(
+                simulated.contains(&v.as_u64()),
+                "analytical decided view {v} missing from simulation (n={n})"
+            );
+        }
+    }
+    for v in &analytical.stalled_views {
+        assert!(
+            !simulated.contains(&v.as_u64()),
+            "analytically stalled view {v} decided in simulation (n={n})"
+        );
+    }
+    // And nothing beyond the analytical decided set ever decides.
+    let predicted: BTreeSet<u64> = analytical
+        .decided_views
+        .iter()
+        .map(|v| v.as_u64())
+        .collect();
+    for v in &simulated {
+        assert!(
+            predicted.contains(v),
+            "simulation decided view {v} the analytical walk did not predict (n={n})"
+        );
+    }
+}
+
+#[test]
+fn full_participation_matches_analytical_walk() {
+    assert_matches_analytical(&Schedule::full(9, 24), 9, 1);
+    assert_matches_analytical(&Schedule::full(10, 31), 10, 2);
+}
+
+#[test]
+fn mass_sleep_matches_analytical_walk() {
+    // The B1 shapes: the May-2023 incident (60%), a harsher 80% drop,
+    // and a window whose boundaries land mid-view.
+    assert_matches_analytical(&Schedule::mass_sleep(20, 80, 0.6, 20, 60), 20, 3);
+    assert_matches_analytical(&Schedule::mass_sleep(20, 80, 0.8, 20, 60), 20, 4);
+    assert_matches_analytical(&Schedule::mass_sleep(9, 40, 0.5, 7, 21), 9, 5);
+    assert_matches_analytical(&Schedule::mass_sleep(12, 40, 0.34, 9, 23), 12, 6);
+}
+
+#[test]
+fn borderline_third_matches_analytical_walk() {
+    // Exactly a third asleep (3 of 9): 6 awake = 2n/3 exactly, which the
+    // strict `> 2n/3` rule rejects — both sides must agree the views
+    // stall.
+    let schedule = Schedule::mass_sleep(9, 30, 1.0 / 3.0, 8, 20);
+    let analytical = StaticQuorumBft::new(9).run(&schedule);
+    assert!(!analytical.stalled_views.is_empty());
+    assert_matches_analytical(&schedule, 9, 7);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under full participation the baseline decides **every** view whose
+    /// decision step fits the horizon — on every process.
+    #[test]
+    fn full_participation_decides_every_view(
+        n in 4usize..13,
+        half_views in 4u64..10,
+        seed in 0u64..1000,
+    ) {
+        let horizon = 2 * half_views + 1;
+        let params = Params::builder(n).build().expect("valid params");
+        let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, seed)
+            .horizon(horizon)
+            .build()
+            .expect("valid simulation");
+        while sim.step().is_some() {}
+        let expected: Vec<u64> = (1..=half_views).filter(|&v| 2 * v < horizon).collect();
+        for p in sim.processes() {
+            let views: Vec<u64> = p.decisions().iter().map(|d| d.view.as_u64()).collect();
+            prop_assert_eq!(&views, &expected, "process {:?}", p.id());
+        }
+    }
+
+    /// With strictly more than a third of the processes asleep, no view
+    /// whose vote round falls in the sleep window ever decides — the
+    /// static quorum over all `n` is unreachable.
+    #[test]
+    fn over_a_third_sleeping_decides_nothing_in_the_window(
+        n in 4usize..13,
+        seed in 0u64..1000,
+        extra in 0u64..3,
+    ) {
+        let horizon = 30 + extra;
+        // Strictly more than n/3 sleepers.
+        let sleepers = n / 3 + 1;
+        let frac = sleepers as f64 / n as f64;
+        let from = 8;
+        let to = 22;
+        let schedule = Schedule::mass_sleep(n, horizon, frac, from, to);
+        let decided = simulated_decided_views(&schedule, n, seed);
+        for v in 1..=horizon / 2 {
+            let vote_round = 2 * v;
+            if (from..=to).contains(&vote_round) {
+                prop_assert!(
+                    !decided.contains(&v),
+                    "view {} decided with {}/{} asleep",
+                    v,
+                    sleepers,
+                    n
+                );
+            } else if decidable_by_horizon(v, horizon) && vote_round < from {
+                // Sanity: views before the window do decide.
+                prop_assert!(decided.contains(&v));
+            }
+        }
+        // And it recovers after the window (horizon leaves room).
+        prop_assert!(decided.iter().any(|&v| 2 * v > to), "no recovery after the window");
+    }
+}
+
+#[test]
+fn quorum_baseline_is_safe_but_stalls_through_asynchrony() {
+    // The head-to-head shape: a partition-attacked asynchronous window.
+    // The baseline stays safe *in this cell* — each partition half is
+    // n/2 < 2n/3, so no quorum (and hence no decision, conflicting or
+    // otherwise) can form inside the window; note the two-round protocol
+    // has no cross-view locking, so this is a property of the delivery
+    // pattern, not a general safety proof. The windowed views stall
+    // permanently, while the sleepy protocol under the same cell
+    // (η > π) recovers — see the exp_baseline_head_to_head bench.
+    let n = 9;
+    let horizon = 40;
+    let params = Params::builder(n).build().expect("valid params");
+    let timeline = Timeline::synchronous().asynchronous(Round::new(13), 6);
+    let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, 11)
+        .horizon(horizon)
+        .timeline(timeline)
+        .schedule(Schedule::full(n, horizon))
+        .adversary(PartitionAttacker::new())
+        .build()
+        .expect("valid simulation");
+    while sim.step().is_some() {}
+    let decided: BTreeSet<u64> = sim
+        .processes()
+        .iter()
+        .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+        .collect();
+    let report = sim.finish();
+    assert!(report.is_safe(), "{:?}", report.safety_violations);
+    // Views whose proposal or vote round fell inside the window (rounds
+    // 13..=18: views 7, 8, 9) never reach the full-membership quorum —
+    // each partition half is n/2 < 2n/3.
+    for v in [7u64, 8, 9] {
+        assert!(!decided.contains(&v), "windowed view {v} decided");
+    }
+    // Synchrony resumes and the baseline decides again.
+    assert!(decided.iter().any(|&v| v >= 11), "no post-window recovery");
+}

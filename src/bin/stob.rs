@@ -3,7 +3,7 @@
 //! ```text
 //! stob run        [--n 16] [--eta 4] [--rounds 60] [--seed 1] [--churn 0.0]
 //!                 [--byz 0] [--txs 4] [--async-at R --pi P] [--adversary NAME]
-//!                 [--timeline]
+//!                 [--protocol sleepy|quorum] [--timeline]
 //! stob attack     [--eta 0|4] — the Section-1 attack demo, both protocols
 //! stob curve      [--beta 0.3333] — print the Figure-1 β̃ curve
 //! stob check      [--n 16] [--eta 4] [--gamma 0.1] [--sleep 0.02] — verify
@@ -16,6 +16,11 @@
 //!
 //! Adversaries: `silent`, `blackout`, `partition`, `reorg`, `equivocate`,
 //! `junk`, `withhold`.
+//!
+//! Protocols (`run` only): `sleepy` (default — Algorithm 1 with
+//! expiration η) and `quorum` (the fixed-quorum BFT baseline; honest-only,
+//! so only the delivery-control adversaries `silent` / `blackout` /
+//! `partition` apply, and `--eta` is ignored).
 
 use sleepy_tob::prelude::*;
 use sleepy_tob::sim::adversary::{Adversary, JunkVoter, WithholdingLeader};
@@ -82,6 +87,17 @@ fn make_adversary(name: &str) -> Option<Box<dyn Adversary>> {
     })
 }
 
+/// The quorum baseline is honest-only: the strategies that make sense
+/// against it are the pure delivery-control ones.
+fn make_adversary_quorum(name: &str) -> Option<Box<dyn Adversary<QuorumProcess>>> {
+    Some(match name {
+        "silent" => Box::new(SilentAdversary),
+        "blackout" => Box::new(BlackoutAdversary),
+        "partition" => Box::new(PartitionAttacker::new()),
+        _ => return None,
+    })
+}
+
 fn cmd_run(args: &Args) -> ExitCode {
     let n: usize = args.get("n", 16);
     let eta: u64 = args.get("eta", 4);
@@ -91,11 +107,19 @@ fn cmd_run(args: &Args) -> ExitCode {
     let byz: usize = args.get("byz", 0);
     let txs: u64 = args.get("txs", 4);
     let adversary_name = args.opt("adversary").unwrap_or("silent");
-
-    let Some(adversary) = make_adversary(adversary_name) else {
-        eprintln!("unknown adversary {adversary_name:?}");
+    let protocol = args.opt("protocol").unwrap_or("sleepy");
+    if !matches!(protocol, "sleepy" | "quorum") {
+        eprintln!("unknown protocol {protocol:?} (expected sleepy|quorum)");
         return ExitCode::from(2);
-    };
+    }
+    if protocol == "quorum" && byz > 0 {
+        // Corrupted machines' output is discarded and the honest-only
+        // baseline's adversaries never speak for them, so --byz would
+        // just shrink the voter set below the fixed quorum forever —
+        // a misleading "stalls everything" result, not a comparison.
+        eprintln!("--byz does not apply to the honest-only quorum baseline");
+        return ExitCode::from(2);
+    }
     let params = match Params::builder(n)
         .expiration(eta)
         .churn_rate(churn.min(0.32))
@@ -137,10 +161,32 @@ fn cmd_run(args: &Args) -> ExitCode {
         config = config.async_window(AsyncWindow::new(Round::new(at), pi));
     }
 
-    let report = SimBuilder::from_config(config)
-        .schedule(schedule)
-        .adversary_boxed(adversary)
-        .run();
+    let report = match protocol {
+        "quorum" => {
+            let Some(adversary) = make_adversary_quorum(adversary_name) else {
+                eprintln!(
+                    "adversary {adversary_name:?} is unknown or does not apply to the \
+                     honest-only quorum baseline (try silent|blackout|partition)"
+                );
+                return ExitCode::from(2);
+            };
+            SimBuilder::<QuorumProcess>::for_protocol_config(config)
+                .schedule(schedule)
+                .adversary_boxed(adversary)
+                .run()
+        }
+        _ => {
+            let Some(adversary) = make_adversary(adversary_name) else {
+                eprintln!("unknown adversary {adversary_name:?}");
+                return ExitCode::from(2);
+            };
+            SimBuilder::from_config(config)
+                .schedule(schedule)
+                .adversary_boxed(adversary)
+                .run()
+        }
+    };
+    println!("protocol             : {protocol}");
     println!("adversary            : {}", report.adversary);
     println!("rounds               : 0..={}", report.rounds_run);
     println!("decision events      : {}", report.decisions_total);

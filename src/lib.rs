@@ -22,8 +22,8 @@
 //! | [`blocktree`] | `st-blocktree` | logs as chains in a block tree |
 //! | [`messages`] | `st-messages` | votes/proposals, expiration-window stores |
 //! | [`ga`] | `st-ga` | graded agreement (Figures 2–3, Lemma 1) |
-//! | [`core`] | `st-core` | Algorithm 1 with expiration (the contribution) |
-//! | [`sim`] | `st-sim` | sleepy-model simulator, adversaries, monitors |
+//! | [`core`] | `st-core` | Algorithm 1 with expiration (the contribution); the `Protocol` trait + the fixed-quorum baseline |
+//! | [`sim`] | `st-sim` | sleepy-model simulator (generic over `Protocol`), adversaries, monitors |
 //! | [`analysis`] | `st-analysis` | Figure-1 formulas, Eq. 1–5 checkers |
 //!
 //! # Quickstart
@@ -100,10 +100,17 @@ pub use st_types as types;
 /// trace types they produce — plus the
 /// [`Adversary`](st_sim::Adversary) trait itself with its context and
 /// message types, so a custom strategy compiles from the prelude alone.
+/// The protocol layer is here too: the [`Protocol`](st_core::Protocol)
+/// trait, both implementors ([`TobProcess`](st_core::TobProcess) and the
+/// fixed-quorum [`QuorumProcess`](st_core::QuorumProcess) baseline) and
+/// [`Sweep::compare`](st_sim::Sweep::compare)'s
+/// [`SweepComparison`](st_sim::SweepComparison), so head-to-head
+/// experiments build from the prelude alone
+/// (`examples/baseline_comparison.rs`).
 pub mod prelude {
     pub use st_analysis::{beta_tilde, beta_tilde_two_thirds, check_conditions};
     pub use st_blocktree::{Block, BlockTree};
-    pub use st_core::{DecisionEvent, TobConfig, TobProcess};
+    pub use st_core::{DecisionEvent, Protocol, QuorumProcess, TobConfig, TobProcess};
     pub use st_ga::{tally, GaInstance, GaOutput, Thresholds};
     pub use st_messages::{Envelope, Payload, Propose, Vote, VoteStore};
     pub use st_sim::adversary::{
@@ -114,8 +121,8 @@ pub mod prelude {
     pub use st_sim::{
         Adversary, AdversaryCtx, AsyncWindow, BuildError, EnvView, ObsCtx, Observer, Recipients,
         RecoveryRecord, RoundSample, RoundTrace, SafetyViolation, Schedule, SegmentKind,
-        SentMessage, SimBuilder, SimConfig, SimEvent, SimReport, Simulation, Sweep, SweepReports,
-        TargetedMessage, Timeline, TxRecord, ViolationKind,
+        SentMessage, SimBuilder, SimConfig, SimEvent, SimReport, Simulation, Sweep,
+        SweepComparison, SweepReports, TargetedMessage, Timeline, TxRecord, ViolationKind,
     };
     pub use st_types::{BlockId, Grade, Params, ProcessId, Round, RoundKind, TxId, View};
 }
