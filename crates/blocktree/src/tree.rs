@@ -330,7 +330,7 @@ impl BlockTree {
             // Parent must exist: other is a valid tree and we insert in
             // height order.
             self.insert_or_get(node.block.clone())
-                .expect("absorb preserves parent-before-child order");
+                .expect("absorb preserves parent-before-child order"); // stlint::allow(panic, reason = "missing nodes are inserted in ascending height order out of a valid tree, so each parent is present by the time its child arrives")
         }
     }
 

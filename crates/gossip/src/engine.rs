@@ -1,8 +1,7 @@
 //! Hop-by-hop push gossip with relay retention and node sleep.
 
 use crate::topology::Topology;
-use st_types::ProcessId;
-use std::collections::HashSet;
+use st_types::{FastSet, ProcessId};
 
 /// Identifier of a message injected into the gossip layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -19,7 +18,9 @@ impl MessageId {
 /// awake.
 #[derive(Clone, Debug, Default)]
 struct NodeState {
-    seen: HashSet<MessageId>,
+    /// `FastSet`, not `std` `HashSet`: retained-message replay iterates
+    /// this set, and replay order must not depend on `RandomState`.
+    seen: FastSet<MessageId>,
     /// Messages received in the previous hop, still to be pushed.
     frontier: Vec<MessageId>,
     asleep: bool,
@@ -93,7 +94,12 @@ impl GossipEngine {
             return;
         }
         self.nodes[p.index()].asleep = false;
-        self.nodes[p.index()].frontier = self.nodes[p.index()].seen.iter().copied().collect();
+        // Canonical (sorted) replay order: set iteration order is an
+        // implementation detail and must never leak into the hop
+        // schedule.
+        let mut replay: Vec<MessageId> = self.nodes[p.index()].seen.iter().copied().collect();
+        replay.sort_unstable();
+        self.nodes[p.index()].frontier = replay;
         // Peer re-push: each awake peer sends its whole seen-cache to the
         // woken node (counted as transmissions — retention isn't free).
         let peers: Vec<usize> = self
@@ -104,7 +110,8 @@ impl GossipEngine {
             .filter(|&q| !self.nodes[q].asleep)
             .collect();
         for q in peers {
-            let pushed: Vec<MessageId> = self.nodes[q].seen.iter().copied().collect();
+            let mut pushed: Vec<MessageId> = self.nodes[q].seen.iter().copied().collect();
+            pushed.sort_unstable();
             self.transmissions += pushed.len();
             let node = &mut self.nodes[p.index()];
             for msg in pushed {

@@ -167,7 +167,7 @@ impl Topology {
                     }
                 }
             }
-            let max = *dist.iter().max().expect("n ≥ 1");
+            let max = dist.iter().copied().max().unwrap_or(0);
             if max == usize::MAX {
                 return None;
             }

@@ -1,0 +1,211 @@
+//! Diagnostics: rule identities, reporting, and `--json` serialization.
+
+use std::fmt;
+
+/// The rule families `stlint` enforces. Each has a short id (used in
+/// reports) and a mnemonic slug (accepted interchangeably in
+/// `stlint::allow(...)` annotations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No `std::collections::{HashMap,HashSet}` in non-test code of
+    /// protocol/sim crates (randomized iteration order breaks
+    /// byte-reproducibility) — use `st_types::fasthash` or `BTreeMap`.
+    D1,
+    /// No wall-clock (`std::time::{Instant,SystemTime}`) or OS entropy
+    /// (`thread_rng`, `OsRng`, `RandomState`, …) outside `st-bench` and
+    /// tests.
+    D2,
+    /// No bare `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in protocol-crate non-test code without an
+    /// allow-with-reason stating the invariant.
+    P1,
+    /// `unsafe` is forbidden everywhere outside `third_party/`.
+    U1,
+    /// `Cargo.toml` layering: dependencies must point strictly down the
+    /// crate stack; `criterion` only in `st-bench` dev-deps; nothing
+    /// depends on `st-bench`; externals restricted to the offline
+    /// `third_party/` set.
+    L1,
+    /// Allow-annotation hygiene: `stlint::allow(...)` must name a known
+    /// rule and carry a non-empty `reason = "..."`.
+    A1,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::D1,
+    RuleId::D2,
+    RuleId::P1,
+    RuleId::U1,
+    RuleId::L1,
+    RuleId::A1,
+];
+
+impl RuleId {
+    /// Short id, e.g. `"D1"`.
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::P1 => "P1",
+            RuleId::U1 => "U1",
+            RuleId::L1 => "L1",
+            RuleId::A1 => "A1",
+        }
+    }
+
+    /// Mnemonic slug, e.g. `"hashmap"`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::D1 => "hashmap",
+            RuleId::D2 => "wallclock",
+            RuleId::P1 => "panic",
+            RuleId::U1 => "unsafe",
+            RuleId::L1 => "layering",
+            RuleId::A1 => "allow",
+        }
+    }
+
+    /// One-line description for `stlint rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "std HashMap/HashSet banned in protocol/sim non-test code (use st_types::fasthash)"
+            }
+            RuleId::D2 => "wall-clock and OS entropy banned outside st-bench and tests",
+            RuleId::P1 => {
+                "unwrap/expect/panic!/unreachable! in protocol non-test code need allow-with-reason"
+            }
+            RuleId::U1 => "unsafe forbidden outside third_party/",
+            RuleId::L1 => "Cargo.toml dependency layering and offline third_party policy",
+            RuleId::A1 => "stlint::allow annotations must name a known rule and give a reason",
+        }
+    }
+
+    /// Resolves an id or slug as written in an allow annotation.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.key().eq_ignore_ascii_case(s) || r.slug() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.key(), self.slug())
+    }
+}
+
+/// One finding: rule, location, and a message saying what to do instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        rule: RuleId,
+        file: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a check run as a JSON object (`--json`): schema version,
+/// scan summary, and the diagnostics array. Hand-rolled — the linter is
+/// dependency-free by design.
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"slug\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule.key(),
+            d.rule.slug(),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parse_accepts_id_and_slug() {
+        assert_eq!(RuleId::parse("P1"), Some(RuleId::P1));
+        assert_eq!(RuleId::parse("p1"), Some(RuleId::P1));
+        assert_eq!(RuleId::parse("panic"), Some(RuleId::P1));
+        assert_eq!(RuleId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic::new(RuleId::U1, "a\"b.rs", 3, "say \"no\"")];
+        let json = to_json(&diags, 7);
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("say \\\"no\\\""));
+    }
+
+    #[test]
+    fn empty_diags_render_empty_array() {
+        let json = to_json(&[], 0);
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+}

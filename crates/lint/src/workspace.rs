@@ -1,0 +1,290 @@
+//! Workspace discovery and the full `check` / `deadpub` drivers.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, test_mask, TokenKind};
+use crate::manifest::{check_layering, parse_manifest};
+use crate::rules::{lint_source, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: generated output, the vendored stand-ins
+/// (the one place `unsafe`/wall-clock would be externally imposed), VCS
+/// internals, and lint fixture corpora (deliberate violations).
+const SKIP_DIRS: [&str; 5] = ["target", "third_party", ".git", "fixtures", "node_modules"];
+
+/// A source file queued for linting.
+#[derive(Clone, Debug)]
+struct SourceFile {
+    path: PathBuf,
+    rel_path: String,
+    crate_name: String,
+    test_file: bool,
+}
+
+/// Result of a full workspace check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Diagnostics across all files and manifests, sorted by path/line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Ascends from `start` to the enclosing workspace root: the nearest
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Enumerates the workspace's own packages: `crates/*` plus the root
+/// facade package. `third_party/` members are external stand-ins and are
+/// deliberately out of scope.
+fn enumerate_packages(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut packages = Vec::new();
+    if let Some(name) = package_name(&root.join("Cargo.toml")) {
+        packages.push((name, root.to_path_buf()));
+    }
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    for dir in dirs {
+        if let Some(name) = package_name(&dir.join("Cargo.toml")) {
+            packages.push((name, dir));
+        }
+    }
+    packages
+}
+
+fn package_name(manifest: &Path) -> Option<String> {
+    parse_manifest(&fs::read_to_string(manifest).ok()?).package_name
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Collects the `.rs` files of one package. Files under `tests/`,
+/// `benches/` or `examples/` are test files; `src/` is live code (its
+/// `#[cfg(test)]` regions are masked token-wise instead).
+fn package_sources(root: &Path, crate_name: &str, dir: &Path) -> Vec<SourceFile> {
+    let mut files = Vec::new();
+    for (sub, test_file) in [
+        ("src", false),
+        ("tests", true),
+        ("benches", true),
+        ("examples", true),
+    ] {
+        // For the root facade this scans only its own src/tests/examples
+        // dirs; crates/ members are handled per package.
+        let base = dir.join(sub);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut stack = vec![base];
+        while let Some(d) = stack.pop() {
+            let Ok(rd) = fs::read_dir(&d) else { continue };
+            let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+            entries.sort();
+            for p in entries {
+                let name = p
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if p.is_dir() {
+                    if !SKIP_DIRS.contains(&name.as_str()) {
+                        stack.push(p);
+                    }
+                } else if name.ends_with(".rs") {
+                    files.push(SourceFile {
+                        rel_path: rel(root, &p),
+                        path: p,
+                        crate_name: crate_name.to_string(),
+                        test_file,
+                    });
+                }
+            }
+        }
+    }
+    files
+}
+
+/// Runs every rule family over the whole workspace.
+pub fn check_workspace(root: &Path) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (crate_name, dir) in enumerate_packages(root) {
+        let manifest_path = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest_path) {
+            report.diagnostics.extend(check_layering(
+                &rel(root, &manifest_path),
+                &parse_manifest(&text),
+            ));
+        }
+        for f in package_sources(root, &crate_name, &dir) {
+            let Ok(src) = fs::read_to_string(&f.path) else {
+                continue;
+            };
+            report.files_scanned += 1;
+            let ctx = FileCtx {
+                rel_path: &f.rel_path,
+                crate_name: &f.crate_name,
+                test_file: f.test_file,
+            };
+            report.diagnostics.extend(lint_source(&ctx, &src));
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// One entry of the advisory dead-public-API sweep.
+#[derive(Clone, Debug)]
+pub struct DeadPubEntry {
+    /// Defining crate.
+    pub crate_name: String,
+    /// `pub fn` name.
+    pub name: String,
+    /// Definition site.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Reference count outside the defining file (test and non-test).
+    pub refs_elsewhere: usize,
+    /// References from non-test code outside the defining file.
+    pub live_refs: usize,
+}
+
+/// Advisory sweep: `pub fn`s in crate `src/` trees and where (if
+/// anywhere) they are referenced. Name-based, so trait impls and macro
+/// uses can inflate counts — it flags candidates for removal or
+/// deprecation, it does not gate.
+pub fn dead_public_fns(root: &Path) -> Vec<DeadPubEntry> {
+    struct Occurrence {
+        file: String,
+        live: bool,
+    }
+    let mut defs: Vec<DeadPubEntry> = Vec::new();
+    let mut refs: BTreeMap<String, Vec<Occurrence>> = BTreeMap::new();
+    for (crate_name, dir) in enumerate_packages(root) {
+        for f in package_sources(root, &crate_name, &dir) {
+            let Ok(src) = fs::read_to_string(&f.path) else {
+                continue;
+            };
+            let lexed = lex(&src);
+            let mask = test_mask(&lexed.tokens);
+            for (i, t) in lexed.tokens.iter().enumerate() {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                // Definition: `pub fn name` (not `pub(crate) fn`, which
+                // is not public API) in non-test src code.
+                let is_def = !f.test_file
+                    && !mask[i]
+                    && t.is_ident("fn")
+                    && i >= 1
+                    && lexed.tokens[i - 1].is_ident("pub")
+                    && lexed.tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident);
+                if is_def {
+                    let name_tok = &lexed.tokens[i + 1];
+                    if name_tok.text != "main" {
+                        defs.push(DeadPubEntry {
+                            crate_name: crate_name.clone(),
+                            name: name_tok.text.clone(),
+                            file: f.rel_path.clone(),
+                            line: name_tok.line,
+                            refs_elsewhere: 0,
+                            live_refs: 0,
+                        });
+                    }
+                }
+                // Reference: any other occurrence of the identifier not
+                // directly following `fn` (i.e. not a definition).
+                let follows_fn = i >= 1 && lexed.tokens[i - 1].is_ident("fn");
+                if !follows_fn {
+                    refs.entry(t.text.clone()).or_default().push(Occurrence {
+                        file: f.rel_path.clone(),
+                        live: !f.test_file && !mask[i],
+                    });
+                }
+            }
+        }
+    }
+    let mut out: Vec<DeadPubEntry> = defs
+        .into_iter()
+        .map(|mut d| {
+            if let Some(occ) = refs.get(&d.name) {
+                d.refs_elsewhere = occ.iter().filter(|o| o.file != d.file).count();
+                d.live_refs = occ.iter().filter(|o| o.file != d.file && o.live).count();
+            }
+            d
+        })
+        .filter(|d| d.refs_elsewhere == 0 || d.live_refs == 0)
+        .collect();
+    // Dedup overload-looking repeats (same name defined in several
+    // impls/files appears once per site, which is what we want); sort
+    // for stable output.
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut seen = BTreeSet::new();
+    out.retain(|d| seen.insert((d.file.clone(), d.line, d.name.clone())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        find_workspace_root(&here).expect("lint crate lives inside the workspace")
+    }
+
+    #[test]
+    fn finds_workspace_root_from_nested_dir() {
+        let root = repo_root();
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn enumerates_facade_and_members() {
+        let names: Vec<String> = enumerate_packages(&repo_root())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(names.contains(&"sleepy-tob".to_string()));
+        assert!(names.contains(&"st-core".to_string()));
+        assert!(names.contains(&"st-lint".to_string()));
+        assert!(!names.iter().any(|n| n.contains("serde")));
+    }
+
+    #[test]
+    fn scan_skips_fixtures_and_third_party() {
+        let root = repo_root();
+        for (crate_name, dir) in enumerate_packages(&root) {
+            for f in package_sources(&root, &crate_name, &dir) {
+                assert!(!f.rel_path.contains("fixtures/"), "{}", f.rel_path);
+                assert!(!f.rel_path.starts_with("third_party/"), "{}", f.rel_path);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixture-driven self-tests: one passing and one failing specimen per
+//! rule family, with exact file/line assertions, plus the meta-test that
+//! the live workspace is lint-clean.
+//!
+//! The fixtures live under `tests/fixtures/`, which the workspace walker
+//! deliberately skips — they exist to be linted *by hand* with a chosen
+//! [`FileCtx`], as if they belonged to any crate.
+
+use st_lint::manifest::{check_layering, parse_manifest};
+use st_lint::{check_workspace, find_workspace_root, lint_source, Diagnostic, FileCtx, RuleId};
+
+fn protocol_ctx(rel_path: &str) -> FileCtx<'_> {
+    FileCtx {
+        rel_path,
+        crate_name: "st-core",
+        test_file: false,
+    }
+}
+
+fn lines_of(diags: &[Diagnostic], rule: RuleId) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn d1_fixture_fails_on_each_table_site() {
+    let src = include_str!("fixtures/d1_fail.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/d1_fail.rs"), src);
+    // Line 3: imported HashMap; line 4: HashSet inside a brace group
+    // (BTreeMap in the same group stays legal); line 7: fully-qualified
+    // path use.
+    assert_eq!(lines_of(&diags, RuleId::D1), vec![3, 4, 7]);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags[0].message.contains("FastMap"));
+    assert!(diags[0].file.contains("d1_fail.rs"));
+}
+
+#[test]
+fn d1_fixture_passes_with_fasthash_and_test_confined_tables() {
+    let src = include_str!("fixtures/d1_pass.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/d1_pass.rs"), src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d1_is_scoped_to_protocol_crates() {
+    let src = include_str!("fixtures/d1_fail.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/d1_fail.rs",
+        crate_name: "st-analysis",
+        test_file: false,
+    };
+    assert!(lines_of(&lint_source(&ctx, src), RuleId::D1).is_empty());
+}
+
+#[test]
+fn d2_fixture_fails_on_clock_and_entropy() {
+    let src = include_str!("fixtures/d2_fail.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/d2_fail.rs",
+        crate_name: "st-sim",
+        test_file: false,
+    };
+    let diags = lint_source(&ctx, src);
+    // Line 3: Instant import; line 6: SystemTime::now() path; line 8:
+    // thread_rng (OS entropy).
+    assert_eq!(lines_of(&diags, RuleId::D2), vec![3, 6, 8]);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+}
+
+#[test]
+fn d2_fixture_is_exempt_in_st_bench() {
+    let src = include_str!("fixtures/d2_fail.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/d2_fail.rs",
+        crate_name: "st-bench",
+        test_file: false,
+    };
+    assert!(lines_of(&lint_source(&ctx, src), RuleId::D2).is_empty());
+}
+
+#[test]
+fn d2_fixture_passes_when_seeded_and_test_confined() {
+    let src = include_str!("fixtures/d2_pass.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/d2_pass.rs",
+        crate_name: "st-sim",
+        test_file: false,
+    };
+    let diags = lint_source(&ctx, src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn p1_fixture_fails_on_each_panic_site() {
+    let src = include_str!("fixtures/p1_fail.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/p1_fail.rs"), src);
+    // Line 4: .unwrap(); line 6: panic!; line 9: unreachable!.
+    assert_eq!(lines_of(&diags, RuleId::P1), vec![4, 6, 9]);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains(".unwrap()")));
+    assert!(diags.iter().any(|d| d.message.contains("panic!")));
+}
+
+#[test]
+fn p1_fixture_passes_with_fallible_returns_and_reasoned_allow() {
+    let src = include_str!("fixtures/p1_pass.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/p1_pass.rs"), src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn u1_fixture_fails_on_the_unsafe_keyword() {
+    let src = include_str!("fixtures/u1_fail.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/u1_fail.rs"), src);
+    assert_eq!(lines_of(&diags, RuleId::U1), vec![4]);
+}
+
+#[test]
+fn u1_fires_even_in_test_files() {
+    let src = include_str!("fixtures/u1_fail.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/u1_fail.rs",
+        crate_name: "st-lint",
+        test_file: true,
+    };
+    assert_eq!(lines_of(&lint_source(&ctx, src), RuleId::U1), vec![4]);
+}
+
+#[test]
+fn u1_fixture_ignores_unsafe_in_comments_and_strings() {
+    let src = include_str!("fixtures/u1_pass.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/u1_pass.rs"), src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn a1_rejects_reasonless_allows_and_keeps_the_finding() {
+    let src = include_str!("fixtures/a1_no_reason.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/a1_no_reason.rs"), src);
+    // Each of the three bad annotations (no reason, empty reason,
+    // unknown rule) earns an A1 — and suppresses nothing, so the
+    // underlying P1 finding on the same line survives.
+    assert_eq!(lines_of(&diags, RuleId::A1), vec![5, 9, 13]);
+    assert_eq!(lines_of(&diags, RuleId::P1), vec![5, 9, 13]);
+    assert_eq!(diags.len(), 6, "{diags:?}");
+}
+
+#[test]
+fn l1_fixture_fails_on_every_illegal_dependency() {
+    let m = parse_manifest(include_str!("fixtures/layering_bad.toml"));
+    assert_eq!(m.package_name.as_deref(), Some("st-types"));
+    let diags = check_layering("fixtures/layering_bad.toml", &m);
+    // st-core (upward), st-bench (forbidden target), regex (unknown
+    // external), criterion (outside st-bench dev-deps), proptest
+    // (non-dev) — one finding each, on the dependency's own line.
+    assert_eq!(lines_of(&diags, RuleId::L1), vec![8, 9, 10, 11, 12]);
+    assert!(diags.iter().any(|d| d.message.contains("strictly below")));
+    assert!(diags.iter().any(|d| d.message.contains("st-bench")));
+    assert!(diags.iter().any(|d| d.message.contains("`regex`")));
+    assert!(diags.iter().any(|d| d.message.contains("criterion")));
+    assert!(diags.iter().any(|d| d.message.contains("dev-dependencies")));
+}
+
+#[test]
+fn l1_fixture_passes_a_conforming_manifest() {
+    let m = parse_manifest(include_str!("fixtures/layering_good.toml"));
+    let diags = check_layering("fixtures/layering_good.toml", &m);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let here = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(&here).expect("test runs inside the workspace");
+    let report = check_workspace(&root);
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must stay lint-clean; run `cargo run -p st-lint -- check`:\n{:#?}",
+        report.diagnostics
+    );
+    // Sanity: the walk actually visited the tree (all ten st-* crates
+    // plus the facade contribute sources).
+    assert!(report.files_scanned > 50, "{}", report.files_scanned);
+}

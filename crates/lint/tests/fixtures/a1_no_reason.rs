@@ -1,0 +1,14 @@
+//! A1 failing fixture: allow annotations that are rejected — and that
+//! therefore suppress nothing, so the underlying P1 findings survive.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // stlint::allow(panic)
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).unwrap() // stlint::allow(panic, reason = "")
+}
+
+pub fn third(xs: &[u32]) -> u32 {
+    *xs.get(2).unwrap() // stlint::allow(frobnicate, reason = "no such rule")
+}

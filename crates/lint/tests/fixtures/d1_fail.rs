@@ -1,0 +1,13 @@
+//! D1 failing fixture: std hash tables in protocol non-test code.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::<u32, u32>::new();
+    let _ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    for k in keys {
+        seen.insert(*k, 1);
+    }
+    seen.len()
+}

@@ -1,0 +1,28 @@
+//! D1 passing fixture: deterministic tables in live code; std tables
+//! confined to the test module, where iteration order can't leak into
+//! protocol state.
+
+use st_types::{FastMap, FastSet};
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: FastSet<u32> = FastSet::default();
+    for k in keys {
+        seen.insert(*k);
+    }
+    let _by_key: FastMap<u32, u32> = FastMap::default();
+    let _ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_std_tables() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 1u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! D2 failing fixture: wall-clock reads and OS entropy in live code.
+
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    0
+}

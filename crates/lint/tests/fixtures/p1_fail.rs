@@ -1,0 +1,12 @@
+//! P1 failing fixture: bare panic-family calls in protocol code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    if *first == 0 {
+        panic!("zero head");
+    }
+    match xs.len() {
+        0 => unreachable!(),
+        _ => *first,
+    }
+}

@@ -1,0 +1,11 @@
+//! P1 passing fixture: fallible returns, or annotated expects whose
+//! reason states the invariant.
+
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn checked_head(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty(), "caller guarantees a non-empty slice");
+    *xs.first().expect("asserted non-empty above") // stlint::allow(panic, reason = "the assert on the previous line guarantees the slice is non-empty")
+}

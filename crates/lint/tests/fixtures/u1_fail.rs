@@ -1,0 +1,5 @@
+//! U1 failing fixture: an unsafe block.
+
+pub fn reinterpret(x: u64) -> i64 {
+    unsafe { std::mem::transmute::<u64, i64>(x) }
+}

@@ -1,0 +1,7 @@
+//! U1 passing fixture: the word "unsafe" in comments and strings is
+//! inert — only the keyword as a token counts.
+
+pub fn describe() -> &'static str {
+    // This comment says unsafe and that is fine.
+    "nothing unsafe here"
+}

@@ -74,22 +74,21 @@ impl VoteStore {
                 self.distinct_votes += 1;
                 InsertOutcome::Recorded
             }
-            Some(RoundRecord::Single(tip)) if *tip == vote.tip() => InsertOutcome::Duplicate,
-            Some(rec @ RoundRecord::Single(_)) => {
-                let RoundRecord::Single(first) = *rec else {
-                    unreachable!()
-                };
-                *rec = RoundRecord::Equivocated(first, vote.tip());
-                self.distinct_votes += 1;
-                InsertOutcome::Equivocation
-            }
-            Some(RoundRecord::Equivocated(a, b)) => {
-                if *a == vote.tip() || *b == vote.tip() {
-                    InsertOutcome::Duplicate
-                } else {
+            Some(rec) => match *rec {
+                RoundRecord::Single(tip) if tip == vote.tip() => InsertOutcome::Duplicate,
+                RoundRecord::Single(first) => {
+                    *rec = RoundRecord::Equivocated(first, vote.tip());
+                    self.distinct_votes += 1;
                     InsertOutcome::Equivocation
                 }
-            }
+                RoundRecord::Equivocated(a, b) => {
+                    if a == vote.tip() || b == vote.tip() {
+                        InsertOutcome::Duplicate
+                    } else {
+                        InsertOutcome::Equivocation
+                    }
+                }
+            },
         }
     }
 

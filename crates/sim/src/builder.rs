@@ -244,7 +244,7 @@ impl<P: Protocol> SimBuilder<P> {
     /// library code that wants to handle configuration errors should call
     /// [`SimBuilder::build`] instead.
     pub fn run(self) -> SimReport {
-        self.build().unwrap_or_else(|e| panic!("{e}")).run()
+        self.build().unwrap_or_else(|e| panic!("{e}")).run() // stlint::allow(panic, reason = "documented panic contract of this convenience entry point; the fallible path is build()")
     }
 }
 

@@ -75,7 +75,7 @@ impl EnvWindow {
     pub fn ra(&self) -> Round {
         self.start
             .prev()
-            .expect("window start > 0 enforced at build")
+            .expect("window start > 0 enforced at build") // stlint::allow(panic, reason = "Timeline window constructors reject windows starting at round 0, so prev() always exists")
     }
 
     /// Window length in rounds (always ≥ 1 — the builders reject empty

@@ -252,7 +252,7 @@ pub(crate) struct SafetyMonitor {
     /// normalised, mapped to their entry in `violations` — the same pair
     /// of conflicting logs is reported once, not once per re-decision of
     /// either side.
-    recorded: std::collections::HashMap<(u32, u64, u32, u64), usize>,
+    recorded: st_types::FastMap<(u32, u64, u32, u64), usize>,
     pub(crate) violations: Vec<SafetyViolation>,
 }
 

@@ -345,7 +345,7 @@ impl ResilienceObserver {
                 ResilienceMonitor::new(
                     d.start
                         .prev()
-                        .expect("timeline windows start after round 0"),
+                        .expect("timeline windows start after round 0"), // stlint::allow(panic, reason = "Timeline window constructors reject windows starting at round 0, so prev() always exists")
                 )
             })
             .collect();

@@ -21,7 +21,14 @@ use crate::env::Timeline;
 use crate::monitor::SimReport;
 use crate::runner::SimConfig;
 use crate::schedule::Schedule;
-use st_types::{Params, Round};
+use st_types::{Params, Round, TypesError};
+
+/// Unwraps a preset's parameter build. Every [`Scenario`] arm feeds
+/// constants chosen to satisfy the [`Params`] validation rules, and the
+/// `all_presets_build` test exercises each arm.
+fn preset(params: Result<Params, TypesError>) -> Params {
+    params.expect("scenario presets are statically valid") // stlint::allow(panic, reason = "preset parameters are compile-time constants validated by the all_presets_build test")
+}
 
 /// Timeline preset: `k` asynchronous spells of `pi` rounds each,
 /// separated by `spacing` synchronous rounds (which also precede the
@@ -183,63 +190,63 @@ impl Scenario {
             u64,
         ) = match self {
             Scenario::Healthy => (
-                Params::builder(12).expiration(4).build().expect("valid"),
+                preset(Params::builder(12).expiration(4).build()),
                 Schedule::full(12, 40),
                 Box::new(SilentAdversary),
                 None,
                 40,
             ),
             Scenario::EthereumIncident => (
-                Params::builder(20).build().expect("valid"),
+                preset(Params::builder(20).build()),
                 Schedule::mass_sleep(20, 80, 0.6, 20, 60),
                 Box::new(SilentAdversary),
                 None,
                 80,
             ),
             Scenario::PartitionAttackVanilla => (
-                Params::builder(10).expiration(0).build().expect("valid"),
+                preset(Params::builder(10).expiration(0).build()),
                 Schedule::full(10, 30),
                 Box::new(PartitionAttacker::new()),
                 Some(Timeline::synchronous().asynchronous(Round::new(12), 4)),
                 30,
             ),
             Scenario::PartitionAttackExtended => (
-                Params::builder(10).expiration(6).build().expect("valid"),
+                preset(Params::builder(10).expiration(6).build()),
                 Schedule::full(10, 30),
                 Box::new(PartitionAttacker::new()),
                 Some(Timeline::synchronous().asynchronous(Round::new(12), 4)),
                 30,
             ),
             Scenario::ReorgAttackVanilla => (
-                Params::builder(10).expiration(0).build().expect("valid"),
+                preset(Params::builder(10).expiration(0).build()),
                 Schedule::full(10, 26).with_static_byzantine(3),
                 Box::new(ReorgAttacker::new()),
                 Some(Timeline::synchronous().asynchronous(Round::new(12), 1)),
                 26,
             ),
             Scenario::ReorgAttackExtended => (
-                Params::builder(10).expiration(4).build().expect("valid"),
+                preset(Params::builder(10).expiration(4).build()),
                 Schedule::full(10, 26).with_static_byzantine(3),
                 Box::new(ReorgAttacker::new()),
                 Some(Timeline::synchronous().asynchronous(Round::new(12), 1)),
                 26,
             ),
             Scenario::BlackoutExtended => (
-                Params::builder(10).expiration(5).build().expect("valid"),
+                preset(Params::builder(10).expiration(5).build()),
                 Schedule::full(10, 32),
                 Box::new(BlackoutAdversary),
                 Some(Timeline::synchronous().asynchronous(Round::new(12), 3)),
                 32,
             ),
             Scenario::AlternatingAsynchrony => (
-                Params::builder(10).expiration(6).build().expect("valid"),
+                preset(Params::builder(10).expiration(6).build()),
                 Schedule::full(10, 44),
                 Box::new(PartitionAttacker::new()),
                 Some(alternating(4, 11, 2)),
                 44,
             ),
             Scenario::PartialSynchrony => (
-                Params::builder(10).expiration(4).build().expect("valid"),
+                preset(Params::builder(10).expiration(4).build()),
                 Schedule::full(10, 40),
                 Box::new(SilentAdversary),
                 Some(gst(2, Round::new(21))),
@@ -260,7 +267,7 @@ impl Scenario {
     pub fn run(&self, seed: u64) -> SimReport {
         self.builder(seed)
             .build()
-            .expect("scenario presets are valid")
+            .expect("scenario presets are valid") // stlint::allow(panic, reason = "preset schedules and timelines are compile-time constants validated by the all_presets_build test")
             .run()
     }
 }
@@ -276,6 +283,15 @@ mod tests {
             assert!(!s.describe().is_empty());
         }
         assert_eq!(Scenario::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn all_presets_build() {
+        // Backs the allow(panic) annotations on `preset` and
+        // `Scenario::run`: every arm's constants pass validation.
+        for s in Scenario::ALL {
+            s.builder(1).build().unwrap();
+        }
     }
 
     #[test]

@@ -164,6 +164,9 @@ pub trait Arbitrary: fmt::Debug + Sized {
 
 macro_rules! impl_arbitrary_int {
     ($($t:ty),*) => {$(
+        // Identity cast for u64 itself, truncation/reinterpretation for
+        // the macro's other instantiations.
+        #[allow(trivial_numeric_casts)]
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t

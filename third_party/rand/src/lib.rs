@@ -30,6 +30,9 @@ pub trait SampleUniform: Copy {
 
 macro_rules! impl_sample_uniform {
     ($($t:ty),*) => {$(
+        // The casts are identities for u64 itself but conversions for
+        // the macro's other instantiations.
+        #[allow(trivial_numeric_casts)]
         impl SampleUniform for $t {
             fn to_u64(self) -> u64 { self as u64 }
             fn from_u64(v: u64) -> Self { v as $t }

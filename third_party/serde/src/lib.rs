@@ -101,6 +101,9 @@ macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
+                // The cast is an identity for u64 itself but widening for
+                // the rest of the macro's instantiations.
+                #[allow(trivial_numeric_casts)]
                 Value::U64(*self as u64)
             }
         }
@@ -123,6 +126,9 @@ macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
+                // Identity for i64 itself, widening for the other
+                // instantiations.
+                #[allow(trivial_numeric_casts)]
                 let n = *self as i64;
                 if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
             }
