@@ -28,8 +28,9 @@
 //! baseline fails to stall through any disruption cell, or if the sleepy
 //! protocol fails to stay safe, decide through the dips, and recover
 //! after every window. Results merge into `BENCH_sim.json` under
-//! `"exp_baseline_head_to_head"` (the committed file carries the
-//! full-grid run; CI regenerates a smoke variant as a build artifact).
+//! `"exp_baseline_head_to_head"` (smoke runs write to the separate
+//! `"exp_baseline_head_to_head_smoke"` section, so a `--smoke` pass can
+//! never overwrite the committed full-grid numbers).
 //!
 //! Run with
 //! `cargo run --release -p st-bench --bin exp_baseline_head_to_head [--smoke]`.
@@ -37,7 +38,7 @@
 
 use serde::Serialize;
 use st_analysis::Table;
-use st_bench::{emit, opt, write_bench_section};
+use st_bench::{bench_section, emit, opt, write_bench_section};
 use st_sim::adversary::{Adversary, PartitionAttacker, SilentAdversary};
 use st_sim::scenario::gst;
 use st_sim::{QuorumProcess, Schedule, SimBuilder, SimConfig, SimReport, Sweep, Timeline};
@@ -340,7 +341,7 @@ fn main() {
         smoke,
         cells,
     };
-    match write_bench_section("exp_baseline_head_to_head", &bench) {
+    match write_bench_section(&bench_section("exp_baseline_head_to_head", smoke), &bench) {
         Ok(()) => println!("\n[merged exp_baseline_head_to_head into BENCH_sim.json]"),
         Err(e) => println!("\n[could not write BENCH_sim.json: {e}]"),
     }

@@ -31,10 +31,9 @@
 //!
 //! Results are printed as a table, written as CSV next to the other
 //! experiments, and merged into `BENCH_sim.json` under the `"exp_scale"`
-//! key, preserving the other experiments' sections (the repo commits the
-//! full-grid run; CI regenerates and uploads a smoke-mode variant, marked
-//! `"smoke": true`, as a build artifact — it does not replace the
-//! committed full-grid numbers).
+//! key, preserving the other experiments' sections. Smoke runs write to
+//! the separate `"exp_scale_smoke"` section, so a `--smoke` pass can
+//! never overwrite the committed full-grid numbers.
 //!
 //! Run with `cargo run --release -p st-bench --bin exp_scale [--smoke]`.
 //! `--smoke` restricts the sweep to `n = 64, horizon = 100` (plus its
@@ -42,7 +41,7 @@
 
 use serde::Serialize;
 use st_analysis::Table;
-use st_bench::{emit, f3, write_bench_section};
+use st_bench::{bench_section, emit, f3, write_bench_section};
 use st_sim::adversary::SilentAdversary;
 use st_sim::{Schedule, SimBuilder, SimConfig, Sweep};
 use st_types::Params;
@@ -330,7 +329,7 @@ fn main() {
         comparison_cell: comparison,
         delivery,
     };
-    match write_bench_section("exp_scale", &bench) {
+    match write_bench_section(&bench_section("exp_scale", smoke), &bench) {
         Ok(()) => println!("\n[merged exp_scale into BENCH_sim.json]"),
         Err(e) => println!("\n[could not write BENCH_sim.json: {e}]"),
     }

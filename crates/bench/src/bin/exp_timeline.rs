@@ -22,9 +22,9 @@
 //! the per-window recovery latencies (mean and worst) and whether every
 //! window healed. Results are printed, written as CSV next to the other
 //! experiments, and merged into `BENCH_sim.json` under the
-//! `"exp_timeline"` key (the committed file carries the full-grid run; CI
-//! regenerates a smoke-mode variant, marked `"smoke": true`, as a build
-//! artifact).
+//! `"exp_timeline"` key (smoke runs write to the separate
+//! `"exp_timeline_smoke"` section, so a `--smoke` pass can never
+//! overwrite the committed full-grid numbers).
 //!
 //! Run with `cargo run --release -p st-bench --bin exp_timeline [--smoke]`.
 //! `--smoke` restricts the sweep to `n = 64` for CI (same horizon — the
@@ -32,7 +32,7 @@
 
 use serde::Serialize;
 use st_analysis::Table;
-use st_bench::{emit, f3, opt, write_bench_section};
+use st_bench::{bench_section, emit, f3, opt, write_bench_section};
 use st_sim::adversary::{Adversary, BlackoutAdversary, PartitionAttacker, SilentAdversary};
 use st_sim::scenario::{alternating, gst};
 use st_sim::{Schedule, SimBuilder, SimConfig, Sweep, Timeline};
@@ -222,7 +222,7 @@ fn main() {
         smoke,
         cells,
     };
-    match write_bench_section("exp_timeline", &bench) {
+    match write_bench_section(&bench_section("exp_timeline", smoke), &bench) {
         Ok(()) => println!("\n[merged exp_timeline into BENCH_sim.json]"),
         Err(e) => println!("\n[could not write BENCH_sim.json: {e}]"),
     }

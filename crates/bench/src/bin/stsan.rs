@@ -1,0 +1,239 @@
+//! **stsan** — the hasher-perturbation sanitizer.
+//!
+//! stlint's N1/iterorder rule is a static approximation: it flags
+//! unordered-map iteration whose order *syntactically* reaches an
+//! ordered sink, but no token-level analysis can prove the absence of
+//! every leak. `stsan` is the dynamic complement. It replays the
+//! simulator's guard grid — the same (adversary × schedule × η ×
+//! timeline × seed) cells the equivalence suites in
+//! `crates/sim/tests/determinism_equivalence.rs` drive — once with the
+//! default FxHash seed and again under several perturbed seeds
+//! ([`st_types::fasthash::set_hasher_seed`]). A perturbed seed scrambles
+//! every `FastMap`/`FastSet` bucket order in the process; if any
+//! iteration order leaks into protocol behaviour, some `SimReport`
+//! serialises differently and the run exits non-zero. Byte-identical
+//! reports across all seeds are the property every determinism suite in
+//! the workspace silently assumes — this binary is where it is
+//! falsified or certified.
+//!
+//! The verdict is written to `stsan.json` (uploaded by CI next to
+//! `stlint.json`).
+//!
+//! Run with `cargo run --release -p st-bench --bin stsan [--smoke]`.
+//! Full mode replays the whole grid under four perturbed seeds;
+//! `--smoke` uses two perturbed seeds for the CI gate.
+
+use serde::Serialize;
+use st_sim::adversary::{
+    Adversary, BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker,
+    SilentAdversary,
+};
+use st_sim::{ChurnOptions, Schedule, SimBuilder, SimConfig, Timeline};
+use st_types::fasthash::set_hasher_seed;
+use st_types::{Params, ProcessId, Round};
+use std::process::ExitCode;
+
+/// Perturbed FxHash seeds for full mode: arbitrary well-mixed odd
+/// constants, plus one adversarially low-entropy seed (a single bit) to
+/// catch leaks that only surface under near-degenerate bucket layouts.
+const PERTURBED_SEEDS: [u64; 4] = [
+    0x9e37_79b9_7f4a_7c15,
+    0x5851_f42d_4c95_7f2d,
+    0xdead_beef_cafe_f00d,
+    0x0000_0000_0000_0001,
+];
+
+fn params(n: usize, eta: u64) -> Params {
+    Params::builder(n)
+        .expiration(eta)
+        .build()
+        .expect("guard-grid params are valid")
+}
+
+fn adversary(name: &str) -> Box<dyn Adversary> {
+    match name {
+        "silent" => Box::new(SilentAdversary),
+        "blackout" => Box::new(BlackoutAdversary),
+        "partition" => Box::new(PartitionAttacker::new()),
+        "reorg" => Box::new(ReorgAttacker::new()),
+        "equivocator" => Box::new(EquivocatingVoter::new()),
+        other => unreachable!("unknown adversary {other}"),
+    }
+}
+
+fn schedule(name: &str, n: usize, horizon: u64) -> Schedule {
+    match name {
+        "full" => Schedule::full(n, horizon),
+        "mass-sleep" => Schedule::mass_sleep(n, horizon, 0.5, 6, 12),
+        "churn" => Schedule::random_churn(n, horizon, 0.05, 42, &ChurnOptions::default()),
+        "static-byz" => Schedule::full(n, horizon).with_static_byzantine(3),
+        "byz-window" => Schedule::full(n, horizon).with_corrupted_window(
+            ProcessId::new(1),
+            Round::new(6),
+            Round::new(14),
+        ),
+        other => unreachable!("unknown schedule {other}"),
+    }
+}
+
+/// The guard grid — kept in lockstep with `guard_grid()` in
+/// `crates/sim/tests/determinism_equivalence.rs`.
+fn guard_grid() -> Vec<(&'static str, &'static str, u64, Option<Timeline>, u64)> {
+    let multi = Timeline::synchronous()
+        .asynchronous(Round::new(10), 3)
+        .asynchronous(Round::new(20), 3);
+    let bounded = Timeline::synchronous().bounded_delay(Round::new(8), 8, 2);
+    vec![
+        ("silent", "full", 2, None, 51),
+        ("silent", "churn", 2, None, 52),
+        ("partition", "full", 0, Some(multi.clone()), 53),
+        ("partition", "full", 6, Some(multi), 54),
+        ("blackout", "mass-sleep", 4, Some(bounded.clone()), 55),
+        ("reorg", "static-byz", 4, Some(bounded), 56),
+        ("equivocator", "byz-window", 2, None, 57),
+    ]
+}
+
+/// Runs one grid cell from scratch and serialises its report. The
+/// simulation (and every FastMap/FastSet inside it) is constructed
+/// *after* the process-wide hasher seed is set, so the whole run sees
+/// the perturbed bucket order.
+fn run_cell(adv: &str, sched: &str, eta: u64, t: &Option<Timeline>, seed: u64) -> String {
+    let mut config = SimConfig::new(params(10, eta), seed)
+        .horizon(28)
+        .txs_every(4);
+    if let Some(t) = t {
+        config = config.timeline(t.clone());
+    }
+    let report = SimBuilder::from_config(config)
+        .schedule(schedule(sched, 10, 28))
+        .adversary_boxed(adversary(adv))
+        .run();
+    serde_json::to_string(&report).expect("SimReport serialises")
+}
+
+/// FNV-1a digest of a report's JSON — `stsan.json` records digests, not
+/// multi-kilobyte report bodies.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct CellVerdict {
+    adversary: String,
+    schedule: String,
+    eta: u64,
+    timeline: bool,
+    sim_seed: u64,
+    /// FNV-1a of the baseline (seed 0) report JSON.
+    baseline_digest: u64,
+    /// Digest under each perturbed hasher seed, in [`SanReport`] order.
+    perturbed_digests: Vec<u64>,
+    identical: bool,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct SanReport {
+    tool: &'static str,
+    version: u32,
+    smoke: bool,
+    hasher_seeds: Vec<u64>,
+    cells: Vec<CellVerdict>,
+    divergent_cells: usize,
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds: Vec<u64> = if smoke {
+        PERTURBED_SEEDS[..2].to_vec()
+    } else {
+        PERTURBED_SEEDS.to_vec()
+    };
+    let grid = guard_grid();
+
+    println!(
+        "stsan: replaying {} guard-grid cells under {} perturbed FxHash seed{}{}",
+        grid.len(),
+        seeds.len(),
+        if seeds.len() == 1 { "" } else { "s" },
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    // Baseline pass: the historic seed-0 hasher every committed number
+    // was produced under.
+    set_hasher_seed(0);
+    let baselines: Vec<String> = grid
+        .iter()
+        .map(|(adv, sched, eta, t, seed)| run_cell(adv, sched, *eta, t, *seed))
+        .collect();
+
+    // Perturbed passes: scramble bucket order process-wide, re-run the
+    // grid from scratch, compare byte-for-byte.
+    let mut cells: Vec<CellVerdict> = grid
+        .iter()
+        .zip(&baselines)
+        .map(|((adv, sched, eta, t, seed), base)| CellVerdict {
+            adversary: adv.to_string(),
+            schedule: sched.to_string(),
+            eta: *eta,
+            timeline: t.is_some(),
+            sim_seed: *seed,
+            baseline_digest: fnv1a(base),
+            perturbed_digests: Vec::new(),
+            identical: true,
+        })
+        .collect();
+    for &hseed in &seeds {
+        set_hasher_seed(hseed);
+        for (i, (adv, sched, eta, t, seed)) in grid.iter().enumerate() {
+            let json = run_cell(adv, sched, *eta, t, *seed);
+            cells[i].perturbed_digests.push(fnv1a(&json));
+            if json != baselines[i] {
+                cells[i].identical = false;
+                println!(
+                    "stsan: DIVERGENCE adversary={adv} schedule={sched} eta={eta} \
+                     sim_seed={seed} hasher_seed={hseed:#x}: report is not byte-identical \
+                     to the seed-0 baseline — an unordered-map iteration order is leaking \
+                     into protocol behaviour",
+                );
+            }
+        }
+    }
+    set_hasher_seed(0);
+
+    let divergent = cells.iter().filter(|c| !c.identical).count();
+    let report = SanReport {
+        tool: "stsan",
+        version: 1,
+        smoke,
+        hasher_seeds: seeds,
+        cells,
+        divergent_cells: divergent,
+    };
+    match serde_json::to_string_pretty(&report.to_value())
+        .map_err(|e| std::io::Error::other(e.to_string()))
+        .and_then(|json| std::fs::write("stsan.json", json + "\n"))
+    {
+        Ok(()) => println!("[written stsan.json]"),
+        Err(e) => println!("[could not write stsan.json: {e}]"),
+    }
+
+    if divergent == 0 {
+        println!(
+            "stsan: OK — all {} cells byte-identical under every perturbed hasher seed",
+            report.cells.len(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "stsan: FAIL — {divergent} of {} cells diverged under hasher perturbation",
+            report.cells.len(),
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -38,6 +38,19 @@ pub fn write_bench_section(section: &str, report: &impl Serialize) -> std::io::R
     write_bench_section_at(Path::new("BENCH_sim.json"), section, report)
 }
 
+/// The `BENCH_sim.json` section id for a run of experiment `base`.
+/// Smoke runs (`--smoke`, the reduced CI grids) land in a separate
+/// `<base>_smoke` section so they can never overwrite the committed
+/// full-grid numbers — before this, a CI smoke pass on a dirty checkout
+/// would silently clobber `exp_scale` et al. with reduced-grid data.
+pub fn bench_section(base: &str, smoke: bool) -> String {
+    if smoke {
+        format!("{base}_smoke")
+    } else {
+        base.to_string()
+    }
+}
+
 /// [`write_bench_section`] against an explicit path (tests and tools).
 pub fn write_bench_section_at(
     path: &Path,
@@ -109,6 +122,28 @@ mod tests {
     #[derive(serde::Serialize)]
     struct Fake {
         x: u64,
+    }
+
+    #[test]
+    fn smoke_runs_get_their_own_section() {
+        assert_eq!(bench_section("exp_scale", false), "exp_scale");
+        assert_eq!(bench_section("exp_scale", true), "exp_scale_smoke");
+        // End to end: a smoke write must leave the full-grid section alone.
+        let dir = std::env::temp_dir().join(format!("bench-smoke-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        write_bench_section_at(&path, &bench_section("exp_scale", false), &Fake { x: 64 }).unwrap();
+        write_bench_section_at(&path, &bench_section("exp_scale", true), &Fake { x: 8 }).unwrap();
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(matches!(
+            v.get("exp_scale").and_then(|s| s.get("x")),
+            Some(Value::U64(64))
+        ));
+        assert!(matches!(
+            v.get("exp_scale_smoke").and_then(|s| s.get("x")),
+            Some(Value::U64(8))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

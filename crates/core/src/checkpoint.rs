@@ -51,9 +51,12 @@ impl Checkpoint {
         let lo = taken_at.saturating_sub(eta + 1);
         let tree = process.tree();
         // Ship every block the process knows (side branches may still be
-        // voted on within the window). Height order ⇒ parents first.
+        // voted on within the window). Height order ⇒ parents first. The
+        // id tie-break matters: `block_ids()` walks a FastMap index in
+        // hasher-bucket order, and a stable sort by height alone would
+        // let that order leak into the shipped block sequence.
         let mut ids: Vec<BlockId> = tree.block_ids().filter(|b| !b.is_genesis()).collect();
-        ids.sort_by_key(|&b| tree.height(b).unwrap_or(0));
+        ids.sort_by_key(|&b| (tree.height(b).unwrap_or(0), b));
         let blocks = ids
             .into_iter()
             .filter_map(|id| tree.block(id).cloned())
@@ -83,6 +86,7 @@ impl Checkpoint {
 
     /// Number of blocks shipped.
     pub fn block_count(&self) -> usize {
+        // stlint::allow(deadpub, reason = "checkpoint size accessor paired with message_count; kept so wake-cost accounting can weigh blocks when the socket runtime lands")
         self.blocks.len()
     }
 

@@ -63,6 +63,7 @@ pub use thresholds::Thresholds;
 
 use st_blocktree::BlockTree;
 use st_messages::LatestVotes;
+use st_types::fasthash::iter_sorted;
 use st_types::FastMap;
 use st_types::{BlockId, Grade};
 
@@ -101,7 +102,7 @@ pub fn tally(tree: &BlockTree, votes: &LatestVotes, thresholds: Thresholds) -> G
     }
 
     let mut outputs: Vec<(BlockId, Grade)> = Vec::new();
-    for (&block, &s) in &support {
+    for (&block, &s) in iter_sorted(&support) {
         if thresholds.meets_grade1(s, m) {
             outputs.push((block, Grade::One));
         } else if thresholds.meets_grade0(s, m) {

@@ -1,6 +1,7 @@
 //! Hop-by-hop push gossip with relay retention and node sleep.
 
 use crate::topology::Topology;
+use st_types::fasthash::set_iter_sorted;
 use st_types::{FastSet, ProcessId};
 
 /// Identifier of a message injected into the gossip layer.
@@ -97,8 +98,9 @@ impl GossipEngine {
         // Canonical (sorted) replay order: set iteration order is an
         // implementation detail and must never leak into the hop
         // schedule.
-        let mut replay: Vec<MessageId> = self.nodes[p.index()].seen.iter().copied().collect();
-        replay.sort_unstable();
+        let replay: Vec<MessageId> = set_iter_sorted(&self.nodes[p.index()].seen)
+            .copied()
+            .collect();
         self.nodes[p.index()].frontier = replay;
         // Peer re-push: each awake peer sends its whole seen-cache to the
         // woken node (counted as transmissions — retention isn't free).
@@ -110,8 +112,7 @@ impl GossipEngine {
             .filter(|&q| !self.nodes[q].asleep)
             .collect();
         for q in peers {
-            let mut pushed: Vec<MessageId> = self.nodes[q].seen.iter().copied().collect();
-            pushed.sort_unstable();
+            let pushed: Vec<MessageId> = set_iter_sorted(&self.nodes[q].seen).copied().collect();
             self.transmissions += pushed.len();
             let node = &mut self.nodes[p.index()];
             for msg in pushed {

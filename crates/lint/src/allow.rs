@@ -80,6 +80,7 @@ pub fn collect_allows(
                     RuleId::A1,
                     file,
                     c.line,
+                    1,
                     format!("malformed stlint::allow annotation ({why}); it suppresses nothing"),
                 ));
             }

@@ -3,10 +3,10 @@
 //! ```text
 //! stlint check [--json] [--out FILE] [--root DIR]   lint the workspace; exit 1 on findings
 //! stlint rules                                      print the rule table
-//! stlint deadpub [--root DIR]                       advisory dead-public-API sweep
+//! stlint deadpub [--root DIR]                       dead-public-API check; exit 1 on findings
 //! ```
 
-use st_lint::{check_workspace, dead_public_fns, diag, find_workspace_root, ALL_RULES};
+use st_lint::{check_workspace, dead_public_diagnostics, diag, find_workspace_root, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -95,23 +95,20 @@ fn main() -> ExitCode {
             let Some(root) = resolve_root(root_arg) else {
                 return ExitCode::from(2);
             };
-            let entries = dead_public_fns(&root);
-            println!(
-                "advisory dead-public-API sweep (name-based; verify before deleting anything):"
-            );
-            for e in &entries {
-                let class = if e.refs_elsewhere == 0 {
-                    "no references outside its file"
-                } else {
-                    "only test/bench/example references"
-                };
-                println!(
-                    "  {}:{}: pub fn {} [{}] — {} ({} refs, {} live)",
-                    e.file, e.line, e.name, e.crate_name, class, e.refs_elsewhere, e.live_refs,
-                );
+            let diags = dead_public_diagnostics(&root);
+            for d in &diags {
+                println!("{d}");
             }
-            println!("  {} candidate(s)", entries.len());
-            ExitCode::SUCCESS
+            println!(
+                "stlint deadpub: {} unreferenced pub fn{}",
+                diags.len(),
+                plural(diags.len()),
+            );
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         other => {
             eprintln!("unknown subcommand `{other}`; try check, rules or deadpub");

@@ -29,16 +29,29 @@ pub enum RuleId {
     /// Allow-annotation hygiene: `stlint::allow(...)` must name a known
     /// rule and carry a non-empty `reason = "..."`.
     A1,
+    /// Nondeterminism flow: iterating a `FastMap`/`FastSet`/`HashMap`/
+    /// `HashSet` in protocol-crate non-test code where the iteration
+    /// order can reach an ordered sink (`push`/`extend`/`insert`/send
+    /// inside the loop body, or a `collect`/`fold`-style chain) — route
+    /// through `st_types::fasthash::{iter_sorted, into_sorted_vec}` or
+    /// state the order-insensitivity invariant in an allow.
+    N1,
+    /// Dead public API: a `pub fn` in crate `src/` with zero references
+    /// anywhere else in the workspace (item-graph resolved: occurrences
+    /// inside the defining function's own body don't count).
+    DP,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 8] = [
     RuleId::D1,
     RuleId::D2,
     RuleId::P1,
     RuleId::U1,
     RuleId::L1,
     RuleId::A1,
+    RuleId::N1,
+    RuleId::DP,
 ];
 
 impl RuleId {
@@ -51,6 +64,8 @@ impl RuleId {
             RuleId::U1 => "U1",
             RuleId::L1 => "L1",
             RuleId::A1 => "A1",
+            RuleId::N1 => "N1",
+            RuleId::DP => "DP",
         }
     }
 
@@ -63,6 +78,8 @@ impl RuleId {
             RuleId::U1 => "unsafe",
             RuleId::L1 => "layering",
             RuleId::A1 => "allow",
+            RuleId::N1 => "iterorder",
+            RuleId::DP => "deadpub",
         }
     }
 
@@ -79,6 +96,11 @@ impl RuleId {
             RuleId::U1 => "unsafe forbidden outside third_party/",
             RuleId::L1 => "Cargo.toml dependency layering and offline third_party policy",
             RuleId::A1 => "stlint::allow annotations must name a known rule and give a reason",
+            RuleId::N1 => {
+                "unordered-map iteration feeding an ordered sink in protocol non-test code \
+                 (use st_types::fasthash::iter_sorted/into_sorted_vec)"
+            }
+            RuleId::DP => "pub fn with zero workspace references (item-graph resolved)",
         }
     }
 
@@ -105,6 +127,9 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based byte column (1 when the finding has no finer location,
+    /// e.g. manifest-level L1). Part of the stable sort key.
+    pub col: u32,
     /// Human message.
     pub message: String,
 }
@@ -115,14 +140,22 @@ impl Diagnostic {
         rule: RuleId,
         file: impl Into<String>,
         line: u32,
+        col: u32,
         message: impl Into<String>,
     ) -> Diagnostic {
         Diagnostic {
             rule,
             file: file.into(),
             line,
+            col,
             message: message.into(),
         }
+    }
+
+    /// The byte-stable ordering every report surface uses:
+    /// (path, line, col, rule).
+    pub fn sort_key(&self) -> (&str, u32, u32, RuleId) {
+        (&self.file, self.line, self.col, self.rule)
     }
 }
 
@@ -130,8 +163,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -159,7 +192,7 @@ fn json_escape(s: &str) -> String {
 pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
@@ -167,11 +200,12 @@ pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"slug\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"slug\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
             d.rule.key(),
             d.rule.slug(),
             json_escape(&d.file),
             d.line,
+            d.col,
             json_escape(&d.message)
         ));
     }
@@ -196,9 +230,10 @@ mod tests {
 
     #[test]
     fn json_escapes_and_counts() {
-        let diags = vec![Diagnostic::new(RuleId::U1, "a\"b.rs", 3, "say \"no\"")];
+        let diags = vec![Diagnostic::new(RuleId::U1, "a\"b.rs", 3, 5, "say \"no\"")];
         let json = to_json(&diags, 7);
         assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"col\": 5"));
         assert!(json.contains("a\\\"b.rs"));
         assert!(json.contains("say \\\"no\\\""));
     }

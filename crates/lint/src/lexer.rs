@@ -28,7 +28,7 @@ pub enum TokenKind {
     Lifetime,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and column.
 #[derive(Clone, Debug)]
 pub struct Token {
     /// Kind of token.
@@ -38,6 +38,10 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based byte column the token starts on — diagnostics sort by
+    /// `(path, line, col, rule)`, so two findings on one line keep a
+    /// stable order.
+    pub col: u32,
 }
 
 impl Token {
@@ -85,6 +89,7 @@ pub fn lex(src: &str) -> Lexed {
         src: src.as_bytes(),
         pos: 0,
         line: 1,
+        line_start: 0,
         out: Lexed::default(),
     }
     .run()
@@ -94,6 +99,8 @@ struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
     line: u32,
+    /// Byte offset of the current line's first byte, for column tracking.
+    line_start: usize,
     out: Lexed,
 }
 
@@ -115,12 +122,23 @@ impl Lexer<'_> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         b
     }
 
-    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+    /// 1-based byte column of the current position.
+    fn cur_col(&self) -> u32 {
+        (self.pos - self.line_start + 1) as u32
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
     }
 
     fn run(mut self) -> Lexed {
@@ -138,8 +156,9 @@ impl Lexer<'_> {
                 _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
                 _ => {
                     let line = self.line;
+                    let col = self.cur_col();
                     let c = self.bump();
-                    self.push(TokenKind::Punct, (c as char).to_string(), line);
+                    self.push(TokenKind::Punct, (c as char).to_string(), line, col);
                 }
             }
         }
@@ -209,6 +228,7 @@ impl Lexer<'_> {
     /// A `"`-delimited string; `raw` disables backslash escapes.
     fn quoted_string(&mut self, raw: bool) {
         let line = self.line;
+        let col = self.cur_col();
         self.bump(); // opening quote
         while self.pos < self.src.len() {
             let b = self.bump();
@@ -219,13 +239,14 @@ impl Lexer<'_> {
                 self.bump(); // escaped char (covers \" and \\)
             }
         }
-        self.push(TokenKind::Literal, String::new(), line);
+        self.push(TokenKind::Literal, String::new(), line, col);
     }
 
     /// A raw string after its `r##…` prefix: `hashes` is the number of
     /// `#` marks; consumes through the matching `"##…` terminator.
     fn raw_string(&mut self, hashes: usize) {
         let line = self.line;
+        let col = self.cur_col();
         self.bump(); // opening quote
         'outer: while self.pos < self.src.len() {
             if self.bump() == b'"' {
@@ -240,11 +261,12 @@ impl Lexer<'_> {
                 break;
             }
         }
-        self.push(TokenKind::Literal, String::new(), line);
+        self.push(TokenKind::Literal, String::new(), line, col);
     }
 
     fn char_or_lifetime(&mut self) {
         let line = self.line;
+        let col = self.cur_col();
         self.bump(); // '\''
         let b = self.peek(0);
         if b == b'\\' {
@@ -255,7 +277,7 @@ impl Lexer<'_> {
                 self.bump();
             }
             self.bump(); // closing quote
-            self.push(TokenKind::Literal, String::new(), line);
+            self.push(TokenKind::Literal, String::new(), line, col);
         } else if is_ident_start(b) {
             // Could be 'a' (char) or 'a-lifetime. Consume the ident run,
             // then decide by whether a closing quote follows.
@@ -267,29 +289,30 @@ impl Lexer<'_> {
                 for _ in 0..=len {
                     self.bump();
                 }
-                self.push(TokenKind::Literal, String::new(), line);
+                self.push(TokenKind::Literal, String::new(), line, col);
             } else {
                 for _ in 0..len {
                     self.bump();
                 }
-                self.push(TokenKind::Lifetime, String::new(), line);
+                self.push(TokenKind::Lifetime, String::new(), line, col);
             }
         } else if b == b'\'' {
             // `''` — malformed; consume and move on.
             self.bump();
-            self.push(TokenKind::Literal, String::new(), line);
+            self.push(TokenKind::Literal, String::new(), line, col);
         } else {
             // Plain char literal like '+' or '0'.
             self.bump();
             if self.peek(0) == b'\'' {
                 self.bump();
             }
-            self.push(TokenKind::Literal, String::new(), line);
+            self.push(TokenKind::Literal, String::new(), line, col);
         }
     }
 
     fn number(&mut self) {
         let line = self.line;
+        let col = self.cur_col();
         self.bump();
         loop {
             let b = self.peek(0);
@@ -310,11 +333,12 @@ impl Lexer<'_> {
                 break;
             }
         }
-        self.push(TokenKind::Literal, String::new(), line);
+        self.push(TokenKind::Literal, String::new(), line, col);
     }
 
     fn ident_or_prefixed_literal(&mut self) {
         let line = self.line;
+        let col = self.cur_col();
         let start = self.pos;
         while is_ident_continue(self.peek(0)) {
             self.pos += 1; // idents contain no '\n'
@@ -345,16 +369,16 @@ impl Lexer<'_> {
                         self.pos += 1;
                     }
                     let raw = String::from_utf8_lossy(&self.src[istart..self.pos]).into_owned();
-                    self.push(TokenKind::Ident, raw, line);
+                    self.push(TokenKind::Ident, raw, line, col);
                 } else {
-                    self.push(TokenKind::Ident, text, line);
+                    self.push(TokenKind::Ident, text, line, col);
                 }
             }
             ("b", b'\'') => {
                 // Byte literal b'x'.
                 self.char_or_lifetime();
             }
-            _ => self.push(TokenKind::Ident, text, line),
+            _ => self.push(TokenKind::Ident, text, line, col),
         }
     }
 }

@@ -23,11 +23,19 @@
 //! | U1 | unsafe    | everywhere but `third_party/` | the `unsafe` keyword |
 //! | L1 | layering  | every workspace `Cargo.toml`  | upward dependencies, `criterion` outside `st-bench`, unknown externals |
 //! | A1 | allow     | everywhere scanned            | malformed `stlint::allow` annotations |
+//! | N1 | iterorder | protocol crates, non-test     | unordered-map iteration feeding an ordered sink (loop `push`/send, chain `collect`/`fold`) |
+//! | DP | deadpub   | crate `src/`, gating          | `pub fn` with zero workspace references (item-graph resolved) |
 //!
-//! The analyzer is a **hand-rolled lexer**, not a `syn` parse: the
-//! offline `third_party/` policy applies to the linter too, and lexical
-//! accuracy (strings, raw strings, doc comments, `#[cfg(test)]`
-//! regions) is all the rules need.
+//! The analyzer is a **hand-rolled lexer plus a brace-matched item
+//! tree** ([`itemtree`]), not a `syn` parse: the offline `third_party/`
+//! policy applies to the linter too. Lexical accuracy (strings, raw
+//! strings, doc comments, `#[cfg(test)]` regions) serves the token
+//! rules; the item tree adds the structure the nondeterminism-flow rule
+//! needs — per-function bodies, `for`-loop headers, method-call chains,
+//! and the file's unordered-map bindings. What the structural
+//! approximation cannot see, the `stsan` hasher-perturbation harness
+//! (in `st-bench`) falsifies dynamically by replaying the guard grid
+//! under perturbed FxHash seeds.
 //!
 //! # Escape hatch
 //!
@@ -45,7 +53,7 @@
 //! cargo run -p st-lint -- check            # lint the workspace, exit 1 on findings
 //! cargo run -p st-lint -- check --json     # machine-readable findings
 //! cargo run -p st-lint -- rules            # the rule table
-//! cargo run -p st-lint -- deadpub          # advisory dead-public-API sweep
+//! cargo run -p st-lint -- deadpub          # gating dead-public-API check
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,11 +61,13 @@
 
 pub mod allow;
 pub mod diag;
+pub mod itemtree;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
 pub mod workspace;
 
 pub use diag::{Diagnostic, RuleId, ALL_RULES};
+pub use itemtree::ItemTree;
 pub use rules::{lint_source, FileCtx, PROTOCOL_CRATES};
-pub use workspace::{check_workspace, dead_public_fns, find_workspace_root, CheckReport};
+pub use workspace::{check_workspace, dead_public_diagnostics, find_workspace_root, CheckReport};

@@ -147,6 +147,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
             RuleId::L1,
             rel_path,
             1,
+            1,
             format!(
                 "package `{name}` has no layer assignment; add it to st_lint::manifest::LAYERS \
                  so the dependency direction stays explicit",
@@ -161,6 +162,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
                 RuleId::L1,
                 rel_path,
                 dep.line,
+                1,
                 "nothing may depend on st-bench: it is the top of the stack and the only \
                  crate allowed wall-clock time",
             ));
@@ -172,6 +174,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
                     RuleId::L1,
                     rel_path,
                     dep.line,
+                    1,
                     format!(
                         "`{name}` (layer {my_layer}) may only depend on crates strictly below \
                          it, but `{dep_name}` is layer {dep_layer}; the legal direction is \
@@ -186,6 +189,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
                     RuleId::L1,
                     rel_path,
                     dep.line,
+                    1,
                     "criterion is allowed only in st-bench's [dev-dependencies]",
                 ));
             }
@@ -195,6 +199,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
                     RuleId::L1,
                     rel_path,
                     dep.line,
+                    1,
                     "proptest is a test-only dependency; move it to [dev-dependencies]",
                 ));
             }
@@ -203,6 +208,7 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
                 RuleId::L1,
                 rel_path,
                 dep.line,
+                1,
                 format!(
                     "external dependency `{dep_name}` is not in the offline third_party/ set \
                      ({}); the build environment has no registry access",

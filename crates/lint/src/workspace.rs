@@ -1,10 +1,12 @@
 //! Workspace discovery and the full `check` / `deadpub` drivers.
 
-use crate::diag::Diagnostic;
+use crate::allow::collect_allows;
+use crate::diag::{Diagnostic, RuleId};
+use crate::itemtree::ItemTree;
 use crate::lexer::{lex, test_mask, TokenKind};
 use crate::manifest::{check_layering, parse_manifest};
 use crate::rules::{lint_source, FileCtx};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -154,38 +156,41 @@ pub fn check_workspace(root: &Path) -> CheckReport {
     }
     report
         .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     report
 }
 
-/// One entry of the advisory dead-public-API sweep.
-#[derive(Clone, Debug)]
-pub struct DeadPubEntry {
-    /// Defining crate.
-    pub crate_name: String,
-    /// `pub fn` name.
-    pub name: String,
-    /// Definition site.
-    pub file: String,
-    /// 1-based line of the definition.
-    pub line: u32,
-    /// Reference count outside the defining file (test and non-test).
-    pub refs_elsewhere: usize,
-    /// References from non-test code outside the defining file.
-    pub live_refs: usize,
-}
-
-/// Advisory sweep: `pub fn`s in crate `src/` trees and where (if
-/// anywhere) they are referenced. Name-based, so trait impls and macro
-/// uses can inflate counts — it flags candidates for removal or
-/// deprecation, it does not gate.
-pub fn dead_public_fns(root: &Path) -> Vec<DeadPubEntry> {
-    struct Occurrence {
+/// Gating dead-public-API check (DP/deadpub), item-graph resolved: a
+/// `pub fn` defined in non-test `src/` code is dead when its name has
+/// **zero** identifier occurrences anywhere else in the workspace —
+/// where "else" means outside the defining item's own token span (the
+/// signature plus brace-matched body), so self-recursion never keeps a
+/// function alive, and definition sites (`fn name`) never count as
+/// references to some *other* crate's function of the same name.
+///
+/// Test and bench references do count — a helper exercised only by a
+/// suite is still reachable API. Resolution stays name-based across
+/// files (the linter has no type information), but the item tree makes
+/// it span-accurate within the defining file, which is what the old
+/// advisory sweep lacked. Survivors that are intentionally public
+/// (e.g. kept as comparison baselines) carry
+/// `stlint::allow(deadpub, reason = "…")` on the definition line.
+pub fn dead_public_diagnostics(root: &Path) -> Vec<Diagnostic> {
+    struct Def {
+        crate_name: String,
+        name: String,
         file: String,
-        live: bool,
+        line: u32,
+        col: u32,
+        /// Token span of the whole item in its file: `fn` keyword
+        /// through closing brace (or name, when bodyless).
+        span: (usize, usize),
+        suppressed: bool,
     }
-    let mut defs: Vec<DeadPubEntry> = Vec::new();
-    let mut refs: BTreeMap<String, Vec<Occurrence>> = BTreeMap::new();
+    let mut defs: Vec<Def> = Vec::new();
+    // name → occurrences as (file, token index), excluding `fn name`
+    // definition sites.
+    let mut refs: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
     for (crate_name, dir) in enumerate_packages(root) {
         for f in package_sources(root, &crate_name, &dir) {
             let Ok(src) = fs::read_to_string(&f.path) else {
@@ -193,60 +198,81 @@ pub fn dead_public_fns(root: &Path) -> Vec<DeadPubEntry> {
             };
             let lexed = lex(&src);
             let mask = test_mask(&lexed.tokens);
-            for (i, t) in lexed.tokens.iter().enumerate() {
-                if t.kind != TokenKind::Ident {
-                    continue;
-                }
-                // Definition: `pub fn name` (not `pub(crate) fn`, which
-                // is not public API) in non-test src code.
-                let is_def = !f.test_file
-                    && !mask[i]
-                    && t.is_ident("fn")
-                    && i >= 1
-                    && lexed.tokens[i - 1].is_ident("pub")
-                    && lexed.tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident);
-                if is_def {
-                    let name_tok = &lexed.tokens[i + 1];
-                    if name_tok.text != "main" {
-                        defs.push(DeadPubEntry {
-                            crate_name: crate_name.clone(),
-                            name: name_tok.text.clone(),
-                            file: f.rel_path.clone(),
-                            line: name_tok.line,
-                            refs_elsewhere: 0,
-                            live_refs: 0,
-                        });
+            let tree = ItemTree::build(&lexed.tokens);
+            let (allows, _) = collect_allows(&f.rel_path, &lexed.comments, &lexed.tokens);
+            if !f.test_file {
+                for item in &tree.fns {
+                    // `pub fn` only (not `pub(crate) fn`): restricted
+                    // visibility is not public API. Masked (cfg(test))
+                    // and `main` items are out of scope.
+                    if !item.is_pub
+                        || mask[item.fn_idx]
+                        || item.name == "main"
+                        || item.name.starts_with('_')
+                    {
+                        continue;
                     }
-                }
-                // Reference: any other occurrence of the identifier not
-                // directly following `fn` (i.e. not a definition).
-                let follows_fn = i >= 1 && lexed.tokens[i - 1].is_ident("fn");
-                if !follows_fn {
-                    refs.entry(t.text.clone()).or_default().push(Occurrence {
-                        file: f.rel_path.clone(),
-                        live: !f.test_file && !mask[i],
+                    let name_tok = &lexed.tokens[item.name_idx];
+                    let span_end = item.body.map(|(_, e)| e).unwrap_or(item.name_idx);
+                    // An allow(deadpub) anywhere within the item — the
+                    // signature line or inside the body — suppresses it.
+                    // Span-based rather than definition-line-based so
+                    // rustfmt rewrapping a long signature cannot detach
+                    // the annotation from the item it vouches for.
+                    let first_line = lexed.tokens[item.fn_idx].line;
+                    let last_line = lexed.tokens[span_end].line;
+                    let kept = allows.iter().any(|a| {
+                        a.rule == RuleId::DP
+                            && a.target_line >= first_line
+                            && a.target_line <= last_line
                     });
+                    defs.push(Def {
+                        crate_name: crate_name.clone(),
+                        name: item.name.clone(),
+                        file: f.rel_path.clone(),
+                        line: name_tok.line,
+                        col: name_tok.col,
+                        span: (item.fn_idx, span_end),
+                        suppressed: kept,
+                    });
+                }
+            }
+            for (i, t) in lexed.tokens.iter().enumerate() {
+                let is_def_site = i >= 1 && lexed.tokens[i - 1].is_ident("fn");
+                if t.kind == TokenKind::Ident && !is_def_site {
+                    refs.entry(t.text.clone())
+                        .or_default()
+                        .push((f.rel_path.clone(), i));
                 }
             }
         }
     }
-    let mut out: Vec<DeadPubEntry> = defs
-        .into_iter()
-        .map(|mut d| {
-            if let Some(occ) = refs.get(&d.name) {
-                d.refs_elsewhere = occ.iter().filter(|o| o.file != d.file).count();
-                d.live_refs = occ.iter().filter(|o| o.file != d.file && o.live).count();
-            }
-            d
+    let mut out: Vec<Diagnostic> = defs
+        .iter()
+        .filter(|d| !d.suppressed)
+        .filter(|d| {
+            let empty = Vec::new();
+            let occ = refs.get(&d.name).unwrap_or(&empty);
+            !occ.iter()
+                .any(|(file, i)| *file != d.file || *i < d.span.0 || *i > d.span.1)
         })
-        .filter(|d| d.refs_elsewhere == 0 || d.live_refs == 0)
+        .map(|d| {
+            Diagnostic::new(
+                RuleId::DP,
+                d.file.clone(),
+                d.line,
+                d.col,
+                format!(
+                    "pub fn `{}` in {} has no references anywhere in the workspace (tests \
+                     included); remove it, reduce its visibility, or keep it with \
+                     `// stlint::allow(deadpub, reason = \"…\")`",
+                    d.name, d.crate_name,
+                ),
+            )
+        })
         .collect();
-    // Dedup overload-looking repeats (same name defined in several
-    // impls/files appears once per site, which is what we want); sort
-    // for stable output.
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    let mut seen = BTreeSet::new();
-    out.retain(|d| seen.insert((d.file.clone(), d.line, d.name.clone())));
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out.dedup();
     out
 }
 

@@ -186,3 +186,144 @@ fn live_workspace_is_lint_clean() {
     // plus the facade contribute sources).
     assert!(report.files_scanned > 50, "{}", report.files_scanned);
 }
+
+#[test]
+fn n1_fixture_fails_on_loop_and_chain_escapes() {
+    let src = include_str!("fixtures/n1_fail.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/n1_fail.rs"), src);
+    // Line 7: `support` iterated by a for-loop whose body pushes; line
+    // 14: `seen.iter()…collect()` chain. The diagnostic anchors on the
+    // map's name token.
+    assert_eq!(lines_of(&diags, RuleId::N1), vec![7, 14]);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags[0].message.contains("`support`"));
+    assert!(diags[0].message.contains("iter_sorted"));
+    assert!(diags[1].message.contains("`seen`"));
+}
+
+#[test]
+fn n1_fixture_passes_adapters_commutative_and_allowed_sites() {
+    let src = include_str!("fixtures/n1_pass.rs");
+    let diags = lint_source(&protocol_ctx("fixtures/n1_pass.rs"), src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn n1_is_silent_in_test_files() {
+    let src = include_str!("fixtures/n1_fail.rs");
+    let ctx = FileCtx {
+        rel_path: "fixtures/n1_fail.rs",
+        crate_name: "st-core",
+        test_file: true,
+    };
+    assert!(lines_of(&lint_source(&ctx, src), RuleId::N1).is_empty());
+}
+
+/// Builds a throwaway one-crate workspace on disk so the deadpub item
+/// graph can be exercised end to end (it resolves references across the
+/// whole tree, so `lint_source` alone cannot drive it).
+fn synthetic_workspace(lib_rs: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "stlint-deadpub-{}-{}",
+        std::process::id(),
+        lib_rs.len()
+    ));
+    let src = root.join("crates/foo/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/foo\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("crates/foo/Cargo.toml"),
+        "[package]\nname = \"st-foo\"\n",
+    )
+    .unwrap();
+    std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+    root
+}
+
+#[test]
+fn deadpub_resolves_references_across_the_item_graph() {
+    let root = synthetic_workspace(concat!(
+        "pub fn used() -> u64 { 1 }\n",
+        "pub fn dead() -> u64 { dead_helper() }\n",
+        "fn dead_helper() -> u64 { 2 }\n",
+        "pub fn kept() -> u64 { 3 } // stlint::allow(deadpub, reason = \"fixture survivor\")\n",
+        "pub fn recursive_only(n: u64) -> u64 { if n == 0 { 0 } else { recursive_only(n - 1) } }\n",
+        "fn caller() -> u64 { used() }\n",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(super::caller(), 1); }\n}\n",
+    ));
+    let diags = st_lint::dead_public_diagnostics(&root);
+    std::fs::remove_dir_all(&root).ok();
+    // `used` is referenced, `kept` is allowed with a reason, `caller` is
+    // private; `dead` has no callers (calling a private helper does not
+    // save it) and `recursive_only`'s only mention is its own body.
+    let names: Vec<&str> = diags
+        .iter()
+        .map(|d| {
+            let start = d.message.find('`').unwrap() + 1;
+            &d.message[start..start + d.message[start..].find('`').unwrap()]
+        })
+        .collect();
+    assert_eq!(names, vec!["dead", "recursive_only"], "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::DP));
+}
+
+#[test]
+fn diagnostics_sort_and_json_are_byte_stable() {
+    // Construct findings deliberately out of order across every sort
+    // component: path, then line, then column, then rule.
+    let mk = |rule, file: &str, line, col| {
+        Diagnostic::new(rule, file, line, col, format!("{file}:{line}:{col}"))
+    };
+    let mut diags = vec![
+        mk(RuleId::P1, "crates/b/src/lib.rs", 4, 9),
+        mk(RuleId::N1, "crates/a/src/lib.rs", 10, 1),
+        mk(RuleId::D1, "crates/b/src/lib.rs", 4, 2),
+        mk(RuleId::U1, "crates/a/src/lib.rs", 2, 5),
+        mk(RuleId::D2, "crates/b/src/lib.rs", 4, 2),
+    ];
+    let expect: Vec<String> = vec![
+        "crates/a/src/lib.rs:2:5".into(),
+        "crates/a/src/lib.rs:10:1".into(),
+        "crates/b/src/lib.rs:4:2".into(), // D1 before D2 at the same spot
+        "crates/b/src/lib.rs:4:2".into(),
+        "crates/b/src/lib.rs:4:9".into(),
+    ];
+    for _ in 0..3 {
+        diags.rotate_left(2); // different starting permutations
+        let mut sorted = diags.clone();
+        sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let got: Vec<String> = sorted.iter().map(|d| d.message.clone()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(sorted[2].rule, RuleId::D1);
+        assert_eq!(sorted[3].rule, RuleId::D2);
+        // The JSON rendering of the sorted set is byte-deterministic.
+        assert_eq!(
+            st_lint::diag::to_json(&sorted, 5),
+            st_lint::diag::to_json(&sorted.clone(), 5)
+        );
+    }
+}
+
+#[test]
+fn workspace_check_output_is_byte_stable_across_runs() {
+    let here = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(&here).expect("test runs inside the workspace");
+    let a = check_workspace(&root);
+    let b = check_workspace(&root);
+    assert_eq!(a.files_scanned, b.files_scanned);
+    assert_eq!(
+        st_lint::diag::to_json(&a.diagnostics, a.files_scanned),
+        st_lint::diag::to_json(&b.diagnostics, b.files_scanned),
+        "two identical scans must render byte-identical stlint.json"
+    );
+    assert!(
+        a.diagnostics
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key()),
+        "check_workspace must return diagnostics in canonical order"
+    );
+}

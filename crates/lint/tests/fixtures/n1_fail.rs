@@ -1,0 +1,15 @@
+//! N1 fixture: unordered-map iteration orders escaping into ordered
+//! sinks. Each function earns exactly one finding, on the map's name.
+use st_types::{FastMap, FastSet};
+
+fn leaks_via_loop(support: &FastMap<u64, u32>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (&block, _) in support {
+        out.push(block);
+    }
+    out
+}
+
+fn leaks_via_chain(seen: &FastSet<u64>) -> Vec<u64> {
+    seen.iter().copied().collect()
+}

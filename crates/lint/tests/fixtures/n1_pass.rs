@@ -1,0 +1,28 @@
+//! N1 fixture: the sanctioned ways to consume an unordered map — the
+//! canonicalizing adapters, commutative accumulation into another
+//! unordered container, and a reasoned `allow` stating the invariant.
+use st_types::fasthash::{iter_sorted, set_into_sorted_vec};
+use st_types::{FastMap, FastSet};
+
+fn routed(support: &FastMap<u64, u32>, seen: FastSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (&block, _) in iter_sorted(support) {
+        out.push(block);
+    }
+    out.extend(set_into_sorted_vec(seen));
+    out
+}
+
+fn commutative(tally: &FastMap<u64, u32>, mirror: &mut FastSet<u64>) -> u32 {
+    let mut sum = 0;
+    for (&k, &v) in tally {
+        sum += v;
+        mirror.insert(k);
+    }
+    sum
+}
+
+fn stated_invariant(seen: &FastSet<u64>) -> u64 {
+    // stlint::allow(iterorder, reason = "xor-fold is commutative; bucket order cannot reach the result")
+    seen.iter().fold(0, |acc, x| acc ^ x)
+}

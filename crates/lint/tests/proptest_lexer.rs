@@ -1,0 +1,118 @@
+//! Property tests for the lexer's region handling — the foundation every
+//! rule stands on. The adversarial surface is text that *looks* like a
+//! test attribute, a brace, or an identifier but lives inside a string
+//! literal, a raw string, or a comment: if any of it leaked into the
+//! token stream, `test_mask` would mask the wrong spans and rules would
+//! fire (or stay silent) on the wrong code.
+//!
+//! Sources are assembled from randomly chosen fragments. Every token
+//! spelled `test_marker` appears only inside `#[cfg(test)]` / `#[test]`
+//! regions (including nested ones) and must come back masked; every
+//! `live_marker` is live code and must come back unmasked — even when
+//! the neighbouring fragments stuff `}` braces, `#[cfg(test)]` prose and
+//! quotes into literals, doc comments and block comments.
+
+use proptest::prelude::*;
+use st_lint::lexer::{lex, test_mask};
+
+/// One source fragment. `test_marker` idents appear only inside masked
+/// regions; `live_marker` only in live code; strings and comments carry
+/// adversarial content that must never reach the token stream.
+fn fragment(kind: u8, i: usize) -> String {
+    match kind % 8 {
+        0 => format!("fn live_{i}() {{ let live_marker = {i}; }}\n"),
+        1 => format!(
+            "#[cfg(test)]\nmod tests_{i} {{\n    fn f() {{ let test_marker = {i}; }}\n}}\n"
+        ),
+        2 => format!("#[test]\nfn t_{i}() {{ test_marker({i}); }}\n"),
+        // Nested test regions: the inner attribute must not end the
+        // outer mask early.
+        3 => format!(
+            "#[cfg(test)]\nmod outer_{i} {{\n    #[cfg(test)]\n    mod inner {{\n        fn g() {{ test_marker(); }}\n    }}\n    fn h() {{ test_marker(); }}\n}}\n"
+        ),
+        // Strings and raw strings full of braces, quotes and fake
+        // attributes; the trailing binding is still live code.
+        4 => format!(
+            "fn strings_{i}() {{\n    let s = \"test_marker }} {{ #[test]\";\n    let r = r#\"#[cfg(test)] test_marker \"}}\":\"#;\n    let live_marker = {i};\n}}\n"
+        ),
+        5 => format!("// test_marker and #[cfg(test)] in a line comment\nfn c_{i}() {{ let live_marker = {i}; }}\n"),
+        6 => format!(
+            "/* test_marker in a block /* nested */ comment with }} */\nfn b_{i}() {{ let live_marker = {i}; }}\n"
+        ),
+        _ => format!(
+            "/// test_marker in a doc comment\n/// mentioning `#[test]` in prose\nfn d_{i}() {{ let live_marker = {i}; }}\n"
+        ),
+    }
+}
+
+proptest! {
+    #[test]
+    fn masked_regions_never_leak_and_live_code_never_masks(
+        kinds in prop::collection::vec(0u8..8, 1..12),
+    ) {
+        let src: String = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| fragment(k, i))
+            .collect();
+        let lexed = lex(&src);
+        let mask = test_mask(&lexed.tokens);
+        prop_assert_eq!(lexed.tokens.len(), mask.len());
+        for (t, &masked) in lexed.tokens.iter().zip(&mask) {
+            if t.text == "test_marker" {
+                prop_assert!(
+                    masked,
+                    "test_marker leaked unmasked at {}:{} in:\n{}",
+                    t.line, t.col, src
+                );
+            }
+            if t.text == "live_marker" {
+                prop_assert!(
+                    !masked,
+                    "live_marker wrongly masked at {}:{} in:\n{}",
+                    t.line, t.col, src
+                );
+            }
+        }
+        // String/comment contents never materialize as identifiers: the
+        // only idents spelled like the markers are the planted ones —
+        // one live_marker per live fragment, and none from literals.
+        let live_fragments = kinds
+            .iter()
+            .filter(|&&k| matches!(k % 8, 0 | 4 | 5 | 6 | 7))
+            .count();
+        let live_tokens = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "live_marker")
+            .count();
+        prop_assert_eq!(live_tokens, live_fragments);
+    }
+
+    #[test]
+    fn token_positions_are_strictly_increasing(
+        kinds in prop::collection::vec(0u8..8, 1..12),
+    ) {
+        let src: String = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| fragment(k, i))
+            .collect();
+        let lexed = lex(&src);
+        for w in lexed.tokens.windows(2) {
+            prop_assert!(
+                (w[0].line, w[0].col) < (w[1].line, w[1].col),
+                "tokens out of source order: {}:{} then {}:{}",
+                w[0].line, w[0].col, w[1].line, w[1].col
+            );
+        }
+        // Lexing is a pure function of the source.
+        let again = lex(&src);
+        prop_assert_eq!(lexed.tokens.len(), again.tokens.len());
+        for (a, b) in lexed.tokens.iter().zip(&again.tokens) {
+            prop_assert_eq!(&a.text, &b.text);
+            prop_assert_eq!(a.line, b.line);
+            prop_assert_eq!(a.col, b.col);
+        }
+    }
+}

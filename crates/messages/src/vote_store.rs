@@ -7,6 +7,7 @@
 //! Figure 3).
 
 use crate::Vote;
+use st_types::fasthash::iter_sorted;
 use st_types::FastMap;
 use st_types::{BlockId, ProcessId, Round};
 use std::collections::BTreeMap;
@@ -94,6 +95,7 @@ impl VoteStore {
 
     /// Whether `sender` has an equivocation recorded for `round`.
     pub fn is_equivocator_at(&self, sender: ProcessId, round: Round) -> bool {
+        // stlint::allow(deadpub, reason = "the queryable face of InsertOutcome::Equivocation; slashing-style accountability reads it once the protocol reports evidence upward")
         matches!(
             self.by_sender.get(&sender).and_then(|r| r.get(&round)),
             Some(RoundRecord::Equivocated(_, _))
@@ -121,7 +123,9 @@ impl VoteStore {
     /// allocating (and dropping) an `n`-entry vector every round.
     pub fn latest_in_window_into(&self, lo: Round, hi: Round, out: &mut LatestVotes) {
         out.votes.clear();
-        for (&sender, rounds) in &self.by_sender {
+        // Sender-sorted iteration: the canonical adapter makes the output
+        // order a function of the senders, not the hasher.
+        for (&sender, rounds) in iter_sorted(&self.by_sender) {
             if let Some((&round, rec)) = rounds.range(lo..=hi).next_back() {
                 match rec {
                     RoundRecord::Single(tip) => out.votes.push((sender, round, *tip)),
@@ -129,8 +133,6 @@ impl VoteStore {
                 }
             }
         }
-        // Deterministic order for reproducibility of downstream iteration.
-        out.votes.sort_by_key(|&(s, _, _)| s);
     }
 
     /// Drops all votes from rounds strictly below `lo` (they can never

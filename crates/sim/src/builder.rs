@@ -216,6 +216,7 @@ impl<P: Protocol> SimBuilder<P> {
     /// Registers an observer chosen at runtime (already boxed).
     #[must_use]
     pub fn observer_boxed(mut self, observer: Box<dyn Observer<P>>) -> SimBuilder<P> {
+        // stlint::allow(deadpub, reason = "the dyn registration path mirroring observer(); callers composing observer lists at runtime cannot use the impl-Trait form")
         self.observers.push(observer);
         self
     }

@@ -359,6 +359,7 @@ impl SweepComparison {
     /// ("every cell where the baseline stalled but the sleepy protocol
     /// decided").
     pub fn cells_where(&self, pred: impl Fn(&SimReport, &SimReport) -> bool) -> Vec<usize> {
+        // stlint::allow(deadpub, reason = "the generic predicate behind the head-to-head gates; comparative suites phrase new gates with it without growing this struct")
         self.pairs()
             .enumerate()
             .filter(|(_, (l, r))| pred(l, r))

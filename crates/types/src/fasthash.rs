@@ -15,13 +15,43 @@
 
 // stlint::allow(hashmap, reason = "this module IS the sanctioned wrapper: FastMap/FastSet are std tables re-keyed with the deterministic FxHasher")
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide FxHash seed. Zero (the default) reproduces the historic
+/// unseeded behavior bit-for-bit; the `stsan` sanitizer perturbs it to
+/// prove that no simulation output depends on bucket order.
+static HASHER_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide FxHash seed. Only tables **created after** the
+/// call observe the new seed (each hasher captures it at construction),
+/// so a perturbation harness must set the seed before building the
+/// simulation it measures. Production code never calls this — the
+/// default seed of 0 keeps every run byte-identical to the committed
+/// baselines; the call exists so `stsan` can falsify iteration-order
+/// dependence dynamically.
+pub fn set_hasher_seed(seed: u64) {
+    HASHER_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current process-wide FxHash seed.
+pub fn hasher_seed() -> u64 {
+    HASHER_SEED.load(Ordering::Relaxed)
+}
 
 /// Multiply-mix hasher for small keys. See the module docs for when (and
 /// when not) to use it.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct FxHasher {
     hash: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> FxHasher {
+        FxHasher {
+            hash: HASHER_SEED.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Golden-ratio-derived odd multiplier (same constant family as rustc's
@@ -29,6 +59,13 @@ pub struct FxHasher {
 const K: u64 = 0x517c_c1b7_2722_0a95;
 
 impl FxHasher {
+    /// A hasher starting from an explicit seed, independent of the
+    /// process-wide one. Seed 0 is the historic unseeded hasher.
+    #[inline]
+    pub fn with_seed(seed: u64) -> FxHasher {
+        FxHasher { hash: seed }
+    }
+
     #[inline]
     fn mix(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
@@ -88,6 +125,52 @@ pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` keyed with [`FxHasher`].
 pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+// ---------------------------------------------------------------------
+// Canonicalizing iteration adapters.
+//
+// Iterating a FastMap/FastSet yields entries in hasher-bucket order —
+// deterministic for a fixed seed, but still an implementation detail
+// that must never reach an ordered value (a Vec being built, a message
+// batch, a fold). These free functions are the sanctioned route: they
+// materialize the entries and sort by key, so downstream order is a
+// function of the *keys*, not the hasher. stlint's N1/iterorder rule
+// recognizes call sites routed through them (free-function calls don't
+// match its `map.iter()…` shapes) and flags direct iteration instead.
+
+/// Key-sorted iteration over any `HashMap` (in particular [`FastMap`]).
+pub fn iter_sorted<K: Ord, V, S: BuildHasher>(
+    map: &HashMap<K, V, S>,
+) -> std::vec::IntoIter<(&K, &V)> {
+    // stlint::allow(iterorder, reason = "this IS the canonicalizing adapter: entries are sorted by key before anything downstream sees them")
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries.into_iter()
+}
+
+/// Consumes a `HashMap` into a key-sorted `Vec` of pairs.
+pub fn into_sorted_vec<K: Ord, V, S: BuildHasher>(map: HashMap<K, V, S>) -> Vec<(K, V)> {
+    // stlint::allow(iterorder, reason = "this IS the canonicalizing adapter: the collected vec is key-sorted before being returned")
+    let mut entries: Vec<(K, V)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// Sorted iteration over any `HashSet` (in particular [`FastSet`]).
+pub fn set_iter_sorted<T: Ord, S: BuildHasher>(set: &HashSet<T, S>) -> std::vec::IntoIter<&T> {
+    // stlint::allow(iterorder, reason = "this IS the canonicalizing adapter: elements are sorted before anything downstream sees them")
+    let mut elems: Vec<&T> = set.iter().collect();
+    elems.sort_unstable();
+    elems.into_iter()
+}
+
+/// Consumes a `HashSet` into a sorted `Vec`.
+pub fn set_into_sorted_vec<T: Ord, S: BuildHasher>(set: HashSet<T, S>) -> Vec<T> {
+    // stlint::allow(iterorder, reason = "this IS the canonicalizing adapter: the collected vec is sorted before being returned")
+    let mut elems: Vec<T> = set.into_iter().collect();
+    elems.sort_unstable();
+    elems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +208,39 @@ mod tests {
             "top byte poorly spread: {}",
             top_bytes.len()
         );
+    }
+
+    #[test]
+    fn sorted_adapters_are_key_ordered_and_complete() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        let mut s: FastSet<u64> = FastSet::default();
+        for i in [5u64, 1, 9, 3, 7] {
+            m.insert(i, i * 10);
+            s.insert(i);
+        }
+        let pairs: Vec<(u64, u64)> = iter_sorted(&m).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+        assert_eq!(into_sorted_vec(m), pairs);
+        let elems: Vec<u64> = set_iter_sorted(&s).copied().collect();
+        assert_eq!(elems, vec![1, 3, 5, 7, 9]);
+        assert_eq!(set_into_sorted_vec(s), elems);
+    }
+
+    #[test]
+    fn hasher_seed_perturbs_hashes_and_default_captures_it() {
+        let hash_with = |seed: u64| {
+            let mut h = FxHasher::with_seed(seed);
+            h.write_u64(42);
+            h.finish()
+        };
+        assert_ne!(hash_with(0), hash_with(0x9e37_79b9_7f4a_7c15));
+        // `default()` reads the process-wide seed at construction time.
+        set_hasher_seed(7);
+        let mut d = FxHasher::default();
+        d.write_u64(42);
+        set_hasher_seed(0);
+        assert_eq!(hasher_seed(), 0);
+        assert_eq!(d.finish(), hash_with(7));
     }
 
     #[test]
