@@ -26,7 +26,7 @@ use st_analysis::Table;
 use st_bench::{emit, seeds};
 use st_sim::adversary::SilentAdversary;
 use st_sim::baseline::StaticQuorumBft;
-use st_sim::{Protocol, QuorumProcess, Schedule, SimBuilder, SimConfig};
+use st_sim::{DecisionTap, QuorumProcess, Schedule, SimBuilder, SimConfig};
 use st_types::Params;
 use std::collections::BTreeSet;
 
@@ -50,17 +50,19 @@ fn sleepy_run(schedule: &Schedule, eta: u64, seed: u64, n: usize) -> (usize, usi
 /// Returns (decided views, final chain height, longest stall in views).
 fn quorum_run(schedule: &Schedule, seed: u64, n: usize) -> (usize, usize, usize) {
     let params = Params::builder(n).build().expect("valid");
+    let (tap, log) = DecisionTap::new(n);
     let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, seed)
         .horizon(schedule.horizon())
         .schedule(schedule.clone())
         .adversary(SilentAdversary)
+        .observer(tap)
         .build()
         .expect("valid simulation");
     while sim.step().is_some() {}
-    let decided: BTreeSet<u64> = sim
-        .processes()
+    let decided: BTreeSet<u64> = log
+        .borrow()
         .iter()
-        .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+        .flat_map(|events| events.iter().map(|d| d.view.as_u64()))
         .collect();
     let report = sim.finish();
     assert!(report.is_safe(), "quorum baseline lost agreement");

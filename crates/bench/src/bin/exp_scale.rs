@@ -1,9 +1,14 @@
 //! **P2 — scale & fast-path benchmark**: how fast does the simulator run
 //! as the system grows, and what did the shared-envelope fast path buy?
 //!
-//! Sweeps `n ∈ {64, 256, 1024} × horizon ∈ {100, 400}` under full
-//! participation (the message-densest case: every process multicasts
-//! every round) and reports rounds/sec and messages/sec per cell. One
+//! Sweeps `n ∈ {64, 256, 1024} × horizon ∈ {100, 400}` plus the
+//! `n = 4096, horizon = 100` flagship cell under full participation
+//! (the message-densest case: every process multicasts every round) and
+//! reports rounds/sec, messages/sec and the shared-tally cache hit rate
+//! per cell (under full synchrony the once-per-round tally serves
+//! `(n − 1)/n` of honest tallies from the cohort cache — that sharing,
+//! plus the incremental fallback, is what makes per-round work scale
+//! with messages rather than `n ×` messages and lands n = 4096). One
 //! cell — `n = 256, horizon = 400` — additionally re-runs in **naive
 //! delivery** mode (`SimConfig::naive_delivery`: per-receiver envelope
 //! deep clone + per-receiver signature re-verification, the seed's
@@ -11,6 +16,12 @@
 //! compaction — the faithful pre-refactor cost model) so the end-to-end
 //! fast-path gain is measured *in the same run* rather than against a
 //! stale number.
+//!
+//! Before anything is timed, a **consistency spot-check** re-runs one
+//! cell with the shared tally disabled (every process recomputes its
+//! own) and byte-compares the serialised reports; a mismatch exits
+//! non-zero without touching `BENCH_sim.json`. The same check gates the
+//! `--smoke` CI pass.
 //!
 //! A second measurement isolates the **delivery subsystem** the
 //! refactor replaced — pool storage, fan-out and signature checking for
@@ -63,6 +74,10 @@ struct Measurement {
     /// Verifications per unique message — ≈ 1 for the fast path, ≈ n for
     /// naive per-receiver re-verification.
     verifies_per_message: f64,
+    /// Fraction of honest tallies served from the shared once-per-round
+    /// cache — `(n − 1)/n` under full synchronous participation, 0 in
+    /// naive mode (the cohort pass is disabled there).
+    tally_cache_hit_rate: f64,
     decisions: usize,
     safe: bool,
 }
@@ -102,6 +117,10 @@ fn measure(n: usize, horizon: u64, naive: bool) -> Measurement {
     let mut config = SimConfig::new(params, 0xBE7C).horizon(horizon).txs_every(8);
     if naive {
         config = config.naive_delivery();
+    } else {
+        // Grid cells report the shared-tally hit rate; the counters are
+        // instrument-gated so equivalence-guarded runs stay pure.
+        config = config.instrument();
     }
     let sim = SimBuilder::from_config(config)
         .schedule(Schedule::full(n, horizon))
@@ -123,9 +142,42 @@ fn measure(n: usize, horizon: u64, naive: bool) -> Measurement {
         messages: report.messages_sent,
         sig_verifications,
         verifies_per_message: sig_verifications as f64 / report.messages_sent.max(1) as f64,
+        tally_cache_hit_rate: report.timeline.tally_cache_hit_rate(),
         decisions: report.decisions_total,
         safe: report.is_safe(),
     }
+}
+
+/// The consistency spot-check: one uninstrumented cell run with the
+/// shared once-per-round tally against the same cell with every process
+/// recomputing its own. The reports must serialise byte-identically;
+/// anything else means the cohort certificate admitted a process whose
+/// tally inputs differed, and the whole benchmark is untrustworthy.
+/// Exits the process with a non-zero status on mismatch.
+fn assert_shared_tally_consistent(n: usize, horizon: u64) {
+    let params = Params::builder(n)
+        .expiration(2)
+        .build()
+        .expect("valid params");
+    let config = SimConfig::new(params, 0xBE7C).horizon(horizon).txs_every(8);
+    let shared = SimBuilder::from_config(config.clone())
+        .schedule(Schedule::full(n, horizon))
+        .adversary(SilentAdversary)
+        .run();
+    let unshared = SimBuilder::from_config(config.unshared_tally())
+        .schedule(Schedule::full(n, horizon))
+        .adversary(SilentAdversary)
+        .run();
+    let a = serde_json::to_string(&shared).expect("serialise shared report");
+    let b = serde_json::to_string(&unshared).expect("serialise unshared report");
+    if a != b {
+        eprintln!(
+            "FATAL: shared tally diverged from per-process recomputation at \
+             n={n} horizon={horizon}; refusing to record benchmark numbers"
+        );
+        std::process::exit(2);
+    }
+    println!("[shared-tally consistency spot-check passed at n={n} horizon={horizon}]");
 }
 
 /// Times the delivery subsystem alone: `rounds` rounds of `2n` signed
@@ -236,10 +288,18 @@ fn main() {
                 (256, 400),
                 (1024, 100),
                 (1024, 400),
+                // The flagship cell the shared + incremental tally lands:
+                // fast mode only (a naive run here would verify ~n× the
+                // signatures and recompute every tally from scratch).
+                (4096, 100),
             ],
             (256, 400),
         )
     };
+
+    // Gate everything on the consistency spot-check (non-zero exit on
+    // divergence, before any timing or JSON writing happens).
+    assert_shared_tally_consistent(comparison.0, if smoke { comparison.1 } else { 100 });
 
     // The verification counter is process-global and every cell reports
     // wall-clock, so the sweep runs `sequential()`: each measurement's
@@ -270,6 +330,7 @@ fn main() {
         "rounds/s",
         "msgs/s",
         "verifies/msg",
+        "tally hit%",
         "decisions",
         "safe",
     ]);
@@ -282,6 +343,7 @@ fn main() {
             format!("{:.0}", m.rounds_per_sec),
             format!("{:.0}", m.messages_per_sec),
             f3(m.verifies_per_message),
+            format!("{:.1}", m.tally_cache_hit_rate * 100.0),
             m.decisions.to_string(),
             m.safe.to_string(),
         ]);

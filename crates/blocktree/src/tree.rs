@@ -1,38 +1,50 @@
 //! Append-only block tree with fast ancestry queries.
 
 use crate::{Block, BlockTreeError};
+use st_types::fasthash::mix64;
 use st_types::FastMap;
 use st_types::{BlockId, TxId};
+use std::sync::Arc;
 
 /// Per-block bookkeeping inside the tree. Nodes live in a contiguous
 /// arena and refer to each other by arena index — ancestry walks are
-/// array reads, not hash lookups.
+/// array reads, not hash lookups. The block itself is held behind an
+/// [`Arc`]: in a simulation the same proposal is inserted into every
+/// receiver's tree, and sharing one allocation across all of them is the
+/// difference between ~24 bytes and ~150 bytes per node at `n = 4096`.
 #[derive(Clone, Debug)]
 struct Node {
-    block: Block,
+    block: Arc<Block>,
     height: u64,
     /// Arena index of the parent (genesis points at itself).
     parent: u32,
-    /// Binary-lifting table: `up[k]` is the arena index of the ancestor
-    /// `2^k` levels above.
-    up: Vec<u32>,
+    /// Skew-binary jump pointer (Myers): a single ancestor index chosen at
+    /// insert so that repeated jumps reach any target height in
+    /// `O(log h)` — the O(1)-space replacement for a binary-lifting table.
+    /// The jump target's height is a pure function of this node's height,
+    /// which is what makes the equal-height LCA walk sound.
+    jump: u32,
 }
 
 /// An append-only tree of blocks rooted at genesis.
 ///
 /// Logs are identified by their tip [`BlockId`]; prefix relations between
-/// logs translate to ancestry between tips. Ancestor queries use binary
-/// lifting and cost `O(log h)`.
+/// logs translate to ancestry between tips. Ancestor queries follow
+/// skew-binary jump pointers and cost `O(log h)` with **O(1)** extra space
+/// per node.
 ///
 /// Internally the tree is an arena: one `Vec` of nodes plus a single
-/// id → index map. Every traversal (lifting jumps, chain iteration, LCA)
-/// pays the hash lookup **once** at entry and then walks plain indices —
-/// the difference between ~1 µs and ~100 ns per insert once trees reach
+/// id → index map. Every traversal (jumps, chain iteration, LCA) pays the
+/// hash lookup **once** at entry and then walks plain indices — the
+/// difference between ~1 µs and ~100 ns per insert once trees reach
 /// simulation scale.
 #[derive(Clone, Debug)]
 pub struct BlockTree {
     nodes: Vec<Node>,
     index: FastMap<BlockId, u32>,
+    /// XOR of [`mix64`] over every member block id — a hasher-independent
+    /// content fingerprint, maintained incrementally on insert.
+    fingerprint: u64,
 }
 
 impl BlockTree {
@@ -43,12 +55,13 @@ impl BlockTree {
         index.insert(BlockId::GENESIS, 0u32);
         BlockTree {
             nodes: vec![Node {
-                block: Block::genesis(),
+                block: Arc::new(Block::genesis()),
                 height: 0,
                 parent: 0,
-                up: Vec::new(),
+                jump: 0,
             }],
             index,
+            fingerprint: mix64(BlockId::GENESIS.as_u64()),
         }
     }
 
@@ -78,7 +91,8 @@ impl BlockTree {
     ///
     /// * [`BlockTreeError::UnknownParent`] if the parent is absent;
     /// * [`BlockTreeError::DuplicateBlock`] if the id is already present.
-    pub fn insert(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
+    pub fn insert(&mut self, block: impl Into<Arc<Block>>) -> Result<BlockId, BlockTreeError> {
+        let block = block.into();
         let id = block.id();
         if self.contains(id) {
             return Err(BlockTreeError::DuplicateBlock(id));
@@ -88,12 +102,18 @@ impl BlockTree {
 
     /// Inserts a block, treating re-insertion of an identical block as a
     /// no-op success. This is the variant protocol code uses when the same
-    /// proposal arrives from several peers.
+    /// proposal arrives from several peers. Accepts an already-shared
+    /// `Arc<Block>` so simulation-scale fan-out stores one allocation per
+    /// distinct block across all receivers.
     ///
     /// # Errors
     ///
     /// [`BlockTreeError::UnknownParent`] if the parent is absent.
-    pub fn insert_or_get(&mut self, block: Block) -> Result<BlockId, BlockTreeError> {
+    pub fn insert_or_get(
+        &mut self,
+        block: impl Into<Arc<Block>>,
+    ) -> Result<BlockId, BlockTreeError> {
+        let block = block.into();
         let id = block.id();
         if self.contains(id) {
             return Ok(id);
@@ -104,35 +124,43 @@ impl BlockTree {
                 parent: block.parent(),
             });
         };
-        // Build the binary-lifting table with pure arena reads:
-        // up[0] = parent, up[k+1] = up[k] of up[k].
-        let parent_node = &self.nodes[parent_idx as usize];
-        let height = parent_node.height + 1;
-        let mut up = Vec::with_capacity(parent_node.up.len() + 1);
-        up.push(parent_idx);
-        let mut k = 0;
-        loop {
-            let prev = up[k] as usize;
-            match self.nodes[prev].up.get(k) {
-                Some(&next) => up.push(next),
-                None => break,
-            }
-            k += 1;
-        }
+        // Skew-binary jump pointer (Myers): with p = parent, j = jump(p),
+        // jj = jump(j), the new node jumps to jj when the two hops below
+        // it span equal distances, else to its parent. Jump heights are a
+        // function of node height alone, which `ancestor_idx_at` and
+        // `lca` rely on.
+        let height = self.nodes[parent_idx as usize].height + 1;
+        let j = self.nodes[parent_idx as usize].jump;
+        let jj = self.nodes[j as usize].jump;
+        let (hp, hj, hjj) = (
+            self.nodes[parent_idx as usize].height,
+            self.nodes[j as usize].height,
+            self.nodes[jj as usize].height,
+        );
+        let jump = if hp - hj == hj - hjj { jj } else { parent_idx };
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node {
             block,
             height,
             parent: parent_idx,
-            up,
+            jump,
         });
         self.index.insert(id, idx);
+        self.fingerprint ^= mix64(id.as_u64());
         Ok(id)
+    }
+
+    /// A hasher-independent digest of the member block-id set (XOR of a
+    /// fixed 64-bit mix over every id). Two trees holding the same blocks
+    /// have equal fingerprints regardless of insertion order or FxHash
+    /// seed — the tree half of the simulator's tally-cohort cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The block stored under `id`.
     pub fn block(&self, id: BlockId) -> Option<&Block> {
-        self.idx(id).map(|i| &self.nodes[i as usize].block)
+        self.idx(id).map(|i| self.nodes[i as usize].block.as_ref())
     }
 
     /// Height of a block (genesis is 0). This is also the length of the
@@ -154,13 +182,17 @@ impl BlockTree {
     }
 
     /// Arena-internal: the ancestor index of `idx` at `target_height`
-    /// (which must not exceed the node's height).
+    /// (which must not exceed the node's height). Follows the jump
+    /// pointer whenever it does not overshoot the target, else steps to
+    /// the parent — `O(log h)` by the skew-binary spacing of the jumps.
     fn ancestor_idx_at(&self, mut idx: u32, target_height: u64) -> u32 {
-        let mut remaining = self.nodes[idx as usize].height - target_height;
-        while remaining > 0 {
-            let k = 63 - remaining.leading_zeros() as usize; // floor(log2)
-            idx = self.nodes[idx as usize].up[k];
-            remaining -= 1 << k;
+        while self.nodes[idx as usize].height > target_height {
+            let j = self.nodes[idx as usize].jump;
+            idx = if self.nodes[j as usize].height >= target_height {
+                j
+            } else {
+                self.nodes[idx as usize].parent
+            };
         }
         idx
     }
@@ -216,24 +248,21 @@ impl BlockTree {
         } else {
             (self.ancestor_idx_at(ia, hb), ib)
         };
+        // x and y stay at equal heights, so their jump targets also sit at
+        // equal heights h'. If the targets differ, the LCA's height is
+        // strictly below h' (equal-height ancestors at or below the LCA
+        // coincide), so jumping both cannot skip past it; if they are
+        // equal, the LCA may sit anywhere at or above h', so step parents
+        // one level instead.
         while x != y {
-            let nx = &self.nodes[x as usize];
-            let ny = &self.nodes[y as usize];
-            // Jump at the highest k where the 2^k-ancestors differ; if all
-            // are equal, the parents meet at the LCA.
-            let mut jumped = false;
-            let kmax = nx.up.len().min(ny.up.len());
-            for k in (0..kmax).rev() {
-                if nx.up[k] != ny.up[k] {
-                    x = nx.up[k];
-                    y = ny.up[k];
-                    jumped = true;
-                    break;
-                }
-            }
-            if !jumped {
-                x = nx.up[0];
-                y = ny.up[0];
+            let jx = self.nodes[x as usize].jump;
+            let jy = self.nodes[y as usize].jump;
+            if jx != jy {
+                x = jx;
+                y = jy;
+            } else {
+                x = self.nodes[x as usize].parent;
+                y = self.nodes[y as usize].parent;
             }
         }
         Some(self.nodes[x as usize].block.id())

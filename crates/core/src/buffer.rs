@@ -8,13 +8,15 @@
 use st_blocktree::{Block, BlockTree};
 use st_types::BlockId;
 use st_types::FastMap;
+use std::sync::Arc;
 
 /// Parks blocks whose parent is unknown and flushes them once the parent
-/// arrives.
+/// arrives. Blocks are held behind [`Arc`] handles so parking a multicast
+/// body never copies it.
 #[derive(Clone, Debug, Default)]
 pub struct BlockBuffer {
     /// parent id → orphans waiting for it.
-    waiting: FastMap<BlockId, Vec<Block>>,
+    waiting: FastMap<BlockId, Vec<Arc<Block>>>,
 }
 
 impl BlockBuffer {
@@ -37,13 +39,13 @@ impl BlockBuffer {
     /// Whenever an insertion succeeds, any orphans waiting on the new
     /// block are flushed recursively. Returns the ids that actually
     /// entered the tree (in insertion order).
-    pub fn insert(&mut self, tree: &mut BlockTree, block: Block) -> Vec<BlockId> {
+    pub fn insert(&mut self, tree: &mut BlockTree, block: impl Into<Arc<Block>>) -> Vec<BlockId> {
         let mut inserted = Vec::new();
-        let mut queue = vec![block];
+        let mut queue = vec![block.into()];
         while let Some(b) = queue.pop() {
             // Only the unknown-parent path needs `b` back (to park it), so
             // probe for the parent first and move — rather than clone —
-            // the block into the tree on the (overwhelmingly common)
+            // the handle into the tree on the (overwhelmingly common)
             // insertable path.
             if !tree.contains(b.parent()) && !tree.contains(b.id()) {
                 let entry = self.waiting.entry(b.parent()).or_default();

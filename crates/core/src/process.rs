@@ -3,12 +3,15 @@
 use crate::{BlockBuffer, DecisionEvent, TobConfig};
 use st_blocktree::{Block, BlockTree};
 use st_crypto::Keypair;
-use st_ga::{tally, GaOutput};
+use st_ga::{tally, GaOutput, SupportIndex};
 use st_messages::{
-    Envelope, LatestVotes, Payload, Propose, ProposeStore, SharedEnvelope, Vote, VoteStore,
+    Envelope, InsertOutcome, LatestVotes, Payload, Propose, ProposeStore, SharedEnvelope, Vote,
+    VoteStore,
 };
-use st_types::FastSet;
-use st_types::{BlockId, ProcessId, Round, RoundKind, TxId, View};
+use st_types::fasthash::{mix64_pair, set_into_sorted_vec};
+use st_types::{BlockId, FastMap, FastSet, ProcessId, Round, RoundKind, TxId, View};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A well-behaved process running Algorithm 1, parameterised by the
 /// expiration period `η` from its [`TobConfig`].
@@ -37,13 +40,41 @@ pub struct TobProcess {
     last_vote_tip: BlockId,
     /// Output of the most recent graded-agreement tally (diagnostics).
     last_ga_output: Option<GaOutput>,
-    /// Reusable scratch for the per-round tally input (avoids allocating
-    /// an `n`-entry vote vector twice per view in the hot loop).
+    /// Reusable scratch for the per-round tally input (naive mode only;
+    /// the fast path maintains `support` incrementally instead).
     tally_scratch: LatestVotes,
+    /// Incremental tally state (fast mode): chain support of every
+    /// counted in-window vote, updated per sender delta instead of being
+    /// rebuilt from the whole window each round. The stateless
+    /// [`st_ga::tally`] survives as the naive-mode oracle, so the
+    /// fast-vs-naive equivalence grid proves the two paths byte-equal.
+    support: SupportIndex,
+    /// sender → (round of its counted record, tip it voted for). Present
+    /// iff the sender currently contributes to perceived participation
+    /// `m` (its latest in-window record is a clean vote).
+    counted: FastMap<ProcessId, (Round, BlockId)>,
+    /// Senders whose vote-store records changed since the last tally.
+    dirty: FastSet<ProcessId>,
+    /// Counted senders whose tip is not (yet) in the tree: they count
+    /// toward `m` but support nothing, and are re-checked every tally
+    /// because the tree only grows.
+    unknown: FastSet<ProcessId>,
+    /// round → senders counted at that round; when the expiration
+    /// window's lower edge passes a bucket, its senders are re-derived.
+    /// Entries are lazily invalidated (a sender re-counted at a later
+    /// round leaves its old entry behind), so each pop re-checks against
+    /// `counted` before acting.
+    expiries: BTreeMap<Round, Vec<ProcessId>>,
+    /// A tally for a specific round, installed by a driver that computed
+    /// it once for a certified cohort of identical-state receivers
+    /// ([`crate::Protocol::install_shared_tally`]); consumed by the next
+    /// [`TobProcess::step_send`] for that round.
+    shared_tally: Option<(Round, Arc<GaOutput>)>,
     /// Benchmarking baseline switch: route proposal inserts through the
     /// pre-fast-path full-view duplicate scan
-    /// ([`ProposeStore::insert_full_scan`]). Identical behaviour, seed
-    /// cost model. Off everywhere except `SimConfig::naive_delivery`.
+    /// ([`ProposeStore::insert_full_scan`]) and the stateless full-window
+    /// tally. Identical behaviour, seed cost model. Off everywhere except
+    /// `SimConfig::naive_delivery`.
     naive_receive: bool,
 }
 
@@ -65,6 +96,12 @@ impl TobProcess {
             last_vote_tip: BlockId::GENESIS,
             last_ga_output: None,
             tally_scratch: LatestVotes::empty(),
+            support: SupportIndex::new(),
+            counted: FastMap::default(),
+            dirty: FastSet::default(),
+            unknown: FastSet::default(),
+            expiries: BTreeMap::new(),
+            shared_tally: None,
             naive_receive: false,
         }
     }
@@ -96,11 +133,27 @@ impl TobProcess {
         self.decided_tip
     }
 
-    /// Every decision event, in the order they occurred. Conflicting
-    /// decisions (possible only when model assumptions are violated) are
-    /// recorded faithfully so monitors can detect them.
+    /// Every decision event not yet drained, in the order they occurred.
+    /// Conflicting decisions (possible only when model assumptions are
+    /// violated) are recorded faithfully so monitors can detect them.
     pub fn decisions(&self) -> &[DecisionEvent] {
         &self.decisions
+    }
+
+    /// Removes and returns every decision event recorded since the last
+    /// drain. Long-running drivers consume decisions through this so a
+    /// process's event log stays bounded on unbounded horizons;
+    /// [`TobProcess::decisions`] exposes whatever has not been drained
+    /// yet.
+    pub fn drain_decisions(&mut self) -> Vec<DecisionEvent> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    /// The windowed vote store — bounded by `n · (η + 2)` distinct
+    /// records thanks to per-round pruning (diagnostics; the
+    /// bounded-memory regression suite watches its size).
+    pub fn votes(&self) -> &VoteStore {
+        &self.votes
     }
 
     /// The tip this process voted for most recently.
@@ -151,12 +204,14 @@ impl TobProcess {
                 // agreement has a send phase there, so a round-0 vote tag
                 // is protocol-invalid (only an adversary would produce
                 // one) and is discarded.
-                if vote.round() > Round::ZERO {
-                    self.votes.insert(*vote);
+                if vote.round() > Round::ZERO
+                    && self.votes.insert(*vote) != InsertOutcome::Duplicate
+                {
+                    self.dirty.insert(vote.sender());
                 }
             }
             Payload::Propose(proposal) => {
-                self.receive_block(proposal.block().clone());
+                self.receive_block(proposal.block_arc().clone());
                 self.store_proposal(proposal.clone());
             }
         }
@@ -173,8 +228,10 @@ impl TobProcess {
     }
 
     /// Adds a block body to the local tree (buffering orphans). Used for
-    /// proposal delivery and checkpoint installation.
-    pub(crate) fn receive_block(&mut self, block: Block) {
+    /// proposal delivery and checkpoint installation. Takes the shared
+    /// handle so a multicast block body is stored once, not once per
+    /// receiver.
+    pub(crate) fn receive_block(&mut self, block: impl Into<Arc<Block>>) {
         self.buffer.insert(&mut self.tree, block);
     }
 
@@ -266,10 +323,11 @@ impl TobProcess {
         // Line 10: C_v = longest log output with any grade.
         let c_v = outputs.longest_any_grade().unwrap_or(self.last_vote_tip);
 
-        // Line 12: propose b‖C_v for view v+1 with VRF(v+1).
+        // Line 12: propose b‖C_v for view v+1 with VRF(v+1). The body is
+        // built once and shared between the proposal and the local tree.
         let next_view = view.next();
         let payload = self.take_payload_for(c_v);
-        let block = Block::build(c_v, next_view, self.id, payload);
+        let block = Arc::new(Block::build(c_v, next_view, self.id, payload));
         let (vrf_value, vrf_proof) = self.keypair.vrf_eval(next_view.as_u64());
         let proposal = Propose::new(
             self.id,
@@ -295,21 +353,130 @@ impl TobProcess {
     /// round: latest unexpired votes from `[r − 1 − η, r − 1]`
     /// (Section 2.1's expiration window for round `r`). With `η = 0` this
     /// is exactly the vanilla single-round tally of Figure 2.
+    ///
+    /// Three paths, all producing the same output for the same state:
+    /// an installed shared tally (a driver certified this process's
+    /// inputs identical to a cohort representative's and computed once),
+    /// the incremental support index (fast mode), or the stateless
+    /// full-window recompute (naive mode — the equivalence oracle).
     fn tally_previous_round(&mut self, round: Round) -> GaOutput {
         let Some(prev) = round.prev() else {
             return GaOutput::empty();
         };
+        if let Some((r, shared)) = self.shared_tally.take() {
+            if r == round {
+                return GaOutput::clone(&shared);
+            }
+        }
         let lo = prev.saturating_sub(self.config.params().expiration());
-        self.votes
-            .latest_in_window_into(lo, prev, &mut self.tally_scratch);
-        tally(&self.tree, &self.tally_scratch, self.config.thresholds())
+        if self.naive_receive {
+            self.votes
+                .latest_in_window_into(lo, prev, &mut self.tally_scratch);
+            return tally(&self.tree, &self.tally_scratch, self.config.thresholds());
+        }
+        self.reconcile_window(lo, prev);
+        self.support
+            .outputs(&self.tree, self.config.thresholds(), self.counted.len())
+    }
+
+    /// Brings the incremental tally state in line with the window
+    /// `[lo, hi]`: re-derives every sender whose counted record expired
+    /// or whose vote-store records changed, and re-checks whether
+    /// previously unknown tips have landed in the (grow-only) tree. Work
+    /// is proportional to what changed, not to the window size.
+    fn reconcile_window(&mut self, lo: Round, hi: Round) {
+        // Expired buckets: a counted record that dropped below the window
+        // can only be replaced by a record inserted since (already dirty)
+        // or by nothing — either way re-derivation settles it.
+        while let Some((&bucket_round, _)) = self.expiries.first_key_value() {
+            if bucket_round >= lo {
+                break;
+            }
+            if let Some((_, senders)) = self.expiries.pop_first() {
+                for s in senders {
+                    if self.counted.get(&s).is_some_and(|c| c.0 == bucket_round) {
+                        self.dirty.insert(s);
+                    }
+                }
+            }
+        }
+        if !self.dirty.is_empty() {
+            for s in set_into_sorted_vec(std::mem::take(&mut self.dirty)) {
+                match self.votes.latest_of(s, lo, hi) {
+                    Some((r, Some(tip))) => {
+                        let prev_round = self.counted.insert(s, (r, tip)).map(|c| c.0);
+                        if prev_round != Some(r) {
+                            self.expiries.entry(r).or_default().push(s);
+                        }
+                        if self.tree.contains(tip) {
+                            self.support.set_vote(&self.tree, s, tip);
+                            self.unknown.remove(&s);
+                        } else {
+                            self.support.remove_vote(&self.tree, s);
+                            self.unknown.insert(s);
+                        }
+                    }
+                    // No record in the window, or the latest record is an
+                    // equivocation: the sender is discarded entirely.
+                    _ => {
+                        if self.counted.remove(&s).is_some() {
+                            self.support.remove_vote(&self.tree, s);
+                            self.unknown.remove(&s);
+                        }
+                    }
+                }
+            }
+        }
+        if !self.unknown.is_empty() {
+            for s in set_into_sorted_vec(std::mem::take(&mut self.unknown)) {
+                let Some(&(_, tip)) = self.counted.get(&s) else {
+                    continue;
+                };
+                if self.tree.contains(tip) {
+                    self.support.set_vote(&self.tree, s, tip);
+                } else {
+                    self.unknown.insert(s);
+                }
+            }
+        }
+    }
+
+    /// Computes the round-`round` tally for sharing across a certified
+    /// cohort (drivers call this on one representative, then install the
+    /// result into every member via
+    /// [`crate::Protocol::install_shared_tally`]).
+    pub fn shared_round_tally(&mut self, round: Round) -> GaOutput {
+        self.tally_previous_round(round)
+    }
+
+    /// Installs a cohort-shared tally for `round`, consumed by the next
+    /// [`TobProcess::step_send`] for that round (a stale round is
+    /// silently discarded and the tally recomputed locally).
+    pub fn install_shared_tally(&mut self, round: Round, tally: Arc<GaOutput>) {
+        self.shared_tally = Some((round, tally));
+    }
+
+    /// Hasher-independent digest of the tally-relevant state (vote store
+    /// combined with block tree): two processes with equal fingerprints
+    /// answer every windowed tally identically. `None` in naive mode,
+    /// which opts out of tally sharing.
+    pub fn tally_fingerprint(&self) -> Option<u64> {
+        if self.naive_receive {
+            return None;
+        }
+        Some(mix64_pair(
+            self.votes.fingerprint(),
+            self.tree.fingerprint(),
+        ))
     }
 
     fn make_vote(&mut self, round: Round, tip: BlockId) -> Envelope {
         self.last_vote_tip = tip;
         let vote = Vote::new(self.id, round, tip);
         // A process hears its own vote.
-        self.votes.insert(vote);
+        if self.votes.insert(vote) != InsertOutcome::Duplicate {
+            self.dirty.insert(self.id);
+        }
         Envelope::sign(&self.keypair, Payload::Vote(vote))
     }
 

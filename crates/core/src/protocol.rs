@@ -22,8 +22,10 @@
 
 use crate::{DecisionEvent, TobConfig};
 use st_blocktree::{Block, BlockTree};
+use st_ga::GaOutput;
 use st_messages::{Envelope, SharedEnvelope};
 use st_types::{BlockId, ProcessId, Round, TxId};
+use std::sync::Arc;
 
 /// A per-process consensus state machine the simulator can drive.
 ///
@@ -63,10 +65,43 @@ pub trait Protocol: Sized + 'static {
     /// process multicasts. Call only for rounds the process is awake in.
     fn step_send(&mut self, round: Round) -> Vec<Envelope>;
 
-    /// Every decision event so far, in occurrence order. Conflicting
-    /// decisions (possible only when model assumptions are violated) must
-    /// be recorded faithfully so monitors can detect them.
+    /// Every decision event not yet drained, in occurrence order.
+    /// Conflicting decisions (possible only when model assumptions are
+    /// violated) must be recorded faithfully so monitors can detect them.
     fn decisions(&self) -> &[DecisionEvent];
+
+    /// Removes and returns every decision event recorded since the last
+    /// drain. Drivers consume decisions through this so per-process event
+    /// logs stay bounded on long horizons; [`Protocol::decisions`]
+    /// exposes only what has not been drained yet.
+    fn drain_decisions(&mut self) -> Vec<DecisionEvent>;
+
+    /// Hasher-independent digest of the state a round tally reads (vote
+    /// window + block tree). Two processes returning equal fingerprints
+    /// must produce identical tallies for the same round; `None` (the
+    /// default) opts the process out of tally sharing entirely, which is
+    /// always sound.
+    fn tally_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Computes the round-`round` tally once for a cohort of receivers
+    /// certified identical (equal [`Protocol::tally_fingerprint`] among
+    /// other driver-side checks). Drivers call this on one
+    /// representative, then hand the result to every member via
+    /// [`Protocol::install_shared_tally`]. The default `None` means the
+    /// protocol has no shareable tally.
+    fn shared_round_tally(&mut self, round: Round) -> Option<GaOutput> {
+        let _ = round;
+        None
+    }
+
+    /// Installs a cohort-shared tally for `round`, to be consumed by this
+    /// process's next [`Protocol::step_send`] for that round. The default
+    /// discards it (correct for protocols without a shareable tally).
+    fn install_shared_tally(&mut self, round: Round, tally: Arc<GaOutput>) {
+        let _ = (round, tally);
+    }
 
     /// The tip of the longest decided log (genesis before any decision).
     fn decided_tip(&self) -> BlockId;
@@ -130,6 +165,22 @@ impl Protocol for crate::TobProcess {
 
     fn decisions(&self) -> &[DecisionEvent] {
         crate::TobProcess::decisions(self)
+    }
+
+    fn drain_decisions(&mut self) -> Vec<DecisionEvent> {
+        crate::TobProcess::drain_decisions(self)
+    }
+
+    fn tally_fingerprint(&self) -> Option<u64> {
+        crate::TobProcess::tally_fingerprint(self)
+    }
+
+    fn shared_round_tally(&mut self, round: Round) -> Option<GaOutput> {
+        Some(crate::TobProcess::shared_round_tally(self, round))
+    }
+
+    fn install_shared_tally(&mut self, round: Round, tally: Arc<GaOutput>) {
+        crate::TobProcess::install_shared_tally(self, round, tally);
     }
 
     fn decided_tip(&self) -> BlockId {

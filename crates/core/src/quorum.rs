@@ -42,6 +42,7 @@ use st_crypto::Keypair;
 use st_messages::{Envelope, Payload, Propose, ProposeStore, SharedEnvelope, Vote};
 use st_types::{BlockId, FastSet, ProcessId, Round, RoundKind, TxId, View};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A well-behaved process running the fixed-quorum baseline. See the
 /// [module docs](self) for the protocol.
@@ -152,12 +153,12 @@ impl QuorumProcess {
     /// First round of view `v`: propose a block extending the decided
     /// chain.
     fn propose(&mut self, round: Round, view: View) -> Vec<Envelope> {
-        let block = Block::build(
+        let block = Arc::new(Block::build(
             self.decided_tip,
             view,
             self.id,
             self.payload_for(self.decided_tip),
-        );
+        ));
         let (vrf_value, vrf_proof) = self.keypair.vrf_eval(view.as_u64());
         let proposal = Propose::new(self.id, round, view, block.clone(), vrf_value, vrf_proof);
         // A process hears its own multicast: record locally right away.
@@ -248,7 +249,8 @@ impl Protocol for QuorumProcess {
             }
             Payload::Propose(proposal) => {
                 let proposal = proposal.clone();
-                self.buffer.insert(&mut self.tree, proposal.block().clone());
+                self.buffer
+                    .insert(&mut self.tree, proposal.block_arc().clone());
                 self.store_proposal(proposal);
             }
         }
@@ -272,6 +274,10 @@ impl Protocol for QuorumProcess {
 
     fn decisions(&self) -> &[DecisionEvent] {
         &self.decisions
+    }
+
+    fn drain_decisions(&mut self) -> Vec<DecisionEvent> {
+        std::mem::take(&mut self.decisions)
     }
 
     fn decided_tip(&self) -> BlockId {

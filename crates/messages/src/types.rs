@@ -5,6 +5,7 @@ use st_blocktree::Block;
 use st_crypto::{VrfOutput, VrfProof};
 use st_types::{BlockId, ProcessId, Round, View};
 use std::fmt;
+use std::sync::Arc;
 
 /// A `[vote, Λ]` message: `sender` votes in round `round` for the log whose
 /// tip is `tip`.
@@ -67,12 +68,17 @@ impl fmt::Debug for Vote {
 /// underlying dissemination layer ships block content with proposals.
 /// Ancestor blocks were shipped by earlier proposals; receivers buffer
 /// orphans until the parent arrives.
+///
+/// The block body is held behind an [`Arc`] so that the proposer, every
+/// receiver's tree, and the simulator's global tree can share one
+/// allocation — at n=4096 a block body would otherwise be duplicated
+/// thousands of times.
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Propose {
     sender: ProcessId,
     round: Round,
     view: View,
-    block: Block,
+    block: Arc<Block>,
     vrf_value: VrfOutput,
     vrf_proof: VrfProof,
 }
@@ -84,7 +90,7 @@ impl Propose {
         sender: ProcessId,
         round: Round,
         view: View,
-        block: Block,
+        block: impl Into<Arc<Block>>,
         vrf_value: VrfOutput,
         vrf_proof: VrfProof,
     ) -> Propose {
@@ -92,7 +98,7 @@ impl Propose {
             sender,
             round,
             view,
-            block,
+            block: block.into(),
             vrf_value,
             vrf_proof,
         }
@@ -100,6 +106,12 @@ impl Propose {
 
     /// The proposed tip block (full body).
     pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// The shared handle to the proposed tip block, for inserting into a
+    /// tree without copying the body.
+    pub fn block_arc(&self) -> &Arc<Block> {
         &self.block
     }
 

@@ -7,7 +7,7 @@
 //! Figure 3).
 
 use crate::Vote;
-use st_types::fasthash::iter_sorted;
+use st_types::fasthash::{iter_sorted, mix64, mix64_pair};
 use st_types::FastMap;
 use st_types::{BlockId, ProcessId, Round};
 use std::collections::BTreeMap;
@@ -36,6 +36,24 @@ enum RoundRecord {
     Equivocated(BlockId, BlockId),
 }
 
+/// Hasher-independent digest of one `(sender, round, record)` entry, used
+/// as the XOR term this entry contributes to [`VoteStore::fingerprint`].
+///
+/// The equivocated arm is symmetric in the two evidence tips: which of a
+/// pair of equivocating votes arrived first is a delivery-order accident
+/// that never affects the tally (the sender is discarded either way), so
+/// it must not split otherwise-identical stores into different
+/// fingerprints.
+fn record_digest(sender: ProcessId, round: Round, rec: &RoundRecord) -> u64 {
+    let key = mix64_pair(mix64(u64::from(sender.as_u32())), round.as_u64());
+    match *rec {
+        RoundRecord::Single(tip) => mix64_pair(key, tip.as_u64()),
+        RoundRecord::Equivocated(a, b) => {
+            mix64_pair(key, u64::MAX) ^ mix64_pair(key, a.as_u64()) ^ mix64_pair(key, b.as_u64())
+        }
+    }
+}
+
 /// Stores every vote a process has received and answers latest-in-window
 /// queries.
 ///
@@ -47,6 +65,14 @@ pub struct VoteStore {
     by_sender: FastMap<ProcessId, BTreeMap<Round, RoundRecord>>,
     /// Total count of distinct (sender, round, tip) votes recorded.
     distinct_votes: usize,
+    /// XOR of [`record_digest`] over every stored `(sender, round,
+    /// record)` entry — an order-insensitive, hasher-independent content
+    /// fingerprint, maintained incrementally by [`VoteStore::insert`] and
+    /// both prune variants. Equal fingerprints certify (up to 64-bit
+    /// collision) that two stores answer every latest-in-window query
+    /// identically, which is what the simulator's shared-tally cohort
+    /// check needs.
+    fingerprint: u64,
 }
 
 impl VoteStore {
@@ -71,18 +97,24 @@ impl VoteStore {
         let rounds = self.by_sender.entry(vote.sender()).or_default();
         match rounds.get_mut(&vote.round()) {
             None => {
-                rounds.insert(vote.round(), RoundRecord::Single(vote.tip()));
+                let rec = RoundRecord::Single(vote.tip());
+                self.fingerprint ^= record_digest(vote.sender(), vote.round(), &rec);
+                rounds.insert(vote.round(), rec);
                 self.distinct_votes += 1;
                 InsertOutcome::Recorded
             }
             Some(rec) => match *rec {
                 RoundRecord::Single(tip) if tip == vote.tip() => InsertOutcome::Duplicate,
                 RoundRecord::Single(first) => {
+                    self.fingerprint ^= record_digest(vote.sender(), vote.round(), rec);
                     *rec = RoundRecord::Equivocated(first, vote.tip());
+                    self.fingerprint ^= record_digest(vote.sender(), vote.round(), rec);
                     self.distinct_votes += 1;
                     InsertOutcome::Equivocation
                 }
                 RoundRecord::Equivocated(a, b) => {
+                    // A third distinct tip adds no evidence: the record —
+                    // and with it the fingerprint — stays as-is.
                     if a == vote.tip() || b == vote.tip() {
                         InsertOutcome::Duplicate
                     } else {
@@ -90,6 +122,35 @@ impl VoteStore {
                     }
                 }
             },
+        }
+    }
+
+    /// The store's content fingerprint (see the field docs). Two stores
+    /// with equal fingerprints hold the same effective vote records
+    /// regardless of insertion order, hasher seed, or pruning history.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The latest record of `sender` within the closed window `[lo, hi]`:
+    /// `None` if the sender has no vote there, `Some((round, None))` if
+    /// its latest record in the window is an equivocation (sender
+    /// discarded entirely), `Some((round, Some(tip)))` for a clean latest
+    /// vote. This is the single-sender form of
+    /// [`VoteStore::latest_in_window`], used by the incremental tally to
+    /// re-derive one sender's contribution after an insert instead of
+    /// re-scanning every sender.
+    pub fn latest_of(
+        &self,
+        sender: ProcessId,
+        lo: Round,
+        hi: Round,
+    ) -> Option<(Round, Option<BlockId>)> {
+        let rounds = self.by_sender.get(&sender)?;
+        let (&round, rec) = rounds.range(lo..=hi).next_back()?;
+        match *rec {
+            RoundRecord::Single(tip) => Some((round, Some(tip))),
+            RoundRecord::Equivocated(_, _) => Some((round, None)),
         }
     }
 
@@ -150,7 +211,8 @@ impl VoteStore {
     /// baseline.
     pub fn prune_below(&mut self, lo: Round) {
         let mut any_emptied = false;
-        for rounds in self.by_sender.values_mut() {
+        // stlint::allow(iterorder, reason = "per-sender pops are independent and the fingerprint/count updates are XOR/sum folds, both order-insensitive")
+        for (&sender, rounds) in self.by_sender.iter_mut() {
             while let Some(entry) = rounds.first_entry() {
                 if *entry.key() >= lo {
                     break;
@@ -159,6 +221,7 @@ impl VoteStore {
                     RoundRecord::Single(_) => 1,
                     RoundRecord::Equivocated(_, _) => 2,
                 };
+                self.fingerprint ^= record_digest(sender, *entry.key(), entry.get());
                 entry.remove();
             }
             any_emptied |= rounds.is_empty();
@@ -173,13 +236,15 @@ impl VoteStore {
     /// expired. Identical observable behaviour, pre-refactor cost model —
     /// used only by the naive benchmarking baseline.
     pub fn prune_below_presplit(&mut self, lo: Round) {
-        for rounds in self.by_sender.values_mut() {
+        // stlint::allow(iterorder, reason = "per-sender rebuilds are independent and the fingerprint/count updates are XOR/sum folds, both order-insensitive")
+        for (&sender, rounds) in self.by_sender.iter_mut() {
             let keep = rounds.split_off(&lo);
-            for rec in rounds.values() {
+            for (&round, rec) in rounds.iter() {
                 self.distinct_votes -= match rec {
                     RoundRecord::Single(_) => 1,
                     RoundRecord::Equivocated(_, _) => 2,
                 };
+                self.fingerprint ^= record_digest(sender, round, rec);
             }
             *rounds = keep;
         }
@@ -361,6 +426,83 @@ mod tests {
             Some(BlockId::new(50))
         );
         assert_eq!(s.senders().count(), 1);
+    }
+
+    #[test]
+    fn latest_of_matches_window_semantics() {
+        let mut s = VoteStore::new();
+        s.insert(v(1, 2, 20));
+        s.insert(v(1, 4, 40));
+        s.insert(v(1, 4, 41)); // equivocation in the latest round
+        let p1 = ProcessId::new(1);
+        assert_eq!(
+            s.latest_of(p1, Round::new(0), Round::new(5)),
+            Some((Round::new(4), None))
+        );
+        assert_eq!(
+            s.latest_of(p1, Round::new(0), Round::new(3)),
+            Some((Round::new(2), Some(BlockId::new(20))))
+        );
+        assert_eq!(s.latest_of(p1, Round::new(5), Round::new(9)), None);
+        assert_eq!(
+            s.latest_of(ProcessId::new(2), Round::new(0), Round::new(9)),
+            None
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_tracks_content() {
+        let votes = [v(1, 1, 10), v(2, 3, 30), v(1, 4, 40), v(3, 2, 20)];
+        let mut a = VoteStore::new();
+        let mut b = VoteStore::new();
+        for vote in votes {
+            a.insert(vote);
+        }
+        for vote in votes.iter().rev() {
+            b.insert(*vote);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), VoteStore::new().fingerprint());
+        // Duplicates don't move the fingerprint; new content does.
+        let before = a.fingerprint();
+        a.insert(v(1, 1, 10));
+        assert_eq!(a.fingerprint(), before);
+        a.insert(v(4, 1, 10));
+        assert_ne!(a.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_is_symmetric_in_equivocation_evidence_order() {
+        let mut a = VoteStore::new();
+        a.insert(v(1, 2, 20));
+        a.insert(v(1, 2, 21));
+        let mut b = VoteStore::new();
+        b.insert(v(1, 2, 21));
+        b.insert(v(1, 2, 20));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A third distinct tip adds no evidence and no fingerprint change.
+        let before = a.fingerprint();
+        a.insert(v(1, 2, 22));
+        assert_eq!(a.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_after_prune_matches_fresh_store() {
+        for presplit in [false, true] {
+            let mut pruned = VoteStore::new();
+            pruned.insert(v(1, 1, 10));
+            pruned.insert(v(1, 1, 11)); // equivocation below the horizon
+            pruned.insert(v(1, 5, 50));
+            pruned.insert(v(2, 2, 20));
+            if presplit {
+                pruned.prune_below_presplit(Round::new(3));
+            } else {
+                pruned.prune_below(Round::new(3));
+            }
+            let mut fresh = VoteStore::new();
+            fresh.insert(v(1, 5, 50));
+            assert_eq!(pruned.fingerprint(), fresh.fingerprint());
+        }
     }
 
     #[test]

@@ -180,6 +180,24 @@ impl<P: Protocol> SimBuilder<P> {
         self
     }
 
+    /// Disables the shared once-per-round tally so every process
+    /// recomputes its own (see [`SimConfig::unshared_tally`]) — the
+    /// shared-vs-unshared equivalence guard's other arm.
+    #[must_use]
+    pub fn unshared_tally(mut self) -> SimBuilder<P> {
+        self.config = self.config.unshared_tally();
+        self
+    }
+
+    /// Turns on per-phase wall-clock instrumentation (see
+    /// [`SimConfig::instrument`]). Off by default: instrumented fields
+    /// serialise as zero when disabled, keeping reports byte-comparable.
+    #[must_use]
+    pub fn instrument(mut self) -> SimBuilder<P> {
+        self.config = self.config.instrument();
+        self
+    }
+
     /// Sets the participation/corruption [`Schedule`]. Defaults to
     /// [`Schedule::full`] over the configured horizon.
     #[must_use]

@@ -88,10 +88,10 @@ mod sweep;
 pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};
 pub use builder::{BuildError, SimBuilder};
 pub use env::{bounded_delay_of, Disruption, EnvView, EnvWindow, Partition, SegmentKind, Timeline};
-pub use metrics::{RoundSample, RoundTrace};
+pub use metrics::{RoundCost, RoundSample, RoundTrace};
 pub use monitor::{RecoveryRecord, SafetyViolation, SimReport, TxRecord};
 pub use network::{Network, Recipients, SentMessage};
-pub use observer::{ObsCtx, Observer, SimEvent, ViolationKind};
+pub use observer::{DecisionLog, DecisionTap, ObsCtx, Observer, SimEvent, ViolationKind};
 pub use runner::{AsyncWindow, SimConfig, Simulation};
 pub use schedule::{ChurnOptions, Schedule};
 pub use sweep::{Sweep, SweepComparison, SweepReports};

@@ -9,6 +9,34 @@
 use serde::Serialize;
 use st_types::Round;
 
+/// Per-round execution cost, measured by the runner when instrumentation
+/// is on ([`crate::SimConfig::instrument`]) and all-zero otherwise — the
+/// zeros keep instrument-off reports byte-identical across code paths,
+/// which is what the determinism-equivalence suites compare.
+///
+/// The phase attribution: `tally_us` is the runner-side shared-tally
+/// cohort pass (certification + the one representative tally per
+/// cohort); per-process fallback tallies run *inside* `step_send` and
+/// therefore land in `step_send_us`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RoundCost {
+    /// Microseconds spent in the honest send phase (`step_send` calls,
+    /// including any per-process fallback tallies, plus send-side
+    /// bookkeeping).
+    pub step_send_us: u64,
+    /// Microseconds spent in the receive phase (delivery to honest
+    /// receivers and corrupted machines, plus pool compaction).
+    pub delivery_us: u64,
+    /// Microseconds spent in the shared-tally cohort pass.
+    pub tally_us: u64,
+    /// Honest `step_send` tallies served from a cohort-shared result
+    /// this round.
+    pub tally_cache_hits: u64,
+    /// Honest `step_send` tallies computed rather than served (cohort
+    /// representatives, singleton cohorts, uncertified fallbacks).
+    pub tally_cache_misses: u64,
+}
+
 /// One round's sample.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct RoundSample {
@@ -38,6 +66,20 @@ pub struct RoundSample {
     pub max_decided_height: u64,
     /// Minimum decided-log height over honest *awake* processes.
     pub min_decided_height: u64,
+    /// Honest send-phase microseconds (0 unless instrumented; see
+    /// [`RoundCost::step_send_us`]).
+    pub step_send_us: u64,
+    /// Receive-phase microseconds (0 unless instrumented; see
+    /// [`RoundCost::delivery_us`]).
+    pub delivery_us: u64,
+    /// Shared-tally cohort-pass microseconds (0 unless instrumented; see
+    /// [`RoundCost::tally_us`]).
+    pub tally_us: u64,
+    /// Tallies served from the shared cache this round (0 unless
+    /// instrumented).
+    pub tally_cache_hits: u64,
+    /// Tallies computed rather than served (0 unless instrumented).
+    pub tally_cache_misses: u64,
 }
 
 /// The per-round history of a simulation.
@@ -117,6 +159,20 @@ impl RoundTrace {
         self.total_messages() as f64 / self.samples.len() as f64
     }
 
+    /// Fraction of instrumented honest tallies served from the shared
+    /// cache over the whole run: `hits / (hits + misses)`, or 0.0 when
+    /// nothing was instrumented. On a fully synchronous full-participation
+    /// run this approaches `(n − 1) / n` — one computed tally per round,
+    /// shared with everyone else.
+    pub fn tally_cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.samples.iter().map(|s| s.tally_cache_hits).sum();
+        let misses: u64 = self.samples.iter().map(|s| s.tally_cache_misses).sum();
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
     /// The largest spread between the most- and least-advanced honest
     /// awake process over the run — a divergence indicator (large spreads
     /// appear during asynchrony and close again after healing).
@@ -132,11 +188,12 @@ impl RoundTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "round,honest_awake,byzantine,is_async,delta,partitioned,messages_sent,messages_delivered,decisions,\
-             max_decided_height,min_decided_height\n",
+             max_decided_height,min_decided_height,step_send_us,delivery_us,tally_us,tally_cache_hits,\
+             tally_cache_misses\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.round,
                 s.honest_awake,
                 s.byzantine,
@@ -147,7 +204,12 @@ impl RoundTrace {
                 s.messages_delivered,
                 s.decisions,
                 s.max_decided_height,
-                s.min_decided_height
+                s.min_decided_height,
+                s.step_send_us,
+                s.delivery_us,
+                s.tally_us,
+                s.tally_cache_hits,
+                s.tally_cache_misses
             ));
         }
         out
@@ -171,6 +233,7 @@ mod tests {
             decisions,
             max_decided_height: max_h,
             min_decided_height: min_h,
+            ..RoundSample::default()
         }
     }
 
@@ -210,6 +273,22 @@ mod tests {
         let t = timeline();
         assert_eq!(t.max_height_spread(), 1);
         assert_eq!(RoundTrace::new().max_height_spread(), 0);
+    }
+
+    #[test]
+    fn cache_hit_rate_is_the_run_wide_ratio() {
+        let mut t = RoundTrace::new();
+        let mut a = sample(0, 0, 0, 0);
+        a.tally_cache_hits = 9;
+        a.tally_cache_misses = 1;
+        let mut b = sample(1, 0, 0, 0);
+        b.tally_cache_hits = 3;
+        b.tally_cache_misses = 7;
+        t.push(a);
+        t.push(b);
+        assert!((t.tally_cache_hit_rate() - 0.6).abs() < 1e-9);
+        // Uninstrumented runs (all zeros) report 0.0, not NaN.
+        assert_eq!(timeline().tally_cache_hit_rate(), 0.0);
     }
 
     #[test]

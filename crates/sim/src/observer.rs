@@ -36,7 +36,7 @@
 //!    this round, then [`SimEvent::RoundEnd`].
 
 use crate::env::{Disruption, EnvView, Timeline};
-use crate::metrics::{RoundSample, RoundTrace};
+use crate::metrics::{RoundCost, RoundSample, RoundTrace};
 use crate::monitor::{
     RecoveryRecord, ResilienceMonitor, SafetyMonitor, SafetyViolation, SimReport, TxRecord,
 };
@@ -45,6 +45,8 @@ use crate::schedule::Schedule;
 use st_blocktree::BlockTree;
 use st_core::{DecisionEvent, Protocol, TobProcess};
 use st_types::{BlockId, FastSet, ProcessId, Round, TxId};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Read-only view of the execution handed to every observer hook: the
 /// full-knowledge vantage point the paper's monitors have (every process's
@@ -154,6 +156,9 @@ pub enum SimEvent {
         round: Round,
         /// Envelopes delivered to honest receivers this round.
         delivered: usize,
+        /// Per-phase execution cost — all zero unless the run was built
+        /// with [`SimConfig::instrument`](crate::SimConfig::instrument).
+        cost: RoundCost,
     },
 }
 
@@ -204,7 +209,14 @@ pub trait Observer<P: Protocol = TobProcess> {
                 self.on_delivery(ctx, *receiver, *sender)
             }
             SimEvent::Violation { kind, violation } => self.on_violation(ctx, *kind, violation),
-            SimEvent::RoundEnd { round, delivered } => self.on_round_end(ctx, *round, *delivered),
+            SimEvent::RoundEnd {
+                round,
+                delivered,
+                cost,
+            } => {
+                self.on_round_cost(ctx, cost);
+                self.on_round_end(ctx, *round, *delivered)
+            }
         }
     }
 
@@ -252,6 +264,12 @@ pub trait Observer<P: Protocol = TobProcess> {
         violation: &SafetyViolation,
     ) {
         let _ = (ctx, kind, violation);
+    }
+
+    /// The round's per-phase cost, dispatched immediately before
+    /// [`Observer::on_round_end`] (all zero unless instrumented).
+    fn on_round_cost(&mut self, ctx: &ObsCtx<'_, P>, cost: &RoundCost) {
+        let _ = (ctx, cost);
     }
 
     /// A round finished executing.
@@ -536,6 +554,7 @@ pub(crate) struct TraceObserver {
     trace: RoundTrace,
     messages_at_round_start: usize,
     decisions_this_round: usize,
+    cost_this_round: RoundCost,
 }
 
 impl TraceObserver {
@@ -544,6 +563,7 @@ impl TraceObserver {
             trace: RoundTrace::new(),
             messages_at_round_start: 0,
             decisions_this_round: 0,
+            cost_this_round: RoundCost::default(),
         }
     }
 }
@@ -560,6 +580,10 @@ impl<P: Protocol> Observer<P> for TraceObserver {
 
     fn on_decision(&mut self, _ctx: &ObsCtx<'_, P>, _process: ProcessId, _decision: DecisionEvent) {
         self.decisions_this_round += 1;
+    }
+
+    fn on_round_cost(&mut self, _ctx: &ObsCtx<'_, P>, cost: &RoundCost) {
+        self.cost_this_round = *cost;
     }
 
     fn on_round_end(&mut self, ctx: &ObsCtx<'_, P>, round: Round, delivered: usize) {
@@ -586,10 +610,69 @@ impl<P: Protocol> Observer<P> for TraceObserver {
             decisions: self.decisions_this_round,
             max_decided_height: all_max,
             min_decided_height: heights.iter().copied().min().unwrap_or(0),
+            step_send_us: self.cost_this_round.step_send_us,
+            delivery_us: self.cost_this_round.delivery_us,
+            tally_us: self.cost_this_round.tally_us,
+            tally_cache_hits: self.cost_this_round.tally_cache_hits,
+            tally_cache_misses: self.cost_this_round.tally_cache_misses,
         });
     }
 
     fn finish(&mut self, _ctx: &ObsCtx<'_, P>, report: &mut SimReport) {
         report.timeline = std::mem::take(&mut self.trace);
+    }
+}
+
+/// Shared handle to the per-process decision histories a [`DecisionTap`]
+/// collects (index = process index, events in observation order).
+pub type DecisionLog = Rc<RefCell<Vec<Vec<DecisionEvent>>>>;
+
+/// A user observer that records every honest decision per process for
+/// reading *after* the run.
+///
+/// The round loop **drains** each process's decision log every round (so
+/// per-process event storage stays bounded on long horizons), which means
+/// post-run code can no longer read `decisions()` off the processes —
+/// everything has been consumed into the observer pipeline. Code that
+/// wants the full history registers a tap and reads the shared log:
+///
+/// ```
+/// use st_sim::{DecisionTap, SimBuilder};
+/// use st_types::Params;
+///
+/// let params = Params::builder(6).expiration(2).build()?;
+/// let (tap, log) = DecisionTap::new(6);
+/// let report = SimBuilder::new(params, 3).horizon(20).observer(tap).run();
+/// assert_eq!(
+///     log.borrow().iter().map(|d| d.len()).sum::<usize>(),
+///     report.decisions_total,
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct DecisionTap {
+    log: DecisionLog,
+}
+
+impl DecisionTap {
+    /// A tap over `n` processes, plus the shared handle its collected log
+    /// is read through.
+    pub fn new(n: usize) -> (DecisionTap, DecisionLog) {
+        let log: DecisionLog = Rc::new(RefCell::new(vec![Vec::new(); n]));
+        (
+            DecisionTap {
+                log: Rc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl<P: Protocol> Observer<P> for DecisionTap {
+    fn name(&self) -> &str {
+        "decision-tap"
+    }
+
+    fn on_decision(&mut self, _ctx: &ObsCtx<'_, P>, process: ProcessId, decision: DecisionEvent) {
+        self.log.borrow_mut()[process.index()].push(decision);
     }
 }

@@ -17,6 +17,7 @@
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::builder::BuildError;
 use crate::env::{bounded_delay_of, Disruption, EnvView, SegmentKind, Timeline};
+use crate::metrics::RoundCost;
 use crate::monitor::SimReport;
 use crate::network::{Network, Recipients};
 use crate::observer::{
@@ -28,8 +29,13 @@ use st_blocktree::BlockTree;
 use st_core::{Protocol, TobConfig, TobProcess};
 use st_crypto::Keypair;
 use st_messages::{Payload, SharedEnvelope};
+use st_types::fasthash::mix64_pair;
 use st_types::FastSet;
 use st_types::{Params, ProcessId, Round, TxId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+// stlint::allow(wallclock, reason = "instrument-gated per-phase timing only: every Instant read is behind SimConfig::instrument, and instrumented fields serialise as zero when it is off, so reports stay pure functions of the seed")
+use std::time::Instant;
 
 /// An asynchronous window `[start, start + len − 1]` during which message
 /// delivery is adversarial. In the paper's notation the window is
@@ -94,6 +100,8 @@ pub struct SimConfig {
     timeline: Timeline,
     txs_every: Option<u64>,
     naive_delivery: bool,
+    shared_tally: bool,
+    instrument: bool,
 }
 
 impl SimConfig {
@@ -108,6 +116,8 @@ impl SimConfig {
             timeline: Timeline::synchronous(),
             txs_every: None,
             naive_delivery: false,
+            shared_tally: true,
+            instrument: false,
         }
     }
 
@@ -156,6 +166,30 @@ impl SimConfig {
     #[must_use]
     pub fn naive_delivery(mut self) -> SimConfig {
         self.naive_delivery = true;
+        self
+    }
+
+    /// Disables the shared once-per-round tally: every process computes
+    /// its own round tally inside `step_send`, with no runner-side cohort
+    /// pass. Behaviour must be identical either way — the shared path
+    /// hands a cohort exactly the tally each member would have computed —
+    /// and the determinism-equivalence suite asserts byte-identical
+    /// reports. This switch exists for that guard and for benchmarking
+    /// the sharing win.
+    #[must_use]
+    pub fn unshared_tally(mut self) -> SimConfig {
+        self.shared_tally = false;
+        self
+    }
+
+    /// Enables per-phase wall-clock timing and tally-cache hit/miss
+    /// accounting, surfaced per round via [`crate::RoundCost`] /
+    /// [`crate::RoundSample`]. Off by default: uninstrumented runs never
+    /// read the clock and serialise the cost fields as zero, keeping
+    /// reports byte-comparable across code paths.
+    #[must_use]
+    pub fn instrument(mut self) -> SimConfig {
+        self.instrument = true;
         self
     }
 
@@ -213,12 +247,17 @@ pub struct Simulation<P: Protocol = TobProcess> {
     /// One disruption per timeline window/partition (start order) —
     /// drives the `WindowEnter`/`WindowExit` events.
     disruptions: Vec<Disruption>,
-    /// Per-process cursor into `TobProcess::decisions()`: everything below
-    /// it has been *drained* (observed while honest, or skipped while
-    /// Byzantine — the cursor advances either way, so a process that
-    /// recovers from corruption never replays its Byzantine-era decisions
-    /// into the monitors as honest ones).
-    decisions_seen: Vec<usize>,
+    /// Whether each process has *ever* been Byzantine. A corrupted
+    /// machine's sends are discarded (the adversary speaks for it), so
+    /// its local state is no longer a pure function of the delivered
+    /// stream — it is excluded from tally cohorts for the rest of the
+    /// run.
+    ever_byz: Vec<bool>,
+    /// Per-process awake-history fingerprint: a [`mix64_pair`] chain over
+    /// the rounds the process was awake in. Equal fingerprints certify
+    /// identical participation histories — one of the shared-tally cohort
+    /// keys.
+    awake_fp: Vec<u64>,
     /// Cached Byzantine keypair set: `(corrupted processes, their
     /// keypairs)`. Corruption sets change at most a handful of times per
     /// run (growing adversary / corruption windows), so the per-round
@@ -353,7 +392,8 @@ impl<P: Protocol> Simulation<P> {
             observers,
             wants_deliveries,
             disruptions,
-            decisions_seen: vec![0; n],
+            ever_byz: vec![false; n],
+            awake_fp: vec![0; n],
             byz_cache: (Vec::new(), Vec::new()),
             tx_counter: 0,
             next: 0,
@@ -428,6 +468,12 @@ impl<P: Protocol> Simulation<P> {
         &self.procs
     }
 
+    /// Read-only view of the network (mid-run inspection; the
+    /// bounded-memory regression suite watches the pool backlog).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
     /// Rebuilds the Byzantine keypair cache iff the corrupted set changed.
     fn refresh_byz_cache(&mut self, corrupted: &[ProcessId]) {
         if self.byz_cache.0 != corrupted {
@@ -472,6 +518,22 @@ impl<P: Protocol> Simulation<P> {
             }
         }
 
+        // ------ participation bookkeeping (the runner-side half of the
+        // shared-tally cohort certificate): corruption is sticky — a
+        // machine whose sends were ever discarded is no longer a pure
+        // function of the delivered stream — and every process's awake
+        // history is chained into a fingerprint ------
+        let corrupted = self.schedule.byzantine(round);
+        for &p in &corrupted {
+            self.ever_byz[p.index()] = true;
+        }
+        for p in ProcessId::all(self.schedule.n()) {
+            if self.schedule.is_awake(p, round) {
+                let fp = &mut self.awake_fp[p.index()];
+                *fp = mix64_pair(*fp, round.as_u64());
+            }
+        }
+
         // ------ transaction workload: a fresh transaction reaches every
         // honest awake process's mempool (modelling transaction gossip,
         // which floods independently of the consensus rounds) ------
@@ -494,20 +556,95 @@ impl<P: Protocol> Simulation<P> {
             }
         }
 
-        // ------ send phase: honest processes ------
+        // ------ shared once-per-round tally: partition the honest awake
+        // set into cohorts whose previous-round tallies are provably
+        // identical, compute each cohort's tally once through the
+        // representative, and hand the members a shared handle that
+        // `step_send` consumes instead of recomputing.
+        //
+        // The certificate is structural, not fingerprint-trust: a member
+        // must (a) never have been corrupted (a corrupted machine's sends
+        // are discarded from the pool, so its self-inserted votes were
+        // never part of any delivered stream), (b) have no extras pending
+        // and an untainted cursor (so "delivered" ≡ "pool prefix up to
+        // cursor"), and (c) share the delivery cursor with the rest of
+        // the cohort. Equal awake-history and tally fingerprints are
+        // layered on top as belt-and-braces. The pass only runs in fully
+        // synchronous, unpartitioned rounds; everything else falls back
+        // to the per-process incremental tally. ------
         let honest = self.schedule.honest_awake(round);
+        let mut cost = RoundCost::default();
+        let instrument = self.config.instrument;
+        if self.config.shared_tally
+            && !self.config.naive_delivery
+            && round > Round::ZERO
+            && matches!(env_view.kind, SegmentKind::Synchronous)
+            && self.config.timeline.partition_at(round).is_none()
+        {
+            let t_tally = instrument.then(Instant::now);
+            // BTreeMap keying keeps cohort ordering (and so the choice of
+            // representative) independent of hasher state.
+            let mut cohorts: BTreeMap<(usize, u64, u64), Vec<ProcessId>> = BTreeMap::new();
+            for &p in &honest {
+                if self.ever_byz[p.index()]
+                    || self.network.has_extras(p)
+                    || self.network.targeted_below_cursor(p)
+                {
+                    continue;
+                }
+                let Some(fp) = self.procs[p.index()].tally_fingerprint() else {
+                    continue;
+                };
+                let key = (
+                    self.network.delivery_cursor(p),
+                    self.awake_fp[p.index()],
+                    fp,
+                );
+                cohorts.entry(key).or_default().push(p);
+            }
+            for members in cohorts.into_values() {
+                if members.len() < 2 {
+                    continue;
+                }
+                let rep = members[0];
+                let Some(out) = self.procs[rep.index()].shared_round_tally(round) else {
+                    continue;
+                };
+                let shared = Arc::new(out);
+                for &m in &members {
+                    self.procs[m.index()].install_shared_tally(round, Arc::clone(&shared));
+                }
+                cost.tally_cache_hits += members.len() as u64 - 1;
+            }
+            if let Some(t) = t_tally {
+                cost.tally_us = t.elapsed().as_micros() as u64;
+            }
+        }
+        if instrument && round > Round::ZERO {
+            cost.tally_cache_misses = honest.len() as u64 - cost.tally_cache_hits;
+        } else {
+            // Counters serialise as zero when uninstrumented so reports
+            // stay byte-comparable across sharing modes.
+            cost.tally_cache_hits = 0;
+        }
+
+        // ------ send phase: honest processes ------
+        let t_send = instrument.then(Instant::now);
         for &p in &honest {
             let envs = self.procs[p.index()].step_send(round);
             for env in envs {
                 if let Payload::Propose(prop) = env.payload() {
                     // Keep the global tree complete (monitor/adversary view).
                     let mut buf = st_core::BlockBuffer::new();
-                    buf.insert(&mut self.global_tree, prop.block().clone());
+                    buf.insert(&mut self.global_tree, prop.block_arc().clone());
                 }
                 // Moves the envelope into one shared pool allocation; the
                 // process already recorded its own multicast locally.
                 self.network.send(round, p, Recipients::All, env);
             }
+        }
+        if let Some(t) = t_send {
+            cost.step_send_us = t.elapsed().as_micros() as u64;
         }
 
         // ------ send phase: corrupted machines ------
@@ -520,13 +657,12 @@ impl<P: Protocol> Simulation<P> {
         // state. Discarded proposals still enter the global tree: the
         // full-knowledge adversary and the monitors know every block ever
         // built, including ones only a corrupted machine has seen.
-        let corrupted = self.schedule.byzantine(round);
         for &p in &corrupted {
             let envs = self.procs[p.index()].step_send(round);
             for env in envs {
                 if let Payload::Propose(prop) = env.payload() {
                     let mut buf = st_core::BlockBuffer::new();
-                    buf.insert(&mut self.global_tree, prop.block().clone());
+                    buf.insert(&mut self.global_tree, prop.block_arc().clone());
                 }
             }
         }
@@ -567,7 +703,7 @@ impl<P: Protocol> Simulation<P> {
             );
             if let Payload::Propose(prop) = msg.envelope.payload() {
                 let mut buf = st_core::BlockBuffer::new();
-                buf.insert(&mut self.global_tree, prop.block().clone());
+                buf.insert(&mut self.global_tree, prop.block_arc().clone());
             }
             self.network
                 .send(round, sender, msg.recipients, msg.envelope);
@@ -578,6 +714,7 @@ impl<P: Protocol> Simulation<P> {
 
         // ------ receive phase: processes awake at the END of this round,
         // i.e. at the beginning of round + 1 ------
+        let t_recv = instrument.then(Instant::now);
         let next = round.next();
         let naive = self.config.naive_delivery;
         let receivers: Vec<ProcessId> = ProcessId::all(self.schedule.n())
@@ -751,6 +888,9 @@ impl<P: Protocol> Simulation<P> {
         if !naive {
             self.network.compact();
         }
+        if let Some(t) = t_recv {
+            cost.delivery_us = t.elapsed().as_micros() as u64;
+        }
 
         // ------ narration: windows closing this round + round end (the
         // tx ledger's inclusion bookkeeping and the round trace's sample
@@ -772,7 +912,11 @@ impl<P: Protocol> Simulation<P> {
             dispatch(
                 &mut self.observers,
                 &ctx,
-                &SimEvent::RoundEnd { round, delivered },
+                &SimEvent::RoundEnd {
+                    round,
+                    delivered,
+                    cost,
+                },
             );
         }
     }
@@ -813,12 +957,11 @@ impl<P: Protocol> Simulation<P> {
             // Byzantine-era events replayed into the monitors as honest
             // decisions the moment it recovers.
             if self.schedule.is_byzantine(p, round) {
-                self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
+                // Drain and discard: the events existed but never count.
+                let _ = self.procs[p.index()].drain_decisions();
                 continue;
             }
-            let events: Vec<_> =
-                self.procs[p.index()].decisions()[self.decisions_seen[p.index()]..].to_vec();
-            self.decisions_seen[p.index()] = self.procs[p.index()].decisions().len();
+            let events = self.procs[p.index()].drain_decisions();
             for event in events {
                 let ctx = obs_ctx!(self, round, env);
                 dispatch(
@@ -913,6 +1056,41 @@ mod tests {
             "rate {}",
             report.tx_inclusion_rate()
         );
+    }
+
+    #[test]
+    fn shared_tally_actually_shares_under_full_participation() {
+        // Non-vacuity check for the shared-vs-unshared equivalence
+        // guards: on a fully synchronous full-participation run the
+        // cohort pass must serve almost every honest tally from the
+        // shared cache — one computed tally per round, (n − 1) hits.
+        let n = 8;
+        let report = sim(
+            SimConfig::new(params(n, 2), 1)
+                .horizon(30)
+                .txs_every(4)
+                .instrument(),
+            Schedule::full(n, 30),
+            SilentAdversary,
+        )
+        .run();
+        let rate = report.timeline.tally_cache_hit_rate();
+        assert!(
+            rate > 0.8,
+            "expected near-(n-1)/n cache hit rate under full participation, got {rate}"
+        );
+        // And the unshared arm records none.
+        let unshared = sim(
+            SimConfig::new(params(n, 2), 1)
+                .horizon(30)
+                .txs_every(4)
+                .instrument()
+                .unshared_tally(),
+            Schedule::full(n, 30),
+            SilentAdversary,
+        )
+        .run();
+        assert_eq!(unshared.timeline.tally_cache_hit_rate(), 0.0);
     }
 
     #[test]

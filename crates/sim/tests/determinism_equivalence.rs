@@ -363,6 +363,90 @@ fn explicit_protocol_parameterisation_matches_defaulted_alias() {
     }
 }
 
+/// **Shared-vs-unshared tally equivalence**: the once-per-round shared
+/// tally (cohort certification + one `GaOutput` per cohort, handed to
+/// members as a shared handle) must not change a single report byte
+/// relative to every process recomputing its own tally. Runs over the
+/// same guard grid as the API guards — churn, corruption windows,
+/// partitions, multi-window asynchrony and bounded delay all fragment
+/// or disable cohorts, so both the sharing and the fallback paths are
+/// exercised.
+#[test]
+fn shared_tally_is_byte_identical_to_unshared() {
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        let config = guard_config(eta, &t, seed);
+        let shared = SimBuilder::from_config(config.clone())
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        let unshared = SimBuilder::from_config(config.unshared_tally())
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        assert_eq!(
+            serde_json::to_string(&shared).unwrap(),
+            serde_json::to_string(&unshared).unwrap(),
+            "shared tally diverged from per-process recomputation for \
+             adversary={adv} schedule={sched} eta={eta}"
+        );
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// **Cohort-split property**: random churn (mid-window sleep/wake
+    /// fragments the awake-history fingerprints), a randomly placed
+    /// corruption window (flipping a process Byzantine and back trips the
+    /// sticky `ever_byz` exclusion) and a randomly placed asynchronous
+    /// window (rounds where the cohort pass is disabled entirely and
+    /// every process falls back to its incremental tally) — under every
+    /// such fragmentation the shared-tally run must stay byte-identical
+    /// to the unshared run, i.e. the cache never serves a stale or
+    /// wrong-cohort tally.
+    #[test]
+    fn cohort_splits_never_serve_a_stale_tally(
+        n in 6usize..12,
+        eta in 0u64..6,
+        seed in 0u64..500,
+        churn_seed in 0u64..500,
+        corrupt_target in 0usize..6,
+        corrupt_from in 4u64..12,
+        corrupt_len in 1u64..6,
+        async_from in 8u64..18,
+        async_len in 1u64..4,
+    ) {
+        let horizon = 30;
+        let sched = Schedule::random_churn(n, horizon, 0.15, churn_seed, &ChurnOptions::default())
+            .with_corrupted_window(
+                ProcessId::new((corrupt_target % n) as u32),
+                Round::new(corrupt_from),
+                Round::new(corrupt_from + corrupt_len),
+            );
+        let timeline = Timeline::synchronous().asynchronous(Round::new(async_from), async_len);
+        let config = SimConfig::new(params(n, eta), seed)
+            .horizon(horizon)
+            .txs_every(3)
+            .timeline(timeline);
+        let shared = SimBuilder::from_config(config.clone())
+            .schedule(sched.clone())
+            .adversary_boxed(adversary("equivocator"))
+            .run();
+        let unshared = SimBuilder::from_config(config.unshared_tally())
+            .schedule(sched)
+            .adversary_boxed(adversary("equivocator"))
+            .run();
+        proptest::prop_assert_eq!(
+            serde_json::to_string(&shared).unwrap(),
+            serde_json::to_string(&unshared).unwrap(),
+            "shared tally diverged under cohort splits: n={} eta={} seed={} churn_seed={} \
+             corrupt=({},{},{}) async=({},{})",
+            n, eta, seed, churn_seed, corrupt_target, corrupt_from, corrupt_len,
+            async_from, async_len
+        );
+    }
+}
+
 /// **Builder-vs-legacy-shim equivalence**: the deprecated positional
 /// constructor and the builder assemble the same simulation.
 #[test]

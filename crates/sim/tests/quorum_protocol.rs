@@ -14,25 +14,29 @@
 use proptest::prelude::*;
 use st_sim::adversary::{PartitionAttacker, SilentAdversary};
 use st_sim::baseline::StaticQuorumBft;
-use st_sim::{Protocol, QuorumProcess, Schedule, SimBuilder, Timeline};
+use st_sim::{DecisionTap, Protocol, QuorumProcess, Schedule, SimBuilder, Timeline};
 use st_types::{Params, Round};
 use std::collections::BTreeSet;
 
 /// Runs the in-simulator baseline over `schedule` and returns the set of
 /// decided views (union over processes — under synchrony every awake
 /// process decides the same views, sleepers catch up from the backlog).
+/// The runner drains decision events into its observers each round, so
+/// post-run inspection goes through a [`DecisionTap`].
 fn simulated_decided_views(schedule: &Schedule, n: usize, seed: u64) -> BTreeSet<u64> {
     let params = Params::builder(n).build().expect("valid params");
+    let (tap, log) = DecisionTap::new(n);
     let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, seed)
         .horizon(schedule.horizon())
         .schedule(schedule.clone())
         .adversary(SilentAdversary)
+        .observer(tap)
         .build()
         .expect("valid simulation");
     while sim.step().is_some() {}
-    sim.processes()
-        .iter()
-        .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+    let log = log.borrow();
+    log.iter()
+        .flat_map(|events| events.iter().map(|d| d.view.as_u64()))
         .collect()
 }
 
@@ -117,14 +121,17 @@ proptest! {
     ) {
         let horizon = 2 * half_views + 1;
         let params = Params::builder(n).build().expect("valid params");
+        let (tap, log) = DecisionTap::new(n);
         let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, seed)
             .horizon(horizon)
+            .observer(tap)
             .build()
             .expect("valid simulation");
         while sim.step().is_some() {}
         let expected: Vec<u64> = (1..=half_views).filter(|&v| 2 * v < horizon).collect();
-        for p in sim.processes() {
-            let views: Vec<u64> = p.decisions().iter().map(|d| d.view.as_u64()).collect();
+        for (i, p) in sim.processes().iter().enumerate() {
+            let views: Vec<u64> =
+                log.borrow()[i].iter().map(|d| d.view.as_u64()).collect();
             prop_assert_eq!(&views, &expected, "process {:?}", p.id());
         }
     }
@@ -180,18 +187,20 @@ fn quorum_baseline_is_safe_but_stalls_through_asynchrony() {
     let horizon = 40;
     let params = Params::builder(n).build().expect("valid params");
     let timeline = Timeline::synchronous().asynchronous(Round::new(13), 6);
+    let (tap, log) = DecisionTap::new(n);
     let mut sim = SimBuilder::<QuorumProcess>::for_protocol(params, 11)
         .horizon(horizon)
         .timeline(timeline)
         .schedule(Schedule::full(n, horizon))
         .adversary(PartitionAttacker::new())
+        .observer(tap)
         .build()
         .expect("valid simulation");
     while sim.step().is_some() {}
-    let decided: BTreeSet<u64> = sim
-        .processes()
+    let decided: BTreeSet<u64> = log
+        .borrow()
         .iter()
-        .flat_map(|p| p.decisions().iter().map(|d| d.view.as_u64()))
+        .flat_map(|events| events.iter().map(|d| d.view.as_u64()))
         .collect();
     let report = sim.finish();
     assert!(report.is_safe(), "{:?}", report.safety_violations);

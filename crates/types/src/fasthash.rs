@@ -119,6 +119,27 @@ impl Hasher for FxHasher {
     }
 }
 
+/// SplitMix64 finalizer: a fixed, hasher-independent 64-bit mixing
+/// function. Unlike [`FxHasher`] it never reads the process-wide seed, so
+/// values built from it (content fingerprints, cohort cache keys) are
+/// identical under `stsan`'s hasher perturbation — use it wherever a
+/// digest must not depend on bucket order *or* on the FxHash seed.
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Folds a word into a hasher-independent running digest (order matters:
+/// `mix64_pair(a, b) ≠ mix64_pair(b, a)`). Composes [`mix64`] the way the
+/// workspace's fingerprints chain fields together.
+#[inline]
+pub const fn mix64_pair(acc: u64, word: u64) -> u64 {
+    mix64(acc ^ mix64(word))
+}
+
 /// `HashMap` keyed with [`FxHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
