@@ -1,0 +1,206 @@
+//! **Cluster cross-check** — the deployment-equivalence experiment.
+//!
+//! Runs a real multi-process TCP cluster (`st-node`, one OS process per
+//! node, kill/sleep/partition faults injected at the socket layer) and
+//! byte-compares every node's decided chain against the lockstep
+//! simulator running the identical scenario. The simulator's claims are
+//! only as good as its model; this experiment is the bridge: if the
+//! socket runtime and the simulator ever disagree on a single decision
+//! event, the run fails.
+//!
+//! Run with `cargo run --release -p st-bench --bin exp_cluster`
+//! (`--smoke` for the reduced CI scenario). The harness re-execs this
+//! binary with `serve …` as the per-node child process.
+
+use st_bench::{bench_section, write_bench_section};
+use st_node::{run_cluster, ClusterOptions, ClusterPlan, KillWindow, PartitionWindow};
+use st_sim::{DecisionTap, Schedule, SimBuilder, SimConfig, Timeline};
+use st_types::Params;
+use std::process::ExitCode;
+
+#[derive(serde::Serialize)]
+struct NodeRow {
+    node: u32,
+    restarts: u64,
+    decisions: usize,
+    sim_decisions: usize,
+    matches: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    n: usize,
+    rounds: u64,
+    seed: u64,
+    kills: usize,
+    partitions: usize,
+    timed_out: bool,
+    harness_polls: u64,
+    divergences: usize,
+    nodes: Vec<NodeRow>,
+}
+
+fn child_serve(argv: &[String]) -> ExitCode {
+    let get = |key: &str| {
+        argv.iter()
+            .position(|a| a == key)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let (Some(plan), Some(id), Some(out)) = (get("--plan"), get("--id"), get("--out")) else {
+        eprintln!("serve needs --plan, --id, and --out");
+        return ExitCode::from(2);
+    };
+    let Ok(id) = id.parse::<u32>() else {
+        eprintln!("--id must be a node index");
+        return ExitCode::from(2);
+    };
+    match st_node::serve(&plan, id, &out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn scenario(smoke: bool) -> ClusterPlan {
+    let (n, rounds) = if smoke { (3, 20) } else { (5, 40) };
+    let mut plan = ClusterPlan::full(n, rounds);
+    plan.txs_every = 3;
+    plan.base_port = 39800; // distinct from `stob cluster` defaults
+    let victim = n as u32 - 1;
+    let (ks, ke) = if smoke { (5, 7) } else { (10, 14) };
+    plan.sleep(victim, ks, ke);
+    plan.kills.push(KillWindow {
+        node: victim,
+        start: ks,
+        end: ke,
+    });
+    if !smoke {
+        plan.sleep(1, 18, 20);
+    }
+    let (ps, pe) = if smoke { (10, 12) } else { (24, 27) };
+    plan.partitions.push(PartitionWindow {
+        start: ps,
+        end: pe,
+        groups: vec![(0..n as u32 / 2).collect()],
+    });
+    plan
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("serve") {
+        return child_serve(&argv[2..]);
+    }
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let plan = scenario(smoke);
+    plan.validate().expect("scenario is internally consistent");
+
+    // The oracle: the identical scenario under the lockstep simulator.
+    let params = Params::builder(plan.n)
+        .expiration(plan.eta)
+        .build()
+        .expect("valid params");
+    let (tap, log) = DecisionTap::new(plan.n);
+    let mut timeline = Timeline::synchronous();
+    for (start, len, groups) in plan.timeline_partitions() {
+        timeline = timeline.partition(start, len, groups);
+    }
+    let mut sim = SimBuilder::from_config(
+        SimConfig::new(params, plan.seed)
+            .horizon(plan.horizon)
+            .txs_every(plan.txs_every),
+    )
+    .schedule(Schedule::custom(plan.schedule_matrix()))
+    .timeline(timeline)
+    .observer(tap)
+    .build()
+    .expect("valid simulation");
+    while sim.step().is_some() {}
+    let sim_tips: Vec<u64> = sim
+        .processes()
+        .iter()
+        .map(|p| p.decided_tip().as_u64())
+        .collect();
+    let sim_decisions = log.borrow().clone();
+
+    // The cluster: re-exec ourselves as the node child.
+    let exe = std::env::current_exe()
+        .expect("own path")
+        .display()
+        .to_string();
+    let dir = std::env::temp_dir().join(format!("exp-cluster-{}", std::process::id()));
+    let poll_ms = 5;
+    let opts = ClusterOptions {
+        plan: plan.clone(),
+        exec: vec![exe, "serve".into()],
+        dir,
+        poll_ms,
+        timeout_polls: ((plan.horizon + 1) * plan.tick_ms.max(1) * 20 + 60_000) / poll_ms,
+    };
+    let outcome = run_cluster(&opts).expect("harness runs");
+
+    let mut divergences = 0usize;
+    let mut rows = Vec::new();
+    println!(
+        "\n=== exp_cluster{}: socket cluster vs simulator ===\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    for run in &outcome.nodes {
+        let i = run.node as usize;
+        let (matches, count) = match &run.outcome {
+            None => (false, 0),
+            Some(out) => {
+                let ok = out.decided_tip == sim_tips[i]
+                    && serde_json::to_string(&out.decisions).ok()
+                        == serde_json::to_string(&sim_decisions[i]).ok();
+                (ok, out.decisions.len())
+            }
+        };
+        if !matches {
+            divergences += 1;
+        }
+        println!(
+            "node {i}: {} (restarts {run_restarts}, decisions {count}/{})",
+            if matches { "MATCH" } else { "DIVERGED" },
+            sim_decisions[i].len(),
+            run_restarts = run.restarts,
+        );
+        rows.push(NodeRow {
+            node: run.node,
+            restarts: run.restarts,
+            decisions: count,
+            sim_decisions: sim_decisions[i].len(),
+            matches,
+        });
+    }
+    let report = Report {
+        n: plan.n,
+        rounds: plan.horizon,
+        seed: plan.seed,
+        kills: plan.kills.len(),
+        partitions: plan.partitions.len(),
+        timed_out: outcome.timed_out,
+        harness_polls: outcome.polls,
+        divergences,
+        nodes: rows,
+    };
+    if let Err(e) = write_bench_section(&bench_section("exp_cluster", smoke), &report) {
+        eprintln!("[could not write BENCH_sim.json: {e}]");
+    }
+    if divergences == 0 && !outcome.timed_out {
+        println!(
+            "\nverdict: all {} nodes byte-identical to the simulation",
+            plan.n
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nverdict: {divergences} divergence(s), timed_out = {}",
+            outcome.timed_out
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -52,6 +52,20 @@ pub trait Protocol: Sized + 'static {
     /// Handles a received shared envelope (the multicast fast path: the
     /// signature verdict is cached per envelope, so a fan-out verifies
     /// once per unique envelope, not once per receiver).
+    ///
+    /// # Delivery contract
+    ///
+    /// Real transports re-send on reconnect and interleave peers
+    /// arbitrarily, so implementors must tolerate **duplicated** and
+    /// **reordered** delivery within a round boundary: delivering the same
+    /// envelope multiple times, or a round's envelopes in any order,
+    /// before the next [`Protocol::step_send`] must leave the decided
+    /// chain unchanged. ([`crate::TobProcess`] dedups votes in its vote
+    /// store and proposals in its propose store; block insertion is
+    /// idempotent by content-address.) The driver in turn guarantees
+    /// envelopes are not delivered *across* the wrong round boundary —
+    /// the lockstep simulator by construction, the socket runtime by
+    /// exactly-once round-batch ingestion.
     fn on_receive_shared(&mut self, envelope: &SharedEnvelope);
 
     /// Handles a received owned envelope. The default wraps it into a

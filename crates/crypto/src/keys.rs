@@ -60,6 +60,23 @@ pub struct Signature {
     tag: u64,
 }
 
+impl Signature {
+    /// The raw 64-bit tag, for compact wire codecs.
+    ///
+    /// Exposing the tag grants no forging power the serde surface does not
+    /// already grant: the derived `Deserialize` impl reconstructs a
+    /// `Signature` from untrusted input just the same, and a fabricated tag
+    /// still fails [`PublicKey::verify`].
+    pub fn as_wire_tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Rebuilds a signature from a wire tag (see [`Signature::as_wire_tag`]).
+    pub fn from_wire_tag(tag: u64) -> Signature {
+        Signature { tag }
+    }
+}
+
 /// A signing keypair held by a single process.
 #[derive(Clone, Debug)]
 pub struct Keypair {

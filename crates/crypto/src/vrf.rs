@@ -28,6 +28,20 @@ pub struct VrfProof {
     tag: u64,
 }
 
+impl VrfProof {
+    /// The raw 64-bit tag, for compact wire codecs (see
+    /// [`crate::Signature::as_wire_tag`] for the non-escalation argument).
+    pub fn as_wire_tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Rebuilds a proof from a wire tag; a fabricated tag still fails
+    /// [`Vrf::verify`].
+    pub fn from_wire_tag(tag: u64) -> VrfProof {
+        VrfProof { tag }
+    }
+}
+
 /// Namespace for VRF verification.
 #[derive(Clone, Copy, Debug)]
 pub struct Vrf;

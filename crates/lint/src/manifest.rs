@@ -18,7 +18,7 @@ use crate::diag::{Diagnostic, RuleId};
 
 /// Stack position of each workspace package. A package may depend (in
 /// `[dependencies]`) only on packages with a strictly smaller layer.
-pub const LAYERS: [(&str, u8); 12] = [
+pub const LAYERS: [(&str, u8); 13] = [
     ("st-types", 0),
     ("st-crypto", 1),
     ("st-blocktree", 2),
@@ -27,6 +27,7 @@ pub const LAYERS: [(&str, u8); 12] = [
     ("st-gossip", 4),
     ("st-core", 5),
     ("st-sim", 6),
+    ("st-node", 7),
     ("st-analysis", 7),
     ("st-bench", 8),
     ("sleepy-tob", 8),
@@ -168,6 +169,18 @@ pub fn check_layering(rel_path: &str, m: &Manifest) -> Vec<Diagnostic> {
             ));
             continue;
         }
+        if dep_name == "st-node" && !matches!(name, "st-bench" | "sleepy-tob") {
+            out.push(Diagnostic::new(
+                RuleId::L1,
+                rel_path,
+                dep.line,
+                1,
+                "only st-bench and sleepy-tob may depend on st-node: the socket runtime is a \
+                 deployment leaf, and letting protocol or simulator crates reach it would pull \
+                 real I/O back under the deterministic layers",
+            ));
+            continue;
+        }
         if let Some(dep_layer) = layer_of(dep_name) {
             if !dep.dev && dep_layer >= my_layer {
                 out.push(Diagnostic::new(
@@ -279,6 +292,34 @@ mod tests {
         assert_eq!(bad.len(), 1);
         let bad2 = check("[package]\nname = \"st-bench\"\n[dependencies]\ncriterion = {}\n");
         assert_eq!(bad2.len(), 1);
+    }
+
+    #[test]
+    fn st_node_is_restricted_to_its_two_consumers() {
+        let ok = check("[package]\nname = \"st-bench\"\n[dependencies]\nst-node = {}\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        let ok2 = check("[package]\nname = \"sleepy-tob\"\n[dependencies]\nst-node = {}\n");
+        assert!(ok2.is_empty(), "{ok2:?}");
+        // Even a downward-looking consumer (st-analysis is layer 7 too,
+        // but the restriction is by name, not layer) is rejected.
+        let bad = check("[package]\nname = \"st-sim\"\n[dependencies]\nst-node = {}\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("deployment leaf"));
+        // dev-dependencies don't escape the restriction either.
+        let bad2 = check("[package]\nname = \"st-core\"\n[dev-dependencies]\nst-node = {}\n");
+        assert_eq!(bad2.len(), 1);
+    }
+
+    #[test]
+    fn st_node_sits_above_core_below_bench() {
+        let ok = check(
+            "[package]\nname = \"st-node\"\n[dependencies]\nst-types = {}\nst-messages = {}\nst-core = {}\nserde = {}\nserde_json = {}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check("[package]\nname = \"st-node\"\n[dependencies]\nst-sim = {}\n");
+        assert!(bad.is_empty(), "sim (6) is below node (7): {bad:?}");
+        let bad2 = check("[package]\nname = \"st-node\"\n[dependencies]\nst-analysis = {}\n");
+        assert_eq!(bad2.len(), 1, "same layer is not strictly below");
     }
 
     #[test]

@@ -83,6 +83,30 @@ fn d2_fixture_is_exempt_in_st_bench() {
 }
 
 #[test]
+fn d2_exemption_in_st_node_is_scoped_to_the_io_module() {
+    let src = include_str!("fixtures/d2_node_io.rs");
+    // The same Instant-using source is clean when it lives in st-node's
+    // socket I/O module...
+    let io_ctx = FileCtx {
+        rel_path: "crates/node/src/io.rs",
+        crate_name: "st-node",
+        test_file: false,
+    };
+    assert!(lines_of(&lint_source(&io_ctx, src), RuleId::D2).is_empty());
+    // ...and fires anywhere else in the crate: the exemption follows the
+    // file, not the crate (line 5: the Instant import).
+    let runtime_ctx = FileCtx {
+        rel_path: "crates/node/src/runtime.rs",
+        crate_name: "st-node",
+        test_file: false,
+    };
+    assert_eq!(
+        lines_of(&lint_source(&runtime_ctx, src), RuleId::D2),
+        vec![5]
+    );
+}
+
+#[test]
 fn d2_fixture_passes_when_seeded_and_test_confined() {
     let src = include_str!("fixtures/d2_pass.rs");
     let ctx = FileCtx {

@@ -1,0 +1,9 @@
+//! D2 scoped-exemption specimen: wall-clock use that is legal in exactly
+//! one place — st-node's socket I/O module — and illegal everywhere else
+//! in that crate. Linted twice by the fixture tests under different
+//! `rel_path`s.
+use std::time::{Duration, Instant};
+
+pub fn backoff_elapsed(started: Instant) -> bool {
+    started.elapsed() > Duration::from_millis(250)
+}

@@ -36,6 +36,27 @@ impl AggregatedVote {
         }
     }
 
+    /// Reassembles an aggregate from decoded wire parts. Crate-internal:
+    /// the binary codec's counterpart to the derived `Deserialize` impl;
+    /// entries are kept as transmitted and re-checked by
+    /// [`AggregatedVote::verified_votes`].
+    pub(crate) fn from_wire_parts(
+        round: Round,
+        tip: BlockId,
+        signers: Vec<(ProcessId, Signature)>,
+    ) -> AggregatedVote {
+        AggregatedVote {
+            round,
+            tip,
+            signers,
+        }
+    }
+
+    /// The `(signer, signature)` entries, sorted by signer.
+    pub(crate) fn signer_entries(&self) -> &[(ProcessId, Signature)] {
+        &self.signers
+    }
+
     /// The vote round.
     pub fn round(&self) -> Round {
         self.round

@@ -85,6 +85,13 @@ impl Envelope {
         Envelope { payload, signature }
     }
 
+    /// Reassembles an envelope from decoded wire parts. Crate-internal:
+    /// used by the binary codec, mirroring the derived `Deserialize` path
+    /// (the signature is still checked by [`Envelope::verify`]).
+    pub(crate) fn from_wire_parts(payload: Payload, signature: Signature) -> Envelope {
+        Envelope { payload, signature }
+    }
+
     /// The payload (valid only if [`Envelope::verify`] accepts).
     pub fn payload(&self) -> &Payload {
         &self.payload

@@ -47,6 +47,7 @@ mod propose_store;
 mod shared;
 mod types;
 mod vote_store;
+pub mod wire;
 
 pub use aggregate::{AggregatedVote, VoteAggregator};
 pub use envelope::{Envelope, KeyDirectory, Payload};

@@ -3,7 +3,7 @@
 
 use st_blocktree::Block;
 use st_crypto::Keypair;
-use st_messages::{Envelope, Payload, Propose, Vote};
+use st_messages::{AggregatedVote, Envelope, KeyDirectory, Payload, Propose, SharedEnvelope, Vote};
 use st_types::{BlockId, ProcessId, Round, TxId, View};
 
 fn keypair() -> Keypair {
@@ -56,6 +56,59 @@ fn envelope_roundtrip_still_verifies() {
         back.verify(&directory),
         "signature must survive serialization"
     );
+}
+
+#[test]
+fn shared_envelope_roundtrip_reverifies_fresh() {
+    let kp = keypair();
+    let directory = KeyDirectory::derive(8, 42);
+    let vote = Vote::new(kp.owner(), Round::new(5), BlockId::new(7));
+    let shared = SharedEnvelope::new(Envelope::sign(&kp, Payload::Vote(vote)));
+    assert!(shared.verify_cached(&directory));
+    let json = serde_json::to_string(&shared).unwrap();
+    // The wire form is exactly the inner envelope: the verdict cache is a
+    // local optimization and must never cross a socket.
+    assert_eq!(json, serde_json::to_string(shared.envelope()).unwrap());
+    let back: SharedEnvelope = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, shared);
+    assert!(!SharedEnvelope::same_allocation(&back, &shared));
+    assert!(back.verify_cached(&directory));
+}
+
+#[test]
+fn shared_envelope_roundtrip_does_not_import_remote_verdict() {
+    // A forged envelope whose sender's verdict was (maliciously) cached as
+    // valid elsewhere must still fail locally after deserialization.
+    let forger = Keypair::derive(ProcessId::new(3), 977); // wrong system seed
+    let directory = KeyDirectory::derive(8, 42);
+    let vote = Vote::new(forger.owner(), Round::new(5), BlockId::new(7));
+    let forged = SharedEnvelope::new(Envelope::sign(&forger, Payload::Vote(vote)));
+    let json = serde_json::to_string(&forged).unwrap();
+    let back: SharedEnvelope = serde_json::from_str(&json).unwrap();
+    assert!(!back.verify_cached(&directory));
+}
+
+#[test]
+fn aggregated_vote_roundtrip_preserves_verifiable_signers() {
+    let directory = KeyDirectory::derive(8, 42);
+    let tip = BlockId::new(31);
+    let round = Round::new(6);
+    let mut agg = AggregatedVote::new(round, tip);
+    for i in 0..5u32 {
+        let kp = Keypair::derive(ProcessId::new(i), 42);
+        let env = Envelope::sign(&kp, Payload::Vote(Vote::new(kp.owner(), round, tip)));
+        assert!(agg.absorb(&env, &directory));
+    }
+    let json = serde_json::to_string(&agg).unwrap();
+    let back: AggregatedVote = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.round(), round);
+    assert_eq!(back.tip(), tip);
+    let votes = back.verified_votes(&directory);
+    assert_eq!(votes.len(), 5, "all five signatures must survive the trip");
+    for v in votes {
+        assert_eq!(v.round(), round);
+        assert_eq!(v.tip(), tip);
+    }
 }
 
 #[test]

@@ -1,0 +1,312 @@
+//! Thread-per-peer socket I/O: the listener/reader side, the per-peer
+//! writer threads with reconnect-and-backoff, and the peer liveness
+//! board.
+//!
+//! This is the **only** file in the workspace outside st-bench allowed to
+//! read the wall clock (`std::time::Instant`, scoped st-lint D2
+//! exemption): socket timeouts, backoff, and liveness ages are inherently
+//! wall-clock concerns. Nothing here feeds time back into protocol
+//! decisions — the runtime's round barrier is driven purely by `Mark`
+//! frames, so determinism of the decided chain never depends on timing.
+//!
+//! ## Connection model
+//!
+//! For each ordered pair `(i, j)` node `i` dials node `j`'s listener and
+//! uses that stream exclusively for `i → j` traffic, opening with a
+//! `Hello{from: i}`. Writers send the node's outbound history — one
+//! `(round, bytes)` batch per awake round — strictly in order, and on
+//! reconnect **reset to the start of history**: the protocol layer
+//! deduplicates whole round-batches by their trailing mark, so re-sending
+//! everything is the simplest correct recovery (and what makes
+//! kill/restart recovery WAL-free).
+
+use crate::frame::{self, NodeFrame};
+use crate::plan::ClusterPlan;
+use st_messages::Envelope;
+use st_types::ProcessId;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One round's worth of envelopes from one peer, terminated by its mark.
+pub type RoundBatch = (ProcessId, u64, Vec<Envelope>);
+
+/// Writer poll interval while idle or withheld.
+const IDLE: Duration = Duration::from_millis(1);
+/// Reconnect backoff bounds.
+const BACKOFF_MIN: Duration = Duration::from_millis(5);
+const BACKOFF_MAX: Duration = Duration::from_millis(250);
+
+/// Point-in-time view of one peer link, for diagnostics and the cluster
+/// report.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct PeerStat {
+    /// Whether the outbound stream is currently connected.
+    pub connected: bool,
+    /// Completed (re)connect attempts beyond the first.
+    pub reconnects: u64,
+    /// Batches fully written and flushed on the current connection.
+    pub batches_sent: u64,
+    /// Milliseconds since the last inbound frame from this peer
+    /// (`u64::MAX` = never heard).
+    pub heard_ms_ago: u64,
+}
+
+struct PeerState {
+    connected: AtomicBool,
+    reconnects: AtomicU64,
+    batches_sent: AtomicU64,
+    /// ms since board creation of the last inbound frame; u64::MAX never.
+    heard_at_ms: AtomicU64,
+}
+
+/// Shared liveness board: writers and readers record link state, the
+/// runtime snapshots it for the node's final report.
+pub struct Liveness {
+    peers: Vec<PeerState>,
+    epoch: Instant,
+}
+
+impl Liveness {
+    /// A board for `n` peers (indexed by process id).
+    pub fn new(n: usize) -> Liveness {
+        Liveness {
+            peers: (0..n)
+                .map(|_| PeerState {
+                    connected: AtomicBool::new(false),
+                    reconnects: AtomicU64::new(0),
+                    batches_sent: AtomicU64::new(0),
+                    heard_at_ms: AtomicU64::new(u64::MAX),
+                })
+                .collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records an inbound frame from `p`.
+    pub fn heard(&self, p: usize) {
+        self.peers[p]
+            .heard_at_ms
+            .store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// Snapshots every peer's link state.
+    pub fn snapshot(&self) -> Vec<PeerStat> {
+        let now = self.now_ms();
+        self.peers
+            .iter()
+            .map(|p| PeerStat {
+                connected: p.connected.load(Ordering::Relaxed),
+                reconnects: p.reconnects.load(Ordering::Relaxed),
+                batches_sent: p.batches_sent.load(Ordering::Relaxed),
+                heard_ms_ago: match p.heard_at_ms.load(Ordering::Relaxed) {
+                    u64::MAX => u64::MAX,
+                    at => now.saturating_sub(at),
+                },
+            })
+            .collect()
+    }
+}
+
+/// The node's outbound history: one immutable `(round, bytes)` batch per
+/// completed awake round, shared read-only by every writer thread. The
+/// `round` atomic is the sender's current round, consulted by writers for
+/// partition holdback.
+pub struct Outbound {
+    batches: Mutex<Vec<(u64, Arc<Vec<u8>>)>>,
+    /// The sender's current round (for `ClusterPlan::withheld`).
+    pub round: AtomicU64,
+}
+
+impl Outbound {
+    /// An empty history at round 0.
+    pub fn new() -> Outbound {
+        Outbound {
+            batches: Mutex::new(Vec::new()),
+            round: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends the batch for `round` (its envelopes plus trailing mark).
+    pub fn push(&self, round: u64, bytes: Vec<u8>) {
+        self.batches.lock().unwrap().push((round, Arc::new(bytes)));
+    }
+
+    /// Number of batches in history.
+    pub fn len(&self) -> usize {
+        self.batches.lock().unwrap().len()
+    }
+
+    /// Whether no batch was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, i: usize) -> Option<(u64, Arc<Vec<u8>>)> {
+        self.batches.lock().unwrap().get(i).cloned()
+    }
+}
+
+impl Default for Outbound {
+    fn default() -> Outbound {
+        Outbound::new()
+    }
+}
+
+/// Binds the node's listener, retrying briefly (a restarted node may race
+/// lingering sockets from its previous life).
+pub fn bind_listener(port: u16) -> std::io::Result<TcpListener> {
+    let addr = format!("127.0.0.1:{port}");
+    let mut last = None;
+    for _ in 0..400 {
+        match TcpListener::bind(&addr) {
+            Ok(l) => return Ok(l),
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("bind failed")))
+}
+
+/// Accept loop: every inbound connection must open with `Hello{from}`;
+/// each then gets a reader thread that groups `Env` frames into round
+/// batches closed by their trailing `Mark` and forwards them to `inbox`.
+/// Batches cut off by a disconnect (no trailing mark) are discarded — the
+/// peer's writer re-sends the whole history on reconnect.
+pub fn spawn_listener(
+    listener: TcpListener,
+    inbox: Sender<RoundBatch>,
+    board: Arc<Liveness>,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let inbox = inbox.clone();
+            let board = board.clone();
+            thread::spawn(move || read_peer(stream, inbox, board));
+        }
+    })
+}
+
+fn read_peer(mut stream: TcpStream, inbox: Sender<RoundBatch>, board: Arc<Liveness>) {
+    let Some(first) = read_frame(&mut stream) else {
+        return;
+    };
+    let Ok(NodeFrame::Hello { from }) = frame::decode_frame(&first) else {
+        return; // not one of ours; drop the connection
+    };
+    let mut pending: Vec<Envelope> = Vec::new();
+    while let Some(bytes) = read_frame(&mut stream) {
+        board.heard(from.index());
+        match frame::decode_frame(&bytes) {
+            Ok(NodeFrame::Env(env)) => pending.push(env),
+            Ok(NodeFrame::Mark { round }) => {
+                let batch = std::mem::take(&mut pending);
+                if inbox.send((from, round, batch)).is_err() {
+                    return; // runtime finished; stop reading
+                }
+            }
+            Ok(NodeFrame::Hello { .. }) | Err(_) => return, // protocol error
+        }
+    }
+}
+
+/// Reads one full frame (length prefix + that many bytes); `None` on EOF
+/// or any transport error.
+fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let n = u32::from_le_bytes(len) as usize;
+    // A frame is at most a round's multicast batch; 16 MiB is far beyond
+    // any honest frame and bounds a corrupt length prefix.
+    if !(2..=16 << 20).contains(&n) {
+        return None;
+    }
+    let mut frame = vec![0u8; 4 + n];
+    frame[..4].copy_from_slice(&len);
+    stream.read_exact(&mut frame[4..]).ok()?;
+    Some(frame)
+}
+
+/// Spawns the writer thread for peer `j`: dials `j`'s listener with
+/// exponential backoff, opens with `Hello`, then streams the outbound
+/// history in order — restarting from the beginning on every reconnect —
+/// while honouring partition holdback. `flushed[j]` publishes how many
+/// batches are fully flushed on the live connection (the runtime's
+/// best-effort "round data is on the wire" signal).
+pub fn spawn_writer(
+    me: ProcessId,
+    j: usize,
+    plan: Arc<ClusterPlan>,
+    outbound: Arc<Outbound>,
+    board: Arc<Liveness>,
+    flushed: Arc<Vec<AtomicU64>>,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let addr = format!("127.0.0.1:{}", plan.port_of(j));
+        let hello = frame::encode_frame(&NodeFrame::Hello { from: me });
+        let mut backoff = BACKOFF_MIN;
+        let mut first_attempt = true;
+        loop {
+            let started = Instant::now();
+            let Ok(mut stream) = TcpStream::connect(&addr) else {
+                // Exponential backoff, reset once attempts stop failing
+                // fast (the peer is down rather than briefly busy).
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+                continue;
+            };
+            let _ = stream.set_nodelay(true);
+            if !first_attempt {
+                board.peers[j].reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            first_attempt = false;
+            backoff = if started.elapsed() > BACKOFF_MAX {
+                BACKOFF_MIN
+            } else {
+                backoff
+            };
+            if stream.write_all(&hello).is_err() {
+                continue;
+            }
+            board.peers[j].connected.store(true, Ordering::Relaxed);
+            flushed[j].store(0, Ordering::Release);
+            let mut cursor = 0usize;
+            loop {
+                let Some((round, bytes)) = outbound.get(cursor) else {
+                    thread::sleep(IDLE);
+                    continue;
+                };
+                let current = outbound.round.load(Ordering::Acquire);
+                if plan.withheld(round, me.index(), j, current) {
+                    thread::sleep(IDLE);
+                    continue;
+                }
+                if stream
+                    .write_all(&bytes)
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                cursor += 1;
+                board.peers[j]
+                    .batches_sent
+                    .store(cursor as u64, Ordering::Relaxed);
+                flushed[j].store(cursor as u64, Ordering::Release);
+            }
+            board.peers[j].connected.store(false, Ordering::Relaxed);
+            flushed[j].store(0, Ordering::Release);
+        }
+    })
+}

@@ -12,6 +12,13 @@
 //!                 the Ethereum incident, …)
 //! stob explore    [--pi 1] [--eta 4] — exhaustively enumerate every
 //!                 delivery strategy at n = 4 (Theorem 2, verified)
+//! stob serve      --plan plan.json --id 0 --out node_0.json — run one
+//!                 socket node of a scripted cluster (see `stob cluster`)
+//! stob cluster    [--smoke] [--n 5] [--rounds 60] [--seed 7] [--tick 10]
+//!                 [--base-port 39700] [--dir DIR] [--report FILE] —
+//!                 spawn a real multi-process TCP cluster with scripted
+//!                 kill/sleep/partition faults and byte-compare every
+//!                 node's decided chain against the equivalent simulation
 //! ```
 //!
 //! Adversaries: `silent`, `blackout`, `partition`, `reorg`, `equivocate`,
@@ -375,11 +382,292 @@ fn cmd_explore(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_serve(args: &Args) -> ExitCode {
+    let (Some(plan), Some(id), Some(out)) = (args.opt("plan"), args.opt("id"), args.opt("out"))
+    else {
+        eprintln!("usage: stob serve --plan plan.json --id N --out node_N.json");
+        return ExitCode::from(2);
+    };
+    let Ok(id) = id.parse::<u32>() else {
+        eprintln!("--id must be a node index");
+        return ExitCode::from(2);
+    };
+    match sleepy_tob::node::serve(plan, id, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the scripted cluster scenario. `--smoke` is the small CI
+/// preset (3 nodes, one kill + one partition); the default is the
+/// acceptance scenario (5 nodes, 60 rounds, kill + sleep + partition).
+/// Fault windows that do not fit a shortened `--rounds` are dropped.
+fn build_cluster_plan(args: &Args) -> sleepy_tob::node::ClusterPlan {
+    use sleepy_tob::node::{ClusterPlan, KillWindow, PartitionWindow};
+    let smoke = args.flag("smoke");
+    let n: usize = args.get("n", if smoke { 3 } else { 5 });
+    let rounds: u64 = args.get("rounds", if smoke { 24 } else { 60 });
+    let mut plan = ClusterPlan::full(n, rounds);
+    plan.seed = args.get("seed", 7);
+    plan.txs_every = args.get("txs", 3);
+    plan.tick_ms = args.get("tick", 10);
+    plan.base_port = args.get("base-port", 39700);
+    let kill = |plan: &mut ClusterPlan, node: u32, start: u64, end: u64| {
+        if end <= rounds && (node as usize) < n {
+            plan.sleep(node, start, end);
+            plan.kills.push(KillWindow { node, start, end });
+        }
+    };
+    let partition = |plan: &mut ClusterPlan, start: u64, end: u64, groups: Vec<Vec<u32>>| {
+        if end <= rounds {
+            plan.partitions.push(PartitionWindow { start, end, groups });
+        }
+    };
+    if smoke {
+        kill(&mut plan, 2, 6, 9);
+        if 12 <= rounds {
+            plan.sleep(1, 11, 12);
+        }
+        partition(&mut plan, 14, 16, vec![vec![0], vec![1, 2]]);
+    } else {
+        kill(&mut plan, n as u32 - 1, 12, 18);
+        if 23 <= rounds && n > 1 {
+            plan.sleep(1, 20, 23);
+        }
+        let left: Vec<u32> = (0..n as u32 / 2).collect();
+        partition(&mut plan, 30, 34, vec![left]);
+    }
+    plan
+}
+
+/// Runs the byte-equivalent simulation of a cluster plan: same params,
+/// same seed, `Schedule::custom` from the awake matrix, `Timeline`
+/// partitions from the partition windows, same tx cadence. Returns the
+/// per-process decision logs and final decided tips.
+fn run_equivalent_sim(
+    plan: &sleepy_tob::node::ClusterPlan,
+) -> Result<(Vec<Vec<DecisionEvent>>, Vec<u64>), String> {
+    let params = Params::builder(plan.n)
+        .expiration(plan.eta)
+        .build()
+        .map_err(|e| format!("bad params: {e}"))?;
+    let (tap, log) = sleepy_tob::sim::DecisionTap::new(plan.n);
+    let mut timeline = Timeline::synchronous();
+    for (start, len, groups) in plan.timeline_partitions() {
+        timeline = timeline.partition(start, len, groups);
+    }
+    let mut sim = SimBuilder::from_config(
+        SimConfig::new(params, plan.seed)
+            .horizon(plan.horizon)
+            .txs_every(plan.txs_every),
+    )
+    .schedule(Schedule::custom(plan.schedule_matrix()))
+    .timeline(timeline)
+    .observer(tap)
+    .build()
+    .map_err(|e| format!("sim build: {e}"))?;
+    while sim.step().is_some() {}
+    let tips: Vec<u64> = sim
+        .processes()
+        .iter()
+        .map(|p| p.decided_tip().as_u64())
+        .collect();
+    let decisions = log.borrow().clone();
+    Ok((decisions, tips))
+}
+
+/// One node's cross-check verdict in the cluster report.
+#[derive(serde::Serialize)]
+struct NodeVerdict {
+    node: u32,
+    restarts: u64,
+    exit_code: Option<i32>,
+    decided_tip: Option<u64>,
+    sim_decided_tip: u64,
+    decisions: Option<usize>,
+    sim_decisions: usize,
+    matches: bool,
+    error: Option<String>,
+}
+
+/// The cluster report written by `stob cluster --report`.
+#[derive(serde::Serialize)]
+struct ClusterReport {
+    n: usize,
+    rounds: u64,
+    seed: u64,
+    timed_out: bool,
+    polls: u64,
+    divergences: usize,
+    nodes: Vec<NodeVerdict>,
+}
+
+fn cmd_cluster(args: &Args) -> ExitCode {
+    let plan = build_cluster_plan(args);
+    if let Err(e) = plan.validate() {
+        eprintln!("invalid cluster plan: {e}");
+        return ExitCode::from(2);
+    }
+
+    // The oracle first: the byte-equivalent lockstep simulation.
+    let (sim_decisions, sim_tips) = match run_equivalent_sim(&plan) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("equivalent simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Then the real thing: one OS process per node, over TCP.
+    let exe = match std::env::current_exe() {
+        Ok(p) => p.display().to_string(),
+        Err(e) => {
+            eprintln!("cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = args
+        .opt("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("stob-cluster-{}", std::process::id()))
+        });
+    let poll_ms = 5;
+    // Generous global budget: nominal run time plus slack for the kill
+    // window hold, replay, and end-of-run linger.
+    let timeout_polls = ((plan.horizon + 1) * plan.tick_ms.max(1) * 20 + 60_000) / poll_ms;
+    let opts = sleepy_tob::node::ClusterOptions {
+        plan: plan.clone(),
+        exec: vec![exe, "serve".into()],
+        dir: dir.clone(),
+        poll_ms,
+        timeout_polls,
+    };
+    println!(
+        "cluster: n = {}, rounds = 0..={}, seed = {}, kills = {}, partitions = {} (dir {})",
+        plan.n,
+        plan.horizon,
+        plan.seed,
+        plan.kills.len(),
+        plan.partitions.len(),
+        dir.display(),
+    );
+    let outcome = match sleepy_tob::node::run_cluster(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cluster harness failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Byte-compare each node's decided chain against the simulation.
+    let mut divergences = 0usize;
+    let mut verdicts = Vec::with_capacity(plan.n);
+    for run in &outcome.nodes {
+        let i = run.node as usize;
+        let expect = serde_json::to_string(&sim_decisions[i]).unwrap_or_default();
+        let (matches, error, tip, count) = match &run.outcome {
+            None => (
+                false,
+                Some("node produced no outcome file".to_string()),
+                None,
+                None,
+            ),
+            Some(out) => {
+                let got = serde_json::to_string(&out.decisions).unwrap_or_default();
+                let tip_ok = out.decided_tip == sim_tips[i];
+                let log_ok = got == expect;
+                let error = if !tip_ok {
+                    Some(format!(
+                        "decided tip {} != simulated {}",
+                        out.decided_tip, sim_tips[i]
+                    ))
+                } else if !log_ok {
+                    Some(format!(
+                        "decision log diverges ({} events vs {} simulated)",
+                        out.decisions.len(),
+                        sim_decisions[i].len()
+                    ))
+                } else {
+                    None
+                };
+                (
+                    tip_ok && log_ok,
+                    error,
+                    Some(out.decided_tip),
+                    Some(out.decisions.len()),
+                )
+            }
+        };
+        if !matches {
+            divergences += 1;
+        }
+        println!(
+            "  node {i}: {} (restarts {}, decisions {}/{}, tip {}/{})",
+            if matches { "MATCH" } else { "DIVERGED" },
+            run.restarts,
+            count.map_or("—".into(), |c| c.to_string()),
+            sim_decisions[i].len(),
+            tip.map_or("—".into(), |t| t.to_string()),
+            sim_tips[i],
+        );
+        if let Some(e) = &error {
+            println!("          {e}");
+        }
+        verdicts.push(NodeVerdict {
+            node: run.node,
+            restarts: run.restarts,
+            exit_code: run.exit_code,
+            decided_tip: tip,
+            sim_decided_tip: sim_tips[i],
+            decisions: count,
+            sim_decisions: sim_decisions[i].len(),
+            matches,
+            error,
+        });
+    }
+    if outcome.timed_out {
+        eprintln!("cluster harness timed out after {} polls", outcome.polls);
+    }
+    let report = ClusterReport {
+        n: plan.n,
+        rounds: plan.horizon,
+        seed: plan.seed,
+        timed_out: outcome.timed_out,
+        polls: outcome.polls,
+        divergences,
+        nodes: verdicts,
+    };
+    if let Some(path) = args.opt("report") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write report {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("cannot render report: {e:?}"),
+        }
+    }
+    if divergences == 0 && !outcome.timed_out {
+        println!(
+            "verdict: all {} nodes byte-identical to the simulation",
+            plan.n
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("verdict: {divergences} node(s) diverged from the simulation");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
         eprintln!(
-            "usage: stob <run|attack|curve|check|scenario|explore> [--flags]\n\
+            "usage: stob <run|attack|curve|check|scenario|explore|serve|cluster> [--flags]\n\
              see the binary's source header for the full flag list"
         );
         return ExitCode::from(2);
@@ -395,9 +683,12 @@ fn main() -> ExitCode {
         "curve" => cmd_curve(&args),
         "check" => cmd_check(&args),
         "explore" => cmd_explore(&args),
+        "serve" => cmd_serve(&args),
+        "cluster" => cmd_cluster(&args),
         other => {
             eprintln!(
-                "unknown command {other:?} (expected run|attack|curve|check|scenario|explore)"
+                "unknown command {other:?} \
+                 (expected run|attack|curve|check|scenario|explore|serve|cluster)"
             );
             ExitCode::from(2)
         }

@@ -24,6 +24,7 @@
 //! | [`ga`] | `st-ga` | graded agreement (Figures 2–3, Lemma 1) |
 //! | [`core`] | `st-core` | Algorithm 1 with expiration (the contribution); the `Protocol` trait + the fixed-quorum baseline |
 //! | [`sim`] | `st-sim` | sleepy-model simulator (generic over `Protocol`), adversaries, monitors |
+//! | [`node`] | `st-node` | deployable socket node runtime (`stob serve`) + multi-process cluster harness |
 //! | [`analysis`] | `st-analysis` | Figure-1 formulas, Eq. 1–5 checkers |
 //!
 //! # Quickstart
@@ -85,6 +86,7 @@ pub use st_crypto as crypto;
 pub use st_ga as ga;
 pub use st_gossip as gossip;
 pub use st_messages as messages;
+pub use st_node as node;
 pub use st_sim as sim;
 pub use st_types as types;
 
