@@ -94,18 +94,62 @@ fn guard_grid() -> Vec<(&'static str, &'static str, u64, Option<Timeline>, u64)>
     ]
 }
 
+/// Workload cells riding the same sanitizer: the open-loop st-load
+/// pipeline (generators → mempool → latency join) replayed under
+/// perturbed hasher seeds. A tight mempool (capacity 16, batch 2) keeps
+/// the admission/drop/hold-over paths hot so any map-order leak in the
+/// workload observers or the tx-ledger join shows up in the serialised
+/// `WorkloadSummary`/`TxRecord`s. Grid: (workload, adversary, schedule,
+/// sim seed).
+fn workload_grid() -> Vec<(&'static str, &'static str, &'static str, u64)> {
+    vec![
+        ("steady", "silent", "churn", 61),
+        ("flash-crowd", "blackout", "mass-sleep", 62),
+        ("diurnal", "silent", "full", 63),
+        ("steady", "equivocator", "byz-window", 64),
+    ]
+}
+
+fn workload_spec(kind: &str) -> st_sim::WorkloadSpec {
+    let spec = match kind {
+        "steady" => st_sim::WorkloadSpec::new(st_sim::ConstantRate::per_round(3).clients(3)),
+        "flash-crowd" => st_sim::WorkloadSpec::new(
+            st_sim::FlashCrowd::new(1)
+                .clients(3)
+                .burst(8, 6, 10)
+                .jitter(7),
+        ),
+        "diurnal" => st_sim::WorkloadSpec::new(st_sim::Diurnal::new(4, 0.25, 10).clients(3)),
+        other => unreachable!("unknown workload {other}"),
+    };
+    spec.capacity(16).batch(2)
+}
+
 /// Runs one grid cell from scratch and serialises its report. The
 /// simulation (and every FastMap/FastSet inside it) is constructed
 /// *after* the process-wide hasher seed is set, so the whole run sees
-/// the perturbed bucket order.
-fn run_cell(adv: &str, sched: &str, eta: u64, t: &Option<Timeline>, seed: u64) -> String {
-    let mut config = SimConfig::new(params(10, eta), seed)
-        .horizon(28)
-        .txs_every(4);
+/// the perturbed bucket order. `workload` is `"legacy"` for the
+/// historic `txs_every(4)` cells or a [`workload_spec`] kind.
+fn run_cell(
+    workload: &str,
+    adv: &str,
+    sched: &str,
+    eta: u64,
+    t: &Option<Timeline>,
+    seed: u64,
+) -> String {
+    let mut config = SimConfig::new(params(10, eta), seed).horizon(28);
+    if workload == "legacy" {
+        config = config.txs_every(4);
+    }
     if let Some(t) = t {
         config = config.timeline(t.clone());
     }
-    let report = SimBuilder::from_config(config)
+    let mut builder = SimBuilder::from_config(config);
+    if workload != "legacy" {
+        builder = builder.workload_spec(workload_spec(workload));
+    }
+    let report = builder
         .schedule(schedule(sched, 10, 28))
         .adversary_boxed(adversary(adv))
         .run();
@@ -125,6 +169,8 @@ fn fnv1a(s: &str) -> u64 {
 
 #[derive(Clone, Debug, Serialize)]
 struct CellVerdict {
+    /// `"legacy"` (txs_every) or the st-load generator driving the cell.
+    workload: String,
     adversary: String,
     schedule: String,
     eta: u64,
@@ -154,7 +200,25 @@ fn main() -> ExitCode {
     } else {
         PERTURBED_SEEDS.to_vec()
     };
-    let grid = guard_grid();
+    // The legacy guard grid plus the workload cells, in one flat list of
+    // (workload, adversary, schedule, eta, timeline, seed) cells.
+    type FlatCell = (
+        &'static str,
+        &'static str,
+        &'static str,
+        u64,
+        Option<Timeline>,
+        u64,
+    );
+    let grid: Vec<FlatCell> = guard_grid()
+        .into_iter()
+        .map(|(adv, sched, eta, t, seed)| ("legacy", adv, sched, eta, t, seed))
+        .chain(
+            workload_grid()
+                .into_iter()
+                .map(|(w, adv, sched, seed)| (w, adv, sched, 2, None, seed)),
+        )
+        .collect();
 
     println!(
         "stsan: replaying {} guard-grid cells under {} perturbed FxHash seed{}{}",
@@ -169,7 +233,7 @@ fn main() -> ExitCode {
     set_hasher_seed(0);
     let baselines: Vec<String> = grid
         .iter()
-        .map(|(adv, sched, eta, t, seed)| run_cell(adv, sched, *eta, t, *seed))
+        .map(|(w, adv, sched, eta, t, seed)| run_cell(w, adv, sched, *eta, t, *seed))
         .collect();
 
     // Perturbed passes: scramble bucket order process-wide, re-run the
@@ -177,7 +241,8 @@ fn main() -> ExitCode {
     let mut cells: Vec<CellVerdict> = grid
         .iter()
         .zip(&baselines)
-        .map(|((adv, sched, eta, t, seed), base)| CellVerdict {
+        .map(|((w, adv, sched, eta, t, seed), base)| CellVerdict {
+            workload: w.to_string(),
             adversary: adv.to_string(),
             schedule: sched.to_string(),
             eta: *eta,
@@ -190,13 +255,13 @@ fn main() -> ExitCode {
         .collect();
     for &hseed in &seeds {
         set_hasher_seed(hseed);
-        for (i, (adv, sched, eta, t, seed)) in grid.iter().enumerate() {
-            let json = run_cell(adv, sched, *eta, t, *seed);
+        for (i, (w, adv, sched, eta, t, seed)) in grid.iter().enumerate() {
+            let json = run_cell(w, adv, sched, *eta, t, *seed);
             cells[i].perturbed_digests.push(fnv1a(&json));
             if json != baselines[i] {
                 cells[i].identical = false;
                 println!(
-                    "stsan: DIVERGENCE adversary={adv} schedule={sched} eta={eta} \
+                    "stsan: DIVERGENCE workload={w} adversary={adv} schedule={sched} eta={eta} \
                      sim_seed={seed} hasher_seed={hseed:#x}: report is not byte-identical \
                      to the seed-0 baseline — an unordered-map iteration order is leaking \
                      into protocol behaviour",
@@ -209,7 +274,7 @@ fn main() -> ExitCode {
     let divergent = cells.iter().filter(|c| !c.identical).count();
     let report = SanReport {
         tool: "stsan",
-        version: 1,
+        version: 2,
         smoke,
         hasher_seeds: seeds,
         cells,

@@ -4,8 +4,9 @@
 //! The legal dependency direction is strictly down the stack:
 //!
 //! ```text
-//! st-types → st-crypto → st-blocktree → st-messages → st-ga/st-gossip
-//!          → st-core → st-sim → st-analysis → st-bench / sleepy-tob
+//! st-types / st-load → st-crypto → st-blocktree → st-messages
+//!          → st-ga/st-gossip → st-core → st-sim → st-analysis
+//!          → st-bench / sleepy-tob
 //! ```
 //!
 //! plus three side conditions: nothing depends on `st-bench` (it is the
@@ -18,8 +19,12 @@ use crate::diag::{Diagnostic, RuleId};
 
 /// Stack position of each workspace package. A package may depend (in
 /// `[dependencies]`) only on packages with a strictly smaller layer.
-pub const LAYERS: [(&str, u8); 13] = [
+pub const LAYERS: [(&str, u8); 14] = [
     ("st-types", 0),
+    // Dependency-free workload vocabulary (generators, mempool,
+    // histogram): sits at the bottom so st-sim and st-bench can both
+    // consume it without a cycle.
+    ("st-load", 0),
     ("st-crypto", 1),
     ("st-blocktree", 2),
     ("st-messages", 3),
@@ -319,6 +324,24 @@ mod tests {
         let bad = check("[package]\nname = \"st-node\"\n[dependencies]\nst-sim = {}\n");
         assert!(bad.is_empty(), "sim (6) is below node (7): {bad:?}");
         let bad2 = check("[package]\nname = \"st-node\"\n[dependencies]\nst-analysis = {}\n");
+        assert_eq!(bad2.len(), 1, "same layer is not strictly below");
+    }
+
+    #[test]
+    fn st_load_sits_below_sim_both_directions() {
+        // st-sim consuming st-load is the legal direction…
+        let ok =
+            check("[package]\nname = \"st-sim\"\n[dependencies]\nst-load = {}\nst-core = {}\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        // …and st-bench may reach it too (layer 0 is below everything).
+        let ok2 = check("[package]\nname = \"st-bench\"\n[dependencies]\nst-load = {}\n");
+        assert!(ok2.is_empty(), "{ok2:?}");
+        // st-load itself is dependency-free: any st-* dependency — even
+        // the bottom layer — fails the strictly-below rule.
+        let bad = check("[package]\nname = \"st-load\"\n[dependencies]\nst-sim = {}\n");
+        assert_eq!(bad.len(), 1, "upward dep must fire");
+        assert!(bad[0].message.contains("strictly below"));
+        let bad2 = check("[package]\nname = \"st-load\"\n[dependencies]\nst-types = {}\n");
         assert_eq!(bad2.len(), 1, "same layer is not strictly below");
     }
 

@@ -1,0 +1,158 @@
+//! Exact latency percentiles over submit→decide round counts.
+//!
+//! Round latencies are small integers and experiment populations are at
+//! most tens of thousands of samples, so there is no reason to accept
+//! bucketing error or sampling noise: the histogram keeps every value
+//! and computes **exact nearest-rank percentiles** from a single sort.
+
+/// An exact histogram of round latencies. `record` is O(1); `stats`
+/// sorts once.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    values: Vec<u64>,
+}
+
+/// Summary statistics of a [`Histogram`]. Percentiles are `None` when
+/// no samples were recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact nearest-rank 50th percentile.
+    pub p50: Option<u64>,
+    /// Exact nearest-rank 90th percentile.
+    pub p90: Option<u64>,
+    /// Exact nearest-rank 99th percentile.
+    pub p99: Option<u64>,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
+    /// Largest sample.
+    pub max: Option<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// The exact nearest-rank percentile: the smallest recorded value
+    /// such that at least `p` percent of samples are ≤ it
+    /// (`rank = ⌈p/100 · n⌉`, 1-indexed). `None` on an empty histogram.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// All summary statistics, from one sort.
+    pub fn stats(&self) -> LatencyStats {
+        if self.values.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            Some(sorted[rank.clamp(1, n) - 1])
+        };
+        let sum: u64 = sorted.iter().sum();
+        LatencyStats {
+            count: n as u64,
+            p50: at(50.0),
+            p90: at(90.0),
+            p99: at(99.0),
+            mean: Some(sum as f64 / n as f64),
+            max: sorted.last().copied(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ranks_on_one_to_hundred() {
+        let mut h = Histogram::new();
+        // Insertion order must not matter.
+        for v in (1..=100).rev() {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(90.0), Some(90));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+        assert_eq!(h.percentile(1.0), Some(1));
+        let s = h.stats();
+        assert_eq!(
+            (s.p50, s.p90, s.p99, s.max),
+            (Some(50), Some(90), Some(99), Some(100))
+        );
+        assert_eq!(s.mean, Some(50.5));
+    }
+
+    #[test]
+    fn nearest_rank_rounds_up() {
+        // n = 4: p50 → rank ⌈2⌉ = 2, p90 → rank ⌈3.6⌉ = 4.
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(20));
+        assert_eq!(h.percentile(90.0), Some(40));
+        // p0 clamps to the first rank rather than underflowing.
+        assert_eq!(h.percentile(0.0), Some(10));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.stats(), LatencyStats::default());
+    }
+
+    #[test]
+    fn singleton_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(7);
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7), "p{p}");
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, Some(7.0));
+        assert_eq!(s.max, Some(7));
+    }
+
+    #[test]
+    fn duplicates_and_skew() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000); // one straggler
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(99.0), Some(1));
+        assert_eq!(h.percentile(100.0), Some(1000));
+        assert_eq!(h.stats().max, Some(1000));
+    }
+}

@@ -1,0 +1,47 @@
+//! The open-loop workload layer: deterministic traffic generators, a
+//! bounded admission mempool, and exact latency percentiles.
+//!
+//! The simulator's historic `txs_every` knob injects one transaction
+//! every `k` rounds — enough to measure *inclusion*, useless for asking
+//! what an operator cares about: **throughput-latency curves under
+//! offered load**. This crate supplies the three missing pieces:
+//!
+//! * [`Workload`] — an *open-loop* generator: per-round, per-client
+//!   transaction arrival counts that do not depend on how fast the
+//!   system drains them (arrivals keep coming whether or not consensus
+//!   keeps up, which is what makes saturation knees visible).
+//!   Implementations: [`ConstantRate`] (cumulative-rational rate, so
+//!   `1/k` per round reproduces the legacy `txs_every` trace exactly),
+//!   [`FlashCrowd`] (burst windows layered on a base rate, optionally
+//!   jittered by [`SplitMix64`]), and [`Diurnal`] (a cosine day/night
+//!   wave whose [`Workload::load_fraction`] doubles as a participation
+//!   trace — "users sleeping at night" literally drives the sleepy
+//!   model when the simulator derives its `Schedule` from it).
+//! * [`Mempool`] — bounded admission between the generator and
+//!   `submit_tx`: a capacity cap, a per-client fairness cap, FIFO
+//!   batched draining, and full drop/hold-over accounting
+//!   ([`MempoolStats`]).
+//! * [`Histogram`] — submit→decide round latencies with **exact**
+//!   nearest-rank percentiles (sorted values, no sampling, no buckets).
+//!
+//! # Determinism contract
+//!
+//! Everything here is a pure function of its inputs: no wall clock, no
+//! global state, no platform-dependent iteration order, and the only
+//! randomness is the explicitly seeded [`SplitMix64`]. Two runs with
+//! the same configuration produce byte-identical traces — the property
+//! the simulator's equivalence suites and the `stsan` hasher sanitizer
+//! assert across the whole stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod mempool;
+mod rng;
+mod workload;
+
+pub use latency::{Histogram, LatencyStats};
+pub use mempool::{Mempool, MempoolStats, PendingTx};
+pub use rng::{splitmix64, SplitMix64};
+pub use workload::{ConstantRate, Diurnal, FlashCrowd, Workload};

@@ -1,0 +1,78 @@
+//! SplitMix64 — the crate's only randomness source.
+//!
+//! Chosen because it is tiny, statistically solid for workload shaping,
+//! and — unlike a shared thread-local or a hasher-derived stream — a
+//! pure function of an explicit seed, which is what the workspace's
+//! determinism discipline requires of anything that feeds a committed
+//! report.
+
+/// One application of the SplitMix64 output function: a well-mixed
+/// 64-bit value from a 64-bit input. Stateless form of [`SplitMix64`],
+/// for callers that key randomness by `(seed, round)` instead of
+/// walking a stream.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The sequential SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform-ish in `0..bound` (`0` when `bound == 0`).
+    /// Modulo bias is irrelevant at workload-shaping granularity.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_mixes() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Distinct seeds diverge immediately.
+        let mut c = SplitMix64::new(8);
+        assert_ne!(xs[0], c.next_u64());
+        // The stateless form matches the reference constants.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert!(r.next_below(10) < 10);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+}

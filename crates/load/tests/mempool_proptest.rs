@@ -1,0 +1,94 @@
+//! Property-based tests: admission never exceeds capacity, accounting
+//! always balances, and the fairness cap never starves a client that is
+//! under its fair share.
+
+use proptest::prelude::*;
+use st_load::Mempool;
+
+/// Decoded mempool operation. Raw `(kind, client, round)` tuples from
+/// the strategy decode as: kind 0–3 → offer (offers dominate the mix),
+/// 4 → drain, 5 → hold-over.
+enum Op {
+    Offer { client: usize, round: u64 },
+    Drain { max: usize },
+    HoldOver,
+}
+
+fn decode(kind: u8, client: usize, round: u64) -> Op {
+    match kind % 6 {
+        4 => Op::Drain { max: client % 8 },
+        5 => Op::HoldOver,
+        _ => Op::Offer { client, round },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any interleaving of offers, drains, and hold-overs the
+    /// queue never exceeds capacity, the high-water mark is honest, and
+    /// every offered transaction is accounted for exactly once.
+    #[test]
+    fn occupancy_and_accounting_invariants(
+        capacity in 0usize..32,
+        clients in 1usize..6,
+        ops in prop::collection::vec((0u8..6, 0usize..6, 0u64..64), 1..120),
+    ) {
+        let mut mp = Mempool::new(capacity, clients);
+        for (kind, client, round) in ops {
+            match decode(kind, client, round) {
+                Op::Offer { client, round } => {
+                    mp.offer(client, round);
+                }
+                Op::Drain { max } => {
+                    let batch = mp.drain(max);
+                    prop_assert!(batch.len() <= max);
+                }
+                Op::HoldOver => mp.hold_over(),
+            }
+            prop_assert!(mp.len() <= mp.capacity());
+            let s = mp.stats();
+            prop_assert!(s.high_water <= mp.capacity());
+            prop_assert_eq!(
+                s.offered,
+                s.admitted + s.dropped_capacity + s.dropped_fairness + s.dropped_asleep
+            );
+            prop_assert_eq!(s.admitted - s.drained, mp.len() as u64);
+        }
+    }
+
+    /// With `capacity ≥ clients`, a client holding fewer than its fair
+    /// share of queued transactions is never rejected — however hard
+    /// the other clients flood. (Fair share is `⌊capacity/clients⌋`,
+    /// so the shares always fit inside capacity together.)
+    #[test]
+    fn fair_share_client_is_never_starved(
+        clients in 1usize..6,
+        extra in 0usize..16,
+        flood in prop::collection::vec((0usize..6, 0u64..32), 0..200),
+        quiet_offers in 1u64..8,
+    ) {
+        let capacity = clients + extra;
+        let mut mp = Mempool::new(capacity, clients);
+        let quiet = clients - 1;
+        // Everyone else floods as much as they like.
+        for (client, round) in flood {
+            if client % clients != quiet {
+                mp.offer(client % clients, round);
+            }
+        }
+        // The quiet client now claims its fair share, one tx at a time.
+        let mut held = 0u64;
+        for i in 0..quiet_offers {
+            if held < mp.fairness_cap() {
+                prop_assert!(
+                    mp.offer(quiet, 40 + i),
+                    "quiet client rejected below fair share ({} of {})",
+                    held,
+                    mp.fairness_cap()
+                );
+                held += 1;
+            }
+        }
+    }
+}

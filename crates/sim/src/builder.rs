@@ -35,7 +35,9 @@ use crate::monitor::SimReport;
 use crate::observer::Observer;
 use crate::runner::{AsyncWindow, SimConfig, Simulation};
 use crate::schedule::Schedule;
+use crate::workload::WorkloadSpec;
 use st_core::{Protocol, TobProcess};
+use st_load::Workload;
 use st_types::{Params, ProcessId};
 
 /// Why a [`SimBuilder::build`] was rejected.
@@ -91,6 +93,7 @@ pub struct SimBuilder<P: Protocol = TobProcess> {
     schedule: Option<Schedule>,
     adversary: Box<dyn Adversary<P>>,
     observers: Vec<Box<dyn Observer<P>>>,
+    workload: Option<WorkloadSpec>,
 }
 
 impl SimBuilder {
@@ -139,6 +142,7 @@ impl<P: Protocol> SimBuilder<P> {
             schedule: None,
             adversary: Box::new(SilentAdversary),
             observers: Vec::new(),
+            workload: None,
         }
     }
 
@@ -198,6 +202,27 @@ impl<P: Protocol> SimBuilder<P> {
         self
     }
 
+    /// Installs an open-loop [`Workload`] with the default mempool
+    /// parameters ([`crate::workload::DEFAULT_MEMPOOL_CAPACITY`],
+    /// [`crate::workload::DEFAULT_BATCH`]): per-round arrivals enter a
+    /// bounded mempool and drained batches reach `submit_tx` on rounds
+    /// with an awake honest proposer. Takes precedence over
+    /// [`SimBuilder::txs_every`] (itself a `ConstantRate` shim through
+    /// the same machinery). For custom admission/batch parameters use
+    /// [`SimBuilder::workload_spec`].
+    #[must_use]
+    pub fn workload(self, workload: impl Workload + 'static) -> SimBuilder<P> {
+        self.workload_spec(WorkloadSpec::new(workload))
+    }
+
+    /// Installs a fully configured [`WorkloadSpec`] (generator plus
+    /// mempool capacity and submission batch).
+    #[must_use]
+    pub fn workload_spec(mut self, spec: WorkloadSpec) -> SimBuilder<P> {
+        self.workload = Some(spec);
+        self
+    }
+
     /// Sets the participation/corruption [`Schedule`]. Defaults to
     /// [`Schedule::full`] over the configured horizon.
     #[must_use]
@@ -251,7 +276,13 @@ impl<P: Protocol> SimBuilder<P> {
         let schedule = self.schedule.unwrap_or_else(|| {
             Schedule::full(self.config.params().n(), self.config.horizon_rounds())
         });
-        Simulation::assemble(self.config, schedule, self.adversary, self.observers)
+        Simulation::assemble(
+            self.config,
+            schedule,
+            self.adversary,
+            self.observers,
+            self.workload,
+        )
     }
 
     /// Builds and runs to completion in one call — a convenience for

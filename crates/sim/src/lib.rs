@@ -41,6 +41,12 @@
 //!   seeds, run across worker threads in input order;
 //!   [`Sweep::compare`] runs the same cells and seeds through two
 //!   protocols for head-to-head grids;
+//! * [`Workload`] / [`WorkloadSpec`] — the open-loop workload layer
+//!   (st-load) threaded into the round loop: per-round arrivals enter a
+//!   bounded mempool, drained batches reach `submit_tx`, and
+//!   [`SimReport::workload`] carries throughput, drop accounting and
+//!   exact submit→decide latency percentiles
+//!   ([`diurnal_schedule`] derives participation from the same trace);
 //! * [`SimReport`] — decisions, safety/resilience violations (Definitions
 //!   2 and 5), transaction-liveness statistics, per-window recovery
 //!   records;
@@ -84,6 +90,7 @@ mod runner;
 pub mod scenario;
 mod schedule;
 mod sweep;
+pub mod workload;
 
 pub use adversary::{Adversary, AdversaryCtx, TargetedMessage};
 pub use builder::{BuildError, SimBuilder};
@@ -95,6 +102,16 @@ pub use observer::{DecisionLog, DecisionTap, ObsCtx, Observer, SimEvent, Violati
 pub use runner::{AsyncWindow, SimConfig, Simulation};
 pub use schedule::{ChurnOptions, Schedule};
 pub use sweep::{Sweep, SweepComparison, SweepReports};
+pub use workload::{
+    diurnal_schedule, LatencyObserver, WorkloadObserver, WorkloadSpec, WorkloadSummary,
+};
+
+// The workload layer's own vocabulary (generators, mempool, histogram),
+// re-exported so simulation drivers need only this crate in scope.
+pub use st_load::{
+    ConstantRate, Diurnal, FlashCrowd, Histogram, LatencyStats, Mempool, MempoolStats, PendingTx,
+    Workload,
+};
 
 // The protocol abstraction the whole stack is generic over, re-exported
 // so simulation drivers need only this crate in scope.

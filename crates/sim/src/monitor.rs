@@ -13,7 +13,7 @@
 //! * **Healing** (Definition 6): after the window closes, how many rounds
 //!   pass before decisions resume.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use st_blocktree::BlockTree;
 use st_core::DecisionEvent;
 use st_types::{BlockId, ProcessId, Round, TxId};
@@ -28,15 +28,42 @@ pub struct SafetyViolation {
 }
 
 /// Lifecycle of a submitted transaction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TxRecord {
     /// The transaction.
     pub tx: TxId,
-    /// The round it was submitted in.
+    /// The round it was submitted in (with a workload configured: the
+    /// round it arrived at the mempool, so downstream latencies include
+    /// queueing delay).
     pub submitted: Round,
     /// First round at which *every* process awake at that round had the
     /// transaction in its decided log; `None` if that never happened.
     pub included_everywhere: Option<Round>,
+    /// First round at which *some* honest awake process had the
+    /// transaction in its decided log — the client-observed decision
+    /// point ("when did my tx land"); `None` if it never landed.
+    pub decided_round: Option<u64>,
+}
+
+// Hand-written rather than derived: `decided_round` is serialized only
+// when present, and the in-repo serde stand-in has no skip attributes.
+// The first three entries match the shape the derive produced before the
+// field existed, so legacy report consumers see unchanged records.
+impl Serialize for TxRecord {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("tx".to_string(), self.tx.to_value()),
+            ("submitted".to_string(), self.submitted.to_value()),
+            (
+                "included_everywhere".to_string(),
+                self.included_everywhere.to_value(),
+            ),
+        ];
+        if let Some(d) = self.decided_round {
+            entries.push(("decided_round".to_string(), d.to_value()));
+        }
+        Value::Map(entries)
+    }
 }
 
 impl TxRecord {
@@ -44,6 +71,12 @@ impl TxRecord {
     pub fn latency(&self) -> Option<u64> {
         self.included_everywhere
             .map(|r| r.as_u64() - self.submitted.as_u64())
+    }
+
+    /// Submit→decide latency in rounds (first honest decided log), if
+    /// the transaction ever landed.
+    pub fn decide_latency(&self) -> Option<u64> {
+        self.decided_round.map(|r| r - self.submitted.as_u64())
     }
 }
 
@@ -122,6 +155,9 @@ pub struct SimReport {
     pub deciding_rounds: usize,
     /// Per-round time series of the execution.
     pub timeline: crate::RoundTrace,
+    /// Workload/mempool/latency accounting (all zero without a
+    /// configured workload).
+    pub workload: crate::workload::WorkloadSummary,
 }
 
 impl SimReport {
@@ -568,13 +604,24 @@ mod tests {
             tx: TxId::new(1),
             submitted: Round::new(2),
             included_everywhere: Some(Round::new(8)),
+            decided_round: Some(6),
         });
         r.txs.push(TxRecord {
             tx: TxId::new(2),
             submitted: Round::new(3),
             included_everywhere: None,
+            decided_round: None,
         });
         assert_eq!(r.tx_inclusion_rate(), 0.5);
         assert_eq!(r.mean_tx_latency(), Some(6.0));
+        assert_eq!(r.txs[0].decide_latency(), Some(4));
+        assert_eq!(r.txs[1].decide_latency(), None);
+        // `decided_round` is serialized only when present — absent
+        // records keep the legacy three-entry shape.
+        let v0 = r.txs[0].to_value();
+        assert!(v0.get("decided_round").is_some());
+        let v1 = r.txs[1].to_value();
+        assert!(v1.get("decided_round").is_none());
+        assert!(v1.get("included_everywhere").is_some());
     }
 }

@@ -467,6 +467,7 @@ impl<P: Protocol> Observer<P> for TxLedger {
             tx,
             submitted: round,
             included_everywhere: None,
+            decided_round: None,
         });
     }
 
@@ -490,12 +491,23 @@ impl<P: Protocol> Observer<P> for TxLedger {
         for rec in self
             .txs
             .iter_mut()
-            .filter(|t| t.included_everywhere.is_none())
+            .filter(|t| t.included_everywhere.is_none() || t.decided_round.is_none())
         {
-            let everywhere = awake_next
-                .iter()
-                .all(|p| self.decided_txs[p.index()].1.contains(&rec.tx));
-            if everywhere {
+            let mut anywhere = false;
+            let mut everywhere = true;
+            for p in &awake_next {
+                if self.decided_txs[p.index()].1.contains(&rec.tx) {
+                    anywhere = true;
+                } else {
+                    everywhere = false;
+                }
+            }
+            // First honest decided log containing the tx: the
+            // client-observed decision point.
+            if rec.decided_round.is_none() && anywhere {
+                rec.decided_round = Some(next.as_u64());
+            }
+            if rec.included_everywhere.is_none() && everywhere {
                 rec.included_everywhere = Some(next);
             }
         }

@@ -25,6 +25,7 @@ use crate::observer::{
     TxLedger,
 };
 use crate::schedule::Schedule;
+use crate::workload::{WorkloadInjector, WorkloadSpec};
 use st_blocktree::BlockTree;
 use st_core::{Protocol, TobConfig, TobProcess};
 use st_crypto::Keypair;
@@ -264,6 +265,9 @@ pub struct Simulation<P: Protocol = TobProcess> {
     /// keypair clones are hoisted into this cache and rebuilt only when
     /// the set itself changes — not twice per asynchronous round.
     byz_cache: (Vec<ProcessId>, Vec<Keypair>),
+    /// The workload injector, when a workload (or the legacy `txs_every`
+    /// shim) is configured: the one seam allowed to call `submit_tx`.
+    workload: Option<WorkloadInjector>,
     tx_counter: u64,
     /// The next round to execute (`step` cursor); the run is complete
     /// once it passes the horizon.
@@ -331,7 +335,7 @@ impl Simulation {
         note = "use SimBuilder: SimBuilder::from_config(config).schedule(schedule).adversary(adversary).build()"
     )]
     pub fn new(config: SimConfig, schedule: Schedule, adversary: Box<dyn Adversary>) -> Simulation {
-        match Simulation::assemble(config, schedule, adversary, Vec::new()) {
+        match Simulation::assemble(config, schedule, adversary, Vec::new(), None) {
             Ok(sim) => sim,
             Err(e) => panic!("{e}"), // stlint::allow(panic, reason = "deprecated shim deliberately preserves the historic panic contract; SimBuilder::build is the fallible path")
         }
@@ -346,6 +350,7 @@ impl<P: Protocol> Simulation<P> {
         schedule: Schedule,
         adversary: Box<dyn Adversary<P>>,
         user_observers: Vec<Box<dyn Observer<P>>>,
+        workload: Option<WorkloadSpec>,
     ) -> Result<Simulation<P>, BuildError> {
         let n = config.params.n();
         if schedule.n() != n {
@@ -378,6 +383,16 @@ impl<P: Protocol> Simulation<P> {
             Box::new(DecisionLedger::new(n)),
             Box::new(TraceObserver::new()),
         ];
+        // An explicit workload wins over the legacy `txs_every` knob;
+        // the knob itself is re-expressed as a ConstantRate shim through
+        // the same injector. The workload observers (mempool accounting,
+        // latency join) sit between the built-ins and user observers so
+        // user probes still run last.
+        let workload = workload.or_else(|| config.txs_every.map(WorkloadSpec::legacy_shim));
+        let workload = workload.map(WorkloadInjector::new);
+        if let Some(inj) = &workload {
+            observers.extend(inj.observers());
+        }
         observers.extend(user_observers);
         let wants_deliveries = observers.iter().any(|o| o.wants_delivery_events());
         Ok(Simulation {
@@ -395,6 +410,7 @@ impl<P: Protocol> Simulation<P> {
             ever_byz: vec![false; n],
             awake_fp: vec![0; n],
             byz_cache: (Vec::new(), Vec::new()),
+            workload,
             tx_counter: 0,
             next: 0,
         })
@@ -534,25 +550,37 @@ impl<P: Protocol> Simulation<P> {
             }
         }
 
-        // ------ transaction workload: a fresh transaction reaches every
-        // honest awake process's mempool (modelling transaction gossip,
-        // which floods independently of the consensus rounds) ------
-        if let Some(k) = self.config.txs_every {
-            if round.as_u64() > 0 && round.as_u64().is_multiple_of(k) {
-                let targets = self.schedule.honest_awake(round);
-                if !targets.is_empty() {
-                    self.tx_counter += 1;
-                    let tx = TxId::new(self.tx_counter);
-                    for &target in &targets {
-                        self.procs[target.index()].submit_tx(tx);
-                    }
-                    let ctx = obs_ctx!(self, round, env_view);
-                    dispatch(
-                        &mut self.observers,
-                        &ctx,
-                        &SimEvent::TxSubmitted { tx, round },
-                    );
+        // ------ transaction workload: the injector offers this round's
+        // open-loop arrivals to the mempool and drains the submission
+        // batch; each drained transaction reaches every honest awake
+        // process's mempool (modelling transaction gossip, which floods
+        // independently of the consensus rounds). The `TxSubmitted`
+        // event carries the transaction's mempool *arrival* round, so
+        // downstream latency includes the queueing delay; under the
+        // legacy `txs_every` shim arrival and drain coincide, keeping
+        // those reports byte-identical. ------
+        if self.workload.is_some() {
+            let targets = self.schedule.honest_awake(round);
+            let drained = self
+                .workload
+                .as_mut()
+                .map(|inj| inj.step(round.as_u64(), !targets.is_empty()))
+                .unwrap_or_default();
+            for pending in drained {
+                self.tx_counter += 1;
+                let tx = TxId::new(self.tx_counter);
+                for &target in &targets {
+                    self.procs[target.index()].submit_tx(tx);
                 }
+                let ctx = obs_ctx!(self, round, env_view);
+                dispatch(
+                    &mut self.observers,
+                    &ctx,
+                    &SimEvent::TxSubmitted {
+                        tx,
+                        round: Round::new(pending.arrived),
+                    },
+                );
             }
         }
 

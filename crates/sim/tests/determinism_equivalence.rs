@@ -447,6 +447,46 @@ proptest::proptest! {
     }
 }
 
+/// **txs_every-vs-workload equivalence**: the legacy `txs_every(k)` knob
+/// is now a `ConstantRate` shim through the workload injector; spelling
+/// the same traffic as an explicit open-loop workload
+/// (`ConstantRate::every(k)` with unbounded admission and batch) must
+/// produce a byte-identical report on every guard-grid cell. The grid's
+/// schedules all keep at least one honest process awake every round, so
+/// the shim's drop-when-asleep special case is unreachable and the two
+/// spellings coincide exactly — legacy reports stay stable down to the
+/// serialized byte.
+#[test]
+fn txs_every_matches_explicit_constant_rate_workload() {
+    use st_sim::{ConstantRate, WorkloadSpec};
+    for (adv, sched, eta, t, seed) in guard_grid() {
+        let legacy = SimBuilder::from_config(guard_config(eta, &t, seed))
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        // Same config minus txs_every, with the equivalent workload.
+        let mut config = SimConfig::new(params(10, eta), seed).horizon(28);
+        if let Some(t) = &t {
+            config = config.timeline(t.clone());
+        }
+        let explicit = SimBuilder::from_config(config)
+            .workload_spec(
+                WorkloadSpec::new(ConstantRate::every(4))
+                    .capacity(usize::MAX)
+                    .batch(usize::MAX),
+            )
+            .schedule(schedule(sched, 10, 28))
+            .adversary_boxed(adversary(adv))
+            .run();
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&explicit).unwrap(),
+            "txs_every shim diverged from the explicit ConstantRate workload for \
+             adversary={adv} schedule={sched} eta={eta}"
+        );
+    }
+}
+
 /// **Builder-vs-legacy-shim equivalence**: the deprecated positional
 /// constructor and the builder assemble the same simulation.
 #[test]

@@ -23,7 +23,8 @@
 //! | [`messages`] | `st-messages` | votes/proposals, expiration-window stores |
 //! | [`ga`] | `st-ga` | graded agreement (Figures 2–3, Lemma 1) |
 //! | [`core`] | `st-core` | Algorithm 1 with expiration (the contribution); the `Protocol` trait + the fixed-quorum baseline |
-//! | [`sim`] | `st-sim` | sleepy-model simulator (generic over `Protocol`), adversaries, monitors |
+//! | [`load`] | `st-load` | open-loop workload generators, bounded mempool, latency histograms |
+//! | [`sim`] | `st-sim` | sleepy-model simulator (generic over `Protocol`), adversaries, monitors, workload injection |
 //! | [`node`] | `st-node` | deployable socket node runtime (`stob serve`) + multi-process cluster harness |
 //! | [`analysis`] | `st-analysis` | Figure-1 formulas, Eq. 1–5 checkers |
 //!
@@ -85,6 +86,7 @@ pub use st_core as core;
 pub use st_crypto as crypto;
 pub use st_ga as ga;
 pub use st_gossip as gossip;
+pub use st_load as load;
 pub use st_messages as messages;
 pub use st_node as node;
 pub use st_sim as sim;
@@ -108,12 +110,17 @@ pub use st_types as types;
 /// [`Sweep::compare`](st_sim::Sweep::compare)'s
 /// [`SweepComparison`](st_sim::SweepComparison), so head-to-head
 /// experiments build from the prelude alone
-/// (`examples/baseline_comparison.rs`).
+/// (`examples/baseline_comparison.rs`). The workload layer rides along:
+/// the [`Workload`](st_load::Workload) generators, the
+/// [`WorkloadSpec`](st_sim::WorkloadSpec) admission/batch knobs and the
+/// [`WorkloadSummary`](st_sim::WorkloadSummary) latency percentiles in
+/// every report.
 pub mod prelude {
     pub use st_analysis::{beta_tilde, beta_tilde_two_thirds, check_conditions};
     pub use st_blocktree::{Block, BlockTree};
     pub use st_core::{DecisionEvent, Protocol, QuorumProcess, TobConfig, TobProcess};
     pub use st_ga::{tally, GaInstance, GaOutput, Thresholds};
+    pub use st_load::{ConstantRate, Diurnal, FlashCrowd, Histogram, Mempool, Workload};
     pub use st_messages::{Envelope, Payload, Propose, Vote, VoteStore};
     pub use st_sim::adversary::{
         BlackoutAdversary, EquivocatingVoter, PartitionAttacker, ReorgAttacker, SilentAdversary,
@@ -121,10 +128,11 @@ pub mod prelude {
     pub use st_sim::baseline::StaticQuorumBft;
     pub use st_sim::scenario::{alternating, gst, Scenario};
     pub use st_sim::{
-        Adversary, AdversaryCtx, AsyncWindow, BuildError, EnvView, ObsCtx, Observer, Recipients,
-        RecoveryRecord, RoundSample, RoundTrace, SafetyViolation, Schedule, SegmentKind,
-        SentMessage, SimBuilder, SimConfig, SimEvent, SimReport, Simulation, Sweep,
+        diurnal_schedule, Adversary, AdversaryCtx, AsyncWindow, BuildError, EnvView, ObsCtx,
+        Observer, Recipients, RecoveryRecord, RoundSample, RoundTrace, SafetyViolation, Schedule,
+        SegmentKind, SentMessage, SimBuilder, SimConfig, SimEvent, SimReport, Simulation, Sweep,
         SweepComparison, SweepReports, TargetedMessage, Timeline, TxRecord, ViolationKind,
+        WorkloadSpec, WorkloadSummary,
     };
     pub use st_types::{BlockId, Grade, Params, ProcessId, Round, RoundKind, TxId, View};
 }
